@@ -1,0 +1,177 @@
+// The alternatives comparison behind Sections 1 and 6: what each
+// cookie-management approach costs the user, and how much of the cookie
+// population it can actually decide. Four contenders over the same 60-site
+// population and browsing workload:
+//
+//   * prompt-based manager (Cookie Crusher / CookiePal style),
+//   * P3P policies (with realistic ~8% site adoption),
+//   * Doppelganger-style mirroring,
+//   * CookiePicker.
+#include <cstdio>
+
+#include "baseline/alternatives.h"
+#include "baseline/doppelganger.h"
+#include "browser/browser.h"
+#include "core/cookie_picker.h"
+#include "net/network.h"
+#include "server/generator.h"
+#include "util/clock.h"
+#include "util/stats.h"
+
+namespace {
+
+using namespace cookiepicker;
+
+constexpr int kSites = 60;
+constexpr int kViewsPerSite = 8;
+
+struct Workload {
+  util::SimClock clock;
+  net::Network network{909};
+  browser::Browser browser{network, clock};
+  std::vector<server::SiteSpec> roster;
+
+  Workload() {
+    roster = server::measurementRoster(kSites, 4711);
+    server::registerRoster(network, clock, roster);
+  }
+
+  template <typename PerView>
+  void browseAll(PerView&& perView) {
+    for (const server::SiteSpec& spec : roster) {
+      for (int view = 0; view < kViewsPerSite; ++view) {
+        const auto pageView = browser.visit(
+            "http://" + spec.domain + "/page" +
+            std::to_string(view % spec.pageCount));
+        perView(pageView, spec);
+        browser.think();
+      }
+    }
+  }
+};
+
+bool isUsefulName(const server::SiteSpec& spec, const std::string& name) {
+  for (const std::string& useful : spec.usefulCookieNames()) {
+    if (useful == name) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== Cookie-management alternatives (Sections 1 & 6) ===\n");
+  std::printf("workload: %d sites x %d views\n\n", kSites, kViewsPerSite);
+
+  util::TextTable table({"approach", "user interruptions",
+                         "undecidable cookies", "wrong decisions",
+                         "extra requests"});
+
+  // --- 1. prompt-based manager ------------------------------------------
+  {
+    Workload workload;
+    // The oracle is a *perfectly informed* user — the best case for
+    // prompting; the cost that remains is the interruption count.
+    std::map<std::string, const server::SiteSpec*> byDomain;
+    for (const auto& spec : workload.roster) byDomain[spec.domain] = &spec;
+    baseline::PromptingManager manager(
+        [&](const std::string& host, const std::string& name) {
+          const auto it = byDomain.find(host);
+          return it != byDomain.end() && isUsefulName(*it->second, name);
+        });
+    workload.network.resetCounters();
+    const auto before = workload.network.totalRequests();
+    workload.browseAll([&](const browser::PageView& view,
+                           const server::SiteSpec&) {
+      manager.onPageView(workload.browser, view);
+    });
+    (void)before;
+    table.addRow({"prompt-per-cookie (CookiePal-style)",
+                  std::to_string(manager.totalPrompts()), "0", "0", "0"});
+  }
+
+  // --- 2. P3P ---------------------------------------------------------------
+  {
+    Workload workload;
+    baseline::P3pClassifier classifier(workload.network);
+    int undecidable = 0;
+    int decided = 0;
+    workload.browseAll([](const browser::PageView&,
+                          const server::SiteSpec&) {});
+    for (const cookies::CookieRecord* record :
+         workload.browser.jar().all()) {
+      if (!record->persistent) continue;
+      if (classifier.classify(record->key.domain, record->key.name)
+              .has_value()) {
+        ++decided;
+      } else {
+        ++undecidable;
+      }
+    }
+    table.addRow({"P3P (8% site adoption)", "0",
+                  std::to_string(undecidable) + " of " +
+                      std::to_string(undecidable + decided),
+                  "0 (policies truthful)",
+                  std::to_string(classifier.policyFetches())});
+  }
+
+  // --- 3. Doppelganger --------------------------------------------------------
+  {
+    Workload workload;
+    baseline::Doppelganger doppelganger(
+        workload.browser, workload.network,
+        [](const std::string& a, const std::string& b) {
+          return a.size() != b.size();
+        });
+    const auto requestsBefore = workload.network.totalRequests();
+    std::uint64_t regularRequests = 0;
+    workload.browseAll([&](const browser::PageView& view,
+                           const server::SiteSpec&) {
+      regularRequests = workload.network.totalRequests();
+      doppelganger.onPageView(view);
+    });
+    (void)requestsBefore;
+    (void)regularRequests;
+    table.addRow({"Doppelganger-style mirror",
+                  std::to_string(doppelganger.stats().userPrompts), "0",
+                  "(user-dependent)",
+                  std::to_string(doppelganger.stats().mirroredRequests)});
+  }
+
+  // --- 4. CookiePicker ---------------------------------------------------------
+  {
+    Workload workload;
+    core::CookiePicker picker(workload.browser);
+    int falseUseful = 0;
+    int missedUseful = 0;
+    std::uint64_t hiddenRequests = 0;
+    workload.browseAll([&](const browser::PageView& view,
+                           const server::SiteSpec&) {
+      const auto report = picker.onPageLoaded(view);
+      if (report.hiddenRequestSent) ++hiddenRequests;
+    });
+    for (const auto& spec : workload.roster) {
+      for (const cookies::CookieRecord* record :
+           workload.browser.jar().persistentCookiesForHost(spec.domain)) {
+        const bool useful = isUsefulName(spec, record->key.name);
+        if (record->useful && !useful) ++falseUseful;
+        if (!record->useful && useful) ++missedUseful;
+      }
+    }
+    table.addRow({"CookiePicker", "0", "0",
+                  std::to_string(falseUseful) + " false-useful, " +
+                      std::to_string(missedUseful) + " missed",
+                  std::to_string(hiddenRequests)});
+  }
+
+  std::printf("%s\n", table.render().c_str());
+  std::printf(
+      "Expected shape: prompting decides everything but interrupts the\n"
+      "user hundreds of times (the unusability finding of [5,13]); P3P\n"
+      "never interrupts but leaves ~90%% of cookies undecidable at\n"
+      "realistic adoption; Doppelganger automates detection but still\n"
+      "needs a human verdict per difference and mirrors whole sessions;\n"
+      "CookiePicker is fully automatic at one extra container request per\n"
+      "view, erring only toward keeping some useless cookies.\n");
+  return 0;
+}

@@ -1,0 +1,116 @@
+// Longitudinal privacy exposure: two weeks of realistic browsing (Zipf site
+// popularity, several sessions a day) over a 40-site population, with and
+// without CookiePicker. Prints a day-by-day series of tracking cookies
+// resident in the jar — the figure-style view of the paper's end goal:
+// useful cookies kept, trackers driven out as sites finish training.
+#include <cstdio>
+
+#include "browser/browser.h"
+#include "browser/session_model.h"
+#include "core/cookie_picker.h"
+#include "net/network.h"
+#include "server/generator.h"
+#include "util/clock.h"
+#include "util/stats.h"
+
+namespace {
+
+using namespace cookiepicker;
+
+struct DayStats {
+  int trackersResident = 0;
+  int usefulResident = 0;
+};
+
+std::vector<DayStats> runTimeline(bool withPicker, int days,
+                                  const std::vector<server::SiteSpec>& roster,
+                                  std::set<std::string>* usefulNamesOut) {
+  util::SimClock clock;
+  net::Network network(777);
+  browser::Browser browser(network, clock);
+  core::CookiePickerConfig config;
+  config.autoEnforce = true;
+  config.forcum.stableViewThreshold = 8;
+  core::CookiePicker picker(browser, config);
+
+  server::registerRoster(network, clock, roster);
+  std::vector<std::string> domains;
+  std::set<std::string> usefulNames;
+  for (const server::SiteSpec& spec : roster) {
+    domains.push_back(spec.domain);
+    for (const std::string& name : spec.usefulCookieNames()) {
+      usefulNames.insert(name);
+    }
+  }
+  if (usefulNamesOut != nullptr) *usefulNamesOut = usefulNames;
+
+  browser::UserSessionModel trace(domains, {}, 4242);
+  std::vector<DayStats> series;
+  int day = 0;
+  while (day < days) {
+    const auto step = trace.next();
+    if (step.dayStart) {
+      // Sample the jar at the day boundary, then "overnight": browser
+      // restart (session cookies die) and the clock jumps.
+      DayStats stats;
+      for (const cookies::CookieRecord* record : browser.jar().all()) {
+        if (!record->persistent) continue;
+        if (usefulNames.contains(record->key.name)) {
+          ++stats.usefulResident;
+        } else {
+          ++stats.trackersResident;
+        }
+      }
+      series.push_back(stats);
+      browser.jar().endSession();
+      clock.advanceDays(0.5);
+      ++day;
+    }
+    if (withPicker) {
+      picker.browse(step.url);
+    } else {
+      browser.visit(step.url);
+      browser.think();
+    }
+  }
+  return series;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== Longitudinal exposure: 14 days of browsing, 40 sites ===\n\n");
+
+  const auto roster = server::measurementRoster(40, 1234);
+  std::set<std::string> usefulNames;
+  const auto vanilla = runTimeline(false, 14, roster, nullptr);
+  const auto picked = runTimeline(true, 14, roster, &usefulNames);
+
+  util::TextTable table({"day", "trackers (no CookiePicker)",
+                         "trackers (CookiePicker)",
+                         "useful kept (CookiePicker)"});
+  for (std::size_t day = 0; day < picked.size(); ++day) {
+    table.addRow({std::to_string(day + 1),
+                  std::to_string(vanilla[day].trackersResident),
+                  std::to_string(picked[day].trackersResident),
+                  std::to_string(picked[day].usefulResident)});
+  }
+  std::printf("%s\n", table.render().c_str());
+
+  const DayStats& lastVanilla = vanilla.back();
+  const DayStats& lastPicked = picked.back();
+  std::printf("day-14 tracker reduction: %d -> %d (%.0f%%)\n",
+              lastVanilla.trackersResident, lastPicked.trackersResident,
+              lastVanilla.trackersResident == 0
+                  ? 0.0
+                  : 100.0 *
+                        (lastVanilla.trackersResident -
+                         lastPicked.trackersResident) /
+                        lastVanilla.trackersResident);
+  std::printf(
+      "Expected shape: without CookiePicker the tracker population grows\n"
+      "with site coverage and never shrinks; with it, popular (frequently\n"
+      "revisited) sites finish training within days and their trackers are\n"
+      "purged, while the useful-cookie count stays at its natural level.\n");
+  return 0;
+}

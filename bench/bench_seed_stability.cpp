@@ -1,0 +1,58 @@
+// Reproduction robustness: the Table 1 classification shape must not
+// depend on the RNG seed. Reruns the 30-site campaign under ten different
+// network/noise seeds and checks that the headline numbers — 103 persistent
+// cookies, the useful sites detected, zero recoveries — are invariant,
+// while the dynamics-driven false positives (S1/S10/S27) may fluctuate only
+// within their designed mechanism.
+#include <cstdio>
+
+#include "bench_support.h"
+#include "server/generator.h"
+#include "util/stats.h"
+
+int main() {
+  using namespace cookiepicker;
+
+  std::printf("=== Seed stability of the Table 1 reproduction ===\n\n");
+
+  util::TextTable table({"seed", "persistent", "marked", "S6+S16 detected",
+                         "false-useful sites", "recoveries"});
+  int stableRuns = 0;
+  constexpr int kRuns = 10;
+  for (int run = 0; run < kRuns; ++run) {
+    bench::CampaignOptions options;
+    options.networkSeed = 1000 + static_cast<std::uint64_t>(run) * 97;
+    options.picker.forcum.stableViewThreshold = 25;
+    const bench::CampaignResult result =
+        bench::runCampaign(server::table1Roster(), options);
+
+    bool usefulDetected = true;
+    int falseUsefulSites = 0;
+    for (const bench::SiteResult& site : result.sites) {
+      if (site.realUseful > 0 && site.markedUseful < site.realUseful) {
+        usefulDetected = false;
+      }
+      if (site.realUseful == 0 && site.markedUseful > 0) {
+        ++falseUsefulSites;
+      }
+    }
+    const bool stable = result.totalPersistent() == 103 && usefulDetected &&
+                        result.recoveryPresses == 0;
+    if (stable) ++stableRuns;
+    table.addRow({std::to_string(options.networkSeed),
+                  std::to_string(result.totalPersistent()),
+                  std::to_string(result.totalMarked()),
+                  usefulDetected ? "yes" : "NO",
+                  std::to_string(falseUsefulSites),
+                  std::to_string(result.recoveryPresses)});
+  }
+  std::printf("%s\n", table.render().c_str());
+  std::printf("runs with invariant core results: %d / %d\n", stableRuns,
+              kRuns);
+  std::printf(
+      "Expected shape: cookie inventory, useful-cookie detection, and the\n"
+      "zero-recovery property hold for every seed; only the count of\n"
+      "dynamics-driven false-useful sites may wiggle around 3, since those\n"
+      "depend on when the layout shuffles happen to straddle a probe.\n");
+  return 0;
+}

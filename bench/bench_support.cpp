@@ -1,0 +1,51 @@
+#include "bench_support.h"
+
+#include "browser/browser.h"
+
+namespace cookiepicker::bench {
+
+CampaignResult runCampaign(const std::vector<server::SiteSpec>& roster,
+                           const CampaignOptions& options) {
+  util::SimClock clock;
+  net::Network network(options.networkSeed);
+  browser::Browser browser(network, clock);
+  core::CookiePicker picker(browser, options.picker);
+
+  server::registerRoster(network, clock, roster);
+
+  CampaignResult result;
+  for (const server::SiteSpec& spec : roster) {
+    SiteResult site;
+    site.label = spec.label;
+    site.domain = spec.domain;
+    site.realUseful = spec.totalUseful();
+
+    for (int view = 0; view < options.viewsPerSite; ++view) {
+      const std::string path =
+          view % spec.pageCount == 0
+              ? "/"
+              : "/page" + std::to_string(view % spec.pageCount);
+      const core::ForcumStepReport report =
+          picker.browse("http://" + spec.domain + path);
+      if (report.hiddenRequestSent && report.decision.causedByCookies &&
+          site.detectTreeSim < 0.0) {
+        site.detectTreeSim = report.decision.treeSim;
+        site.detectTextSim = report.decision.textSim;
+      }
+    }
+
+    for (const cookies::CookieRecord* record :
+         browser.jar().persistentCookiesForHost(spec.domain)) {
+      ++site.persistent;
+      if (record->useful) ++site.markedUseful;
+    }
+    const core::HostReport report = picker.report(spec.domain);
+    site.avgDetectionMs = report.averageDetectionMs;
+    site.avgDurationMs = report.averageDurationMs;
+    result.sites.push_back(site);
+  }
+  result.recoveryPresses = picker.recovery().recoveryCount();
+  return result;
+}
+
+}  // namespace cookiepicker::bench

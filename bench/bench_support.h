@@ -1,0 +1,64 @@
+// Shared experiment-campaign runner for the table/figure benchmarks.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/cookie_picker.h"
+#include "net/network.h"
+#include "server/generator.h"
+#include "util/clock.h"
+#include "util/stats.h"
+
+namespace cookiepicker::bench {
+
+struct SiteResult {
+  std::string label;
+  std::string domain;
+  int persistent = 0;
+  int markedUseful = 0;
+  int realUseful = 0;
+  double avgDetectionMs = 0.0;
+  double avgDurationMs = 0.0;
+  // The decision scores captured on the first view that attributed a
+  // difference to cookies (Table 2's NTreeSim / NTextSim columns);
+  // -1 when no such view occurred.
+  double detectTreeSim = -1.0;
+  double detectTextSim = -1.0;
+};
+
+struct CampaignResult {
+  std::vector<SiteResult> sites;
+  int recoveryPresses = 0;
+
+  int totalPersistent() const {
+    int total = 0;
+    for (const SiteResult& site : sites) total += site.persistent;
+    return total;
+  }
+  int totalMarked() const {
+    int total = 0;
+    for (const SiteResult& site : sites) total += site.markedUseful;
+    return total;
+  }
+  int totalReal() const {
+    int total = 0;
+    for (const SiteResult& site : sites) total += site.realUseful;
+    return total;
+  }
+};
+
+struct CampaignOptions {
+  int viewsPerSite = 26;  // the paper visited "over 25 Web pages" per site
+  std::uint64_t networkSeed = 2007;
+  core::CookiePickerConfig picker;
+};
+
+// Runs the FORCUM campaign over a roster and gathers per-site results.
+// Ground truth (realUseful) comes from the specs; marked counts from the
+// jar; timings from the FORCUM site states.
+CampaignResult runCampaign(const std::vector<server::SiteSpec>& roster,
+                           const CampaignOptions& options = {});
+
+}  // namespace cookiepicker::bench

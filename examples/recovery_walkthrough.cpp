@@ -1,0 +1,88 @@
+// Scenario: backward error recovery (Section 3.3) end to end.
+//
+// A site's useful cookie only matters on a rarely visited page — FORCUM's
+// second kind of error: training stabilizes without ever seeing the page
+// where the cookie matters, so the cookie is blocked and the user later
+// hits a degraded page. The walkthrough shows the failure, the one-click
+// recovery, and training resuming.
+//
+//   $ ./examples/recovery_walkthrough
+#include <cstdio>
+#include <memory>
+
+#include "browser/browser.h"
+#include "core/cookie_picker.h"
+#include "net/network.h"
+#include "server/behaviors.h"
+#include "server/generator.h"
+#include "server/site.h"
+#include "util/clock.h"
+
+int main() {
+  using namespace cookiepicker;
+
+  util::SimClock clock;
+  net::Network network(/*seed=*/99);
+
+  // A site whose preference cookie only affects pages under /account —
+  // which the user never visits during training.
+  server::SiteConfig config;
+  config.domain = "portal.example";
+  config.title = "Member Portal";
+  config.category = "society";
+  config.seed = 55;
+  auto site = std::make_shared<server::WebSite>(config, clock);
+  site->addBehavior(std::make_unique<server::PreferenceCookieBehavior>(
+      "prefstyle", /*intensity=*/2, /*maxAgeSeconds=*/365LL * 86400,
+      /*affectedPathPrefix=*/"/account"));
+  site->addBehavior(std::make_unique<server::AdRotationNoise>());
+  network.registerHost(config.domain, site);
+
+  browser::Browser browser(network, clock);
+  core::CookiePickerConfig pickerConfig;
+  pickerConfig.forcum.stableViewThreshold = 5;
+  pickerConfig.autoEnforce = true;
+  core::CookiePicker picker(browser, pickerConfig);
+
+  std::printf("=== Training on the public pages only ===\n");
+  for (int i = 0; i < 9; ++i) {
+    picker.browse("http://portal.example/page" + std::to_string(i + 1));
+  }
+  std::printf("training active: %s, enforced: %s\n",
+              picker.forcum().isTrainingActive("portal.example") ? "yes"
+                                                                 : "no",
+              picker.isEnforced("portal.example") ? "yes" : "no");
+  std::printf("prefstyle was marked useful: %s (the error: its page was "
+              "never visited)\n\n",
+              [&] {
+                for (const auto* record :
+                     browser.jar().persistentCookiesForHost(
+                         "portal.example")) {
+                  if (record->key.name == "prefstyle") {
+                    return record->useful ? "yes" : "no";
+                  }
+                }
+                return "cookie already deleted";
+              }());
+
+  std::printf("=== The user visits /account and sees a degraded page ===\n");
+  auto view = browser.visit("http://portal.example/account/settings");
+  const bool personalized =
+      view.document->textContent().find("Welcome back") != std::string::npos;
+  std::printf("personalized content present: %s\n\n",
+              personalized ? "yes" : "no  <-- malfunction the user notices");
+
+  std::printf("=== One click on the recovery button ===\n");
+  const auto remarked = picker.pressRecoveryButton(view.url);
+  std::printf("cookies re-marked useful: %zu; training resumed: %s\n\n",
+              remarked.size(),
+              picker.forcum().isTrainingActive("portal.example") ? "yes"
+                                                                 : "no");
+
+  std::printf("=== The next visit works again ===\n");
+  view = browser.visit("http://portal.example/account/settings");
+  const bool fixed =
+      view.document->textContent().find("Welcome back") != std::string::npos;
+  std::printf("personalized content present: %s\n", fixed ? "yes" : "no");
+  return 0;
+}

@@ -1,0 +1,111 @@
+#include "baseline/alternatives.h"
+
+#include <vector>
+
+#include "net/cookie_parse.h"
+
+namespace cookiepicker::baseline {
+
+using server::P3pPolicyBehavior;
+using server::P3pPurpose;
+
+// --- PromptingManager ---------------------------------------------------------
+
+int PromptingManager::onPageView(browser::Browser& browser,
+                                 const browser::PageView& view) {
+  int prompts = 0;
+  std::vector<cookies::CookieKey> toRemove;
+  for (const cookies::CookieRecord* record : browser.jar().all()) {
+    // Only cookies belonging to the visited site trigger this view's
+    // dialogs (third-party ones are already blocked by policy).
+    if (!net::hostMatchesDomain(view.url.host(), record->key.domain) &&
+        !net::hostMatchesDomain(record->key.domain, view.url.host())) {
+      continue;
+    }
+    const std::string decisionKey =
+        record->key.domain + "|" + record->key.name;
+    if (decisions_.contains(decisionKey)) continue;
+    // The dialog.
+    ++prompts;
+    ++totalPrompts_;
+    const bool allow = oracle_(record->key.domain, record->key.name);
+    decisions_[decisionKey] = allow;
+    if (!allow) {
+      ++denied_;
+      toRemove.push_back(record->key);
+    }
+  }
+  for (const cookies::CookieKey& key : toRemove) {
+    browser.jar().removeIf([&key](const cookies::CookieRecord& record) {
+      return record.key == key;
+    });
+  }
+  return prompts;
+}
+
+// --- P3pClassifier ----------------------------------------------------------------
+
+std::map<std::string, P3pPurpose> P3pClassifier::parsePolicy(
+    const std::string& xml) {
+  std::map<std::string, P3pPurpose> declarations;
+  std::size_t position = 0;
+  while (true) {
+    const std::size_t tag = xml.find("<COOKIE ", position);
+    if (tag == std::string::npos) break;
+    const std::size_t end = xml.find("/>", tag);
+    if (end == std::string::npos) break;
+    const std::string element = xml.substr(tag, end - tag);
+    auto extract = [&element](const std::string& attribute) {
+      const std::string marker = attribute + "=\"";
+      const std::size_t start = element.find(marker);
+      if (start == std::string::npos) return std::string();
+      const std::size_t valueStart = start + marker.size();
+      const std::size_t valueEnd = element.find('"', valueStart);
+      if (valueEnd == std::string::npos) return std::string();
+      return element.substr(valueStart, valueEnd - valueStart);
+    };
+    const std::string name = extract("name");
+    const std::string purposeText = extract("purpose");
+    if (!name.empty()) {
+      P3pPurpose purpose = P3pPurpose::Tracking;
+      if (purposeText == "session-state") {
+        purpose = P3pPurpose::SessionState;
+      } else if (purposeText == "personalization") {
+        purpose = P3pPurpose::Personalization;
+      }
+      declarations[name] = purpose;
+    }
+    position = end + 2;
+  }
+  return declarations;
+}
+
+std::optional<P3pPurpose> P3pClassifier::classify(
+    const std::string& host, const std::string& cookieName) {
+  auto cached = cache_.find(host);
+  if (cached == cache_.end()) {
+    const auto url =
+        net::Url::parse("http://" + host + P3pPolicyBehavior::kPolicyPath);
+    if (!url.has_value()) {
+      cache_[host] = std::nullopt;
+    } else {
+      net::HttpRequest request;
+      request.url = *url;
+      ++policyFetches_;
+      const net::Exchange exchange = network_.dispatch(request);
+      if (exchange.response.status == 200 &&
+          exchange.response.body.find("<POLICY>") != std::string::npos) {
+        cache_[host] = parsePolicy(exchange.response.body);
+      } else {
+        cache_[host] = std::nullopt;
+      }
+    }
+    cached = cache_.find(host);
+  }
+  if (!cached->second.has_value()) return std::nullopt;
+  const auto it = cached->second->find(cookieName);
+  if (it == cached->second->end()) return std::nullopt;
+  return it->second;
+}
+
+}  // namespace cookiepicker::baseline

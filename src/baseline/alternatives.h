@@ -1,0 +1,86 @@
+// The cookie-management alternatives the paper positions itself against
+// (Sections 1 and 6), implemented far enough to measure their costs:
+//
+//  * Prompt-based managers (Cookie Crusher / CookiePal [32, 33], and the
+//    browsers' own "ask me every time" option): every incoming cookie
+//    interrupts the user with an allow/deny dialog. The studies the paper
+//    cites [5, 13] found this unusable; we count the interruptions.
+//
+//  * P3P [30]: a client can block cookies whose *declared* purpose is
+//    tracking — when the site publishes a policy at all. The paper
+//    dismisses P3P because "its usage is too low to be a feasible
+//    solution"; the measurable quantity is coverage — the fraction of
+//    cookies that stay undecidable because nothing was published.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <optional>
+#include <string>
+
+#include "browser/browser.h"
+#include "net/network.h"
+#include "server/p3p.h"
+
+namespace cookiepicker::baseline {
+
+// ---------------------------------------------------------------------------
+// Prompt-based manager
+// ---------------------------------------------------------------------------
+
+// The user side of a prompt dialog: given the cookie's host and name,
+// allow it? Experiments plug in ground truth; the cost is the call count.
+using CookiePromptOracle =
+    std::function<bool(const std::string& host, const std::string& name)>;
+
+class PromptingManager {
+ public:
+  explicit PromptingManager(CookiePromptOracle oracle)
+      : oracle_(std::move(oracle)) {}
+
+  // Processes one page view's worth of newly stored cookies: each *new*
+  // (host, name) pair triggers exactly one prompt, as the 2007-era tools
+  // did. Returns how many prompts this view caused. Denied cookies are
+  // removed from the jar.
+  int onPageView(browser::Browser& browser, const browser::PageView& view);
+
+  std::uint64_t totalPrompts() const { return totalPrompts_; }
+  std::uint64_t denied() const { return denied_; }
+
+ private:
+  CookiePromptOracle oracle_;
+  std::map<std::string, bool> decisions_;  // "host|name" → allow
+  std::uint64_t totalPrompts_ = 0;
+  std::uint64_t denied_ = 0;
+};
+
+// ---------------------------------------------------------------------------
+// P3P client
+// ---------------------------------------------------------------------------
+
+// Fetches a site's policy (one extra request, cached per host) and
+// classifies cookies by declared purpose. Cookies with no covering policy
+// are `std::nullopt` — undecidable, the paper's core objection to P3P.
+class P3pClassifier {
+ public:
+  explicit P3pClassifier(net::Network& network) : network_(network) {}
+
+  std::optional<server::P3pPurpose> classify(const std::string& host,
+                                             const std::string& cookieName);
+
+  std::uint64_t policyFetches() const { return policyFetches_; }
+
+  // Parses the wire format produced by server::P3pPolicyBehavior.
+  static std::map<std::string, server::P3pPurpose> parsePolicy(
+      const std::string& xml);
+
+ private:
+  net::Network& network_;
+  std::map<std::string,
+           std::optional<std::map<std::string, server::P3pPurpose>>>
+      cache_;
+  std::uint64_t policyFetches_ = 0;
+};
+
+}  // namespace cookiepicker::baseline

@@ -1,0 +1,55 @@
+// Doppelganger-style baseline (Shankar & Karlof, CCS'06), as characterized
+// in the paper's Sections 3.1 and 6.
+//
+// Doppelganger mirrors the user's session in a fork window: every page view
+// is executed twice — container page *and all embedded objects* — once with
+// and once without the candidate cookies; any detected difference is shown
+// to the user, who must compare the two windows and decide. Against this,
+// CookiePicker claims (a) far lower overhead (one extra container request
+// vs. a fully mirrored session) and (b) no human involvement. This module
+// exists to measure exactly those two comparisons.
+#pragma once
+
+#include <functional>
+#include <string>
+
+#include "browser/browser.h"
+
+namespace cookiepicker::baseline {
+
+// The human in the loop: shown both page versions, answers whether the
+// cookies matter. Experiments plug in the ground-truth oracle; the point of
+// counting calls is that *each call is a user interruption*.
+using UserOracle =
+    std::function<bool(const std::string& mainHtml,
+                       const std::string& forkHtml)>;
+
+struct DoppelgangerStats {
+  std::uint64_t pageViews = 0;
+  std::uint64_t mirroredRequests = 0;   // extra requests for the fork window
+  std::uint64_t mirroredBytes = 0;      // extra bytes for the fork window
+  std::uint64_t userPrompts = 0;        // times the oracle was consulted
+  std::uint64_t cookiesKeptUseful = 0;
+  double mirrorLatencyMs = 0.0;         // total fork-window wall time
+};
+
+class Doppelganger {
+ public:
+  Doppelganger(browser::Browser& browser, net::Network& network,
+               UserOracle oracle);
+
+  // Mirrors one page view: refetches the container *and* its objects with
+  // persistent cookies stripped, diffs the serialized pages, and consults
+  // the user on any difference. Marks cookies useful on a "yes".
+  void onPageView(const browser::PageView& view);
+
+  const DoppelgangerStats& stats() const { return stats_; }
+
+ private:
+  browser::Browser& browser_;
+  net::Network& network_;
+  UserOracle oracle_;
+  DoppelgangerStats stats_;
+};
+
+}  // namespace cookiepicker::baseline

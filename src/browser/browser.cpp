@@ -1,0 +1,233 @@
+#include "browser/browser.h"
+
+#include <cmath>
+#include <set>
+
+#include "html/parser.h"
+#include "util/log.h"
+#include "util/strings.h"
+
+namespace cookiepicker::browser {
+
+ThinkTimeModel::ThinkTimeModel(double medianSeconds, double sigma,
+                               double floorSeconds)
+    : mu_(std::log(medianSeconds * 1000.0)),
+      sigma_(sigma),
+      floorMs_(floorSeconds * 1000.0) {}
+
+double ThinkTimeModel::sampleMs(util::Pcg32& rng) const {
+  return std::max(floorMs_, rng.logNormal(mu_, sigma_));
+}
+
+Browser::Browser(net::Network& network, util::SimClock& clock,
+                 cookies::CookiePolicy policy, std::uint64_t seed)
+    : network_(network),
+      clock_(clock),
+      policy_(policy),
+      rng_(seed, /*sequence=*/0x62726f77UL) {}
+
+net::HttpRequest Browser::buildRequest(const net::Url& url,
+                                       const net::Url& documentUrl) {
+  net::HttpRequest request;
+  request.method = "GET";
+  request.url = url;
+  request.headers.set("User-Agent", "CookiePickerSim/1.0 (Firefox/1.5 model)");
+  request.headers.set("Accept", "text/html,*/*");
+
+  cookies::SendOptions options;
+  const bool firstParty = cookies::isFirstParty(url, documentUrl);
+  if (!firstParty && !policy_.acceptThirdParty) {
+    // Third-party cookies disabled: send none to third-party hosts.
+    options.includeSession = false;
+    options.includePersistent = false;
+  }
+  if (persistentSendFilter_) {
+    options.excludePersistentIf = persistentSendFilter_;
+  }
+  const std::string cookieHeader =
+      jar_.cookieHeaderFor(url, clock_.nowMs(), options);
+  if (!cookieHeader.empty()) {
+    request.headers.set("Cookie", cookieHeader);
+  }
+  return request;
+}
+
+void Browser::storeResponseCookies(const net::HttpResponse& response,
+                                   const net::Url& requestUrl,
+                                   const net::Url& documentUrl) {
+  const bool firstParty = cookies::isFirstParty(requestUrl, documentUrl);
+  for (const std::string& header : response.setCookieHeaders()) {
+    const auto parsed = net::parseSetCookie(header);
+    if (!parsed.has_value()) continue;
+    const bool persistent =
+        parsed->maxAgeSeconds.has_value() ||
+        parsed->expiresEpochSeconds.has_value();
+    if (!policy_.shouldAccept(firstParty, persistent)) {
+      CP_LOG_DEBUG << "policy rejected cookie " << parsed->name << " from "
+                   << requestUrl.host();
+      continue;
+    }
+    jar_.store(*parsed, requestUrl, firstParty, clock_.nowMs());
+  }
+}
+
+std::vector<net::Url> Browser::collectSubresources(
+    const dom::Node& document, const net::Url& documentUrl) const {
+  // <base href> (first one wins) changes the URL all relative references
+  // resolve against.
+  net::Url baseUrl = documentUrl;
+  if (const dom::Node* base = document.findFirst("base")) {
+    if (const auto href = base->attribute("href");
+        href.has_value() && !href->empty()) {
+      baseUrl = documentUrl.resolve(*href);
+    }
+  }
+  std::vector<net::Url> resources;
+  dom::preorder(document, [&](const dom::Node& node, std::size_t) {
+    if (!node.isElement()) return true;
+    const std::string& tag = node.name();
+    std::optional<std::string> reference;
+    if (tag == "img" || tag == "script" || tag == "iframe" ||
+        tag == "embed") {
+      reference = node.attribute("src");
+    } else if (tag == "link") {
+      const auto rel = node.attribute("rel");
+      if (rel.has_value() &&
+          util::containsIgnoreCase(*rel, "stylesheet")) {
+        reference = node.attribute("href");
+      }
+    }
+    if (reference.has_value() && !reference->empty()) {
+      resources.push_back(baseUrl.resolve(*reference));
+    }
+    return true;
+  });
+  return resources;
+}
+
+PageView Browser::visit(const std::string& url) {
+  const auto parsed = net::Url::parse(url);
+  if (!parsed.has_value()) {
+    PageView view;
+    view.status = 0;
+    view.document = html::parseHtml("");
+    return view;
+  }
+  return visit(*parsed);
+}
+
+PageView Browser::visit(const net::Url& url) {
+  PageView view;
+  net::Url current = url;
+  net::HttpRequest request;
+  net::Exchange exchange;
+
+  // Step one of FORCUM: follow temporary redirection / replacement pages to
+  // the real container document, saving the final request.
+  for (int redirect = 0; redirect <= kMaxRedirects; ++redirect) {
+    request = buildRequest(current, current);
+    exchange = network_.dispatch(request);
+    view.timing.containerLatencyMs += exchange.latencyMs;
+    clock_.advanceMs(static_cast<util::SimTimeMs>(exchange.latencyMs));
+    storeResponseCookies(exchange.response, current, current);
+    if (!exchange.response.isRedirect()) break;
+    const auto location = exchange.response.headers.get("Location");
+    if (!location.has_value()) break;
+    current = current.resolve(*location);
+    ++view.timing.redirectCount;
+  }
+
+  view.url = current;
+  view.containerRequest = request;
+  view.status = exchange.response.status;
+  view.containerHtml = exchange.response.body;
+  view.document = html::parseHtml(view.containerHtml);
+
+  // Object requests (stylesheets, images, scripts).
+  view.subresources = collectSubresources(*view.document, view.url);
+  double maxBatchMs = 0.0;
+  double batchMs = 0.0;
+  int inBatch = 0;
+  for (const net::Url& resource : view.subresources) {
+    net::HttpRequest subRequest = buildRequest(resource, view.url);
+    const net::Exchange subExchange = network_.dispatch(subRequest);
+    ++objectRequests_;
+    storeResponseCookies(subExchange.response, resource, view.url);
+    batchMs = std::max(batchMs, subExchange.latencyMs);
+    if (++inBatch == kParallelConnections) {
+      maxBatchMs += batchMs;
+      batchMs = 0.0;
+      inBatch = 0;
+    }
+  }
+  maxBatchMs += batchMs;
+  view.timing.subresourceCount = static_cast<int>(view.subresources.size());
+  view.timing.subresourceLatencyMs = maxBatchMs;
+  view.timing.totalLoadMs =
+      view.timing.containerLatencyMs + view.timing.subresourceLatencyMs;
+  clock_.advanceMs(static_cast<util::SimTimeMs>(maxBatchMs));
+  view.loadedAtMs = clock_.nowMs();
+  return view;
+}
+
+HiddenFetchResult Browser::hiddenFetch(
+    const PageView& view,
+    const std::function<bool(const cookies::CookieRecord&)>&
+        excludePersistent) {
+  HiddenFetchResult result;
+
+  // Section 3.2, step two: the hidden request "uses the same URI as the
+  // saved [request]. It only modifies the Cookie field of the request
+  // header by removing a group of cookies". Starting from the *saved*
+  // header (not the live jar) matters: cookies that arrived with this very
+  // response must not leak into the hidden copy, or the comparison would
+  // invert.
+  net::HttpRequest request = view.containerRequest;
+
+  // Resolve the tested group to names: jar records matching this URL for
+  // which the exclusion predicate holds.
+  std::set<std::string> strippedNames;
+  if (excludePersistent) {
+    for (const cookies::CookieRecord* record :
+         jar_.cookiesFor(view.url, clock_.nowMs())) {
+      if (record->persistent && excludePersistent(*record)) {
+        strippedNames.insert(record->key.name);
+        result.strippedCookies.push_back(record->key);
+      }
+    }
+  }
+
+  std::vector<std::pair<std::string, std::string>> kept;
+  for (auto& pair :
+       net::parseCookieHeader(view.containerRequest.cookieHeader())) {
+    if (!strippedNames.contains(pair.first)) {
+      kept.push_back(std::move(pair));
+    }
+  }
+  const std::string cookieHeader = net::formatCookieHeader(kept);
+  if (cookieHeader.empty()) {
+    request.headers.remove("Cookie");
+  } else {
+    request.headers.set("Cookie", cookieHeader);
+  }
+
+  const net::Exchange exchange = network_.dispatch(request);
+  result.latencyMs = exchange.latencyMs;
+  result.status = exchange.response.status;
+  result.html = exchange.response.body;
+  // Parsed with the same shared HTML parser as the regular copy, per
+  // Section 3.2 step three.
+  result.document = html::parseHtml(result.html);
+  // The hidden response triggers no object loads and its Set-Cookie headers
+  // are deliberately ignored.
+  clock_.advanceMs(static_cast<util::SimTimeMs>(exchange.latencyMs));
+  return result;
+}
+
+double Browser::think() {
+  const double thinkMs = thinkTime_.sampleMs(rng_);
+  clock_.advanceMs(static_cast<util::SimTimeMs>(thinkMs));
+  return thinkMs;
+}
+
+}  // namespace cookiepicker::browser

@@ -1,0 +1,120 @@
+// Simulated web browser.
+//
+// Implements the page-load pipeline of Figure 1: the container-page request
+// (1)/(2), parsing into the regular DOM tree, and the follow-up object
+// requests — plus the extension hooks CookiePicker needs: the hidden request
+// (3)/(4) that refetches only the container page with a group of persistent
+// cookies stripped, and a pluggable filter that suppresses blocked cookies
+// on outgoing regular requests.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "cookies/jar.h"
+#include "cookies/policy.h"
+#include "net/network.h"
+#include "browser/page.h"
+#include "util/clock.h"
+#include "util/rng.h"
+
+namespace cookiepicker::browser {
+
+// User think time between page views. Mah's empirical HTTP traffic model
+// [12] gives heavy-tailed think times with means above 10 seconds; we use a
+// log-normal fit with a floor. The FORCUM process runs inside this window.
+class ThinkTimeModel {
+ public:
+  explicit ThinkTimeModel(double medianSeconds = 12.0,
+                          double sigma = 0.9,
+                          double floorSeconds = 1.0);
+  double sampleMs(util::Pcg32& rng) const;
+
+ private:
+  double mu_;
+  double sigma_;
+  double floorMs_;
+};
+
+struct HiddenFetchResult {
+  std::unique_ptr<dom::Node> document;
+  std::string html;
+  double latencyMs = 0.0;
+  int status = 0;
+  // Names of the persistent cookies that were stripped from the request —
+  // the "group of cookies whose usefulness will be tested" (Section 3.2).
+  std::vector<cookies::CookieKey> strippedCookies;
+};
+
+class Browser {
+ public:
+  Browser(net::Network& network, util::SimClock& clock,
+          cookies::CookiePolicy policy = cookies::CookiePolicy::recommended(),
+          std::uint64_t seed = 11);
+
+  // Full page view: follows redirects (bounded), stores cookies per policy,
+  // parses the container into the regular DOM tree, fetches embedded
+  // objects. Advances the simulated clock by the load time.
+  PageView visit(const net::Url& url);
+  PageView visit(const std::string& url);
+
+  // The hidden request of Section 3.1: same URI and headers as the saved
+  // container request, with persistent cookies matching `excludePersistent`
+  // removed from the Cookie header. Fetches the container page only, follows
+  // no redirects, triggers no object loads, and ignores Set-Cookie headers
+  // (it must not perturb the jar the regular session uses). Advances the
+  // clock by its round-trip latency (it runs during think time, so this
+  // costs the user nothing).
+  HiddenFetchResult hiddenFetch(
+      const PageView& view,
+      const std::function<bool(const cookies::CookieRecord&)>&
+          excludePersistent);
+
+  // Installed by CookiePicker once training ends: persistent cookies for
+  // which the filter returns true are withheld from regular requests
+  // ("no longer be transmitted to the corresponding Web site").
+  void setPersistentSendFilter(
+      std::function<bool(const cookies::CookieRecord&)> filter) {
+    persistentSendFilter_ = std::move(filter);
+  }
+  void clearPersistentSendFilter() { persistentSendFilter_ = nullptr; }
+
+  // Simulates the user pausing between page views; advances the clock.
+  double think();
+
+  cookies::CookieJar& jar() { return jar_; }
+  const cookies::CookieJar& jar() const { return jar_; }
+  util::SimClock& clock() { return clock_; }
+  const cookies::CookiePolicy& policy() const { return policy_; }
+  void setPolicy(cookies::CookiePolicy policy) { policy_ = policy; }
+
+  // Total subresource fetches issued (object requests), for overhead
+  // accounting against the Doppelganger baseline.
+  std::uint64_t objectRequestCount() const { return objectRequests_; }
+
+  static constexpr int kMaxRedirects = 5;
+  // 2007-era browsers opened a handful of parallel connections per host;
+  // object fetch wall time is modeled as ceil(n / parallelism) batches.
+  static constexpr int kParallelConnections = 4;
+
+ private:
+  net::HttpRequest buildRequest(const net::Url& url,
+                                const net::Url& documentUrl);
+  void storeResponseCookies(const net::HttpResponse& response,
+                            const net::Url& requestUrl,
+                            const net::Url& documentUrl);
+  std::vector<net::Url> collectSubresources(const dom::Node& document,
+                                            const net::Url& baseUrl) const;
+
+  net::Network& network_;
+  util::SimClock& clock_;
+  cookies::CookiePolicy policy_;
+  cookies::CookieJar jar_;
+  util::Pcg32 rng_;
+  ThinkTimeModel thinkTime_;
+  std::function<bool(const cookies::CookieRecord&)> persistentSendFilter_;
+  std::uint64_t objectRequests_ = 0;
+};
+
+}  // namespace cookiepicker::browser

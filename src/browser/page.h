@@ -1,0 +1,39 @@
+// A rendered page view: what the regular browsing window holds after a page
+// load, and what CookiePicker's step one records (container URI + headers).
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "dom/node.h"
+#include "net/http.h"
+#include "util/clock.h"
+
+namespace cookiepicker::browser {
+
+struct FetchTiming {
+  double containerLatencyMs = 0.0;     // container request round trip
+  double subresourceLatencyMs = 0.0;   // wall time of the object fetch phase
+  int subresourceCount = 0;
+  int redirectCount = 0;
+  double totalLoadMs = 0.0;            // container + subresources
+};
+
+struct PageView {
+  // Final URL after following redirects — the "real initial container
+  // document page" of Section 3.2, step one.
+  net::Url url;
+  // The container request exactly as sent (URI and header information saved
+  // for replay as the hidden request).
+  net::HttpRequest containerRequest;
+  // The regular DOM tree, parsed by the shared HTML parser.
+  std::unique_ptr<dom::Node> document;
+  // Raw container HTML (kept for baselines that diff serialized text).
+  std::string containerHtml;
+  std::vector<net::Url> subresources;
+  FetchTiming timing;
+  util::SimTimeMs loadedAtMs = 0;
+  int status = 0;
+};
+
+}  // namespace cookiepicker::browser

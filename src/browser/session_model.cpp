@@ -1,0 +1,63 @@
+#include "browser/session_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace cookiepicker::browser {
+
+UserSessionModel::UserSessionModel(std::vector<std::string> domains,
+                                   Config config, std::uint64_t seed)
+    : domains_(std::move(domains)),
+      config_(config),
+      rng_(seed, /*sequence=*/0x73657373UL) {
+  // Zipf CDF: weight of rank r is 1 / (r+1)^s.
+  double total = 0.0;
+  cdf_.reserve(domains_.size());
+  for (std::size_t rank = 0; rank < domains_.size(); ++rank) {
+    total += 1.0 / std::pow(static_cast<double>(rank + 1),
+                            config_.zipfExponent);
+    cdf_.push_back(total);
+  }
+  for (double& value : cdf_) value /= total;
+}
+
+std::size_t UserSessionModel::sampleSite() {
+  const double roll = rng_.uniform01();
+  const auto it = std::lower_bound(cdf_.begin(), cdf_.end(), roll);
+  return static_cast<std::size_t>(std::distance(cdf_.begin(), it));
+}
+
+std::size_t UserSessionModel::rankOf(const std::string& domain) const {
+  for (std::size_t rank = 0; rank < domains_.size(); ++rank) {
+    if (domains_[rank] == domain) return rank;
+  }
+  return domains_.size();
+}
+
+UserSessionModel::Step UserSessionModel::next() {
+  Step step;
+  if (pagesLeftInSession_ <= 0) {
+    if (sessionsLeftToday_ <= 0) {
+      step.dayStart = steps_ > 0;
+      sessionsLeftToday_ = config_.sessionsPerDay;
+    }
+    step.sessionStart = true;
+    --sessionsLeftToday_;
+    currentSite_ = sampleSite();
+    // Geometric session length with the configured mean, at least one page.
+    pagesLeftInSession_ = 1;
+    const double continueProbability =
+        1.0 - 1.0 / std::max(1.0, config_.meanPagesPerSession);
+    while (rng_.chance(continueProbability)) ++pagesLeftInSession_;
+  }
+  --pagesLeftInSession_;
+  ++steps_;
+
+  const int page = static_cast<int>(rng_.uniform(
+      0, static_cast<std::uint32_t>(config_.pagesPerSite - 1)));
+  step.url = "http://" + domains_[currentSite_] +
+             (page == 0 ? "/" : "/page" + std::to_string(page));
+  return step;
+}
+
+}  // namespace cookiepicker::browser

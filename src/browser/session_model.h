@@ -1,0 +1,58 @@
+// Synthetic multi-day browsing workload.
+//
+// FORCUM is a *training* process: its accuracy and affordability claims
+// concern week-scale browsing, not single page views. This model generates
+// realistic traces to drive such experiments: Zipf-distributed site
+// popularity (a few favorite sites dominate), sessions with geometric page
+// depth, think time between pages, and day boundaries (after which session
+// cookies are gone — the browser gets restarted).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace cookiepicker::browser {
+
+class UserSessionModel {
+ public:
+  struct Config {
+    double zipfExponent = 1.0;       // site popularity skew
+    double meanPagesPerSession = 6.0;
+    int sessionsPerDay = 4;
+    int pagesPerSite = 8;            // the sites' path space
+  };
+
+  UserSessionModel(std::vector<std::string> domains, Config config,
+                   std::uint64_t seed);
+
+  struct Step {
+    std::string url;
+    bool sessionStart = false;  // first page of a browsing session
+    bool dayStart = false;      // first session of a new day
+  };
+
+  // Produces the next page visit in the trace.
+  Step next();
+
+  // Number of steps generated so far.
+  std::uint64_t stepCount() const { return steps_; }
+  // Popularity rank of a domain (0 = most popular), for analyses.
+  std::size_t rankOf(const std::string& domain) const;
+
+ private:
+  std::size_t sampleSite();
+
+  std::vector<std::string> domains_;
+  Config config_;
+  util::Pcg32 rng_;
+  std::vector<double> cdf_;  // Zipf CDF over domains_
+  std::uint64_t steps_ = 0;
+  int pagesLeftInSession_ = 0;
+  int sessionsLeftToday_ = 0;
+  std::size_t currentSite_ = 0;
+};
+
+}  // namespace cookiepicker::browser

@@ -1,0 +1,268 @@
+#include "cookies/jar.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "util/strings.h"
+
+namespace cookiepicker::cookies {
+
+std::string defaultCookiePath(const net::Url& url) {
+  const std::string& path = url.path();
+  const std::size_t lastSlash = path.rfind('/');
+  if (lastSlash == std::string::npos || lastSlash == 0) return "/";
+  return path.substr(0, lastSlash);
+}
+
+bool pathMatches(const std::string& requestPath,
+                 const std::string& cookiePath) {
+  if (requestPath == cookiePath) return true;
+  if (requestPath.size() > cookiePath.size() &&
+      requestPath.compare(0, cookiePath.size(), cookiePath) == 0) {
+    if (cookiePath.back() == '/') return true;
+    return requestPath[cookiePath.size()] == '/';
+  }
+  return false;
+}
+
+SetCookieOutcome CookieJar::store(const net::SetCookie& parsed,
+                                  const net::Url& requestUrl, bool firstParty,
+                                  util::SimTimeMs nowMs) {
+  CookieRecord record;
+  record.key.name = parsed.name;
+  record.value = parsed.value;
+
+  if (parsed.domain.has_value()) {
+    // The declared domain must cover the request host, otherwise the cookie
+    // is rejected (same rule browsers enforce).
+    if (!net::hostMatchesDomain(requestUrl.host(), *parsed.domain)) {
+      return SetCookieOutcome::Rejected;
+    }
+    record.key.domain = *parsed.domain;
+    record.hostOnly = false;
+  } else {
+    record.key.domain = requestUrl.host();
+    record.hostOnly = true;
+  }
+  record.key.path =
+      parsed.path.has_value() ? *parsed.path : defaultCookiePath(requestUrl);
+
+  record.secure = parsed.secure;
+  record.httpOnly = parsed.httpOnly;
+  record.firstParty = firstParty;
+  record.creationMs = nowMs;
+  record.lastAccessMs = nowMs;
+
+  // Max-Age takes precedence over Expires; either makes it persistent.
+  if (parsed.maxAgeSeconds.has_value()) {
+    record.persistent = true;
+    record.expiryMs = nowMs + *parsed.maxAgeSeconds * 1000;
+  } else if (parsed.expiresEpochSeconds.has_value()) {
+    record.persistent = true;
+    record.expiryMs = *parsed.expiresEpochSeconds * 1000;
+  }
+
+  const auto existing = cookies_.find(record.key);
+  // An already-expired cookie (Max-Age <= 0 or past Expires) is a deletion
+  // request.
+  if (record.persistent && record.expiryMs <= nowMs) {
+    if (existing != cookies_.end()) {
+      cookies_.erase(existing);
+      return SetCookieOutcome::Deleted;
+    }
+    return SetCookieOutcome::Rejected;
+  }
+
+  if (existing != cookies_.end()) {
+    // Preserve creation time and — critically for FORCUM — the useful mark.
+    record.creationMs = existing->second.creationMs;
+    record.useful = existing->second.useful;
+    existing->second = record;
+    return SetCookieOutcome::Updated;
+  }
+  cookies_.emplace(record.key, record);
+  enforceLimits(record.key.domain);
+  return SetCookieOutcome::Stored;
+}
+
+void CookieJar::enforceLimits(const std::string& domain) {
+  // Eviction preference: unmarked cookies before useful ones, then least
+  // recently accessed — so the jar pressure a tracker-happy site creates
+  // cannot push out the cookies CookiePicker decided to keep.
+  auto evictFrom = [this](const std::function<bool(const CookieRecord&)>&
+                              inScope) {
+    const CookieRecord* victim = nullptr;
+    for (const auto& [key, record] : cookies_) {
+      if (!inScope(record)) continue;
+      if (victim == nullptr ||
+          (record.useful == victim->useful
+               ? record.lastAccessMs < victim->lastAccessMs
+               : !record.useful && victim->useful)) {
+        victim = &record;
+      }
+    }
+    if (victim != nullptr) {
+      cookies_.erase(victim->key);
+      ++evictions_;
+    }
+  };
+
+  auto domainCount = [this, &domain]() {
+    std::size_t count = 0;
+    for (const auto& [key, record] : cookies_) {
+      if (key.domain == domain) ++count;
+    }
+    return count;
+  };
+  while (domainCount() > limits_.maxPerDomain) {
+    evictFrom([&domain](const CookieRecord& record) {
+      return record.key.domain == domain;
+    });
+  }
+  while (cookies_.size() > limits_.maxTotal) {
+    evictFrom([](const CookieRecord&) { return true; });
+  }
+}
+
+std::vector<const CookieRecord*> CookieJar::cookiesFor(
+    const net::Url& url, util::SimTimeMs nowMs, const SendOptions& options) {
+  purgeExpired(nowMs);
+  std::vector<CookieRecord*> matches;
+  for (auto& [key, record] : cookies_) {
+    const bool domainOk =
+        record.hostOnly
+            ? util::equalsIgnoreCase(url.host(), key.domain)
+            : net::hostMatchesDomain(url.host(), key.domain);
+    if (!domainOk) continue;
+    if (!pathMatches(url.path(), key.path)) continue;
+    if (record.secure && !url.isSecure()) continue;
+    if (record.persistent) {
+      if (!options.includePersistent) continue;
+      if (options.excludePersistentIf && options.excludePersistentIf(record)) {
+        continue;
+      }
+    } else {
+      if (!options.includeSession) continue;
+    }
+    record.lastAccessMs = nowMs;
+    matches.push_back(&record);
+  }
+  std::sort(matches.begin(), matches.end(),
+            [](const CookieRecord* a, const CookieRecord* b) {
+              if (a->key.path.size() != b->key.path.size()) {
+                return a->key.path.size() > b->key.path.size();
+              }
+              if (a->creationMs != b->creationMs) {
+                return a->creationMs < b->creationMs;
+              }
+              return a->key < b->key;
+            });
+  return {matches.begin(), matches.end()};
+}
+
+std::string CookieJar::cookieHeaderFor(const net::Url& url,
+                                       util::SimTimeMs nowMs,
+                                       const SendOptions& options) {
+  std::vector<std::pair<std::string, std::string>> pairs;
+  for (const CookieRecord* record : cookiesFor(url, nowMs, options)) {
+    pairs.emplace_back(record->key.name, record->value);
+  }
+  return net::formatCookieHeader(pairs);
+}
+
+const CookieRecord* CookieJar::find(const CookieKey& key) const {
+  const auto it = cookies_.find(key);
+  return it == cookies_.end() ? nullptr : &it->second;
+}
+
+std::vector<const CookieRecord*> CookieJar::all() const {
+  std::vector<const CookieRecord*> records;
+  records.reserve(cookies_.size());
+  for (const auto& [key, record] : cookies_) records.push_back(&record);
+  return records;
+}
+
+std::vector<const CookieRecord*> CookieJar::persistentCookiesForHost(
+    const std::string& host) const {
+  std::vector<const CookieRecord*> records;
+  for (const auto& [key, record] : cookies_) {
+    if (!record.persistent) continue;
+    const bool domainOk = record.hostOnly
+                              ? util::equalsIgnoreCase(host, key.domain)
+                              : net::hostMatchesDomain(host, key.domain);
+    if (domainOk) records.push_back(&record);
+  }
+  return records;
+}
+
+bool CookieJar::markUseful(const CookieKey& key) {
+  const auto it = cookies_.find(key);
+  if (it == cookies_.end()) return false;
+  it->second.useful = true;
+  return true;
+}
+
+std::size_t CookieJar::removeIf(
+    const std::function<bool(const CookieRecord&)>& predicate) {
+  std::size_t removed = 0;
+  for (auto it = cookies_.begin(); it != cookies_.end();) {
+    if (predicate(it->second)) {
+      it = cookies_.erase(it);
+      ++removed;
+    } else {
+      ++it;
+    }
+  }
+  return removed;
+}
+
+void CookieJar::endSession() {
+  removeIf([](const CookieRecord& record) { return !record.persistent; });
+}
+
+void CookieJar::purgeExpired(util::SimTimeMs nowMs) {
+  removeIf([nowMs](const CookieRecord& record) {
+    return record.isExpired(nowMs);
+  });
+}
+
+std::string CookieJar::serialize() const {
+  // Tab-separated, one cookie per line:
+  // name value domain path hostOnly secure httpOnly persistent expiry
+  // creation firstParty useful
+  std::ostringstream out;
+  for (const auto& [key, record] : cookies_) {
+    out << key.name << '\t' << record.value << '\t' << key.domain << '\t'
+        << key.path << '\t' << record.hostOnly << '\t' << record.secure
+        << '\t' << record.httpOnly << '\t' << record.persistent << '\t'
+        << record.expiryMs << '\t' << record.creationMs << '\t'
+        << record.firstParty << '\t' << record.useful << '\n';
+  }
+  return out.str();
+}
+
+CookieJar CookieJar::deserialize(const std::string& text) {
+  CookieJar jar;
+  for (const std::string& line : util::split(text, '\n')) {
+    if (line.empty()) continue;
+    const std::vector<std::string> fields = util::split(line, '\t');
+    if (fields.size() != 12) continue;  // skip malformed lines
+    CookieRecord record;
+    record.key.name = fields[0];
+    record.value = fields[1];
+    record.key.domain = fields[2];
+    record.key.path = fields[3];
+    record.hostOnly = fields[4] == "1";
+    record.secure = fields[5] == "1";
+    record.httpOnly = fields[6] == "1";
+    record.persistent = fields[7] == "1";
+    record.expiryMs = std::stoll(fields[8]);
+    record.creationMs = std::stoll(fields[9]);
+    record.firstParty = fields[10] == "1";
+    record.useful = fields[11] == "1";
+    jar.cookies_.emplace(record.key, record);
+  }
+  return jar;
+}
+
+}  // namespace cookiepicker::cookies

@@ -1,0 +1,118 @@
+// The browser cookie jar.
+//
+// Stores cookies keyed by (name, domain, path), applies domain/path matching
+// when assembling Cookie request headers, and exposes the query and marking
+// operations CookiePicker's FORCUM process needs: enumerate the persistent
+// cookies a request would carry, mark a set of cookies useful, and purge the
+// still-useless ones once a site's cookie set stabilizes.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "cookies/record.h"
+#include "net/cookie_parse.h"
+#include "net/url.h"
+#include "util/clock.h"
+
+namespace cookiepicker::cookies {
+
+// Filters applied when assembling a Cookie header.
+struct SendOptions {
+  bool includeSession = true;
+  bool includePersistent = true;
+  // When set, persistent cookies for which the predicate returns true are
+  // *excluded*. This is how the hidden request strips the cookie group under
+  // test, and how the final "blocked" state suppresses useless cookies.
+  std::function<bool(const CookieRecord&)> excludePersistentIf;
+};
+
+enum class SetCookieOutcome { Stored, Updated, Deleted, Rejected };
+
+// Capacity limits in the spirit of RFC 2109 §6.3 and Firefox 1.5's jar
+// (per-domain and global caps, least-recently-accessed eviction). Useful
+// cookies are evicted last: CookiePicker's marks double as an eviction
+// shield for the cookies that matter.
+struct JarLimits {
+  std::size_t maxPerDomain = 50;
+  std::size_t maxTotal = 1000;
+};
+
+class CookieJar {
+ public:
+  // Applies one Set-Cookie header received from `requestUrl`. `firstParty`
+  // reflects whether the request was same-site with the top-level document.
+  // Rejections: domain attribute that does not cover the request host, or
+  // secure cookie over http is still stored (2007 semantics) — only the
+  // domain rule rejects.
+  SetCookieOutcome store(const net::SetCookie& parsed,
+                         const net::Url& requestUrl, bool firstParty,
+                         util::SimTimeMs nowMs);
+
+  // Cookies that would be sent with a request to `url`, in RFC 6265 order
+  // (longest path first, then earliest creation). Expired cookies are
+  // skipped (and lazily purged).
+  std::vector<const CookieRecord*> cookiesFor(const net::Url& url,
+                                              util::SimTimeMs nowMs,
+                                              const SendOptions& options = {});
+
+  // Formats the Cookie header for `url` (empty string if nothing matches).
+  std::string cookieHeaderFor(const net::Url& url, util::SimTimeMs nowMs,
+                              const SendOptions& options = {});
+
+  // --- inspection ---
+  std::size_t size() const { return cookies_.size(); }
+  const CookieRecord* find(const CookieKey& key) const;
+  std::vector<const CookieRecord*> all() const;
+  // Persistent cookies whose domain matches `host` (the per-site view used
+  // by FORCUM).
+  std::vector<const CookieRecord*> persistentCookiesForHost(
+      const std::string& host) const;
+
+  // --- mutation ---
+  // Marks a cookie useful; returns false if the key is unknown. The mark is
+  // monotone: marking an already-useful cookie is a no-op returning true.
+  bool markUseful(const CookieKey& key);
+  // Removes cookies matching the predicate; returns how many were removed.
+  std::size_t removeIf(
+      const std::function<bool(const CookieRecord&)>& predicate);
+  // Drops all session cookies (simulates a browser restart).
+  void endSession();
+  // Drops expired persistent cookies.
+  void purgeExpired(util::SimTimeMs nowMs);
+  void clear() { cookies_.clear(); }
+
+  // --- capacity ---
+  void setLimits(JarLimits limits) { limits_ = limits; }
+  const JarLimits& limits() const { return limits_; }
+  // How many evictions the limits have forced so far.
+  std::size_t evictionCount() const { return evictions_; }
+
+  // --- persistence (text format, one cookie per line) ---
+  std::string serialize() const;
+  static CookieJar deserialize(const std::string& text);
+
+ private:
+  // Evicts until the per-domain count of `domain` and the total count are
+  // within limits. Eviction order: unmarked before useful, then least
+  // recently accessed.
+  void enforceLimits(const std::string& domain);
+
+  std::map<CookieKey, CookieRecord> cookies_;
+  JarLimits limits_;
+  std::size_t evictions_ = 0;
+};
+
+// Default path when a Set-Cookie has no Path attribute: the request path up
+// to (excluding) its last '/' segment, per RFC 6265 §5.1.4.
+std::string defaultCookiePath(const net::Url& url);
+
+// RFC 6265 §5.1.4 path matching.
+bool pathMatches(const std::string& requestPath,
+                 const std::string& cookiePath);
+
+}  // namespace cookiepicker::cookies

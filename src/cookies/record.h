@@ -1,0 +1,55 @@
+// Cookie records.
+//
+// Mirrors a browser cookie-jar entry, extended with the paper's extra
+// per-cookie "useful" field (Section 3.2, step five): it starts false for
+// every cookie — including newly appearing ones — and can only move
+// false → true during the FORCUM training process.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "util/clock.h"
+
+namespace cookiepicker::cookies {
+
+struct CookieKey {
+  std::string name;
+  std::string domain;  // lowercase, no leading dot
+  std::string path;
+
+  bool operator==(const CookieKey&) const = default;
+  auto operator<=>(const CookieKey&) const = default;
+};
+
+struct CookieRecord {
+  CookieKey key;
+  std::string value;
+
+  // hostOnly: cookie had no Domain attribute → sent only to the exact host.
+  bool hostOnly = true;
+  bool secure = false;
+  bool httpOnly = false;
+
+  // Session cookies have no expiry and die with the browser; persistent
+  // cookies carry an absolute simulated expiry time.
+  bool persistent = false;
+  util::SimTimeMs expiryMs = 0;
+
+  util::SimTimeMs creationMs = 0;
+  util::SimTimeMs lastAccessMs = 0;
+
+  // Whether this cookie was set by the site being visited (first-party) or
+  // by an embedded third-party host, recorded at set time.
+  bool firstParty = true;
+
+  // The paper's usefulness mark. Monotone false→true during FORCUM.
+  bool useful = false;
+
+  bool isExpired(util::SimTimeMs nowMs) const {
+    return persistent && expiryMs <= nowMs;
+  }
+};
+
+}  // namespace cookiepicker::cookies

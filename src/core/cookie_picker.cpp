@@ -1,0 +1,170 @@
+#include "core/cookie_picker.h"
+
+#include "util/log.h"
+#include "util/strings.h"
+
+namespace cookiepicker::core {
+
+CookiePicker::CookiePicker(browser::Browser& browser,
+                           CookiePickerConfig config)
+    : browser_(browser),
+      config_(std::move(config)),
+      forcum_(browser, config_.forcum),
+      recovery_(browser.jar()),
+      enforcedHosts_(std::make_shared<std::set<std::string>>()) {
+  installSendFilter();
+}
+
+void CookiePicker::installSendFilter() {
+  // Persistent cookies of enforced hosts that never earned the useful mark
+  // are withheld from every outgoing request.
+  auto enforced = enforcedHosts_;
+  browser_.setPersistentSendFilter(
+      [enforced](const cookies::CookieRecord& record) {
+        if (record.useful) return false;
+        return enforced->contains(record.key.domain) ||
+               enforced->contains(net::registrableDomain(record.key.domain));
+      });
+}
+
+ForcumStepReport CookiePicker::browse(const std::string& url) {
+  const auto parsed = net::Url::parse(url);
+  if (!parsed.has_value()) {
+    CP_LOG_WARN << "CookiePicker::browse: unparseable URL " << url;
+    return ForcumStepReport{};
+  }
+  return browse(*parsed);
+}
+
+ForcumStepReport CookiePicker::browse(const net::Url& url) {
+  const browser::PageView view = browser_.visit(url);
+  ForcumStepReport report = onPageLoaded(view);
+  browser_.think();
+  return report;
+}
+
+ForcumStepReport CookiePicker::onPageLoaded(const browser::PageView& view) {
+  ForcumStepReport report = forcum_.onPageView(view);
+  if (config_.autoEnforce && !report.trainingActive) {
+    enforceForHost(view.url.host());
+  }
+  return report;
+}
+
+void CookiePicker::enforceForHost(const std::string& host) {
+  enforcedHosts_->insert(host);
+  if (config_.deleteUselessOnEnforce) {
+    browser_.jar().removeIf([&host](const cookies::CookieRecord& record) {
+      if (!record.persistent || record.useful) return false;
+      return record.hostOnly
+                 ? record.key.domain == host
+                 : net::hostMatchesDomain(host, record.key.domain);
+    });
+  }
+}
+
+void CookiePicker::enforceStableHosts() {
+  // Walk every host FORCUM has seen; stable ones get enforced.
+  // (Host list comes from the jar plus training states.)
+  std::set<std::string> hosts;
+  for (const cookies::CookieRecord* record : browser_.jar().all()) {
+    hosts.insert(record->key.domain);
+  }
+  for (const std::string& host : hosts) {
+    const ForcumEngine::SiteState* state = forcum_.siteState(host);
+    if (state != nullptr && !state->trainingActive) {
+      enforceForHost(host);
+    }
+  }
+}
+
+bool CookiePicker::isEnforced(const std::string& host) const {
+  return enforcedHosts_->contains(host);
+}
+
+std::vector<cookies::CookieKey> CookiePicker::pressRecoveryButton(
+    const net::Url& url) {
+  // Recovery must see blocked cookies too, so lift enforcement for the host
+  // while re-marking.
+  const bool wasEnforced = enforcedHosts_->erase(url.host()) > 0;
+  std::vector<cookies::CookieKey> changed =
+      recovery_.recoverPage(url, browser_.clock().nowMs());
+  if (wasEnforced) enforcedHosts_->insert(url.host());
+  forcum_.resumeTraining(url.host());
+  return changed;
+}
+
+namespace {
+constexpr char kJarMarker[] = "== jar ==";
+constexpr char kForcumMarker[] = "== forcum ==";
+constexpr char kEnforcedMarker[] = "== enforced ==";
+}  // namespace
+
+std::string CookiePicker::saveState() const {
+  std::string out;
+  out += std::string(kJarMarker) + "\n" + browser_.jar().serialize();
+  out += std::string(kForcumMarker) + "\n" + forcum_.serializeState();
+  out += std::string(kEnforcedMarker) + "\n";
+  for (const std::string& host : *enforcedHosts_) {
+    out += host + "\n";
+  }
+  return out;
+}
+
+void CookiePicker::loadState(const std::string& text) {
+  enum class Section { None, Jar, Forcum, Enforced };
+  std::string jarText;
+  std::string forcumText;
+  Section section = Section::None;
+  enforcedHosts_->clear();
+  for (const std::string& line : util::split(text, '\n')) {
+    if (line == kJarMarker) {
+      section = Section::Jar;
+      continue;
+    }
+    if (line == kForcumMarker) {
+      section = Section::Forcum;
+      continue;
+    }
+    if (line == kEnforcedMarker) {
+      section = Section::Enforced;
+      continue;
+    }
+    switch (section) {
+      case Section::Jar:
+        jarText += line + "\n";
+        break;
+      case Section::Forcum:
+        forcumText += line + "\n";
+        break;
+      case Section::Enforced:
+        if (!line.empty()) enforcedHosts_->insert(line);
+        break;
+      case Section::None:
+        break;  // preamble: ignored
+    }
+  }
+  browser_.jar() = cookies::CookieJar::deserialize(jarText);
+  forcum_.restoreState(forcumText);
+}
+
+HostReport CookiePicker::report(const std::string& host) const {
+  HostReport hostReport;
+  hostReport.host = host;
+  for (const cookies::CookieRecord* record :
+       browser_.jar().persistentCookiesForHost(host)) {
+    ++hostReport.persistentCookies;
+    if (record->useful) ++hostReport.markedUseful;
+  }
+  if (const ForcumEngine::SiteState* state = forcum_.siteState(host)) {
+    hostReport.pageViews = state->totalViews;
+    hostReport.hiddenRequests = state->hiddenRequests;
+    hostReport.averageDetectionMs = state->detectionTimesMs.mean();
+    hostReport.averageDurationMs = state->durationsMs.mean();
+    hostReport.trainingActive = state->trainingActive;
+  }
+  hostReport.enforced = enforcedHosts_->contains(host);
+  return hostReport;
+}
+
+}  // namespace cookiepicker::core

@@ -1,0 +1,101 @@
+// The CookiePicker extension facade — the public API a downstream user
+// programs against.
+//
+// Wires together the browser hooks, the FORCUM training engine, the
+// backward-error-recovery button, and enforcement: once a site's cookie set
+// is stable, still-unmarked persistent cookies stop being transmitted and
+// are removed from the jar.
+//
+// Typical use:
+//   net::Network network;  util::SimClock clock;
+//   browser::Browser browser(network, clock);
+//   core::CookiePicker picker(browser);
+//   auto view = picker.browse("http://shop.example.com/");   // visit + train
+//   ...
+//   picker.enforceStableHosts();   // block + purge useless cookies
+#pragma once
+
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+
+#include "browser/browser.h"
+#include "core/forcum.h"
+#include "core/recovery.h"
+
+namespace cookiepicker::core {
+
+struct CookiePickerConfig {
+  ForcumConfig forcum;
+  // When enforcement triggers, also delete the blocked cookies from the jar
+  // ("those disabled useless cookies will be removed from the Web browser's
+  // cookie jar").
+  bool deleteUselessOnEnforce = true;
+  // Automatically enforce a host as soon as its training turns stable.
+  bool autoEnforce = false;
+};
+
+// Per-host summary used by experiments and the privacy-audit example.
+struct HostReport {
+  std::string host;
+  int persistentCookies = 0;
+  int markedUseful = 0;
+  int pageViews = 0;
+  int hiddenRequests = 0;
+  double averageDetectionMs = 0.0;
+  double averageDurationMs = 0.0;
+  bool trainingActive = true;
+  bool enforced = false;
+};
+
+class CookiePicker {
+ public:
+  explicit CookiePicker(browser::Browser& browser,
+                        CookiePickerConfig config = {});
+
+  // Visit a page, run the FORCUM step for it (during think time), then
+  // simulate the user's think pause. Returns the step report.
+  ForcumStepReport browse(const std::string& url);
+  ForcumStepReport browse(const net::Url& url);
+
+  // Lower-level hook if the caller drives the browser itself.
+  ForcumStepReport onPageLoaded(const browser::PageView& view);
+
+  // Enforcement: stop transmitting unmarked persistent cookies of `host`
+  // and (optionally) delete them. Idempotent.
+  void enforceForHost(const std::string& host);
+  // Enforces every host whose training has turned stable.
+  void enforceStableHosts();
+  bool isEnforced(const std::string& host) const;
+
+  // The backward-error-recovery button for the page the user is looking at.
+  // Re-marks the page's blocked cookies useful and resumes training.
+  std::vector<cookies::CookieKey> pressRecoveryButton(const net::Url& url);
+
+  HostReport report(const std::string& host) const;
+
+  // Full extension state — cookie jar (with useful marks), FORCUM training
+  // state, enforced hosts — as one text blob, so a browser restart can pick
+  // up exactly where training left off.
+  std::string saveState() const;
+  void loadState(const std::string& text);
+
+  browser::Browser& browser() { return browser_; }
+  ForcumEngine& forcum() { return forcum_; }
+  const ForcumEngine& forcum() const { return forcum_; }
+  RecoveryManager& recovery() { return recovery_; }
+  const CookiePickerConfig& config() const { return config_; }
+
+ private:
+  void installSendFilter();
+
+  browser::Browser& browser_;
+  CookiePickerConfig config_;
+  ForcumEngine forcum_;
+  RecoveryManager recovery_;
+  // Hosts under enforcement; shared with the browser's send filter.
+  std::shared_ptr<std::set<std::string>> enforcedHosts_;
+};
+
+}  // namespace cookiepicker::core

@@ -1,0 +1,53 @@
+// Context-aware Visual Content Extraction (CVCE) and the normalized
+// context-content similarity NTextSim — Section 4.2 / Figure 4 / Formula 3.
+//
+// Every non-noise text node contributes one "context-content string":
+// the element-name path from the comparison root down to the text node,
+// a separator, then the (whitespace-collapsed) text itself. Comparing the
+// two string sets detects the visual content difference a user would
+// perceive; the `s` term forgives text *replacement within an identical
+// context* (rotating headlines, ad copy), which the paper found essential
+// for filtering page dynamics.
+#pragma once
+
+#include <set>
+#include <string>
+
+#include "dom/node.h"
+
+namespace cookiepicker::core {
+
+inline constexpr char kContextSeparator[] = "|>";
+
+struct CvceOptions {
+  // The paper's noise rules (Section 4.2, after [4]):
+  bool filterScriptsAndStyles = true;   // always sensible; togglable for tests
+  bool filterAdvertisement = true;      // class/id heuristic
+  bool filterDateTime = true;           // "12:30:05", "2007-01-17", ...
+  bool filterOptionText = true;         // dropdown lists (country, language)
+  bool filterNonAlphanumeric = true;    // pure punctuation/whitespace
+};
+
+// Figure 4's contentExtract: preorder traversal collecting the set S of
+// context-content strings. `root` is typically comparisonRoot(document).
+std::set<std::string> extractContextContent(const dom::Node& root,
+                                            const CvceOptions& options = {});
+
+// Formula 3: NTextSim(S1, S2) = (|S1 ∩ S2| + s) / |S1 ∪ S2|, where s counts
+// strings unique to one set whose context prefix also appears among the
+// other set's unique strings (text replacement in the same context).
+// Both-empty sets are similarity 1. Setting `sameContextCredit` to false
+// drops the s term — plain Jaccard — for the noise ablation.
+double nTextSim(const std::set<std::string>& s1,
+                const std::set<std::string>& s2,
+                bool sameContextCredit = true);
+
+// True if an element subtree is "obvious advertisement" by the class/id
+// heuristic ("ad", "ads", "advert", "sponsor", "banner", "promo" tokens).
+bool looksLikeAdvertisementContainer(const dom::Node& element);
+
+// The context prefix of a context-content string (everything before the
+// separator); the whole string if no separator is present.
+std::string contextOf(const std::string& contextContent);
+
+}  // namespace cookiepicker::core

@@ -1,0 +1,44 @@
+#include "core/decision.h"
+
+#include "util/clock.h"
+
+namespace cookiepicker::core {
+
+DecisionResult decideCookieUsefulness(const dom::Node& regularDocument,
+                                      const dom::Node& hiddenDocument,
+                                      const DecisionConfig& config) {
+  DecisionResult result;
+  const util::StopWatch watch;
+
+  const dom::Node& regularRoot = comparisonRoot(regularDocument);
+  const dom::Node& hiddenRoot = comparisonRoot(hiddenDocument);
+
+  result.treeSim = nTreeSim(regularRoot, hiddenRoot, config.maxLevel);
+  const std::set<std::string> regularContent =
+      extractContextContent(regularRoot, config.cvce);
+  const std::set<std::string> hiddenContent =
+      extractContextContent(hiddenRoot, config.cvce);
+  result.textSim =
+      nTextSim(regularContent, hiddenContent, config.sameContextCredit);
+
+  const bool treeDiffers = result.treeSim <= config.treeThreshold;
+  const bool textDiffers = result.textSim <= config.textThreshold;
+  switch (config.mode) {
+    case DecisionMode::Both:
+      result.causedByCookies = treeDiffers && textDiffers;
+      break;
+    case DecisionMode::TreeOnly:
+      result.causedByCookies = treeDiffers;
+      break;
+    case DecisionMode::TextOnly:
+      result.causedByCookies = textDiffers;
+      break;
+    case DecisionMode::Either:
+      result.causedByCookies = treeDiffers || textDiffers;
+      break;
+  }
+  result.detectionTimeMs = watch.elapsedMs();
+  return result;
+}
+
+}  // namespace cookiepicker::core

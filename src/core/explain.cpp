@@ -1,0 +1,131 @@
+#include "core/explain.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "core/cvce.h"
+#include "core/rstm.h"
+#include "core/stm.h"
+#include "util/stats.h"
+
+namespace cookiepicker::core {
+
+namespace {
+
+using dom::Node;
+
+// Collects, for every countable (visible, non-leaf, within-level) node, its
+// element path from the comparison root, with a multiplicity count.
+void collectPaths(const Node& node, const std::string& prefix, int level,
+                  int maxLevel, std::map<std::string, int>& paths) {
+  const int currentLevel = level + 1;
+  if (node.childCount() == 0 || !isVisibleStructuralNode(node) ||
+      currentLevel > maxLevel) {
+    return;
+  }
+  const std::string path =
+      prefix.empty() ? node.name() : prefix + ">" + node.name();
+  ++paths[path];
+  for (const auto& child : node.children()) {
+    collectPaths(*child, path, currentLevel, maxLevel, paths);
+  }
+}
+
+// Paths with higher multiplicity on `left` than on `right`, rendered as
+// "path (xN)" and ordered by excess multiplicity.
+std::vector<std::string> pathExcess(const std::map<std::string, int>& left,
+                                    const std::map<std::string, int>& right,
+                                    std::size_t maxItems) {
+  std::vector<std::pair<int, std::string>> excess;
+  for (const auto& [path, count] : left) {
+    const auto it = right.find(path);
+    const int delta = count - (it == right.end() ? 0 : it->second);
+    if (delta > 0) excess.emplace_back(delta, path);
+  }
+  std::sort(excess.begin(), excess.end(), [](const auto& a, const auto& b) {
+    if (a.first != b.first) return a.first > b.first;
+    return a.second < b.second;
+  });
+  std::vector<std::string> rendered;
+  for (std::size_t i = 0; i < excess.size() && i < maxItems; ++i) {
+    rendered.push_back(excess[i].second +
+                       (excess[i].first > 1
+                            ? " (x" + std::to_string(excess[i].first) + ")"
+                            : ""));
+  }
+  return rendered;
+}
+
+std::vector<std::string> setOnly(const std::set<std::string>& left,
+                                 const std::set<std::string>& right,
+                                 std::size_t maxItems) {
+  std::vector<std::string> only;
+  for (const std::string& entry : left) {
+    if (!right.contains(entry)) {
+      only.push_back(entry);
+      if (only.size() >= maxItems) break;
+    }
+  }
+  return only;
+}
+
+void appendList(std::string& out, const char* heading,
+                const std::vector<std::string>& items) {
+  if (items.empty()) return;
+  out += heading;
+  for (const std::string& item : items) {
+    out += "\n    " + item;
+  }
+  out += "\n";
+}
+
+}  // namespace
+
+std::string DifferenceExplanation::summary() const {
+  std::string out;
+  out += "NTreeSim=" + util::TextTable::formatDouble(decision.treeSim, 3) +
+         " NTextSim=" + util::TextTable::formatDouble(decision.textSim, 3) +
+         " -> " +
+         (decision.causedByCookies ? "difference attributed to cookies"
+                                   : "no cookie-caused difference") +
+         "\n";
+  appendList(out, "  structure only with cookies:", structureOnlyInRegular);
+  appendList(out, "  structure only without cookies:",
+             structureOnlyInHidden);
+  appendList(out, "  text only with cookies:", textOnlyInRegular);
+  appendList(out, "  text only without cookies:", textOnlyInHidden);
+  return out;
+}
+
+DifferenceExplanation explainDifference(const dom::Node& regularDocument,
+                                        const dom::Node& hiddenDocument,
+                                        const ExplainOptions& options) {
+  DifferenceExplanation explanation;
+  explanation.decision = decideCookieUsefulness(
+      regularDocument, hiddenDocument, options.decision);
+
+  const Node& regularRoot = comparisonRoot(regularDocument);
+  const Node& hiddenRoot = comparisonRoot(hiddenDocument);
+
+  std::map<std::string, int> regularPaths;
+  std::map<std::string, int> hiddenPaths;
+  collectPaths(regularRoot, "", 0, options.decision.maxLevel, regularPaths);
+  collectPaths(hiddenRoot, "", 0, options.decision.maxLevel, hiddenPaths);
+  explanation.structureOnlyInRegular =
+      pathExcess(regularPaths, hiddenPaths, options.maxItems);
+  explanation.structureOnlyInHidden =
+      pathExcess(hiddenPaths, regularPaths, options.maxItems);
+
+  const auto regularText =
+      extractContextContent(regularRoot, options.decision.cvce);
+  const auto hiddenText =
+      extractContextContent(hiddenRoot, options.decision.cvce);
+  explanation.textOnlyInRegular =
+      setOnly(regularText, hiddenText, options.maxItems);
+  explanation.textOnlyInHidden =
+      setOnly(hiddenText, regularText, options.maxItems);
+  return explanation;
+}
+
+}  // namespace cookiepicker::core

@@ -1,0 +1,45 @@
+// Human-readable explanations for usefulness decisions.
+//
+// The paper's recovery button exists because users only see *that* a page
+// broke; a production extension additionally wants to show *why* a cookie
+// was kept or blocked. This module diffs the regular and hidden page
+// versions at the level the detection algorithms work on and renders the
+// evidence: which structural regions only exist in one version, and which
+// text content appeared or disappeared.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/decision.h"
+#include "dom/node.h"
+
+namespace cookiepicker::core {
+
+struct DifferenceExplanation {
+  DecisionResult decision;
+
+  // Structural regions (element paths like "body>div>main>section") present
+  // in only one version, largest first, capped at `maxItems`.
+  std::vector<std::string> structureOnlyInRegular;
+  std::vector<std::string> structureOnlyInHidden;
+
+  // Context-content strings unique to each version (same cap).
+  std::vector<std::string> textOnlyInRegular;
+  std::vector<std::string> textOnlyInHidden;
+
+  // One-paragraph rendering for logs / the recovery dialog.
+  std::string summary() const;
+};
+
+struct ExplainOptions {
+  DecisionConfig decision;
+  std::size_t maxItems = 5;
+};
+
+// Runs the decision algorithms and gathers the supporting evidence.
+DifferenceExplanation explainDifference(const dom::Node& regularDocument,
+                                        const dom::Node& hiddenDocument,
+                                        const ExplainOptions& options = {});
+
+}  // namespace cookiepicker::core

@@ -1,0 +1,303 @@
+#include "core/forcum.h"
+
+#include <algorithm>
+
+#include "util/clock.h"
+#include "util/strings.h"
+#include "util/log.h"
+
+namespace cookiepicker::core {
+
+using cookies::CookieKey;
+using cookies::CookieRecord;
+
+ForcumEngine::ForcumEngine(browser::Browser& browser, ForcumConfig config)
+    : browser_(browser), config_(std::move(config)) {}
+
+ForcumEngine::SiteState& ForcumEngine::stateFor(const std::string& host) {
+  return sites_[host];
+}
+
+const ForcumEngine::SiteState* ForcumEngine::siteState(
+    const std::string& host) const {
+  const auto it = sites_.find(host);
+  return it == sites_.end() ? nullptr : &it->second;
+}
+
+bool ForcumEngine::isTrainingActive(const std::string& host) const {
+  const SiteState* state = siteState(host);
+  return state == nullptr ? true : state->trainingActive;
+}
+
+void ForcumEngine::resumeTraining(const std::string& host) {
+  SiteState& state = stateFor(host);
+  state.trainingActive = true;
+  state.consecutiveQuietViews = 0;
+}
+
+ForcumStepReport ForcumEngine::onPageView(const browser::PageView& view) {
+  const std::string& host = view.url.host();
+  SiteState& state = stateFor(host);
+  ++state.totalViews;
+
+  // Detect newly appeared persistent cookies; they restart training
+  // automatically ("it will be turned on automatically if CookiePicker
+  // finds new cookies appeared in the HTTP responses").
+  bool sawNewCookie = false;
+  for (const CookieRecord* record :
+       browser_.jar().persistentCookiesForHost(host)) {
+    if (state.knownPersistent.insert(record->key).second) {
+      sawNewCookie = true;
+    }
+  }
+  if (sawNewCookie && !state.trainingActive) {
+    CP_LOG_INFO << "FORCUM resumed for " << host << " (new cookies)";
+    state.trainingActive = true;
+    state.consecutiveQuietViews = 0;
+  }
+
+  if (!state.trainingActive) {
+    ForcumStepReport report;
+    report.trainingActive = false;
+    return report;
+  }
+
+  ForcumStepReport report = runStep(view, state);
+  report.trainingActive = true;
+
+  if (sawNewCookie || !report.newlyMarked.empty()) {
+    state.consecutiveQuietViews = 0;
+  } else {
+    ++state.consecutiveQuietViews;
+  }
+  if (state.consecutiveQuietViews >= config_.stableViewThreshold) {
+    state.trainingActive = false;
+    CP_LOG_INFO << "FORCUM stable for " << host << " after "
+                << state.totalViews << " views";
+  }
+  return report;
+}
+
+std::string ForcumEngine::serializeState() const {
+  // One line per site:
+  //   host \t active \t totalViews \t hiddenRequests \t quietViews \t
+  //   name|domain|path ; name|domain|path ; ...
+  std::string out;
+  for (const auto& [host, state] : sites_) {
+    out += host + "\t" + (state.trainingActive ? "1" : "0") + "\t" +
+           std::to_string(state.totalViews) + "\t" +
+           std::to_string(state.hiddenRequests) + "\t" +
+           std::to_string(state.consecutiveQuietViews) + "\t";
+    bool first = true;
+    for (const CookieKey& key : state.knownPersistent) {
+      if (!first) out += ";";
+      out += key.name + "|" + key.domain + "|" + key.path;
+      first = false;
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+void ForcumEngine::restoreState(const std::string& text) {
+  sites_.clear();
+  for (const std::string& line : util::split(text, '\n')) {
+    if (line.empty()) continue;
+    const std::vector<std::string> fields = util::split(line, '\t');
+    if (fields.size() != 6) continue;
+    SiteState state;
+    state.trainingActive = fields[1] == "1";
+    try {
+      state.totalViews = std::stoi(fields[2]);
+      state.hiddenRequests = std::stoi(fields[3]);
+      state.consecutiveQuietViews = std::stoi(fields[4]);
+    } catch (const std::exception&) {
+      continue;
+    }
+    for (const std::string& keyText : util::split(fields[5], ';')) {
+      if (keyText.empty()) continue;
+      const std::vector<std::string> parts = util::split(keyText, '|');
+      if (parts.size() != 3) continue;
+      state.knownPersistent.insert({parts[0], parts[1], parts[2]});
+    }
+    sites_[fields[0]] = std::move(state);
+  }
+}
+
+std::set<CookieKey> ForcumEngine::selectGroup(
+    const std::string& host,
+    const std::vector<const CookieRecord*>& candidates) {
+  std::set<CookieKey> group;
+  switch (config_.groupMode) {
+    case CookieGroupMode::AllPersistent:
+      for (const CookieRecord* record : candidates) {
+        group.insert(record->key);
+      }
+      break;
+    case CookieGroupMode::PerCookie: {
+      // One unmarked cookie per view, round-robin.
+      std::vector<const CookieRecord*> unmarked;
+      for (const CookieRecord* record : candidates) {
+        if (!record->useful) unmarked.push_back(record);
+      }
+      if (unmarked.empty()) break;
+      std::size_t& cursor = perCookieCursor_[host];
+      group.insert(unmarked[cursor % unmarked.size()]->key);
+      ++cursor;
+      break;
+    }
+    case CookieGroupMode::Bisection: {
+      std::set<CookieKey> unmarkedKeys;
+      for (const CookieRecord* record : candidates) {
+        if (!record->useful) unmarkedKeys.insert(record->key);
+      }
+      if (unmarkedKeys.empty()) break;
+      auto& queue = bisectionQueue_[host];
+      // Pop pending groups until one intersects the cookies this page view
+      // actually carries (path-scoped cookies may not apply everywhere).
+      while (!queue.empty()) {
+        std::vector<CookieKey> pending = std::move(queue.front());
+        queue.pop_front();
+        for (const CookieKey& key : pending) {
+          if (unmarkedKeys.contains(key)) group.insert(key);
+        }
+        if (!group.empty()) return group;
+      }
+      // Queue exhausted: start a fresh round over everything unmarked.
+      group = unmarkedKeys;
+      break;
+    }
+  }
+  return group;
+}
+
+void ForcumEngine::onBisectionOutcome(
+    const std::string& host, const std::vector<CookieKey>& group,
+    bool causedByCookies) {
+  if (!causedByCookies || group.size() <= 1) return;
+  // The difference lives somewhere inside this group: test the halves next
+  // (depth-first, so the culprit is isolated in O(log n) further views).
+  auto& queue = bisectionQueue_[host];
+  const std::size_t half = group.size() / 2;
+  queue.emplace_front(group.begin() + static_cast<std::ptrdiff_t>(half),
+                      group.end());
+  queue.emplace_front(group.begin(),
+                      group.begin() + static_cast<std::ptrdiff_t>(half));
+}
+
+ForcumStepReport ForcumEngine::runStep(const browser::PageView& view,
+                                       SiteState& state) {
+  ForcumStepReport report;
+
+  // Only real container documents are trained on: an error page (5xx/4xx
+  // from a transient failure) compared against a healthy hidden copy would
+  // mark every cookie in sight.
+  if (view.status != 200 || view.document == nullptr) {
+    return report;
+  }
+
+  // Which persistent cookies did the *regular* request actually carry? The
+  // saved container request header is authoritative — cookies set by this
+  // very response exist in the jar but were not part of the page the user
+  // is looking at, so they cannot be tested on this view.
+  std::set<std::string> sentNames;
+  for (const auto& [name, value] :
+       net::parseCookieHeader(view.containerRequest.cookieHeader())) {
+    sentNames.insert(name);
+  }
+  std::vector<const CookieRecord*> candidates;
+  for (const CookieRecord* record :
+       browser_.jar().cookiesFor(view.url, browser_.clock().nowMs())) {
+    if (record->persistent && sentNames.contains(record->key.name)) {
+      candidates.push_back(record);
+    }
+  }
+  if (candidates.empty()) {
+    return report;  // nothing to test on this page
+  }
+
+  // Select the tested group.
+  const std::set<CookieKey> group =
+      selectGroup(view.url.host(), candidates);
+  if (group.empty()) return report;
+
+  const util::StopWatch hostWatch;
+  browser::HiddenFetchResult hidden = browser_.hiddenFetch(
+      view, [&group](const CookieRecord& record) {
+        return group.contains(record.key);
+      });
+  ++state.hiddenRequests;
+  report.hiddenRequestSent = true;
+  report.hiddenLatencyMs = hidden.latencyMs;
+  report.testedGroup.assign(group.begin(), group.end());
+
+  if (hidden.status != 200 || hidden.document == nullptr) {
+    // Server error on the hidden path: no decision this round.
+    report.durationMs = hidden.latencyMs + hostWatch.elapsedMs();
+    return report;
+  }
+
+  report.decision = decideCookieUsefulness(*view.document, *hidden.document,
+                                           config_.decision);
+  if (report.decision.causedByCookies && config_.consistencyReprobe) {
+    // Second hidden copy, identical stripped group. If the two hidden
+    // copies differ from *each other*, the regular-vs-hidden difference
+    // cannot be attributed to the cookies.
+    browser::HiddenFetchResult reprobe = browser_.hiddenFetch(
+        view, [&group](const CookieRecord& record) {
+          return group.contains(record.key);
+        });
+    ++state.hiddenRequests;
+    report.hiddenLatencyMs += reprobe.latencyMs;
+    if (reprobe.status == 200 && reprobe.document != nullptr) {
+      // The agreement check is deliberately *stricter* than detection:
+      // either metric disagreeing is suspicious, and the s term is
+      // disabled — a cloaker that reuses one defacement skeleton with
+      // fresh text would otherwise pass as "same-context replacement".
+      DecisionConfig agreementConfig = config_.decision;
+      agreementConfig.mode = DecisionMode::Either;
+      agreementConfig.sameContextCredit = false;
+      const DecisionResult agreement = decideCookieUsefulness(
+          *hidden.document, *reprobe.document, agreementConfig);
+      report.reprobeRan = true;
+      report.reprobeAgreement = agreement;
+      if (agreement.causedByCookies) {
+        // The copies disagree although nothing changed between them.
+        report.inconsistentHiddenCopies = true;
+        report.decision.causedByCookies = false;
+        CP_LOG_WARN << "inconsistent hidden copies from " << view.url.host()
+                    << " — suspected cloaking or page dynamics";
+      }
+    }
+  }
+  if (config_.groupMode == CookieGroupMode::Bisection) {
+    onBisectionOutcome(view.url.host(), report.testedGroup,
+                       report.decision.causedByCookies);
+    // Only singleton groups mark: the difference is pinned on one cookie.
+    if (report.decision.causedByCookies && report.testedGroup.size() == 1) {
+      const CookieKey& key = report.testedGroup.front();
+      const CookieRecord* record = browser_.jar().find(key);
+      if (record != nullptr && !record->useful) {
+        browser_.jar().markUseful(key);
+        report.newlyMarked.push_back(key);
+      }
+    }
+  } else if (report.decision.causedByCookies) {
+    for (const CookieKey& key : report.testedGroup) {
+      const CookieRecord* record = browser_.jar().find(key);
+      if (record != nullptr && !record->useful) {
+        browser_.jar().markUseful(key);
+        report.newlyMarked.push_back(key);
+      }
+    }
+  }
+
+  // Duration = simulated hidden round trip + host-time cost of DOM build
+  // and detection (the paper's Table 1 "CookiePicker Duration" column).
+  report.durationMs = hidden.latencyMs + hostWatch.elapsedMs();
+  state.detectionTimesMs.add(report.decision.detectionTimeMs);
+  state.durationsMs.add(report.durationMs);
+  return report;
+}
+
+}  // namespace cookiepicker::core

@@ -1,0 +1,138 @@
+// FORward Cookie Usefulness Marking — the FORCUM training process
+// (Definition 1, Section 3.2).
+//
+// For each page view during training, the engine: (1) takes the saved
+// container request, (2) sends the hidden request with the tested cookie
+// group stripped, (3) builds the hidden DOM tree with the shared parser,
+// (4) runs the decision algorithms, and (5) marks the stripped cookies
+// useful when the difference is attributed to them. Per-site training state
+// tracks when the useful marks are "relatively stable", after which the
+// process turns itself off; it resumes automatically when new cookies
+// appear.
+#pragma once
+
+#include <deque>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "browser/browser.h"
+#include "cookies/record.h"
+#include "core/decision.h"
+#include "util/stats.h"
+
+namespace cookiepicker::core {
+
+enum class CookieGroupMode {
+  // The paper's experiments: the hidden request strips *every* persistent
+  // cookie the regular request carried, and a detected difference marks the
+  // whole group (which over-marks co-sent trackers — P5/P6 in Table 2).
+  AllPersistent,
+  // Extension (Section 7 future work): strip one unmarked persistent cookie
+  // per view, round-robin, so each cookie is judged individually. Slower to
+  // train, immune to co-marking.
+  PerCookie,
+  // Extension: group testing by binary search. Start from the full unmarked
+  // set; when a tested group causes a difference, split it and test the
+  // halves on subsequent views. Isolates each useful cookie in O(log n)
+  // extra views instead of PerCookie's O(n), still without co-marking
+  // (groups of size one are the only ones that mark).
+  Bisection,
+};
+
+struct ForcumConfig {
+  DecisionConfig decision;
+  CookieGroupMode groupMode = CookieGroupMode::AllPersistent;
+  // Training turns off after this many consecutive page views with no new
+  // cookies and no new useful marks.
+  int stableViewThreshold = 10;
+  // Extension (countering the Section 5.3 evasion): before acting on a
+  // detected difference, fetch a *second* hidden copy with the same cookie
+  // group stripped and require the two hidden copies to agree. A server
+  // that cloaks probe responses — or a page whose dynamics caused the
+  // difference — fails the consistency check and no marking happens.
+  // Off by default for paper fidelity.
+  bool consistencyReprobe = false;
+};
+
+struct ForcumStepReport {
+  bool trainingActive = false;
+  bool hiddenRequestSent = false;
+  DecisionResult decision;
+  std::vector<cookies::CookieKey> testedGroup;
+  std::vector<cookies::CookieKey> newlyMarked;
+  // Set when the consistency re-probe vetoed a marking: the two hidden
+  // copies disagreed with each other (server cloaking or page dynamics).
+  bool inconsistentHiddenCopies = false;
+  // Whether the re-probe ran, and how the two hidden copies compared.
+  bool reprobeRan = false;
+  DecisionResult reprobeAgreement;
+  double hiddenLatencyMs = 0.0;
+  // The paper's "CookiePicker Duration": hidden round trip + DOM build +
+  // difference detection, i.e. everything from issuing the hidden request
+  // to the usefulness decision.
+  double durationMs = 0.0;
+};
+
+class ForcumEngine {
+ public:
+  explicit ForcumEngine(browser::Browser& browser, ForcumConfig config = {});
+
+  // The extension's page-load hook. Runs one FORCUM step for the page's
+  // host (during user think time, so the user never waits on it).
+  ForcumStepReport onPageView(const browser::PageView& view);
+
+  bool isTrainingActive(const std::string& host) const;
+  // Manual restart ("turned on ... manually by a user if she wants to
+  // continue the training process").
+  void resumeTraining(const std::string& host);
+
+  struct SiteState {
+    bool trainingActive = true;
+    int totalViews = 0;
+    int hiddenRequests = 0;
+    int consecutiveQuietViews = 0;
+    std::set<cookies::CookieKey> knownPersistent;
+    util::SampleSet detectionTimesMs;
+    util::SampleSet durationsMs;
+  };
+  // Null if the host has never been visited.
+  const SiteState* siteState(const std::string& host) const;
+
+  const ForcumConfig& config() const { return config_; }
+  browser::Browser& browser() { return browser_; }
+
+  // --- persistence ---------------------------------------------------------
+  // Serializes per-site training state (activity flag, view counters, known
+  // cookie keys) to a line-oriented text format; timing samples are not
+  // persisted (they are experiment instrumentation, not training state).
+  std::string serializeState() const;
+  // Replaces all per-site state with the serialized form. Malformed lines
+  // are skipped.
+  void restoreState(const std::string& text);
+
+ private:
+  SiteState& stateFor(const std::string& host);
+  ForcumStepReport runStep(const browser::PageView& view, SiteState& state);
+
+  // Chooses the cookie group the hidden request strips on this view.
+  std::set<cookies::CookieKey> selectGroup(
+      const std::string& host,
+      const std::vector<const cookies::CookieRecord*>& candidates);
+  // Bisection bookkeeping after a decision.
+  void onBisectionOutcome(const std::string& host,
+                          const std::vector<cookies::CookieKey>& group,
+                          bool causedByCookies);
+
+  browser::Browser& browser_;
+  ForcumConfig config_;
+  std::map<std::string, SiteState> sites_;
+  // Round-robin cursor for PerCookie mode, per host.
+  std::map<std::string, std::size_t> perCookieCursor_;
+  // Pending candidate groups for Bisection mode, per host (front = next).
+  std::map<std::string, std::deque<std::vector<cookies::CookieKey>>>
+      bisectionQueue_;
+};
+
+}  // namespace cookiepicker::core

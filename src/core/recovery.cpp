@@ -1,0 +1,22 @@
+#include "core/recovery.h"
+
+namespace cookiepicker::core {
+
+std::vector<cookies::CookieKey> RecoveryManager::recoverPage(
+    const net::Url& url, util::SimTimeMs nowMs) {
+  ++recoveryCount_;
+  std::vector<cookies::CookieKey> changed;
+  // Include cookies the send filter would normally block: recovery looks at
+  // everything that domain/path-matches this page.
+  for (const cookies::CookieRecord* record : jar_.cookiesFor(url, nowMs)) {
+    if (record->persistent && !record->useful) {
+      changed.push_back(record->key);
+    }
+  }
+  for (const cookies::CookieKey& key : changed) {
+    jar_.markUseful(key);
+  }
+  return changed;
+}
+
+}  // namespace cookiepicker::core

@@ -1,0 +1,37 @@
+// Backward error recovery — the tuning process (Definition 2, Section 3.3).
+//
+// FORCUM's second kind of error — a useful cookie never marked, hence
+// blocked — shows up to the user as a malfunctioning page. The recovery
+// manager implements the paper's one-click fix: re-mark every persistent
+// cookie that the current page view *would* have sent (but may be blocked)
+// as useful.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "cookies/jar.h"
+#include "net/url.h"
+#include "util/clock.h"
+
+namespace cookiepicker::core {
+
+class RecoveryManager {
+ public:
+  explicit RecoveryManager(cookies::CookieJar& jar) : jar_(jar) {}
+
+  // The recovery button: marks all currently-unmarked persistent cookies
+  // matching the page's URL as useful. Returns the keys that changed.
+  std::vector<cookies::CookieKey> recoverPage(const net::Url& url,
+                                              util::SimTimeMs nowMs);
+
+  // How many times the button has been pressed — the paper's headline
+  // result is that this stays at zero across both experiment sets.
+  int recoveryCount() const { return recoveryCount_; }
+
+ private:
+  cookies::CookieJar& jar_;
+  int recoveryCount_ = 0;
+};
+
+}  // namespace cookiepicker::core

@@ -1,0 +1,48 @@
+// Restricted Simple Tree Matching (RSTM) and the normalized top-down
+// distance metric NTreeSim — Section 4.1 / Figure 2 / Formula 2.
+//
+// Two restrictions over plain STM:
+//  1. level: only the upper `maxLevel` levels of the trees are compared,
+//     cutting cost and excluding leaf-level page dynamics (rotating ads);
+//  2. visibility: a matched pair counts only if the nodes are non-leaf
+//     nodes with visual effect — comments, scripts and other non-visual
+//     elements are excluded, and text leaves are left to CVCE.
+#pragma once
+
+#include <cstddef>
+
+#include "dom/node.h"
+
+namespace cookiepicker::core {
+
+inline constexpr int kDefaultMaxLevel = 5;  // the paper's l = 5
+
+// Figure 2, literally: RSTM(A, B, level) with level starting at 0 for the
+// roots; pairs at depth >= maxLevel, leaf pairs, and non-visual pairs
+// contribute nothing (and prune their subtrees).
+std::size_t restrictedSimpleTreeMatching(const dom::Node& a,
+                                         const dom::Node& b,
+                                         int maxLevel = kDefaultMaxLevel);
+
+// N(A, l): the number of nodes RSTM(A, A, l) would count — non-leaf visible
+// nodes in the upper l levels, reachable through counted ancestors.
+// Computed by a single preorder walk in O(n) (Section 4.1.4).
+std::size_t countRestrictedNodes(const dom::Node& root,
+                                 int maxLevel = kDefaultMaxLevel);
+
+// Formula 2: NTreeSim(A, B, l) =
+//   RSTM(A,B,l) / (N(A,l) + N(B,l) - RSTM(A,B,l)).
+// Both-empty trees (no countable nodes) are defined as similarity 1.
+double nTreeSim(const dom::Node& a, const dom::Node& b,
+                int maxLevel = kDefaultMaxLevel);
+
+// The comparison root the paper uses: "the top five level of DOM tree
+// starting from the body HTML node". Returns the <body> element if the
+// document has one, otherwise the document node itself.
+const dom::Node& comparisonRoot(const dom::Node& document);
+
+// True if RSTM counts this node: an element with visual effect.
+// (Leafness and depth are checked by the recursion, not here.)
+bool isVisibleStructuralNode(const dom::Node& node);
+
+}  // namespace cookiepicker::core

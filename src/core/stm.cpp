@@ -1,0 +1,91 @@
+#include "core/stm.h"
+#include <algorithm>
+
+namespace cookiepicker::core {
+
+namespace {
+
+using dom::Node;
+
+std::size_t stmRecursive(const Node& a, const Node& b) {
+  if (a.name() != b.name()) return 0;
+  const std::size_t m = a.childCount();
+  const std::size_t n = b.childCount();
+  // M[i][j]: best matching between the first i subtrees of A and first j of B.
+  std::vector<std::vector<std::size_t>> M(m + 1,
+                                          std::vector<std::size_t>(n + 1, 0));
+  for (std::size_t i = 1; i <= m; ++i) {
+    for (std::size_t j = 1; j <= n; ++j) {
+      const std::size_t w = stmRecursive(a.child(i - 1), b.child(j - 1));
+      M[i][j] = std::max({M[i][j - 1], M[i - 1][j], M[i - 1][j - 1] + w});
+    }
+  }
+  return M[m][n] + 1;
+}
+
+void traceback(const Node& a, const Node& b, StmMapping& mapping);
+
+// Recomputes the DP at (a, b) and walks it to emit matched pairs.
+void tracebackChildren(const Node& a, const Node& b, StmMapping& mapping) {
+  const std::size_t m = a.childCount();
+  const std::size_t n = b.childCount();
+  std::vector<std::vector<std::size_t>> M(m + 1,
+                                          std::vector<std::size_t>(n + 1, 0));
+  std::vector<std::vector<std::size_t>> W(m + 1,
+                                          std::vector<std::size_t>(n + 1, 0));
+  for (std::size_t i = 1; i <= m; ++i) {
+    for (std::size_t j = 1; j <= n; ++j) {
+      W[i][j] = stmRecursive(a.child(i - 1), b.child(j - 1));
+      M[i][j] = std::max({M[i][j - 1], M[i - 1][j], M[i - 1][j - 1] + W[i][j]});
+    }
+  }
+  // Walk the DP from (m, n) back to the origin, collecting diagonal moves.
+  std::vector<std::pair<std::size_t, std::size_t>> taken;
+  std::size_t i = m;
+  std::size_t j = n;
+  while (i > 0 && j > 0) {
+    if (M[i][j] == M[i - 1][j - 1] + W[i][j] && W[i][j] > 0) {
+      taken.emplace_back(i - 1, j - 1);
+      --i;
+      --j;
+    } else if (M[i][j] == M[i - 1][j]) {
+      --i;
+    } else {
+      --j;
+    }
+  }
+  // Reverse so pairs come out left-to-right.
+  for (auto it = taken.rbegin(); it != taken.rend(); ++it) {
+    traceback(a.child(it->first), b.child(it->second), mapping);
+  }
+}
+
+void traceback(const Node& a, const Node& b, StmMapping& mapping) {
+  if (a.name() != b.name()) return;
+  ++mapping.matchCount;
+  mapping.pairs.emplace_back(&a, &b);
+  tracebackChildren(a, b, mapping);
+}
+
+}  // namespace
+
+std::size_t simpleTreeMatching(const dom::Node& a, const dom::Node& b) {
+  return stmRecursive(a, b);
+}
+
+StmMapping simpleTreeMatchingWithMapping(const dom::Node& a,
+                                         const dom::Node& b) {
+  StmMapping mapping;
+  traceback(a, b, mapping);
+  return mapping;
+}
+
+double stmSimilarity(const dom::Node& a, const dom::Node& b) {
+  const auto matched = static_cast<double>(simpleTreeMatching(a, b));
+  const auto sizeA = static_cast<double>(a.subtreeSize());
+  const auto sizeB = static_cast<double>(b.subtreeSize());
+  const double denominator = sizeA + sizeB - matched;
+  return denominator <= 0.0 ? 1.0 : matched / denominator;
+}
+
+}  // namespace cookiepicker::core

@@ -1,0 +1,37 @@
+// Simple Tree Matching (Yang, 1991).
+//
+// The unrestricted top-down matching algorithm RSTM is derived from: given
+// two rooted labeled ordered trees, it computes the number of node pairs in
+// a maximum top-down mapping, via dynamic programming over first-level
+// subtrees. O(|T|·|T'|) time — the cost that Section 4.1.3 measures at over
+// one second for large pages, motivating the restricted variant.
+#pragma once
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+#include "dom/node.h"
+
+namespace cookiepicker::core {
+
+// Number of matching pairs in a maximum top-down matching between the
+// subtrees rooted at `a` and `b`. Returns 0 if the root symbols differ.
+std::size_t simpleTreeMatching(const dom::Node& a, const dom::Node& b);
+
+// As above, but also reconstructs one maximum matching (there may be
+// several; ties are broken toward earlier siblings, matching the DP
+// traceback order). Pairs are (node in A, node in B), preorder-ish order.
+struct StmMapping {
+  std::size_t matchCount = 0;
+  std::vector<std::pair<const dom::Node*, const dom::Node*>> pairs;
+};
+StmMapping simpleTreeMatchingWithMapping(const dom::Node& a,
+                                         const dom::Node& b);
+
+// Normalized STM similarity over whole trees (Jaccard form, the
+// unrestricted analogue of NTreeSim): STM / (|A| + |B| - STM), where sizes
+// count all nodes. Used by baselines and ablations.
+double stmSimilarity(const dom::Node& a, const dom::Node& b);
+
+}  // namespace cookiepicker::core

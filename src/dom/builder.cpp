@@ -1,0 +1,122 @@
+#include "dom/builder.h"
+
+#include <cctype>
+#include <stdexcept>
+#include <string>
+
+namespace cookiepicker::dom {
+
+namespace {
+
+class NotationParser {
+ public:
+  explicit NotationParser(std::string_view text) : text_(text) {}
+
+  std::unique_ptr<Node> parse() {
+    std::unique_ptr<Node> root = parseNode();
+    skipWhitespace();
+    if (position_ != text_.size()) {
+      fail("trailing characters after tree");
+    }
+    return root;
+  }
+
+ private:
+  std::unique_ptr<Node> parseNode() {
+    skipWhitespace();
+    if (position_ >= text_.size()) fail("expected node name");
+
+    std::unique_ptr<Node> node;
+    const char lead = text_[position_];
+    if (lead == '#') {
+      ++position_;
+      node = Node::makeText(parseQuoted());
+    } else if (lead == '!') {
+      ++position_;
+      node = Node::makeComment(parseQuoted());
+    } else {
+      node = Node::makeElement(parseName());
+    }
+
+    skipWhitespace();
+    if (position_ < text_.size() && text_[position_] == '(') {
+      ++position_;  // consume '('
+      while (true) {
+        node->appendChild(parseNode());
+        skipWhitespace();
+        if (position_ >= text_.size()) fail("unterminated child list");
+        if (text_[position_] == ',') {
+          ++position_;
+          continue;
+        }
+        if (text_[position_] == ')') {
+          ++position_;
+          break;
+        }
+        fail("expected ',' or ')' in child list");
+      }
+    }
+    return node;
+  }
+
+  std::string parseName() {
+    const std::size_t start = position_;
+    while (position_ < text_.size()) {
+      const char ch = text_[position_];
+      if (std::isalnum(static_cast<unsigned char>(ch)) != 0 || ch == '_' ||
+          ch == '-') {
+        ++position_;
+      } else {
+        break;
+      }
+    }
+    if (position_ == start) fail("empty node name");
+    return std::string(text_.substr(start, position_ - start));
+  }
+
+  std::string parseQuoted() {
+    if (position_ >= text_.size() || text_[position_] != '\'') {
+      fail("expected quoted text after # or !");
+    }
+    ++position_;  // opening quote
+    const std::size_t start = position_;
+    while (position_ < text_.size() && text_[position_] != '\'') {
+      ++position_;
+    }
+    if (position_ >= text_.size()) fail("unterminated quoted text");
+    std::string content(text_.substr(start, position_ - start));
+    ++position_;  // closing quote
+    return content;
+  }
+
+  void skipWhitespace() {
+    while (position_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[position_])) != 0) {
+      ++position_;
+    }
+  }
+
+  [[noreturn]] void fail(const std::string& reason) const {
+    throw std::invalid_argument("tree notation error at offset " +
+                                std::to_string(position_) + ": " + reason);
+  }
+
+  std::string_view text_;
+  std::size_t position_ = 0;
+};
+
+}  // namespace
+
+std::unique_ptr<Node> buildTree(std::string_view notation) {
+  return NotationParser(notation).parse();
+}
+
+std::unique_ptr<Node> figure3TreeA() {
+  return buildTree("a(b(c,b),c(d,e(f,e,d),g(h,i,j)))");
+}
+
+std::unique_ptr<Node> figure3TreeB() {
+  return buildTree("a(b,c(d,e,g(f,h)))");
+}
+
+}  // namespace cookiepicker::dom

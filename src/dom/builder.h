@@ -1,0 +1,35 @@
+// Compact tree-notation builder for tests and benchmarks.
+//
+// Grammar (whitespace ignored):
+//   tree    := node
+//   node    := name [ '(' node (',' node)* ')' ]
+//   name    := [A-Za-z0-9_-]+ | '#' quoted-text | '!' comment-text
+//
+// "a(b(c,b),c(d,e(f,e,d),g(h,i,j)))" builds the 14-node tree A of the
+// paper's Figure 3. Names starting with '#' create text nodes ("#'hello'"),
+// '!' creates comments — these let tests build mixed trees without the HTML
+// parser.
+#pragma once
+
+#include <memory>
+#include <string_view>
+
+#include "dom/node.h"
+
+namespace cookiepicker::dom {
+
+// Parses the compact notation into an element tree. Throws
+// std::invalid_argument on malformed input (tests construct these strings,
+// so malformed input is a programming error worth failing loudly on).
+std::unique_ptr<Node> buildTree(std::string_view notation);
+
+// The two trees of the paper's Figure 3, reconstructed from its preorder
+// numbering (N1..N14 / N15..N22) and its list of seven matching pairs:
+//   A = a(b(c,b), c(d, e(f,e,d), g(h,i,j)))   [14 nodes]
+//   B = a(b, c(d, e, g(f,h)))                 [8 nodes]
+// STM(A, B) = 7, matching {N1,N15} {N2,N16} {N5,N17} {N6,N18} {N7,N19}
+// {N11,N20} {N12,N22}.
+std::unique_ptr<Node> figure3TreeA();
+std::unique_ptr<Node> figure3TreeB();
+
+}  // namespace cookiepicker::dom

@@ -1,0 +1,152 @@
+#include "dom/node.h"
+
+#include <algorithm>
+
+#include "util/strings.h"
+
+namespace cookiepicker::dom {
+
+using util::toLowerAscii;
+
+std::unique_ptr<Node> Node::makeDocument() {
+  return std::unique_ptr<Node>(
+      new Node(NodeType::Document, "#document", ""));
+}
+
+std::unique_ptr<Node> Node::makeDoctype(std::string_view name) {
+  return std::unique_ptr<Node>(
+      new Node(NodeType::Doctype, toLowerAscii(name), ""));
+}
+
+std::unique_ptr<Node> Node::makeElement(std::string_view tagName) {
+  return std::unique_ptr<Node>(
+      new Node(NodeType::Element, toLowerAscii(tagName), ""));
+}
+
+std::unique_ptr<Node> Node::makeText(std::string_view text) {
+  return std::unique_ptr<Node>(
+      new Node(NodeType::Text, "#text", std::string(text)));
+}
+
+std::unique_ptr<Node> Node::makeComment(std::string_view text) {
+  return std::unique_ptr<Node>(
+      new Node(NodeType::Comment, "#comment", std::string(text)));
+}
+
+std::optional<std::string> Node::attribute(std::string_view name) const {
+  const std::string lowered = toLowerAscii(name);
+  for (const Attribute& attribute : attributes_) {
+    if (attribute.name == lowered) return attribute.value;
+  }
+  return std::nullopt;
+}
+
+void Node::setAttribute(std::string_view name, std::string_view value) {
+  if (type_ != NodeType::Element) return;
+  const std::string lowered = toLowerAscii(name);
+  for (Attribute& attribute : attributes_) {
+    if (attribute.name == lowered) {
+      attribute.value = std::string(value);
+      return;
+    }
+  }
+  attributes_.push_back({lowered, std::string(value)});
+}
+
+bool Node::hasAttribute(std::string_view name) const {
+  return attribute(name).has_value();
+}
+
+Node& Node::appendChild(std::unique_ptr<Node> child) {
+  child->parent_ = this;
+  children_.push_back(std::move(child));
+  return *children_.back();
+}
+
+Node& Node::insertChild(std::size_t index, std::unique_ptr<Node> child) {
+  child->parent_ = this;
+  index = std::min(index, children_.size());
+  const auto it = children_.insert(
+      children_.begin() + static_cast<std::ptrdiff_t>(index),
+      std::move(child));
+  return **it;
+}
+
+std::unique_ptr<Node> Node::removeChild(std::size_t index) {
+  std::unique_ptr<Node> removed = std::move(children_[index]);
+  children_.erase(children_.begin() +
+                  static_cast<std::ptrdiff_t>(index));
+  removed->parent_ = nullptr;
+  return removed;
+}
+
+std::unique_ptr<Node> Node::clone() const {
+  std::unique_ptr<Node> copy(new Node(type_, name_, value_));
+  copy->attributes_ = attributes_;
+  for (const auto& child : children_) {
+    copy->appendChild(child->clone());
+  }
+  return copy;
+}
+
+std::size_t Node::subtreeSize() const {
+  std::size_t total = 1;
+  for (const auto& child : children_) total += child->subtreeSize();
+  return total;
+}
+
+std::size_t Node::subtreeHeight() const {
+  std::size_t tallestChild = 0;
+  for (const auto& child : children_) {
+    tallestChild = std::max(tallestChild, child->subtreeHeight());
+  }
+  return tallestChild + 1;
+}
+
+std::string Node::textContent() const {
+  std::string text;
+  preorder(*this, [&](const Node& node, std::size_t) {
+    if (node.isText()) text += node.value();
+    return true;
+  });
+  return text;
+}
+
+const Node* Node::findFirst(std::string_view tagName) const {
+  const std::string lowered = toLowerAscii(tagName);
+  const Node* found = nullptr;
+  preorder(*this, [&](const Node& node, std::size_t) {
+    if (found != nullptr) return false;
+    if (node.isElement() && node.name() == lowered) {
+      found = &node;
+      return false;
+    }
+    return true;
+  });
+  return found;
+}
+
+Node* Node::findFirst(std::string_view tagName) {
+  return const_cast<Node*>(
+      static_cast<const Node*>(this)->findFirst(tagName));
+}
+
+std::vector<const Node*> Node::findAll(std::string_view tagName) const {
+  const std::string lowered = toLowerAscii(tagName);
+  std::vector<const Node*> found;
+  preorder(*this, [&](const Node& node, std::size_t) {
+    if (node.isElement() && node.name() == lowered) found.push_back(&node);
+    return true;
+  });
+  return found;
+}
+
+bool isNonVisualTag(std::string_view tagName) {
+  // script/style/noscript/template produce no rendered boxes; head wraps
+  // metadata only. meta/link/title/base live inside head but guard anyway.
+  return tagName == "script" || tagName == "style" || tagName == "noscript" ||
+         tagName == "template" || tagName == "head" || tagName == "meta" ||
+         tagName == "link" || tagName == "title" || tagName == "base";
+}
+
+}  // namespace cookiepicker::dom

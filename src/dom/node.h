@@ -1,0 +1,116 @@
+// DOM tree representation.
+//
+// A deliberately small subset of the W3C DOM: enough to represent parsed
+// HTML pages as rooted, labeled, ordered trees — the structure CookiePicker's
+// detection algorithms (RSTM / CVCE) are defined over. Nodes own their
+// children through unique_ptr; parents are non-owning back-pointers.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace cookiepicker::dom {
+
+enum class NodeType { Document, Doctype, Element, Text, Comment };
+
+struct Attribute {
+  std::string name;   // lowercase
+  std::string value;
+};
+
+class Node {
+ public:
+  // Factory functions are the only way to create nodes, keeping invariants
+  // (e.g. lowercase element names) in one place.
+  static std::unique_ptr<Node> makeDocument();
+  static std::unique_ptr<Node> makeDoctype(std::string_view name);
+  static std::unique_ptr<Node> makeElement(std::string_view tagName);
+  static std::unique_ptr<Node> makeText(std::string_view text);
+  static std::unique_ptr<Node> makeComment(std::string_view text);
+
+  NodeType type() const { return type_; }
+  bool isDocument() const { return type_ == NodeType::Document; }
+  bool isElement() const { return type_ == NodeType::Element; }
+  bool isText() const { return type_ == NodeType::Text; }
+  bool isComment() const { return type_ == NodeType::Comment; }
+
+  // Element tag name (lowercase), or "#document"/"#text"/"#comment"/doctype
+  // name for the other node types. This is the node "symbol" STM compares.
+  const std::string& name() const { return name_; }
+
+  // Text/comment content; empty for other node types.
+  const std::string& value() const { return value_; }
+  void setValue(std::string_view value) { value_ = value; }
+
+  // --- attributes (elements only; no-ops / empty results otherwise) ---
+  const std::vector<Attribute>& attributes() const { return attributes_; }
+  std::optional<std::string> attribute(std::string_view name) const;
+  void setAttribute(std::string_view name, std::string_view value);
+  bool hasAttribute(std::string_view name) const;
+
+  // --- tree structure ---
+  Node* parent() const { return parent_; }
+  const std::vector<std::unique_ptr<Node>>& children() const {
+    return children_;
+  }
+  std::size_t childCount() const { return children_.size(); }
+  Node& child(std::size_t index) { return *children_[index]; }
+  const Node& child(std::size_t index) const { return *children_[index]; }
+
+  // Appends and returns a reference to the adopted child.
+  Node& appendChild(std::unique_ptr<Node> child);
+  // Inserts at `index` (clamped to [0, childCount()]) and returns the child.
+  Node& insertChild(std::size_t index, std::unique_ptr<Node> child);
+  // Removes and returns the child at `index`.
+  std::unique_ptr<Node> removeChild(std::size_t index);
+  // Removes all children.
+  void clearChildren() { children_.clear(); }
+
+  // Deep copy (parent of the copy is null).
+  std::unique_ptr<Node> clone() const;
+
+  // Total number of nodes in this subtree, including this node.
+  std::size_t subtreeSize() const;
+  // Height of this subtree: 1 for a leaf.
+  std::size_t subtreeHeight() const;
+
+  // Concatenated text of all descendant text nodes (no separators).
+  std::string textContent() const;
+
+  // First descendant element with the given (lowercase) tag, preorder;
+  // nullptr if none. Includes this node itself.
+  const Node* findFirst(std::string_view tagName) const;
+  Node* findFirst(std::string_view tagName);
+  // All matching descendant elements, preorder, including this node.
+  std::vector<const Node*> findAll(std::string_view tagName) const;
+
+ private:
+  Node(NodeType type, std::string name, std::string value)
+      : type_(type), name_(std::move(name)), value_(std::move(value)) {}
+
+  NodeType type_;
+  std::string name_;
+  std::string value_;
+  std::vector<Attribute> attributes_;
+  std::vector<std::unique_ptr<Node>> children_;
+  Node* parent_ = nullptr;
+};
+
+// Preorder traversal (node first, then children left-to-right). The visitor
+// receives (node, depth) with depth 0 at `root`; returning false prunes the
+// subtree below that node (the node itself has already been visited).
+template <typename Visitor>
+void preorder(const Node& root, Visitor&& visit, std::size_t depth = 0) {
+  if (!visit(root, depth)) return;
+  for (const auto& child : root.children()) {
+    preorder(*child, visit, depth + 1);
+  }
+}
+
+// Tags that never produce visual output; RSTM and CVCE skip them.
+bool isNonVisualTag(std::string_view tagName);
+
+}  // namespace cookiepicker::dom

@@ -1,0 +1,37 @@
+// Small CSS-style selector engine over dom::Node trees.
+//
+// Supports the practical subset that tests, behaviors, and downstream
+// analysis code need:
+//   * simple selectors:  tag, *, .class, #id, [attr], [attr=value],
+//     and compounds thereof (e.g. "div.sidebar[role=nav]");
+//   * combinators: descendant (whitespace) and child (>);
+//   * selector groups separated by commas.
+//
+// No pseudo-classes; matching is case-sensitive for classes/ids/values and
+// case-insensitive for tag and attribute names (as HTML is).
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "dom/node.h"
+
+namespace cookiepicker::dom {
+
+// All elements under `root` (including root itself) matching the selector,
+// in preorder. Throws std::invalid_argument on selector syntax errors.
+std::vector<const Node*> select(const Node& root,
+                                std::string_view selector);
+std::vector<Node*> select(Node& root, std::string_view selector);
+
+// First match or nullptr.
+const Node* selectFirst(const Node& root, std::string_view selector);
+Node* selectFirst(Node& root, std::string_view selector);
+
+// Whether `node` itself matches (ancestor combinators are evaluated against
+// its real ancestors).
+bool matches(const Node& node, std::string_view selector);
+
+}  // namespace cookiepicker::dom

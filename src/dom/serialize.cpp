@@ -1,0 +1,172 @@
+#include "dom/serialize.h"
+
+namespace cookiepicker::dom {
+
+namespace {
+
+// Void elements are serialized without end tags.
+bool isVoidTag(const std::string& tag) {
+  return tag == "area" || tag == "base" || tag == "br" || tag == "col" ||
+         tag == "embed" || tag == "hr" || tag == "img" || tag == "input" ||
+         tag == "link" || tag == "meta" || tag == "param" ||
+         tag == "source" || tag == "track" || tag == "wbr";
+}
+
+std::string escapeText(const std::string& text) {
+  std::string escaped;
+  escaped.reserve(text.size());
+  for (const char ch : text) {
+    switch (ch) {
+      case '&':
+        escaped += "&amp;";
+        break;
+      case '<':
+        escaped += "&lt;";
+        break;
+      case '>':
+        escaped += "&gt;";
+        break;
+      default:
+        escaped.push_back(ch);
+    }
+  }
+  return escaped;
+}
+
+std::string escapeAttributeValue(const std::string& value) {
+  std::string escaped;
+  escaped.reserve(value.size());
+  for (const char ch : value) {
+    switch (ch) {
+      case '&':
+        escaped += "&amp;";
+        break;
+      case '"':
+        escaped += "&quot;";
+        break;
+      case '<':
+        escaped += "&lt;";
+        break;
+      default:
+        escaped.push_back(ch);
+    }
+  }
+  return escaped;
+}
+
+void serializeNode(const Node& node, std::string& output) {
+  switch (node.type()) {
+    case NodeType::Document:
+      for (const auto& child : node.children()) {
+        serializeNode(*child, output);
+      }
+      break;
+    case NodeType::Doctype:
+      output += "<!DOCTYPE " + node.name() + ">";
+      break;
+    case NodeType::Comment:
+      output += "<!--" + node.value() + "-->";
+      break;
+    case NodeType::Text:
+      // Raw-text element content must not be entity-escaped.
+      if (node.parent() != nullptr &&
+          (node.parent()->name() == "script" ||
+           node.parent()->name() == "style")) {
+        output += node.value();
+      } else {
+        output += escapeText(node.value());
+      }
+      break;
+    case NodeType::Element: {
+      output += "<" + node.name();
+      for (const Attribute& attribute : node.attributes()) {
+        output += " " + attribute.name + "=\"" +
+                  escapeAttributeValue(attribute.value) + "\"";
+      }
+      output += ">";
+      if (isVoidTag(node.name())) break;
+      for (const auto& child : node.children()) {
+        serializeNode(*child, output);
+      }
+      output += "</" + node.name() + ">";
+      break;
+    }
+  }
+}
+
+void debugNode(const Node& node, std::size_t depth, std::string& output) {
+  output.append(depth * 2, ' ');
+  switch (node.type()) {
+    case NodeType::Document:
+      output += "#document";
+      break;
+    case NodeType::Doctype:
+      output += "doctype " + node.name();
+      break;
+    case NodeType::Comment:
+      output += "comment '" + node.value() + "'";
+      break;
+    case NodeType::Text:
+      output += "text '" + node.value() + "'";
+      break;
+    case NodeType::Element: {
+      output += "element " + node.name();
+      for (const Attribute& attribute : node.attributes()) {
+        output += " " + attribute.name + "=\"" + attribute.value + "\"";
+      }
+      break;
+    }
+  }
+  output += "\n";
+  for (const auto& child : node.children()) {
+    debugNode(*child, depth + 1, output);
+  }
+}
+
+void signatureNode(const Node& node, std::string& output) {
+  if (node.isDocument()) {
+    bool first = true;
+    for (const auto& child : node.children()) {
+      if (!child->isElement()) continue;
+      if (!first) output += ",";
+      signatureNode(*child, output);
+      first = false;
+    }
+    return;
+  }
+  if (!node.isElement()) return;
+  output += node.name();
+  std::string childSignatures;
+  bool first = true;
+  for (const auto& child : node.children()) {
+    if (!child->isElement()) continue;
+    if (!first) childSignatures += ",";
+    signatureNode(*child, childSignatures);
+    first = false;
+  }
+  if (!childSignatures.empty()) {
+    output += "(" + childSignatures + ")";
+  }
+}
+
+}  // namespace
+
+std::string toHtml(const Node& root) {
+  std::string output;
+  serializeNode(root, output);
+  return output;
+}
+
+std::string toDebugString(const Node& root) {
+  std::string output;
+  debugNode(root, 0, output);
+  return output;
+}
+
+std::string structureSignature(const Node& root) {
+  std::string output;
+  signatureNode(root, output);
+  return output;
+}
+
+}  // namespace cookiepicker::dom

@@ -1,0 +1,25 @@
+// DOM serialization helpers.
+#pragma once
+
+#include <string>
+
+#include "dom/node.h"
+
+namespace cookiepicker::dom {
+
+// Serializes a subtree back to HTML text. Not guaranteed to be byte-identical
+// to the original input (the parser normalizes), but reparsing the output
+// yields an equivalent tree — a property the test suite checks. Used by the
+// Doppelganger baseline, which diffs serialized pages instead of trees.
+std::string toHtml(const Node& root);
+
+// Indented one-node-per-line dump ("element div", "text 'hello'") for
+// debugging and golden tests.
+std::string toDebugString(const Node& root);
+
+// Compact structural signature: tag names and nesting only, e.g.
+// "html(head(title),body(div(p,p)))". Text/comments are omitted. Useful for
+// concise structural assertions in tests.
+std::string structureSignature(const Node& root);
+
+}  // namespace cookiepicker::dom

@@ -1,0 +1,208 @@
+#include "html/entities.h"
+
+#include <array>
+#include <cctype>
+#include <cstdlib>
+
+namespace cookiepicker::html {
+
+namespace {
+
+struct NamedEntity {
+  std::string_view name;  // without '&' and ';'
+  unsigned long codePoint;
+};
+
+// The HTML4 named-entity set (the full Latin-1 block plus the symbol,
+// Greek, and punctuation entities pages of the era actually used). Linear
+// lookup is fine: entity decoding is far from any hot path.
+constexpr std::array<NamedEntity, 212> kNamedEntities = {{
+    // XML / core
+    {"amp", 0x26},    {"lt", 0x3C},      {"gt", 0x3E},
+    {"quot", 0x22},   {"apos", 0x27},
+    // Latin-1 punctuation and symbols
+    {"nbsp", 0xA0},   {"iexcl", 0xA1},   {"cent", 0xA2},
+    {"pound", 0xA3},  {"curren", 0xA4},  {"yen", 0xA5},
+    {"brvbar", 0xA6}, {"sect", 0xA7},    {"uml", 0xA8},
+    {"copy", 0xA9},   {"ordf", 0xAA},    {"laquo", 0xAB},
+    {"not", 0xAC},    {"shy", 0xAD},     {"reg", 0xAE},
+    {"macr", 0xAF},   {"deg", 0xB0},     {"plusmn", 0xB1},
+    {"sup2", 0xB2},   {"sup3", 0xB3},    {"acute", 0xB4},
+    {"micro", 0xB5},  {"para", 0xB6},    {"middot", 0xB7},
+    {"cedil", 0xB8},  {"sup1", 0xB9},    {"ordm", 0xBA},
+    {"raquo", 0xBB},  {"frac14", 0xBC},  {"frac12", 0xBD},
+    {"frac34", 0xBE}, {"iquest", 0xBF},  {"times", 0xD7},
+    {"divide", 0xF7},
+    // Latin-1 letters
+    {"Agrave", 0xC0}, {"Aacute", 0xC1},  {"Acirc", 0xC2},
+    {"Atilde", 0xC3}, {"Auml", 0xC4},    {"Aring", 0xC5},
+    {"AElig", 0xC6},  {"Ccedil", 0xC7},  {"Egrave", 0xC8},
+    {"Eacute", 0xC9}, {"Ecirc", 0xCA},   {"Euml", 0xCB},
+    {"Igrave", 0xCC}, {"Iacute", 0xCD},  {"Icirc", 0xCE},
+    {"Iuml", 0xCF},   {"ETH", 0xD0},     {"Ntilde", 0xD1},
+    {"Ograve", 0xD2}, {"Oacute", 0xD3},  {"Ocirc", 0xD4},
+    {"Otilde", 0xD5}, {"Ouml", 0xD6},    {"Oslash", 0xD8},
+    {"Ugrave", 0xD9}, {"Uacute", 0xDA},  {"Ucirc", 0xDB},
+    {"Uuml", 0xDC},   {"Yacute", 0xDD},  {"THORN", 0xDE},
+    {"szlig", 0xDF},  {"agrave", 0xE0},  {"aacute", 0xE1},
+    {"acirc", 0xE2},  {"atilde", 0xE3},  {"auml", 0xE4},
+    {"aring", 0xE5},  {"aelig", 0xE6},   {"ccedil", 0xE7},
+    {"egrave", 0xE8}, {"eacute", 0xE9},  {"ecirc", 0xEA},
+    {"euml", 0xEB},   {"igrave", 0xEC},  {"iacute", 0xED},
+    {"icirc", 0xEE},  {"iuml", 0xEF},    {"eth", 0xF0},
+    {"ntilde", 0xF1}, {"ograve", 0xF2},  {"oacute", 0xF3},
+    {"ocirc", 0xF4},  {"otilde", 0xF5},  {"ouml", 0xF6},
+    {"oslash", 0xF8}, {"ugrave", 0xF9},  {"uacute", 0xFA},
+    {"ucirc", 0xFB},  {"uuml", 0xFC},    {"yacute", 0xFD},
+    {"thorn", 0xFE},  {"yuml", 0xFF},
+    // general punctuation
+    {"ndash", 0x2013},{"mdash", 0x2014}, {"lsquo", 0x2018},
+    {"rsquo", 0x2019},{"sbquo", 0x201A}, {"ldquo", 0x201C},
+    {"rdquo", 0x201D},{"bdquo", 0x201E}, {"dagger", 0x2020},
+    {"Dagger", 0x2021},{"bull", 0x2022}, {"hellip", 0x2026},
+    {"permil", 0x2030},{"prime", 0x2032},{"Prime", 0x2033},
+    {"lsaquo", 0x2039},{"rsaquo", 0x203A},{"oline", 0x203E},
+    {"frasl", 0x2044},{"euro", 0x20AC},  {"trade", 0x2122},
+    // arrows
+    {"larr", 0x2190}, {"uarr", 0x2191},  {"rarr", 0x2192},
+    {"darr", 0x2193}, {"harr", 0x2194},  {"crarr", 0x21B5},
+    {"lArr", 0x21D0}, {"uArr", 0x21D1},  {"rArr", 0x21D2},
+    {"dArr", 0x21D3}, {"hArr", 0x21D4},
+    // Greek (the subset pages actually use)
+    {"Alpha", 0x391}, {"Beta", 0x392},   {"Gamma", 0x393},
+    {"Delta", 0x394}, {"Epsilon", 0x395},{"Theta", 0x398},
+    {"Lambda", 0x39B},{"Pi", 0x3A0},     {"Sigma", 0x3A3},
+    {"Phi", 0x3A6},   {"Omega", 0x3A9},  {"alpha", 0x3B1},
+    {"beta", 0x3B2},  {"gamma", 0x3B3},  {"delta", 0x3B4},
+    {"epsilon", 0x3B5},{"zeta", 0x3B6},  {"eta", 0x3B7},
+    {"theta", 0x3B8}, {"iota", 0x3B9},   {"kappa", 0x3BA},
+    {"lambda", 0x3BB},{"mu", 0x3BC},     {"nu", 0x3BD},
+    {"xi", 0x3BE},    {"pi", 0x3C0},     {"rho", 0x3C1},
+    {"sigma", 0x3C3}, {"tau", 0x3C4},    {"upsilon", 0x3C5},
+    {"phi", 0x3C6},   {"chi", 0x3C7},    {"psi", 0x3C8},
+    {"omega", 0x3C9},
+    // math / technical
+    {"forall", 0x2200},{"part", 0x2202}, {"exist", 0x2203},
+    {"empty", 0x2205},{"nabla", 0x2207}, {"isin", 0x2208},
+    {"notin", 0x2209},{"prod", 0x220F},  {"sum", 0x2211},
+    {"minus", 0x2212},{"lowast", 0x2217},{"radic", 0x221A},
+    {"prop", 0x221D}, {"infin", 0x221E}, {"ang", 0x2220},
+    {"and", 0x2227},  {"or", 0x2228},    {"cap", 0x2229},
+    {"cup", 0x222A},  {"int", 0x222B},   {"there4", 0x2234},
+    {"sim", 0x223C},  {"cong", 0x2245},  {"asymp", 0x2248},
+    {"ne", 0x2260},   {"equiv", 0x2261}, {"le", 0x2264},
+    {"ge", 0x2265},   {"sub", 0x2282},   {"sup", 0x2283},
+    {"oplus", 0x2295},{"otimes", 0x2297},{"perp", 0x22A5},
+    {"sdot", 0x22C5}, {"loz", 0x25CA},   {"spades", 0x2660},
+    {"clubs", 0x2663},{"hearts", 0x2665},{"diams", 0x2666},
+    {"OElig", 0x152}, {"oelig", 0x153},  {"Scaron", 0x160},
+    {"scaron", 0x161},{"Yuml", 0x178},   {"fnof", 0x192},
+}};
+
+bool lookupNamed(std::string_view name, unsigned long& codePoint) {
+  for (const NamedEntity& entity : kNamedEntities) {
+    if (entity.name == name) {
+      codePoint = entity.codePoint;
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+void appendUtf8(std::string& output, unsigned long codePoint) {
+  if (codePoint > 0x10FFFF ||
+      (codePoint >= 0xD800 && codePoint <= 0xDFFF)) {
+    codePoint = 0xFFFD;
+  }
+  if (codePoint < 0x80) {
+    output.push_back(static_cast<char>(codePoint));
+  } else if (codePoint < 0x800) {
+    output.push_back(static_cast<char>(0xC0 | (codePoint >> 6)));
+    output.push_back(static_cast<char>(0x80 | (codePoint & 0x3F)));
+  } else if (codePoint < 0x10000) {
+    output.push_back(static_cast<char>(0xE0 | (codePoint >> 12)));
+    output.push_back(static_cast<char>(0x80 | ((codePoint >> 6) & 0x3F)));
+    output.push_back(static_cast<char>(0x80 | (codePoint & 0x3F)));
+  } else {
+    output.push_back(static_cast<char>(0xF0 | (codePoint >> 18)));
+    output.push_back(static_cast<char>(0x80 | ((codePoint >> 12) & 0x3F)));
+    output.push_back(static_cast<char>(0x80 | ((codePoint >> 6) & 0x3F)));
+    output.push_back(static_cast<char>(0x80 | (codePoint & 0x3F)));
+  }
+}
+
+std::string decodeEntities(std::string_view text) {
+  std::string output;
+  output.reserve(text.size());
+  std::size_t i = 0;
+  while (i < text.size()) {
+    const char ch = text[i];
+    if (ch != '&') {
+      output.push_back(ch);
+      ++i;
+      continue;
+    }
+    // Find the candidate reference: up to the next ';' within a short window.
+    const std::size_t semicolon = text.find(';', i + 1);
+    constexpr std::size_t kMaxEntityLength = 10;  // longest names: 7 chars
+    if (semicolon == std::string_view::npos ||
+        semicolon - i - 1 == 0 || semicolon - i - 1 > kMaxEntityLength) {
+      output.push_back(ch);
+      ++i;
+      continue;
+    }
+    const std::string_view body = text.substr(i + 1, semicolon - i - 1);
+    if (body[0] == '#') {
+      // Numeric reference.
+      const std::string_view digits = body.substr(1);
+      unsigned long codePoint = 0;
+      bool valid = !digits.empty();
+      if (!digits.empty() && (digits[0] == 'x' || digits[0] == 'X')) {
+        valid = digits.size() > 1;
+        for (std::size_t k = 1; valid && k < digits.size(); ++k) {
+          const char d = digits[k];
+          if (std::isxdigit(static_cast<unsigned char>(d)) == 0) {
+            valid = false;
+            break;
+          }
+          codePoint = codePoint * 16 +
+                      static_cast<unsigned long>(
+                          std::isdigit(static_cast<unsigned char>(d)) != 0
+                              ? d - '0'
+                              : std::tolower(static_cast<unsigned char>(d)) -
+                                    'a' + 10);
+          if (codePoint > 0x10FFFF) codePoint = 0x110000;  // clamp, replaced
+        }
+      } else {
+        for (const char d : digits) {
+          if (std::isdigit(static_cast<unsigned char>(d)) == 0) {
+            valid = false;
+            break;
+          }
+          codePoint = codePoint * 10 + static_cast<unsigned long>(d - '0');
+          if (codePoint > 0x10FFFF) codePoint = 0x110000;
+        }
+      }
+      if (valid) {
+        appendUtf8(output, codePoint);
+        i = semicolon + 1;
+        continue;
+      }
+    } else {
+      unsigned long codePoint = 0;
+      if (lookupNamed(body, codePoint)) {
+        appendUtf8(output, codePoint);
+        i = semicolon + 1;
+        continue;
+      }
+    }
+    // Unknown reference: emit '&' literally and continue (lenient).
+    output.push_back(ch);
+    ++i;
+  }
+  return output;
+}
+
+}  // namespace cookiepicker::html

@@ -1,0 +1,19 @@
+// HTML character-reference (entity) decoding.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+namespace cookiepicker::html {
+
+// Decodes named ("&amp;") and numeric ("&#65;", "&#x41;") character
+// references. Unknown or malformed references are passed through verbatim —
+// the lenient behaviour real browsers exhibit. Numeric references are
+// encoded as UTF-8.
+std::string decodeEntities(std::string_view text);
+
+// Appends the UTF-8 encoding of a Unicode code point to `output`. Invalid
+// code points (surrogates, > U+10FFFF) become U+FFFD.
+void appendUtf8(std::string& output, unsigned long codePoint);
+
+}  // namespace cookiepicker::html

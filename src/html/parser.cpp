@@ -1,0 +1,281 @@
+#include "html/parser.h"
+
+#include <algorithm>
+#include <array>
+#include <string>
+#include <vector>
+
+#include "html/tokenizer.h"
+#include "util/strings.h"
+
+namespace cookiepicker::html {
+
+namespace {
+
+using dom::Node;
+
+bool isWhitespaceOnly(std::string_view text) {
+  return std::all_of(text.begin(), text.end(), [](char ch) {
+    return ch == ' ' || ch == '\t' || ch == '\r' || ch == '\n' || ch == '\f';
+  });
+}
+
+// Elements whose start tag belongs in <head> when seen before <body>.
+bool isHeadContentTag(const std::string& tag) {
+  return tag == "title" || tag == "meta" || tag == "link" || tag == "base" ||
+         tag == "style";
+}
+
+bool isBlockLevelTag(const std::string& tag) {
+  static const std::array<const char*, 24> kBlocks = {
+      "address", "article", "aside",      "blockquote", "div",    "dl",
+      "fieldset", "footer", "form",       "h1",         "h2",     "h3",
+      "h4",       "h5",     "h6",         "header",     "hr",     "nav",
+      "ol",       "p",      "pre",        "section",    "table",  "ul"};
+  return std::any_of(kBlocks.begin(), kBlocks.end(),
+                     [&](const char* block) { return tag == block; });
+}
+
+// Should an open element `openTag` be implicitly closed when a start tag
+// `incoming` arrives? This encodes the common HTML optional-end-tag rules.
+bool impliesEndOf(const std::string& incoming, const std::string& openTag) {
+  if (openTag == "p") return isBlockLevelTag(incoming);
+  if (openTag == "li") return incoming == "li";
+  if (openTag == "dt" || openTag == "dd") {
+    return incoming == "dt" || incoming == "dd";
+  }
+  if (openTag == "option") {
+    return incoming == "option" || incoming == "optgroup";
+  }
+  if (openTag == "td" || openTag == "th") {
+    return incoming == "td" || incoming == "th" || incoming == "tr" ||
+           incoming == "tbody" || incoming == "thead" || incoming == "tfoot";
+  }
+  if (openTag == "tr") {
+    return incoming == "tr" || incoming == "tbody" || incoming == "thead" ||
+           incoming == "tfoot";
+  }
+  if (openTag == "thead" || openTag == "tbody" || openTag == "tfoot") {
+    return incoming == "tbody" || incoming == "thead" || incoming == "tfoot";
+  }
+  return false;
+}
+
+class TreeBuilder {
+ public:
+  explicit TreeBuilder(const ParseOptions& options) : options_(options) {
+    document_ = Node::makeDocument();
+  }
+
+  std::unique_ptr<Node> build(std::string_view input) {
+    Tokenizer tokenizer(input);
+    while (true) {
+      Token token = tokenizer.next();
+      if (token.type == TokenType::EndOfFile) break;
+      processToken(std::move(token));
+    }
+    // A page with no markup at all still gets the html/head/body skeleton,
+    // mirroring what layout engines construct for any document.
+    ensureBody();
+    return std::move(document_);
+  }
+
+ private:
+  void processToken(Token token) {
+    switch (token.type) {
+      case TokenType::Doctype:
+        if (html_ == nullptr) {
+          document_->appendChild(Node::makeDoctype(token.name));
+        }
+        break;
+      case TokenType::Comment:
+        insertionPoint().appendChild(Node::makeComment(token.text));
+        break;
+      case TokenType::Text:
+        processText(std::move(token.text));
+        break;
+      case TokenType::StartTag:
+        processStartTag(std::move(token));
+        break;
+      case TokenType::EndTag:
+        processEndTag(token.name);
+        break;
+      case TokenType::EndOfFile:
+        break;
+    }
+  }
+
+  void processText(std::string text) {
+    if (text.empty()) return;
+    const bool whitespaceOnly = isWhitespaceOnly(text);
+    if (whitespaceOnly) {
+      if (body_ == nullptr) return;  // whitespace before body: always dropped
+      if (options_.dropInterElementWhitespace && !insideRawTextElement() &&
+          !insidePreformatted()) {
+        return;
+      }
+    }
+    if (body_ == nullptr && !insideHeadRawText()) ensureBody();
+    Node& parent = insertionPoint();
+    // Merge with a preceding text node so consecutive tokenizer text chunks
+    // (split at entity boundaries) form one DOM text node.
+    if (parent.childCount() > 0 &&
+        parent.child(parent.childCount() - 1).isText()) {
+      Node& last = parent.child(parent.childCount() - 1);
+      last.setValue(last.value() + text);
+      return;
+    }
+    parent.appendChild(Node::makeText(text));
+  }
+
+  void processStartTag(Token token) {
+    const std::string& tag = token.name;
+
+    if (tag == "html") {
+      ensureHtml();
+      mergeAttributes(*html_, token.attributes);
+      return;
+    }
+    if (tag == "head") {
+      ensureHead();
+      mergeAttributes(*head_, token.attributes);
+      return;
+    }
+    if (tag == "body") {
+      ensureBody();
+      mergeAttributes(*body_, token.attributes);
+      return;
+    }
+
+    if (body_ == nullptr && (isHeadContentTag(tag) || tag == "script")) {
+      ensureHead();
+      Node& element = head_->appendChild(Node::makeElement(tag));
+      adoptAttributes(element, token.attributes);
+      if (!isVoidElement(tag) && !token.selfClosing) {
+        openElements_.push_back(&element);
+      }
+      return;
+    }
+
+    ensureBody();
+    // Optional-end-tag handling: close open elements the incoming tag
+    // implies an end for.
+    while (!openElements_.empty() &&
+           impliesEndOf(tag, openElements_.back()->name())) {
+      openElements_.pop_back();
+    }
+
+    Node& element = insertionPoint().appendChild(Node::makeElement(tag));
+    adoptAttributes(element, token.attributes);
+    if (!isVoidElement(tag) && !token.selfClosing) {
+      openElements_.push_back(&element);
+    }
+  }
+
+  void processEndTag(const std::string& tag) {
+    if (tag == "html" || tag == "body" || tag == "head") {
+      // Close everything below the structural element.
+      if (tag == "head") {
+        while (!openElements_.empty() && openElements_.back() != head_ &&
+               openElements_.back() != body_) {
+          openElements_.pop_back();
+        }
+      }
+      return;  // html/head/body stay conceptually open until EOF
+    }
+    // Find the nearest matching open element.
+    for (std::size_t i = openElements_.size(); i > 0; --i) {
+      if (openElements_[i - 1]->name() == tag) {
+        openElements_.resize(i - 1);
+        return;
+      }
+    }
+    // No match: ignore the stray end tag (browser behaviour).
+  }
+
+  Node& insertionPoint() {
+    if (!openElements_.empty()) return *openElements_.back();
+    if (body_ != nullptr) return *body_;
+    if (head_ != nullptr) return *head_;
+    if (html_ != nullptr) return *html_;
+    return *document_;
+  }
+
+  bool insideRawTextElement() const {
+    return !openElements_.empty() && isRawTextTag(openElements_.back()->name());
+  }
+
+  bool insideHeadRawText() const {
+    if (openElements_.empty()) return false;
+    const std::string& tag = openElements_.back()->name();
+    return tag == "title" || tag == "style" || tag == "script";
+  }
+
+  bool insidePreformatted() const {
+    return std::any_of(
+        openElements_.begin(), openElements_.end(),
+        [](const Node* node) { return node->name() == "pre" ||
+                                      node->name() == "textarea"; });
+  }
+
+  void ensureHtml() {
+    if (html_ != nullptr) return;
+    html_ = &document_->appendChild(Node::makeElement("html"));
+  }
+
+  void ensureHead() {
+    ensureHtml();
+    if (head_ != nullptr) return;
+    head_ = &html_->appendChild(Node::makeElement("head"));
+  }
+
+  void ensureBody() {
+    ensureHead();
+    if (body_ != nullptr) return;
+    // Anything still open at this point belonged to head content.
+    openElements_.clear();
+    body_ = &html_->appendChild(Node::makeElement("body"));
+  }
+
+  static void adoptAttributes(Node& element,
+                              const std::vector<dom::Attribute>& attributes) {
+    for (const dom::Attribute& attribute : attributes) {
+      element.setAttribute(attribute.name, attribute.value);
+    }
+  }
+
+  // For duplicate <html>/<body> tags: new attributes are added, existing
+  // ones keep their first value.
+  static void mergeAttributes(Node& element,
+                              const std::vector<dom::Attribute>& attributes) {
+    for (const dom::Attribute& attribute : attributes) {
+      if (!element.hasAttribute(attribute.name)) {
+        element.setAttribute(attribute.name, attribute.value);
+      }
+    }
+  }
+
+  ParseOptions options_;
+  std::unique_ptr<Node> document_;
+  Node* html_ = nullptr;
+  Node* head_ = nullptr;
+  Node* body_ = nullptr;
+  std::vector<Node*> openElements_;
+};
+
+}  // namespace
+
+bool isVoidElement(std::string_view tagName) {
+  static const std::array<const char*, 14> kVoidTags = {
+      "area",  "base",  "br",   "col",    "embed",  "hr",   "img",
+      "input", "link",  "meta", "param",  "source", "track", "wbr"};
+  return std::any_of(kVoidTags.begin(), kVoidTags.end(),
+                     [&](const char* tag) { return tagName == tag; });
+}
+
+std::unique_ptr<dom::Node> parseHtml(std::string_view input,
+                                     const ParseOptions& options) {
+  return TreeBuilder(options).build(input);
+}
+
+}  // namespace cookiepicker::html

@@ -1,0 +1,33 @@
+// Lenient HTML tree construction.
+//
+// Converts the token stream into a dom::Node tree, tolerating the malformed
+// markup that is ubiquitous on the web: missing <html>/<head>/<body>,
+// unclosed <p>/<li>/<td>, mis-nested end tags, void elements written with or
+// without '/'. Section 3.2 of the paper requires that both the regular and
+// the hidden copies of a page go through the *same* parser so malformed
+// pages are normalized identically — this parser is that shared component.
+#pragma once
+
+#include <memory>
+#include <string_view>
+
+#include "dom/node.h"
+
+namespace cookiepicker::html {
+
+struct ParseOptions {
+  // When true (default), whitespace-only text nodes between structural
+  // elements are dropped, as layout engines effectively do outside
+  // whitespace-preserving contexts. Keeps DOM trees free of noise leaves.
+  bool dropInterElementWhitespace = true;
+};
+
+// Parses HTML text into a document tree. Never throws on malformed input —
+// every byte sequence produces *some* tree, deterministically.
+std::unique_ptr<dom::Node> parseHtml(std::string_view input,
+                                     const ParseOptions& options = {});
+
+// True for elements that cannot have children (<br>, <img>, ...).
+bool isVoidElement(std::string_view tagName);
+
+}  // namespace cookiepicker::html

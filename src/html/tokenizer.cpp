@@ -1,0 +1,301 @@
+#include "html/tokenizer.h"
+
+#include <cctype>
+
+#include "html/entities.h"
+#include "util/strings.h"
+
+namespace cookiepicker::html {
+
+using util::toLowerAscii;
+
+namespace {
+
+bool isTagNameStart(char ch) {
+  return std::isalpha(static_cast<unsigned char>(ch)) != 0;
+}
+
+bool isWhitespace(char ch) {
+  return ch == ' ' || ch == '\t' || ch == '\r' || ch == '\n' || ch == '\f';
+}
+
+}  // namespace
+
+bool isRawTextTag(std::string_view tagName) {
+  return tagName == "script" || tagName == "style" ||
+         tagName == "textarea" || tagName == "title";
+}
+
+std::vector<Token> Tokenizer::tokenizeAll(std::string_view input) {
+  Tokenizer tokenizer(input);
+  std::vector<Token> tokens;
+  while (true) {
+    Token token = tokenizer.next();
+    if (token.type == TokenType::EndOfFile) break;
+    tokens.push_back(std::move(token));
+  }
+  return tokens;
+}
+
+Token Tokenizer::next() {
+  if (!rawTextEndTag_.empty()) {
+    const std::string tagName = rawTextEndTag_;
+    rawTextEndTag_.clear();
+    return rawText(tagName);
+  }
+  if (position_ >= input_.size()) {
+    return Token{};  // EndOfFile
+  }
+  if (input_[position_] == '<') {
+    // '<' not followed by tag-like syntax is literal text.
+    if (position_ + 1 < input_.size()) {
+      const char following = input_[position_ + 1];
+      if (isTagNameStart(following) || following == '/' || following == '!' ||
+          following == '?') {
+        return scanMarkup();
+      }
+    }
+    // Lone '<' at end of input or before a non-tag character: treat as text.
+    const std::size_t start = position_;
+    ++position_;
+    while (position_ < input_.size() && input_[position_] != '<') {
+      ++position_;
+    }
+    return textToken(start, position_);
+  }
+  const std::size_t start = position_;
+  while (position_ < input_.size() && input_[position_] != '<') {
+    ++position_;
+  }
+  return textToken(start, position_);
+}
+
+Token Tokenizer::textToken(std::size_t start, std::size_t end) {
+  Token token;
+  token.type = TokenType::Text;
+  token.text = decodeEntities(input_.substr(start, end - start));
+  return token;
+}
+
+Token Tokenizer::scanMarkup() {
+  // position_ is at '<'.
+  const char following = input_[position_ + 1];
+  if (following == '!') {
+    if (input_.compare(position_, 4, "<!--") == 0) {
+      position_ += 4;
+      return scanComment();
+    }
+    // "<!DOCTYPE" (any case)?
+    if (input_.size() - position_ >= 9) {
+      const std::string_view candidate = input_.substr(position_ + 2, 7);
+      if (util::equalsIgnoreCase(candidate, "doctype")) {
+        position_ += 9;
+        return scanDoctype();
+      }
+    }
+    position_ += 2;
+    return scanBogusComment();
+  }
+  if (following == '?') {
+    // Processing instruction — browsers treat it as a bogus comment.
+    position_ += 2;
+    return scanBogusComment();
+  }
+  if (following == '/') {
+    position_ += 2;
+    return scanTag(/*isEndTag=*/true);
+  }
+  position_ += 1;
+  return scanTag(/*isEndTag=*/false);
+}
+
+Token Tokenizer::scanComment() {
+  Token token;
+  token.type = TokenType::Comment;
+  const std::size_t closing = input_.find("-->", position_);
+  if (closing == std::string_view::npos) {
+    token.text = std::string(input_.substr(position_));
+    position_ = input_.size();
+  } else {
+    token.text = std::string(input_.substr(position_, closing - position_));
+    position_ = closing + 3;
+  }
+  return token;
+}
+
+Token Tokenizer::scanBogusComment() {
+  Token token;
+  token.type = TokenType::Comment;
+  const std::size_t closing = input_.find('>', position_);
+  if (closing == std::string_view::npos) {
+    token.text = std::string(input_.substr(position_));
+    position_ = input_.size();
+  } else {
+    token.text = std::string(input_.substr(position_, closing - position_));
+    position_ = closing + 1;
+  }
+  return token;
+}
+
+Token Tokenizer::scanDoctype() {
+  Token token;
+  token.type = TokenType::Doctype;
+  while (position_ < input_.size() && isWhitespace(input_[position_])) {
+    ++position_;
+  }
+  const std::size_t start = position_;
+  while (position_ < input_.size() && input_[position_] != '>' &&
+         !isWhitespace(input_[position_])) {
+    ++position_;
+  }
+  token.name = toLowerAscii(input_.substr(start, position_ - start));
+  const std::size_t closing = input_.find('>', position_);
+  position_ = closing == std::string_view::npos ? input_.size() : closing + 1;
+  return token;
+}
+
+Token Tokenizer::scanTag(bool isEndTag) {
+  Token token;
+  token.type = isEndTag ? TokenType::EndTag : TokenType::StartTag;
+
+  const std::size_t nameStart = position_;
+  while (position_ < input_.size()) {
+    const char ch = input_[position_];
+    if (isWhitespace(ch) || ch == '>' || ch == '/') break;
+    ++position_;
+  }
+  token.name = toLowerAscii(input_.substr(nameStart, position_ - nameStart));
+
+  if (!isEndTag) {
+    scanAttributes(token);
+  }
+
+  // Skip to the closing '>' (end tags may carry junk we ignore).
+  while (position_ < input_.size() && input_[position_] != '>') {
+    if (!isEndTag && input_[position_] == '/' &&
+        position_ + 1 < input_.size() && input_[position_ + 1] == '>') {
+      token.selfClosing = true;
+    }
+    ++position_;
+  }
+  if (position_ < input_.size()) ++position_;  // consume '>'
+
+  if (token.type == TokenType::StartTag && !token.selfClosing &&
+      isRawTextTag(token.name)) {
+    rawTextEndTag_ = token.name;
+  }
+  return token;
+}
+
+void Tokenizer::scanAttributes(Token& token) {
+  while (position_ < input_.size()) {
+    while (position_ < input_.size() && isWhitespace(input_[position_])) {
+      ++position_;
+    }
+    if (position_ >= input_.size()) return;
+    const char ch = input_[position_];
+    if (ch == '>') return;
+    if (ch == '/') {
+      if (position_ + 1 < input_.size() && input_[position_ + 1] == '>') {
+        token.selfClosing = true;
+        ++position_;  // leave '>' for scanTag
+        return;
+      }
+      ++position_;  // stray '/': skip
+      continue;
+    }
+
+    // Attribute name.
+    const std::size_t nameStart = position_;
+    while (position_ < input_.size()) {
+      const char nameChar = input_[position_];
+      if (isWhitespace(nameChar) || nameChar == '=' || nameChar == '>' ||
+          nameChar == '/') {
+        break;
+      }
+      ++position_;
+    }
+    std::string name =
+        toLowerAscii(input_.substr(nameStart, position_ - nameStart));
+    if (name.empty()) {
+      ++position_;  // defensive: avoid infinite loop on weird input
+      continue;
+    }
+
+    while (position_ < input_.size() && isWhitespace(input_[position_])) {
+      ++position_;
+    }
+    std::string value;
+    if (position_ < input_.size() && input_[position_] == '=') {
+      ++position_;
+      while (position_ < input_.size() && isWhitespace(input_[position_])) {
+        ++position_;
+      }
+      if (position_ < input_.size() &&
+          (input_[position_] == '"' || input_[position_] == '\'')) {
+        const char quote = input_[position_];
+        ++position_;
+        const std::size_t valueStart = position_;
+        while (position_ < input_.size() && input_[position_] != quote) {
+          ++position_;
+        }
+        value = decodeEntities(
+            input_.substr(valueStart, position_ - valueStart));
+        if (position_ < input_.size()) ++position_;  // closing quote
+      } else {
+        const std::size_t valueStart = position_;
+        while (position_ < input_.size()) {
+          const char valueChar = input_[position_];
+          if (isWhitespace(valueChar) || valueChar == '>') break;
+          ++position_;
+        }
+        value = decodeEntities(
+            input_.substr(valueStart, position_ - valueStart));
+      }
+    }
+    // First occurrence wins, as in browsers.
+    bool duplicate = false;
+    for (const dom::Attribute& existing : token.attributes) {
+      if (existing.name == name) {
+        duplicate = true;
+        break;
+      }
+    }
+    if (!duplicate) {
+      token.attributes.push_back({std::move(name), std::move(value)});
+    }
+  }
+}
+
+Token Tokenizer::rawText(const std::string& tagName) {
+  // Consume everything up to "</tagName" (case-insensitive).
+  const std::string closingPrefix = "</" + tagName;
+  std::size_t search = position_;
+  std::size_t contentEnd = input_.size();
+  while (search < input_.size()) {
+    const std::size_t lt = input_.find('<', search);
+    if (lt == std::string_view::npos) break;
+    if (lt + closingPrefix.size() <= input_.size() &&
+        util::equalsIgnoreCase(input_.substr(lt, closingPrefix.size()),
+                               closingPrefix)) {
+      contentEnd = lt;
+      break;
+    }
+    search = lt + 1;
+  }
+
+  Token token;
+  token.type = TokenType::Text;
+  const std::string_view content =
+      input_.substr(position_, contentEnd - position_);
+  // textarea/title content gets entity decoding; script/style does not.
+  if (tagName == "textarea" || tagName == "title") {
+    token.text = decodeEntities(content);
+  } else {
+    token.text = std::string(content);
+  }
+  position_ = contentEnd;
+  return token;
+}
+
+}  // namespace cookiepicker::html

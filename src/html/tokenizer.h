@@ -1,0 +1,59 @@
+// HTML tokenizer.
+//
+// A lenient, single-pass tokenizer in the spirit of the WHATWG algorithm but
+// much smaller: it produces the token stream the tree builder (parser.h)
+// consumes. Robust against malformed markup — unterminated tags, bare '<',
+// stray '>', bogus comments — because the paper's pipeline depends on both
+// page versions being tokenized by the *same* forgiving code path.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "dom/node.h"
+
+namespace cookiepicker::html {
+
+enum class TokenType { Doctype, StartTag, EndTag, Text, Comment, EndOfFile };
+
+struct Token {
+  TokenType type = TokenType::EndOfFile;
+  std::string name;                         // tag or doctype name (lowercase)
+  std::string text;                         // text/comment data (entity-decoded)
+  std::vector<dom::Attribute> attributes;   // start tags only
+  bool selfClosing = false;                 // "<br/>"
+};
+
+class Tokenizer {
+ public:
+  explicit Tokenizer(std::string_view input) : input_(input) {}
+
+  // Returns the next token; TokenType::EndOfFile once exhausted.
+  Token next();
+
+  // Tokenizes the whole input (excluding the EndOfFile token).
+  static std::vector<Token> tokenizeAll(std::string_view input);
+
+ private:
+  Token textToken(std::size_t start, std::size_t end);
+  Token scanMarkup();         // called at '<'
+  Token scanComment();        // called after "<!--"
+  Token scanBogusComment();   // "<!foo", "<?xml" etc.
+  Token scanDoctype();        // after "<!DOCTYPE"
+  Token scanTag(bool isEndTag);
+  void scanAttributes(Token& token);
+  Token rawText(const std::string& tagName);
+
+  std::string_view input_;
+  std::size_t position_ = 0;
+  // When a <script>/<style>/<textarea>/<title> start tag is emitted, the
+  // tokenizer switches to raw-text mode until the matching end tag.
+  std::string rawTextEndTag_;
+};
+
+// Tags whose content is raw text (no nested markup, no entity decoding for
+// script/style).
+bool isRawTextTag(std::string_view tagName);
+
+}  // namespace cookiepicker::html

@@ -1,0 +1,150 @@
+#include "measure/census.h"
+
+#include <set>
+
+#include "cookies/policy.h"
+#include "net/cookie_parse.h"
+
+namespace cookiepicker::measure {
+
+int CensusReport::persistentCookies() const {
+  int count = 0;
+  for (const CookieObservation& observation : observations) {
+    if (observation.persistent) ++count;
+  }
+  return count;
+}
+
+int CensusReport::sessionCookies() const {
+  return totalCookies() - persistentCookies();
+}
+
+namespace {
+// Cookie lifetimes are compared at day granularity: Expires-format cookies
+// are dated at server time but observed at client receipt time, so a
+// declared 365-day cookie measures a few transit-seconds short of 365 days.
+// Rounding to the nearest day recovers the declared intent, as header-based
+// measurement studies do.
+std::int64_t roundedToDaySeconds(std::int64_t lifetimeSeconds) {
+  constexpr std::int64_t kDay = 86400;
+  return (lifetimeSeconds + kDay / 2) / kDay * kDay;
+}
+}  // namespace
+
+double CensusReport::persistentFractionWithLifetimeAtLeast(
+    std::int64_t seconds) const {
+  int persistent = 0;
+  int atLeast = 0;
+  for (const CookieObservation& observation : observations) {
+    if (!observation.persistent) continue;
+    ++persistent;
+    if (roundedToDaySeconds(observation.lifetimeSeconds) >= seconds) {
+      ++atLeast;
+    }
+  }
+  return persistent == 0 ? 0.0
+                         : static_cast<double>(atLeast) /
+                               static_cast<double>(persistent);
+}
+
+std::vector<std::tuple<std::string, int, double>>
+CensusReport::lifetimeBuckets() const {
+  struct Bucket {
+    const char* label;
+    std::int64_t minSeconds;
+    std::int64_t maxSeconds;  // exclusive; <0 = unbounded
+  };
+  static constexpr std::int64_t kDay = 86400;
+  const Bucket buckets[] = {
+      {"< 1 day", 0, kDay},
+      {"1 day - 1 month", kDay, 30 * kDay},
+      {"1 - 6 months", 30 * kDay, 182 * kDay},
+      {"6 months - 1 year", 182 * kDay, 365 * kDay},
+      {"1 - 2 years", 365 * kDay, 731 * kDay},
+      {"> 2 years", 731 * kDay, -1},
+  };
+  const int persistent = persistentCookies();
+  std::vector<std::tuple<std::string, int, double>> result;
+  for (const Bucket& bucket : buckets) {
+    int count = 0;
+    for (const CookieObservation& observation : observations) {
+      if (!observation.persistent) continue;
+      const std::int64_t lifetime =
+          roundedToDaySeconds(observation.lifetimeSeconds);
+      if (lifetime < bucket.minSeconds) continue;
+      if (bucket.maxSeconds >= 0 && lifetime >= bucket.maxSeconds) {
+        continue;
+      }
+      ++count;
+    }
+    result.emplace_back(bucket.label, count,
+                        persistent == 0 ? 0.0
+                                        : static_cast<double>(count) /
+                                              static_cast<double>(persistent));
+  }
+  return result;
+}
+
+std::map<std::string, int> CensusReport::persistentPerCategory() const {
+  std::map<std::string, int> counts;
+  for (const CookieObservation& observation : observations) {
+    if (observation.persistent) ++counts[observation.category];
+  }
+  return counts;
+}
+
+CensusReport runCensus(const std::vector<server::SiteSpec>& roster,
+                       const CensusOptions& options) {
+  CensusReport report;
+
+  util::SimClock clock;
+  net::Network network(options.networkSeed);
+  // Permissive browser: the census observes everything sites try to set.
+  browser::Browser browser(network, clock,
+                           cookies::CookiePolicy::acceptAll());
+  server::registerRoster(network, clock, roster);
+
+  for (const server::SiteSpec& spec : roster) {
+    ++report.sitesVisited;
+    // Record what the jar gains from this site's pages. The jar view is
+    // authoritative: it reflects domain/path validation, dedup and expiry.
+    for (int page = 0; page < options.pagesPerSite; ++page) {
+      const std::string path =
+          page == 0 ? "/" : "/page" + std::to_string(page);
+      browser.visit("http://" + spec.domain + path);
+    }
+    std::set<std::string> seen;
+    bool setsAny = false;
+    bool setsPersistent = false;
+    for (const cookies::CookieRecord* record : browser.jar().all()) {
+      const bool fromThisSite =
+          net::hostMatchesDomain(record->key.domain, spec.domain) ||
+          net::hostMatchesDomain(spec.domain, record->key.domain);
+      if (!fromThisSite) continue;
+      if (!seen.insert(record->key.name + "|" + record->key.path).second) {
+        continue;
+      }
+      setsAny = true;
+      CookieObservation observation;
+      observation.siteDomain = spec.domain;
+      observation.category = spec.category;
+      observation.name = record->key.name;
+      observation.persistent = record->persistent;
+      observation.firstParty = record->firstParty;
+      observation.cookiePath = record->key.path;
+      if (record->persistent) {
+        setsPersistent = true;
+        observation.lifetimeSeconds =
+            (record->expiryMs - record->creationMs) / 1000;
+      }
+      report.observations.push_back(std::move(observation));
+    }
+    if (setsAny) ++report.sitesSettingCookies;
+    if (setsPersistent) ++report.sitesSettingPersistent;
+    // Clear between sites so per-site attribution stays trivial.
+    browser.jar().clear();
+  }
+  return report;
+}
+
+}  // namespace cookiepicker::measure

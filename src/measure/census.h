@@ -1,0 +1,67 @@
+// Cookie-usage measurement study.
+//
+// The paper's motivation rests on a large-scale measurement of cookie usage
+// the authors ran over five thousand sites (their companion technical
+// report WM-CS-2007-03, cited as [24]): first-party persistent cookies are
+// ubiquitous and more than 60% of them are set to expire after a year or
+// longer. This module is that crawler: it visits a site population with a
+// plain cookie-accepting browser, records every Set-Cookie it observes, and
+// aggregates the distributions the report (and the paper's Section 2)
+// quote. `bench_measurement` and `examples/measurement_study` print the
+// resulting tables.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "browser/browser.h"
+#include "net/network.h"
+#include "server/generator.h"
+#include "util/clock.h"
+
+namespace cookiepicker::measure {
+
+struct CookieObservation {
+  std::string siteDomain;
+  std::string category;
+  std::string name;
+  bool persistent = false;
+  bool firstParty = true;
+  // Lifetime at set time; 0 for session cookies.
+  std::int64_t lifetimeSeconds = 0;
+  std::string cookiePath;
+};
+
+struct CensusReport {
+  int sitesVisited = 0;
+  int sitesSettingCookies = 0;
+  int sitesSettingPersistent = 0;
+  std::vector<CookieObservation> observations;
+
+  // --- aggregate queries -------------------------------------------------
+  int totalCookies() const { return static_cast<int>(observations.size()); }
+  int persistentCookies() const;
+  int sessionCookies() const;
+  // Fraction of *persistent* cookies whose lifetime is >= the bound.
+  double persistentFractionWithLifetimeAtLeast(std::int64_t seconds) const;
+  // Lifetime CDF buckets for persistent cookies:
+  // (label, count, fraction of persistent).
+  std::vector<std::tuple<std::string, int, double>> lifetimeBuckets() const;
+  // Per-category site/cookie counts.
+  std::map<std::string, int> persistentPerCategory() const;
+};
+
+struct CensusOptions {
+  int pagesPerSite = 3;  // enough to trigger pixel trackers too
+  std::uint64_t networkSeed = 5000;
+};
+
+// Crawls the given roster with a permissive (accept-all) browser and
+// aggregates what the sites try to set. Does not involve CookiePicker —
+// this is the "before" picture its design argues from.
+CensusReport runCensus(const std::vector<server::SiteSpec>& roster,
+                       const CensusOptions& options = {});
+
+}  // namespace cookiepicker::measure

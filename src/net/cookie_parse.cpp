@@ -1,0 +1,228 @@
+#include "net/cookie_parse.h"
+
+#include <array>
+#include <cctype>
+#include <charconv>
+#include <cstdio>
+
+#include "util/strings.h"
+
+namespace cookiepicker::net {
+
+using util::equalsIgnoreCase;
+using util::split;
+using util::toLowerAscii;
+using util::trim;
+
+namespace {
+
+constexpr std::array<const char*, 12> kMonthNames = {
+    "jan", "feb", "mar", "apr", "may", "jun",
+    "jul", "aug", "sep", "oct", "nov", "dec"};
+
+constexpr std::array<const char*, 7> kWeekdayNames = {
+    "Thu", "Fri", "Sat", "Sun", "Mon", "Tue", "Wed"};  // epoch day 0 = Thu
+
+// Days from the civil epoch 1970-01-01 (Howard Hinnant's algorithm).
+std::int64_t daysFromCivil(std::int64_t year, unsigned month, unsigned day) {
+  year -= month <= 2;
+  const std::int64_t era = (year >= 0 ? year : year - 399) / 400;
+  const auto yearOfEra = static_cast<unsigned>(year - era * 400);
+  const unsigned dayOfYear =
+      (153 * (month + (month > 2 ? -3 : 9)) + 2) / 5 + day - 1;
+  const unsigned dayOfEra = yearOfEra * 365 + yearOfEra / 4 -
+                            yearOfEra / 100 + dayOfYear;
+  return era * 146097 + static_cast<std::int64_t>(dayOfEra) - 719468;
+}
+
+void civilFromDays(std::int64_t days, std::int64_t& year, unsigned& month,
+                   unsigned& day) {
+  days += 719468;
+  const std::int64_t era = (days >= 0 ? days : days - 146096) / 146097;
+  const auto dayOfEra = static_cast<unsigned>(days - era * 146097);
+  const unsigned yearOfEra =
+      (dayOfEra - dayOfEra / 1460 + dayOfEra / 36524 - dayOfEra / 146096) /
+      365;
+  year = static_cast<std::int64_t>(yearOfEra) + era * 400;
+  const unsigned dayOfYear =
+      dayOfEra - (365 * yearOfEra + yearOfEra / 4 - yearOfEra / 100);
+  const unsigned mp = (5 * dayOfYear + 2) / 153;
+  day = dayOfYear - (153 * mp + 2) / 5 + 1;
+  month = mp + (mp < 10 ? 3 : -9);
+  year += month <= 2;
+}
+
+bool parseInteger(std::string_view text, std::int64_t& value) {
+  if (text.empty()) return false;
+  const auto [ptr, ec] =
+      std::from_chars(text.data(), text.data() + text.size(), value);
+  return ec == std::errc() && ptr == text.data() + text.size();
+}
+
+}  // namespace
+
+std::optional<SetCookie> parseSetCookie(std::string_view header) {
+  const std::vector<std::string> parts = split(header, ';');
+  if (parts.empty()) return std::nullopt;
+
+  const std::string_view nameValue = trim(parts[0]);
+  const std::size_t equals = nameValue.find('=');
+  if (equals == std::string_view::npos || equals == 0) return std::nullopt;
+
+  SetCookie cookie;
+  cookie.name = std::string(trim(nameValue.substr(0, equals)));
+  cookie.value = std::string(trim(nameValue.substr(equals + 1)));
+  if (cookie.name.empty()) return std::nullopt;
+
+  for (std::size_t i = 1; i < parts.size(); ++i) {
+    const std::string_view attribute = trim(parts[i]);
+    if (attribute.empty()) continue;
+    const std::size_t attrEquals = attribute.find('=');
+    const std::string_view attrName =
+        trim(attribute.substr(0, attrEquals));
+    const std::string_view attrValue =
+        attrEquals == std::string_view::npos
+            ? std::string_view()
+            : trim(attribute.substr(attrEquals + 1));
+
+    if (equalsIgnoreCase(attrName, "domain")) {
+      std::string domain = toLowerAscii(attrValue);
+      if (!domain.empty() && domain[0] == '.') domain.erase(0, 1);
+      if (!domain.empty()) cookie.domain = domain;
+    } else if (equalsIgnoreCase(attrName, "path")) {
+      if (!attrValue.empty() && attrValue[0] == '/') {
+        cookie.path = std::string(attrValue);
+      }
+    } else if (equalsIgnoreCase(attrName, "max-age")) {
+      std::int64_t seconds = 0;
+      if (parseInteger(attrValue, seconds)) cookie.maxAgeSeconds = seconds;
+    } else if (equalsIgnoreCase(attrName, "expires")) {
+      cookie.expiresEpochSeconds = parseHttpDate(attrValue);
+    } else if (equalsIgnoreCase(attrName, "secure")) {
+      cookie.secure = true;
+    } else if (equalsIgnoreCase(attrName, "httponly")) {
+      cookie.httpOnly = true;
+    }
+    // Unknown attributes (Version, Comment, SameSite, ...) are ignored.
+  }
+  return cookie;
+}
+
+std::vector<std::pair<std::string, std::string>> parseCookieHeader(
+    std::string_view header) {
+  std::vector<std::pair<std::string, std::string>> cookies;
+  for (const std::string& part : split(header, ';')) {
+    const std::string_view pair = trim(part);
+    if (pair.empty()) continue;
+    const std::size_t equals = pair.find('=');
+    if (equals == std::string_view::npos || equals == 0) continue;
+    cookies.emplace_back(std::string(trim(pair.substr(0, equals))),
+                         std::string(trim(pair.substr(equals + 1))));
+  }
+  return cookies;
+}
+
+std::string formatCookieHeader(
+    const std::vector<std::pair<std::string, std::string>>& cookies) {
+  std::string header;
+  for (const auto& [name, value] : cookies) {
+    if (!header.empty()) header += "; ";
+    header += name + "=" + value;
+  }
+  return header;
+}
+
+std::optional<std::int64_t> parseHttpDate(std::string_view text) {
+  // RFC 6265 §5.1.1-style tolerant scan: split into tokens and look for a
+  // time (hh:mm:ss), a day of month, a month name, and a year — in any
+  // order. Covers RFC 1123, RFC 850, and asctime formats.
+  std::optional<int> hour;
+  std::optional<int> minute;
+  std::optional<int> second;
+  std::optional<int> dayOfMonth;
+  std::optional<int> month;  // 1..12
+  std::optional<std::int64_t> year;
+
+  std::string normalized(text);
+  for (char& ch : normalized) {
+    if (ch == ',' || ch == '-') ch = ' ';
+  }
+  for (const std::string& token : util::splitWhitespace(normalized)) {
+    if (!hour.has_value() && token.find(':') != std::string::npos) {
+      int h = 0;
+      int m = 0;
+      int s = 0;
+      if (std::sscanf(token.c_str(), "%d:%d:%d", &h, &m, &s) == 3 &&
+          h >= 0 && h <= 23 && m >= 0 && m <= 59 && s >= 0 && s <= 59) {
+        hour = h;
+        minute = m;
+        second = s;
+      }
+      continue;
+    }
+    if (!month.has_value() && token.size() >= 3) {
+      const std::string prefix = toLowerAscii(
+          std::string_view(token).substr(0, 3));
+      for (std::size_t index = 0; index < kMonthNames.size(); ++index) {
+        if (prefix == kMonthNames[index]) {
+          month = static_cast<int>(index) + 1;
+          break;
+        }
+      }
+      if (month.has_value()) continue;
+    }
+    std::int64_t number = 0;
+    if (parseInteger(token, number)) {
+      if (!dayOfMonth.has_value() && token.size() <= 2 && number >= 1 &&
+          number <= 31) {
+        dayOfMonth = static_cast<int>(number);
+      } else if (!year.has_value() && token.size() >= 2) {
+        // Two-digit years: 70-99 → 19xx, 00-69 → 20xx (RFC 6265 rule).
+        if (number >= 70 && number <= 99) {
+          year = 1900 + number;
+        } else if (number >= 0 && number <= 69 && token.size() == 2) {
+          year = 2000 + number;
+        } else if (number >= 1601) {
+          year = number;
+        }
+      }
+    }
+  }
+
+  if (!hour.has_value() || !dayOfMonth.has_value() || !month.has_value() ||
+      !year.has_value()) {
+    return std::nullopt;
+  }
+  const std::int64_t days = daysFromCivil(
+      *year, static_cast<unsigned>(*month),
+      static_cast<unsigned>(*dayOfMonth));
+  return days * 86400 + *hour * 3600 + *minute * 60 + *second;
+}
+
+std::string formatHttpDate(std::int64_t epochSeconds) {
+  std::int64_t days = epochSeconds / 86400;
+  std::int64_t secondsOfDay = epochSeconds % 86400;
+  if (secondsOfDay < 0) {
+    secondsOfDay += 86400;
+    days -= 1;
+  }
+  std::int64_t year = 0;
+  unsigned month = 0;
+  unsigned day = 0;
+  civilFromDays(days, year, month, day);
+  const char* weekday =
+      kWeekdayNames[static_cast<std::size_t>(((days % 7) + 7) % 7)];
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer),
+                "%s, %02u %c%c%c %lld %02lld:%02lld:%02lld GMT", weekday, day,
+                static_cast<char>(
+                    std::toupper(kMonthNames[month - 1][0])),
+                kMonthNames[month - 1][1], kMonthNames[month - 1][2],
+                static_cast<long long>(year),
+                static_cast<long long>(secondsOfDay / 3600),
+                static_cast<long long>((secondsOfDay / 60) % 60),
+                static_cast<long long>(secondsOfDay % 60));
+  return buffer;
+}
+
+}  // namespace cookiepicker::net

@@ -1,0 +1,94 @@
+#include "net/http.h"
+
+#include "util/strings.h"
+
+namespace cookiepicker::net {
+
+void HeaderMap::add(std::string_view name, std::string_view value) {
+  entries_.push_back({std::string(name), std::string(value)});
+}
+
+void HeaderMap::set(std::string_view name, std::string_view value) {
+  remove(name);
+  add(name, value);
+}
+
+void HeaderMap::remove(std::string_view name) {
+  std::erase_if(entries_, [&](const Entry& entry) {
+    return util::equalsIgnoreCase(entry.name, name);
+  });
+}
+
+std::optional<std::string> HeaderMap::get(std::string_view name) const {
+  for (const Entry& entry : entries_) {
+    if (util::equalsIgnoreCase(entry.name, name)) return entry.value;
+  }
+  return std::nullopt;
+}
+
+std::vector<std::string> HeaderMap::getAll(std::string_view name) const {
+  std::vector<std::string> values;
+  for (const Entry& entry : entries_) {
+    if (util::equalsIgnoreCase(entry.name, name)) {
+      values.push_back(entry.value);
+    }
+  }
+  return values;
+}
+
+bool HeaderMap::has(std::string_view name) const {
+  return get(name).has_value();
+}
+
+HttpResponse HttpResponse::ok(std::string body, std::string contentType) {
+  HttpResponse response;
+  response.status = 200;
+  response.statusText = "OK";
+  response.headers.set("Content-Type", contentType);
+  response.body = std::move(body);
+  return response;
+}
+
+HttpResponse HttpResponse::notFound(const std::string& path) {
+  HttpResponse response;
+  response.status = 404;
+  response.statusText = "Not Found";
+  response.headers.set("Content-Type", "text/html");
+  response.body = "<html><body><h1>404 Not Found</h1><p>" + path +
+                  "</p></body></html>";
+  return response;
+}
+
+HttpResponse HttpResponse::redirect(const std::string& location, int status) {
+  HttpResponse response;
+  response.status = status;
+  response.statusText = status == 301 ? "Moved Permanently" : "Found";
+  response.headers.set("Location", location);
+  return response;
+}
+
+std::string toWireFormat(const HttpRequest& request) {
+  std::string wire =
+      request.method + " " + request.url.pathWithQuery() + " HTTP/1.1\r\n";
+  wire += "Host: " + request.url.host() + "\r\n";
+  for (const HeaderMap::Entry& entry : request.headers.entries()) {
+    wire += entry.name + ": " + entry.value + "\r\n";
+  }
+  wire += "\r\n";
+  wire += request.body;
+  return wire;
+}
+
+std::string toWireFormat(const HttpResponse& response) {
+  std::string wire = "HTTP/1.1 " + std::to_string(response.status) + " " +
+                     response.statusText + "\r\n";
+  for (const HeaderMap::Entry& entry : response.headers.entries()) {
+    wire += entry.name + ": " + entry.value + "\r\n";
+  }
+  wire += "Content-Length: " + std::to_string(response.body.size()) + "\r\n";
+  wire += "\r\n";
+  wire += response.body;
+  return wire;
+}
+
+}  // namespace cookiepicker::net

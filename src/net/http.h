@@ -1,0 +1,81 @@
+// HTTP message types: case-insensitive header map, request, response.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "net/url.h"
+
+namespace cookiepicker::net {
+
+// Ordered, case-insensitive multimap, as HTTP headers are. Multiple values
+// per name are kept in insertion order (needed for Set-Cookie).
+class HeaderMap {
+ public:
+  struct Entry {
+    std::string name;   // original case preserved for serialization
+    std::string value;
+  };
+
+  void add(std::string_view name, std::string_view value);
+  // Replaces all existing values for `name` with a single value.
+  void set(std::string_view name, std::string_view value);
+  void remove(std::string_view name);
+
+  // First value for `name`, if any.
+  std::optional<std::string> get(std::string_view name) const;
+  std::vector<std::string> getAll(std::string_view name) const;
+  bool has(std::string_view name) const;
+
+  const std::vector<Entry>& entries() const { return entries_; }
+  std::size_t size() const { return entries_.size(); }
+
+ private:
+  std::vector<Entry> entries_;
+};
+
+struct HttpRequest {
+  std::string method = "GET";
+  Url url;
+  HeaderMap headers;
+  std::string body;
+
+  // The Cookie request header, or empty if absent. Convenience used
+  // throughout the server code.
+  std::string cookieHeader() const {
+    return headers.get("Cookie").value_or("");
+  }
+};
+
+struct HttpResponse {
+  int status = 200;
+  std::string statusText = "OK";
+  HeaderMap headers;
+  std::string body;
+  // Simulated server-side processing time, added to the network latency by
+  // dispatch(). Lets handlers model expensive work — e.g. the paper's P2
+  // site recomputing query results when the cache cookie is absent.
+  double serverProcessingMs = 0.0;
+
+  bool isRedirect() const {
+    return status == 301 || status == 302 || status == 303 || status == 307 ||
+           status == 308;
+  }
+  std::vector<std::string> setCookieHeaders() const {
+    return headers.getAll("Set-Cookie");
+  }
+
+  static HttpResponse ok(std::string body,
+                         std::string contentType = "text/html");
+  static HttpResponse notFound(const std::string& path);
+  static HttpResponse redirect(const std::string& location, int status = 302);
+};
+
+// Serialize to wire-format text; used by tests and by overhead accounting
+// (header bytes count toward transfer size).
+std::string toWireFormat(const HttpRequest& request);
+std::string toWireFormat(const HttpResponse& response);
+
+}  // namespace cookiepicker::net

@@ -1,0 +1,94 @@
+#include "net/network.h"
+
+#include "util/strings.h"
+
+namespace cookiepicker::net {
+
+LatencyProfile LatencyProfile::fast() {
+  // Fast, CDN-like sites: the quick end of Table 1 (~0.5 s durations).
+  LatencyProfile profile;
+  profile.baseRttMs = 150.0;
+  profile.perKilobyteMs = 8.0;
+  profile.jitterMu = 5.3;   // exp(5.3) ≈ 200 ms median extra
+  profile.jitterSigma = 0.5;
+  return profile;
+}
+
+LatencyProfile LatencyProfile::typical() {
+  // Calibrated against the paper's Table 1: typical sites showed
+  // CookiePicker durations (≈ one container round trip) between ~0.5 s and
+  // ~5 s, averaging ~2.7 s — 2007-era servers and last miles.
+  LatencyProfile profile;
+  profile.baseRttMs = 450.0;
+  profile.perKilobyteMs = 35.0;
+  profile.jitterMu = 6.6;   // exp(6.6) ≈ 735 ms median extra
+  profile.jitterSigma = 0.7;
+  return profile;
+}
+
+LatencyProfile LatencyProfile::slow() {
+  LatencyProfile profile;
+  profile.baseRttMs = 900.0;
+  profile.perKilobyteMs = 70.0;
+  profile.jitterMu = 6.8;
+  profile.jitterSigma = 0.8;
+  profile.stallProbability = 0.55;
+  profile.stallMs = 8000.0;
+  return profile;
+}
+
+double LatencyProfile::sampleMs(util::Pcg32& rng,
+                                std::size_t responseBytes) const {
+  double latency = baseRttMs;
+  latency += perKilobyteMs * (static_cast<double>(responseBytes) / 1024.0);
+  latency += rng.logNormal(jitterMu, jitterSigma);
+  if (stallProbability > 0.0 && rng.chance(stallProbability)) {
+    latency += stallMs * (0.75 + 0.5 * rng.uniform01());
+  }
+  return latency;
+}
+
+void Network::registerHost(const std::string& host,
+                           std::shared_ptr<HttpHandler> handler,
+                           LatencyProfile profile) {
+  hosts_[util::toLowerAscii(host)] = {std::move(handler), profile};
+}
+
+bool Network::knowsHost(const std::string& host) const {
+  return hosts_.contains(util::toLowerAscii(host));
+}
+
+Exchange Network::dispatch(const HttpRequest& request) {
+  Exchange exchange;
+  exchange.requestBytes = toWireFormat(request).size();
+
+  const auto it = hosts_.find(request.url.host());
+  if (it == hosts_.end()) {
+    exchange.response = HttpResponse::notFound(request.url.toString());
+    exchange.response.status = 404;
+    exchange.latencyMs =
+        LatencyProfile::fast().sampleMs(rng_, exchange.response.body.size());
+  } else if (failureProbability_ > 0.0 && rng_.chance(failureProbability_)) {
+    ++injectedFailures_;
+    exchange.response.status = 503;
+    exchange.response.statusText = "Service Unavailable";
+    exchange.response.headers.set("Content-Type", "text/html");
+    exchange.response.body =
+        "<html><body><h1>503 Service Unavailable</h1></body></html>";
+    exchange.latencyMs =
+        it->second.profile.sampleMs(rng_, exchange.response.body.size());
+  } else {
+    exchange.response = it->second.handler->handle(request);
+    exchange.responseBytes = toWireFormat(exchange.response).size();
+    exchange.latencyMs =
+        it->second.profile.sampleMs(rng_, exchange.responseBytes) +
+        exchange.response.serverProcessingMs;
+  }
+  exchange.responseBytes = toWireFormat(exchange.response).size();
+
+  ++totalRequests_;
+  totalBytes_ += exchange.requestBytes + exchange.responseBytes;
+  return exchange;
+}
+
+}  // namespace cookiepicker::net

@@ -1,0 +1,100 @@
+// In-process simulated network.
+//
+// Replaces the live internet of the paper's evaluation: servers register by
+// host name, requests are dispatched synchronously, and a per-server latency
+// model reports how long each exchange *would* have taken. Callers (the
+// browser) advance the simulated clock by that amount, so timing results are
+// deterministic functions of the RNG seed.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "net/http.h"
+#include "util/rng.h"
+
+namespace cookiepicker::net {
+
+// How long a request/response exchange takes, modeled as
+//   rtt + perKilobyte * (bytes/1024) + lognormal jitter,
+// optionally with a heavy "stall" tail (the paper's S4/S17/S28 sites showed
+// ~10 s identification durations caused by very slow responses).
+struct LatencyProfile {
+  double baseRttMs = 80.0;
+  double perKilobyteMs = 8.0;
+  double jitterMu = 4.0;       // lognormal location (exp(4) ≈ 55 ms median)
+  double jitterSigma = 0.6;
+  double stallProbability = 0.0;  // chance of an extra multi-second stall
+  double stallMs = 8000.0;
+
+  static LatencyProfile fast();
+  static LatencyProfile typical();
+  static LatencyProfile slow();  // the S4/S17/S28-style profile
+
+  double sampleMs(util::Pcg32& rng, std::size_t responseBytes) const;
+};
+
+// Anything that can answer HTTP requests (the server module implements it).
+class HttpHandler {
+ public:
+  virtual ~HttpHandler() = default;
+  virtual HttpResponse handle(const HttpRequest& request) = 0;
+};
+
+struct Exchange {
+  HttpResponse response;
+  double latencyMs = 0.0;
+  std::size_t requestBytes = 0;
+  std::size_t responseBytes = 0;
+};
+
+class Network {
+ public:
+  explicit Network(std::uint64_t seed = 7)
+      : rng_(seed, /*sequence=*/0x6e657477UL) {}
+
+  // Registers a handler for a host (exact match, lowercase).
+  void registerHost(const std::string& host,
+                    std::shared_ptr<HttpHandler> handler,
+                    LatencyProfile profile = LatencyProfile::typical());
+  bool knowsHost(const std::string& host) const;
+
+  // Dispatches a request to the host's handler. Unknown hosts get a
+  // synthetic 404 with fast latency (a resolver failure would be faster
+  // still; indistinguishable for our purposes).
+  Exchange dispatch(const HttpRequest& request);
+
+  // Failure injection: with this probability, a request to a *known* host
+  // returns 503 instead of reaching its handler (transient overload /
+  // dropped connection). Exercises every caller's non-200 path.
+  void setFailureProbability(double probability) {
+    failureProbability_ = probability;
+  }
+  std::uint64_t injectedFailures() const { return injectedFailures_; }
+
+  // --- accounting (reset per experiment as needed) ---
+  std::uint64_t totalRequests() const { return totalRequests_; }
+  std::uint64_t totalBytesTransferred() const { return totalBytes_; }
+  void resetCounters() {
+    totalRequests_ = 0;
+    totalBytes_ = 0;
+  }
+
+ private:
+  struct HostEntry {
+    std::shared_ptr<HttpHandler> handler;
+    LatencyProfile profile;
+  };
+
+  std::map<std::string, HostEntry> hosts_;
+  util::Pcg32 rng_;
+  std::uint64_t totalRequests_ = 0;
+  std::uint64_t totalBytes_ = 0;
+  double failureProbability_ = 0.0;
+  std::uint64_t injectedFailures_ = 0;
+};
+
+}  // namespace cookiepicker::net

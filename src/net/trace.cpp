@@ -1,0 +1,145 @@
+#include "net/trace.h"
+
+#include <charconv>
+
+#include "util/strings.h"
+
+namespace cookiepicker::net {
+
+namespace {
+
+// Length-prefixed field: "<decimal length>:<bytes>".
+void appendField(std::string& out, const std::string& value) {
+  out += std::to_string(value.size()) + ":" + value;
+}
+
+// Reads a length-prefixed field at `pos`; returns false on malformed input.
+bool readField(const std::string& text, std::size_t& pos,
+               std::string& value) {
+  const std::size_t colon = text.find(':', pos);
+  if (colon == std::string::npos) return false;
+  std::size_t length = 0;
+  const auto [ptr, ec] = std::from_chars(text.data() + pos,
+                                         text.data() + colon, length);
+  if (ec != std::errc() || ptr != text.data() + colon) return false;
+  if (colon + 1 + length > text.size()) return false;
+  value = text.substr(colon + 1, length);
+  pos = colon + 1 + length;
+  return true;
+}
+
+}  // namespace
+
+std::string serializeTrace(const std::vector<TraceEntry>& entries) {
+  std::string out;
+  for (const TraceEntry& entry : entries) {
+    out += "ENTRY ";
+    appendField(out, entry.method);
+    appendField(out, entry.url);
+    appendField(out, entry.cookieHeader);
+    appendField(out, std::to_string(entry.status));
+    appendField(out, entry.contentType);
+    appendField(out, std::to_string(entry.setCookies.size()));
+    for (const std::string& setCookie : entry.setCookies) {
+      appendField(out, setCookie);
+    }
+    appendField(out, entry.body);
+    out += "\n";
+  }
+  return out;
+}
+
+std::vector<TraceEntry> parseTrace(const std::string& text) {
+  std::vector<TraceEntry> entries;
+  std::size_t pos = 0;
+  while (pos < text.size()) {
+    const std::size_t marker = text.find("ENTRY ", pos);
+    if (marker == std::string::npos) break;
+    pos = marker + 6;
+    TraceEntry entry;
+    std::string statusText;
+    std::string countText;
+    if (!readField(text, pos, entry.method) ||
+        !readField(text, pos, entry.url) ||
+        !readField(text, pos, entry.cookieHeader) ||
+        !readField(text, pos, statusText) ||
+        !readField(text, pos, entry.contentType) ||
+        !readField(text, pos, countText)) {
+      break;  // truncated/corrupt record: stop at the last good entry
+    }
+    try {
+      entry.status = std::stoi(statusText);
+      const int count = std::stoi(countText);
+      bool ok = true;
+      for (int i = 0; i < count; ++i) {
+        std::string setCookie;
+        if (!readField(text, pos, setCookie)) {
+          ok = false;
+          break;
+        }
+        entry.setCookies.push_back(std::move(setCookie));
+      }
+      if (!ok || !readField(text, pos, entry.body)) break;
+    } catch (const std::exception&) {
+      break;
+    }
+    entries.push_back(std::move(entry));
+  }
+  return entries;
+}
+
+HttpResponse RecordingHandler::handle(const HttpRequest& request) {
+  const HttpResponse response = inner_->handle(request);
+  TraceEntry entry;
+  entry.method = request.method;
+  entry.url = request.url.toString();
+  entry.cookieHeader = request.cookieHeader();
+  entry.status = response.status;
+  entry.contentType = response.headers.get("Content-Type").value_or("");
+  entry.setCookies = response.setCookieHeaders();
+  entry.body = response.body;
+  entries_.push_back(std::move(entry));
+  return response;
+}
+
+std::string ReplayHandler::keyOf(const std::string& method,
+                                 const std::string& url,
+                                 const std::string& cookieHeader) {
+  return method + " " + url + " | " + cookieHeader;
+}
+
+ReplayHandler::ReplayHandler(std::vector<TraceEntry> entries) {
+  for (TraceEntry& entry : entries) {
+    byKey_[keyOf(entry.method, entry.url, entry.cookieHeader)].push_back(
+        std::move(entry));
+  }
+}
+
+HttpResponse ReplayHandler::handle(const HttpRequest& request) {
+  const std::string key =
+      keyOf(request.method, request.url.toString(), request.cookieHeader());
+  const auto it = byKey_.find(key);
+  if (it == byKey_.end()) {
+    ++misses_;
+    return HttpResponse::notFound(request.url.toString());
+  }
+  const std::vector<TraceEntry>& recorded = it->second;
+  std::size_t& index = cursor_[key];
+  const TraceEntry& entry =
+      recorded[std::min(index, recorded.size() - 1)];
+  if (index + 1 < recorded.size()) ++index;
+
+  HttpResponse response;
+  response.status = entry.status;
+  response.statusText = entry.status == 200 ? "OK" : "Replayed";
+  if (!entry.contentType.empty()) {
+    response.headers.set("Content-Type", entry.contentType);
+  }
+  for (const std::string& setCookie : entry.setCookies) {
+    response.headers.add("Set-Cookie", setCookie);
+  }
+  response.body = entry.body;
+  return response;
+}
+
+}  // namespace cookiepicker::net

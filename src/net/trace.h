@@ -1,0 +1,74 @@
+// HTTP trace recording and replay.
+//
+// The paper's evaluation ran against the live 2007 web, which no longer
+// exists — the generic lesson for a release of this system is that live
+// results must be capturable and re-runnable. RecordingHandler wraps any
+// handler and logs every exchange to a HAR-like line format; ReplayHandler
+// serves a recorded trace back, matching requests by method + URL + Cookie
+// header (the only request parts our servers are sensitive to). Campaigns
+// can therefore be captured once and pinned as regression fixtures.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "net/network.h"
+
+namespace cookiepicker::net {
+
+struct TraceEntry {
+  std::string method;
+  std::string url;           // absolute
+  std::string cookieHeader;  // as sent ("" if none)
+  int status = 200;
+  std::string contentType;
+  std::vector<std::string> setCookies;
+  std::string body;
+};
+
+// One exchange per record; text format with length-prefixed bodies so any
+// byte content round-trips.
+std::string serializeTrace(const std::vector<TraceEntry>& entries);
+std::vector<TraceEntry> parseTrace(const std::string& text);
+
+// Wraps a live handler and records everything that passes through.
+class RecordingHandler : public HttpHandler {
+ public:
+  explicit RecordingHandler(std::shared_ptr<HttpHandler> inner)
+      : inner_(std::move(inner)) {}
+
+  HttpResponse handle(const HttpRequest& request) override;
+
+  const std::vector<TraceEntry>& entries() const { return entries_; }
+  std::string serialize() const { return serializeTrace(entries_); }
+
+ private:
+  std::shared_ptr<HttpHandler> inner_;
+  std::vector<TraceEntry> entries_;
+};
+
+// Serves a recorded trace. Identical (method, url, cookie) requests are
+// answered in recorded order and the last match repeats once the recording
+// for that key is exhausted; unknown requests get 404.
+class ReplayHandler : public HttpHandler {
+ public:
+  explicit ReplayHandler(std::vector<TraceEntry> entries);
+
+  HttpResponse handle(const HttpRequest& request) override;
+
+  // Requests that had no recorded counterpart (diagnostic for drift).
+  std::uint64_t misses() const { return misses_; }
+
+ private:
+  static std::string keyOf(const std::string& method, const std::string& url,
+                           const std::string& cookieHeader);
+
+  std::map<std::string, std::vector<TraceEntry>> byKey_;
+  std::map<std::string, std::size_t> cursor_;
+  std::uint64_t misses_ = 0;
+};
+
+}  // namespace cookiepicker::net

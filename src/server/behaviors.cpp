@@ -1,0 +1,410 @@
+#include "server/behaviors.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "dom/select.h"
+#include "net/cookie_parse.h"
+#include "server/fragments.h"
+#include "server/words.h"
+#include "util/strings.h"
+
+namespace cookiepicker::server {
+
+namespace {
+
+using dom::Node;
+
+std::string randomHexId(util::Pcg32& rng) {
+  char buffer[20];
+  std::snprintf(buffer, sizeof(buffer), "%08x%08x", rng.next(), rng.next());
+  return buffer;
+}
+
+std::string setCookieValue(const std::string& name, const std::string& value,
+                           std::int64_t maxAgeSeconds,
+                           const std::string& path) {
+  std::string header = name + "=" + value;
+  if (maxAgeSeconds > 0) {
+    header += "; Max-Age=" + std::to_string(maxAgeSeconds);
+  }
+  header += "; Path=" + path;
+  return header;
+}
+
+bool hasClassToken(const Node& node, const std::string& token) {
+  const auto classAttr = node.attribute("class");
+  if (!classAttr.has_value()) return false;
+  for (const std::string& existing : util::splitWhitespace(*classAttr)) {
+    if (existing == token) return true;
+  }
+  return false;
+}
+
+std::vector<Node*> findByClass(Node& root, const std::string& token) {
+  return dom::select(root, "." + token);
+}
+
+void setElementText(Node& element, const std::string& text) {
+  element.clearChildren();
+  element.appendChild(Node::makeText(text));
+}
+
+Node* findMain(Node& body) { return body.findFirst("main"); }
+
+}  // namespace
+
+// --- TrackingCookieBehavior -------------------------------------------------
+
+TrackingCookieBehavior::TrackingCookieBehavior(std::string cookieName,
+                                               std::int64_t maxAgeSeconds,
+                                               std::string cookiePath,
+                                               std::string setOnPathPrefix)
+    : cookieName_(std::move(cookieName)),
+      maxAgeSeconds_(maxAgeSeconds),
+      cookiePath_(std::move(cookiePath)),
+      setOnPathPrefix_(std::move(setOnPathPrefix)) {}
+
+void TrackingCookieBehavior::onRequest(const RenderContext& context,
+                                       net::HttpResponse& response) {
+  if (!setOnPathPrefix_.empty() &&
+      context.path.compare(0, setOnPathPrefix_.size(), setOnPathPrefix_) !=
+          0) {
+    return;
+  }
+  if (context.hasCookie(cookieName_)) return;
+  // Half the trackers (stable per name) use the older Expires=<RFC 1123>
+  // attribute instead of Max-Age, as real 2007 servers did — both formats
+  // flow through the full parsing pipeline.
+  if (util::fnv1a64(cookieName_) % 2 == 0) {
+    // Round the current time up to whole seconds so the declared lifetime
+    // is never a fraction short of the intended Max-Age equivalent.
+    const std::int64_t expiresEpochSeconds =
+        (context.clock->nowMs() + 999) / 1000 + maxAgeSeconds_;
+    response.headers.add(
+        "Set-Cookie",
+        cookieName_ + "=" + randomHexId(*context.fetchRng) +
+            "; Expires=" + net::formatHttpDate(expiresEpochSeconds) +
+            "; Path=" + cookiePath_);
+    return;
+  }
+  response.headers.add(
+      "Set-Cookie", setCookieValue(cookieName_, randomHexId(*context.fetchRng),
+                                   maxAgeSeconds_, cookiePath_));
+}
+
+// --- SessionCartBehavior ----------------------------------------------------
+
+SessionCartBehavior::SessionCartBehavior(std::string cookieName)
+    : cookieName_(std::move(cookieName)) {}
+
+void SessionCartBehavior::onRequest(const RenderContext& context,
+                                    net::HttpResponse& response) {
+  if (context.hasCookie(cookieName_)) return;
+  // Session cookie: no Max-Age / Expires.
+  response.headers.add("Set-Cookie", cookieName_ + "=0; Path=/");
+}
+
+void SessionCartBehavior::render(const RenderContext& context,
+                                 dom::Node& body) {
+  Node* header = body.findFirst("header");
+  if (header == nullptr) return;
+  auto cart = Node::makeElement("span");
+  cart->setAttribute("class", "cart-status");
+  const std::string count =
+      context.hasCookie(cookieName_) ? context.cookieValue(cookieName_) : "0";
+  cart->appendChild(Node::makeText("Cart items: " + count));
+  header->appendChild(std::move(cart));
+}
+
+// --- PreferenceCookieBehavior -----------------------------------------------
+
+PreferenceCookieBehavior::PreferenceCookieBehavior(
+    std::string cookieName, int intensity, std::int64_t maxAgeSeconds,
+    std::string affectedPathPrefix)
+    : cookieName_(std::move(cookieName)),
+      intensity_(intensity),
+      maxAgeSeconds_(maxAgeSeconds),
+      affectedPathPrefix_(std::move(affectedPathPrefix)) {}
+
+bool PreferenceCookieBehavior::affectsPath(const std::string& path) const {
+  return affectedPathPrefix_.empty() ||
+         path.compare(0, affectedPathPrefix_.size(), affectedPathPrefix_) ==
+             0;
+}
+
+void PreferenceCookieBehavior::onRequest(const RenderContext& context,
+                                         net::HttpResponse& response) {
+  if (context.hasCookie(cookieName_)) return;
+  response.headers.add(
+      "Set-Cookie",
+      setCookieValue(cookieName_, "default", maxAgeSeconds_, "/"));
+}
+
+void PreferenceCookieBehavior::render(const RenderContext& context,
+                                      dom::Node& body) {
+  if (!context.hasCookie(cookieName_) || !affectsPath(context.path)) {
+    // Without the preference cookie the generic page carries a hint banner.
+    if (Node* main = findMain(body); main != nullptr &&
+                                     affectsPath(context.path)) {
+      auto banner = Node::makeElement("div");
+      banner->setAttribute("class", "pref-hint");
+      banner->appendChild(
+          Node::makeText("Set your preferences to personalize this page."));
+      main->insertChild(0, std::move(banner));
+    }
+    return;
+  }
+
+  util::Pcg32& stable = *context.stableRng;
+  // 1. Personalized greeting replaces the generic site title text.
+  if (Node* heading = body.findFirst("h1"); heading != nullptr) {
+    setElementText(*heading, "Welcome back — your " + randomWord(stable) +
+                                 " edition");
+  }
+  // 2. Sidebar with saved links, inserted before <main>.
+  Node* page = body.findFirst("div");
+  Node* main = findMain(body);
+  if (page != nullptr && main != nullptr) {
+    std::size_t mainIndex = 0;
+    for (std::size_t i = 0; i < page->childCount(); ++i) {
+      if (&page->child(i) == main) {
+        mainIndex = i;
+        break;
+      }
+    }
+    page->insertChild(mainIndex,
+                      makeSidebar(stable, "Your saved topics", 5));
+  }
+  if (main == nullptr) return;
+  // 3. Recommendation sections at the top of <main>.
+  for (int i = 0; i < intensity_; ++i) {
+    auto recommended = Node::makeElement("section");
+    recommended->setAttribute("class", "recommended");
+    recommended->appendChild(
+        makeTextElement("h2", "Recommended for you: " + randomTitle(stable)));
+    recommended->appendChild(
+        makeTextElement("p", randomParagraph(stable, 2)));
+    auto list = Node::makeElement("ul");
+    for (int j = 0; j < 4; ++j) {
+      list->appendChild(makeTextElement("li", randomPhrase(stable, 4)));
+    }
+    recommended->appendChild(std::move(list));
+    main->insertChild(0, std::move(recommended));
+  }
+  // 4. High intensity: personalization dominates — generic sections are
+  // replaced outright (drives P4-style similarity scores near 0.2).
+  if (intensity_ >= 3) {
+    std::vector<std::size_t> genericSections;
+    for (std::size_t i = 0; i < main->childCount(); ++i) {
+      const Node& child = main->child(i);
+      if (child.isElement() && child.name() == "section" &&
+          hasClassToken(child, "content")) {
+        genericSections.push_back(i);
+      }
+    }
+    // Remove from the back so indices stay valid.
+    for (auto it = genericSections.rbegin(); it != genericSections.rend();
+         ++it) {
+      main->removeChild(*it);
+      auto replacement = Node::makeElement("article");
+      replacement->setAttribute("class", "personal-feed");
+      replacement->appendChild(
+          makeTextElement("h2", "From your feed: " + randomTitle(stable)));
+      auto timeline = Node::makeElement("dl");
+      for (int j = 0; j < 3; ++j) {
+        timeline->appendChild(makeTextElement("dt", randomTitle(stable)));
+        timeline->appendChild(
+            makeTextElement("dd", randomParagraph(stable, 1)));
+      }
+      replacement->appendChild(std::move(timeline));
+      main->insertChild(*it, std::move(replacement));
+    }
+  }
+}
+
+// --- SignUpWallBehavior -----------------------------------------------------
+
+SignUpWallBehavior::SignUpWallBehavior(std::string cookieName,
+                                       std::int64_t maxAgeSeconds)
+    : cookieName_(std::move(cookieName)), maxAgeSeconds_(maxAgeSeconds) {}
+
+void SignUpWallBehavior::onRequest(const RenderContext& context,
+                                   net::HttpResponse& response) {
+  if (context.hasCookie(cookieName_)) return;
+  response.headers.add(
+      "Set-Cookie", setCookieValue(cookieName_, randomHexId(*context.fetchRng),
+                                   maxAgeSeconds_, "/"));
+}
+
+void SignUpWallBehavior::render(const RenderContext& context,
+                                dom::Node& body) {
+  if (context.hasCookie(cookieName_)) {
+    // Members get a small account toolbar.
+    if (Node* header = body.findFirst("header"); header != nullptr) {
+      auto toolbar = Node::makeElement("div");
+      toolbar->setAttribute("class", "account-bar");
+      toolbar->appendChild(Node::makeText("Signed in — account menu"));
+      header->appendChild(std::move(toolbar));
+    }
+    return;
+  }
+  // No account cookie: the entire content area becomes the sign-up wall.
+  if (Node* main = findMain(body); main != nullptr) {
+    main->clearChildren();
+    main->appendChild(makeSignUpForm(*context.stableRng));
+  }
+}
+
+// --- QueryCacheBehavior -----------------------------------------------------
+
+QueryCacheBehavior::QueryCacheBehavior(std::string cookieName,
+                                       std::int64_t maxAgeSeconds)
+    : cookieName_(std::move(cookieName)), maxAgeSeconds_(maxAgeSeconds) {}
+
+void QueryCacheBehavior::onRequest(const RenderContext& context,
+                                   net::HttpResponse& response) {
+  // The performance effect (the paper's P2): with the cookie, the server
+  // reuses the user's cached query results; without it, results must be
+  // recomputed and the response takes far longer.
+  if (context.hasCookie(cookieName_)) {
+    response.serverProcessingMs += 40.0;
+    return;
+  }
+  response.serverProcessingMs += 1200.0 + 600.0 * context.fetchRng->uniform01();
+  response.headers.add(
+      "Set-Cookie", setCookieValue(cookieName_, randomHexId(*context.fetchRng),
+                                   maxAgeSeconds_, "/"));
+}
+
+void QueryCacheBehavior::render(const RenderContext& context,
+                                dom::Node& body) {
+  Node* main = findMain(body);
+  if (main == nullptr) return;
+  if (context.hasCookie(cookieName_)) {
+    // The cookie names the user's server-side result directory; the page
+    // embeds the cached results instantly.
+    auto cached = Node::makeElement("section");
+    cached->setAttribute("class", "query-cache");
+    cached->appendChild(makeTextElement("h2", "Your recent query results"));
+    cached->appendChild(makeResultList(*context.stableRng, 8));
+    cached->appendChild(makeTextElement(
+        "p", "Served from your result cache for instant reuse."));
+    main->insertChild(0, std::move(cached));
+  } else {
+    auto placeholder = Node::makeElement("div");
+    placeholder->setAttribute("class", "query-pending");
+    placeholder->appendChild(
+        makeTextElement("h2", "Recomputing your results"));
+    placeholder->appendChild(makeTextElement(
+        "p", "No result cache found; queries must be executed again."));
+    main->insertChild(0, std::move(placeholder));
+  }
+}
+
+// --- AdRotationNoise --------------------------------------------------------
+
+AdRotationNoise::AdRotationNoise(bool structuralVariation)
+    : structuralVariation_(structuralVariation) {}
+
+void AdRotationNoise::render(const RenderContext& context, dom::Node& body) {
+  util::Pcg32& rng = *context.fetchRng;
+  for (Node* slot : findByClass(body, "adslot")) {
+    slot->clearChildren();
+    const int shape =
+        structuralVariation_ ? static_cast<int>(rng.uniform(0, 2)) : 0;
+    auto anchor = Node::makeElement("a");
+    anchor->setAttribute(
+        "href", "/ad/redirect" + std::to_string(rng.uniform(1, 999)));
+    anchor->appendChild(Node::makeText(randomAdCopy(rng)));
+    switch (shape) {
+      case 0:
+        slot->appendChild(std::move(anchor));
+        break;
+      case 1: {
+        slot->appendChild(std::move(anchor));
+        auto sponsor = Node::makeElement("span");
+        sponsor->setAttribute("class", "sponsor-tag");
+        sponsor->appendChild(Node::makeText("Sponsored"));
+        slot->appendChild(std::move(sponsor));
+        break;
+      }
+      default: {
+        auto wrap = Node::makeElement("div");
+        wrap->setAttribute("class", "ad-wrap");
+        auto image = Node::makeElement("img");
+        image->setAttribute(
+            "src", "/assets/ad" + std::to_string(rng.uniform(1, 9)) + ".png");
+        wrap->appendChild(std::move(image));
+        wrap->appendChild(std::move(anchor));
+        slot->appendChild(std::move(wrap));
+        break;
+      }
+    }
+  }
+}
+
+// --- HeadlineRotationNoise --------------------------------------------------
+
+void HeadlineRotationNoise::render(const RenderContext& context,
+                                   dom::Node& body) {
+  util::Pcg32& rng = *context.fetchRng;
+  for (Node* headline : findByClass(body, "rotating-headline")) {
+    setElementText(*headline, randomPhrase(rng, 5));
+  }
+}
+
+// --- TimestampNoise ---------------------------------------------------------
+
+void TimestampNoise::render(const RenderContext& context, dom::Node& body) {
+  const auto totalSeconds = context.clock->nowMs() / 1000;
+  char buffer[16];
+  std::snprintf(buffer, sizeof(buffer), "%02d:%02d:%02d",
+                static_cast<int>((totalSeconds / 3600) % 24),
+                static_cast<int>((totalSeconds / 60) % 60),
+                static_cast<int>(totalSeconds % 60));
+  for (Node* stamp : findByClass(body, "timestamp")) {
+    setElementText(*stamp, buffer);
+  }
+}
+
+// --- LayoutShuffleNoise -----------------------------------------------------
+
+LayoutShuffleNoise::LayoutShuffleNoise(double probability, int variants)
+    : probability_(probability), variants_(std::max(1, variants)) {}
+
+void LayoutShuffleNoise::render(const RenderContext& context,
+                                dom::Node& body) {
+  util::Pcg32& rng = *context.fetchRng;
+  if (!rng.chance(probability_)) return;
+  Node* main = findMain(body);
+  if (main == nullptr || main->childCount() == 0) return;
+
+  // A structurally distinctive promo block lands at the top of <main>...
+  const int variant = static_cast<int>(
+      rng.uniform(0, static_cast<std::uint32_t>(variants_ - 1)));
+  main->insertChild(0, makePromoBlock(rng, variant));
+
+  // ...and the remaining sections rotate (order matters to STM).
+  const std::size_t count = main->childCount();
+  if (count > 2) {
+    const std::size_t shift =
+        1 + rng.uniform(0, static_cast<std::uint32_t>(count - 2));
+    std::vector<std::unique_ptr<Node>> rotated;
+    // Keep the promo (index 0) in place; rotate the rest.
+    std::vector<std::unique_ptr<Node>> rest;
+    while (main->childCount() > 1) {
+      rest.push_back(main->removeChild(1));
+    }
+    for (std::size_t i = 0; i < rest.size(); ++i) {
+      main->appendChild(std::move(rest[(i + shift) % rest.size()]));
+    }
+  }
+  // Occasionally a whole section disappears for this fetch.
+  if (main->childCount() > 2 && rng.chance(0.5)) {
+    main->removeChild(main->childCount() - 1);
+  }
+}
+
+}  // namespace cookiepicker::server

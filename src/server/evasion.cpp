@@ -1,0 +1,54 @@
+#include "server/evasion.h"
+
+#include <vector>
+
+#include "server/fragments.h"
+#include "server/words.h"
+
+namespace cookiepicker::server {
+
+bool HiddenRequestDetector::looksLikeProbe(const std::string& path,
+                                           std::size_t cookieCount,
+                                           util::SimTimeMs nowMs) {
+  Observation& observation = history_[path];
+  const bool probe = observation.lastSeenMs >= 0 &&
+                     nowMs - observation.lastSeenMs <= windowMs_ &&
+                     cookieCount < observation.lastCookieCount;
+  // A probe must not update the baseline: the operator keeps comparing
+  // against the genuine browsing request.
+  if (!probe) {
+    observation.lastSeenMs = nowMs;
+    observation.lastCookieCount = cookieCount;
+  }
+  return probe;
+}
+
+void EvasionBehavior::onRequest(const RenderContext& context,
+                                net::HttpResponse& response) {
+  (void)response;
+  defaceCurrentRequest_ = detector_.looksLikeProbe(
+      context.path, context.cookies.size(), context.clock->nowMs());
+  if (defaceCurrentRequest_) ++probesDetected_;
+}
+
+void EvasionBehavior::render(const RenderContext& context, dom::Node& body) {
+  if (!defaceCurrentRequest_) return;
+  // Manipulate the suspected hidden response: replace the content area with
+  // fresh, structurally different material so the checker concludes the
+  // stripped cookies were responsible.
+  dom::Node* main = body.findFirst("main");
+  if (main == nullptr) return;
+  util::Pcg32& rng = *context.fetchRng;
+  main->clearChildren();
+  const int blocks = 2 + static_cast<int>(rng.uniform(0, 2));
+  for (int i = 0; i < blocks; ++i) {
+    main->appendChild(makePromoBlock(rng, static_cast<int>(rng.uniform(0, 2))));
+  }
+  auto notice = dom::Node::makeElement("section");
+  notice->setAttribute("class", "fresh");
+  notice->appendChild(makeTextElement("h2", randomTitle(rng)));
+  notice->appendChild(makeTextElement("p", randomParagraph(rng, 2)));
+  main->appendChild(std::move(notice));
+}
+
+}  // namespace cookiepicker::server

@@ -1,0 +1,37 @@
+#include "server/p3p.h"
+
+namespace cookiepicker::server {
+
+const char* p3pPurposeName(P3pPurpose purpose) {
+  switch (purpose) {
+    case P3pPurpose::SessionState:
+      return "session-state";
+    case P3pPurpose::Personalization:
+      return "personalization";
+    case P3pPurpose::Tracking:
+      return "tracking";
+  }
+  return "unknown";
+}
+
+void P3pPolicyBehavior::declare(const std::string& cookieName,
+                                P3pPurpose purpose) {
+  declarations_[cookieName] = purpose;
+}
+
+void P3pPolicyBehavior::onRequest(const RenderContext& context,
+                                  net::HttpResponse& response) {
+  if (context.path != kPolicyPath) return;
+  std::string xml = "<POLICY>\n";
+  for (const auto& [name, purpose] : declarations_) {
+    xml += "  <COOKIE name=\"" + name + "\" purpose=\"" +
+           p3pPurposeName(purpose) + "\"/>\n";
+  }
+  xml += "</POLICY>\n";
+  response.status = 200;
+  response.statusText = "OK";
+  response.headers.set("Content-Type", "application/xml");
+  response.body = xml;
+}
+
+}  // namespace cookiepicker::server

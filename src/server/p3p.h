@@ -1,0 +1,34 @@
+// Site-side P3P support (Platform for Privacy Preferences, [30]).
+//
+// A site *may* publish a machine-readable privacy policy at /w3c/p3p.xml
+// declaring each cookie's purpose. The paper dismisses P3P as infeasible
+// because almost nobody publishes one; the roster builders therefore attach
+// this behavior to only a small fraction of sites, and
+// baseline::P3pClassifier measures how much of the cookie population stays
+// undecidable.
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "server/behaviors.h"
+
+namespace cookiepicker::server {
+
+enum class P3pPurpose { SessionState, Personalization, Tracking };
+
+const char* p3pPurposeName(P3pPurpose purpose);
+
+class P3pPolicyBehavior : public SiteBehavior {
+ public:
+  void declare(const std::string& cookieName, P3pPurpose purpose);
+  void onRequest(const RenderContext& context,
+                 net::HttpResponse& response) override;
+
+  static constexpr const char* kPolicyPath = "/w3c/p3p.xml";
+
+ private:
+  std::map<std::string, P3pPurpose> declarations_;
+};
+
+}  // namespace cookiepicker::server

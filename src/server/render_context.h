@@ -1,0 +1,36 @@
+// Per-request rendering context handed to site behaviors.
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "net/http.h"
+#include "util/clock.h"
+#include "util/rng.h"
+
+namespace cookiepicker::server {
+
+struct RenderContext {
+  const net::HttpRequest* request = nullptr;
+  std::string path;  // request path, e.g. "/page3"
+  // Cookies the client sent, name → value.
+  std::map<std::string, std::string> cookies;
+  util::SimClock* clock = nullptr;
+  // Fresh stream per fetch: noise sources draw from this, so two fetches of
+  // the same page (e.g. the regular and the hidden copy) see different ads.
+  util::Pcg32* fetchRng = nullptr;
+  // Stable stream per (site, path): the page skeleton draws from this, so
+  // the page's *structure* is identical across fetches unless a behavior
+  // deliberately changes it.
+  util::Pcg32* stableRng = nullptr;
+
+  bool hasCookie(const std::string& name) const {
+    return cookies.contains(name);
+  }
+  std::string cookieValue(const std::string& name) const {
+    const auto it = cookies.find(name);
+    return it == cookies.end() ? std::string() : it->second;
+  }
+};
+
+}  // namespace cookiepicker::server

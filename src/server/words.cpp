@@ -1,0 +1,77 @@
+#include "server/words.h"
+
+#include <array>
+#include <cctype>
+
+namespace cookiepicker::server {
+
+namespace {
+
+constexpr std::array<const char*, 96> kWords = {
+    "market",  "vendor",   "catalog",  "review",   "digital", "archive",
+    "journal", "network",  "forum",    "gallery",  "studio",  "academy",
+    "library", "garden",   "kitchen",  "travel",   "finance", "health",
+    "science", "culture",  "history",  "nature",   "music",   "cinema",
+    "sports",  "weather",  "recipe",   "project",  "design",  "report",
+    "update",  "feature",  "story",    "article",  "column",  "editor",
+    "reader",  "member",   "account",  "profile",  "setting", "option",
+    "search",  "result",   "product",  "service",  "support", "contact",
+    "about",   "policy",   "partner",  "channel",  "stream",  "signal",
+    "record",  "ticket",   "basket",   "order",    "invoice", "payment",
+    "deliver", "express",  "premium",  "classic",  "modern",  "global",
+    "local",   "daily",    "weekly",   "monthly",  "annual",  "special",
+    "general", "advanced", "basic",    "complete", "popular", "trusted",
+    "quality", "expert",   "friendly", "reliable", "dynamic", "creative",
+    "eastern", "western",  "northern", "southern", "central", "coastal",
+    "urban",   "rural",    "national", "regional", "public",  "private"};
+
+}  // namespace
+
+std::string randomWord(util::Pcg32& rng) {
+  return kWords[rng.uniform(0, static_cast<std::uint32_t>(kWords.size() - 1))];
+}
+
+std::string randomPhrase(util::Pcg32& rng, int count, bool sentence) {
+  std::string phrase;
+  for (int i = 0; i < count; ++i) {
+    if (i > 0) phrase += " ";
+    phrase += randomWord(rng);
+  }
+  if (!phrase.empty()) {
+    phrase[0] = static_cast<char>(
+        std::toupper(static_cast<unsigned char>(phrase[0])));
+  }
+  if (sentence) phrase += ".";
+  return phrase;
+}
+
+std::string randomParagraph(util::Pcg32& rng, int sentences) {
+  std::string paragraph;
+  for (int i = 0; i < sentences; ++i) {
+    if (i > 0) paragraph += " ";
+    paragraph += randomPhrase(
+        rng, static_cast<int>(rng.uniform(6, 14)), /*sentence=*/true);
+  }
+  return paragraph;
+}
+
+std::string randomTitle(util::Pcg32& rng) {
+  std::string title;
+  const int count = static_cast<int>(rng.uniform(2, 5));
+  for (int i = 0; i < count; ++i) {
+    std::string word = randomWord(rng);
+    word[0] = static_cast<char>(
+        std::toupper(static_cast<unsigned char>(word[0])));
+    if (i > 0) title += " ";
+    title += word;
+  }
+  return title;
+}
+
+std::string randomAdCopy(util::Pcg32& rng) {
+  const int percent = static_cast<int>(rng.uniform(5, 70));
+  return "SAVE " + std::to_string(percent) + "% on " + randomWord(rng) + " " +
+         randomWord(rng) + " today";
+}
+
+}  // namespace cookiepicker::server

@@ -1,0 +1,32 @@
+// Deterministic filler-text generation for synthetic pages.
+//
+// Pages need realistic-looking, seed-stable text so that (a) CVCE has real
+// content sets to compare and (b) different sites/pages differ from each
+// other while every fetch of the same page (absent deliberate dynamics)
+// renders identically.
+#pragma once
+
+#include <string>
+
+#include "util/rng.h"
+
+namespace cookiepicker::server {
+
+// A lowercase pseudo-word ("lorem", "vendor", ...).
+std::string randomWord(util::Pcg32& rng);
+
+// `count` words separated by spaces, first letter capitalized, period
+// appended when `sentence` is true.
+std::string randomPhrase(util::Pcg32& rng, int count, bool sentence = false);
+
+// A paragraph of `sentences` sentences with 6-14 words each.
+std::string randomParagraph(util::Pcg32& rng, int sentences);
+
+// Title-case phrase of 2-5 words ("Vendor Catalog Review").
+std::string randomTitle(util::Pcg32& rng);
+
+// Short ad copy ("SAVE 20% on vendor catalog — click now!"); deliberately
+// distinctive so tests can assert where ad text went.
+std::string randomAdCopy(util::Pcg32& rng);
+
+}  // namespace cookiepicker::server

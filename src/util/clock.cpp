@@ -1,0 +1,21 @@
+#include "util/clock.h"
+
+#include <cstdio>
+
+namespace cookiepicker::util {
+
+std::string SimClock::timestampString() const {
+  const SimTimeMs totalMs = nowMs_;
+  const SimTimeMs totalSeconds = totalMs / 1000;
+  const SimTimeMs days = totalSeconds / 86400;
+  const int hours = static_cast<int>((totalSeconds / 3600) % 24);
+  const int minutes = static_cast<int>((totalSeconds / 60) % 60);
+  const int seconds = static_cast<int>(totalSeconds % 60);
+  const int millis = static_cast<int>(totalMs % 1000);
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "day %lld, %02d:%02d:%02d.%03d",
+                static_cast<long long>(days), hours, minutes, seconds, millis);
+  return buffer;
+}
+
+}  // namespace cookiepicker::util

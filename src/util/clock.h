@@ -1,0 +1,58 @@
+// Simulated wall clock.
+//
+// All simulated timing in the repository — cookie expiry, page-generation
+// timestamps, network latency accounting, think time — is driven by a
+// SimClock rather than the host clock, so experiments are deterministic and
+// can fast-forward through days of "browsing" instantly. Real (host) time is
+// only used by the benchmarks to measure the actual CPU cost of the
+// detection algorithms, via StopWatch.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+
+namespace cookiepicker::util {
+
+// Milliseconds since the simulation epoch.
+using SimTimeMs = std::int64_t;
+
+class SimClock {
+ public:
+  // The epoch is arbitrary; we start at a fixed date-like offset so that
+  // rendered timestamps look plausible and cookie expiries are positive.
+  explicit SimClock(SimTimeMs startMs = kDefaultStartMs) : nowMs_(startMs) {}
+
+  SimTimeMs nowMs() const { return nowMs_; }
+
+  void advanceMs(SimTimeMs deltaMs) { nowMs_ += deltaMs; }
+  void advanceSeconds(double seconds) {
+    nowMs_ += static_cast<SimTimeMs>(seconds * 1000.0);
+  }
+  void advanceDays(double days) { advanceSeconds(days * 86400.0); }
+
+  // Renders the current simulated time as "day N, HH:MM:SS.mmm" — used by
+  // page templates that embed a timestamp (a noise source CVCE must filter).
+  std::string timestampString() const;
+
+  static constexpr SimTimeMs kDefaultStartMs = 1'000'000'000;  // ~11.6 days
+
+ private:
+  SimTimeMs nowMs_;
+};
+
+// Host-time stopwatch for measuring real algorithm cost in benches/tests.
+class StopWatch {
+ public:
+  StopWatch() : start_(std::chrono::steady_clock::now()) {}
+  void reset() { start_ = std::chrono::steady_clock::now(); }
+  double elapsedMs() const {
+    const auto delta = std::chrono::steady_clock::now() - start_;
+    return std::chrono::duration<double, std::milli>(delta).count();
+  }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace cookiepicker::util

@@ -1,0 +1,36 @@
+#include "util/log.h"
+
+#include <cstdio>
+
+namespace cookiepicker::util {
+
+namespace {
+LogLevel g_threshold = LogLevel::Error;
+}
+
+LogLevel Logger::threshold() { return g_threshold; }
+
+void Logger::setThreshold(LogLevel level) { g_threshold = level; }
+
+const char* Logger::levelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::Trace:
+      return "TRACE";
+    case LogLevel::Debug:
+      return "DEBUG";
+    case LogLevel::Info:
+      return "INFO";
+    case LogLevel::Warn:
+      return "WARN";
+    case LogLevel::Error:
+      return "ERROR";
+  }
+  return "?";
+}
+
+void Logger::write(LogLevel level, const std::string& message) {
+  if (static_cast<int>(level) < static_cast<int>(g_threshold)) return;
+  std::fprintf(stderr, "[%s] %s\n", levelName(level), message.c_str());
+}
+
+}  // namespace cookiepicker::util

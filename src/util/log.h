@@ -1,0 +1,55 @@
+// Minimal leveled logger.
+//
+// The library itself is silent by default (Error threshold); examples and
+// debugging sessions can raise verbosity. Deliberately not thread-aware:
+// the whole simulation is single-threaded by design (a browser extension's
+// event loop), which keeps every run exactly reproducible.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace cookiepicker::util {
+
+enum class LogLevel { Trace = 0, Debug = 1, Info = 2, Warn = 3, Error = 4 };
+
+class Logger {
+ public:
+  static LogLevel threshold();
+  static void setThreshold(LogLevel level);
+  static void write(LogLevel level, const std::string& message);
+  static const char* levelName(LogLevel level);
+};
+
+namespace detail {
+class LogLine {
+ public:
+  explicit LogLine(LogLevel level) : level_(level) {}
+  ~LogLine() { Logger::write(level_, stream_.str()); }
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+
+  template <typename T>
+  LogLine& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+}  // namespace detail
+
+}  // namespace cookiepicker::util
+
+#define CP_LOG(level)                                              \
+  if (static_cast<int>(level) <                                    \
+      static_cast<int>(cookiepicker::util::Logger::threshold())) { \
+  } else                                                           \
+    cookiepicker::util::detail::LogLine(level)
+
+#define CP_LOG_DEBUG CP_LOG(cookiepicker::util::LogLevel::Debug)
+#define CP_LOG_INFO CP_LOG(cookiepicker::util::LogLevel::Info)
+#define CP_LOG_WARN CP_LOG(cookiepicker::util::LogLevel::Warn)
+#define CP_LOG_ERROR CP_LOG(cookiepicker::util::LogLevel::Error)

@@ -1,0 +1,66 @@
+// Streaming statistics and simple histograms for experiment reporting.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace cookiepicker::util {
+
+// Welford's online algorithm: numerically stable mean/variance without
+// storing samples.
+class RunningStats {
+ public:
+  void add(double sample);
+
+  std::size_t count() const { return count_; }
+  double mean() const { return count_ == 0 ? 0.0 : mean_; }
+  double variance() const;
+  double stddev() const;
+  double min() const { return count_ == 0 ? 0.0 : min_; }
+  double max() const { return count_ == 0 ? 0.0 : max_; }
+  double sum() const { return sum_; }
+
+ private:
+  std::size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  double sum_ = 0.0;
+};
+
+// Stores samples so percentiles can be queried. Fine for experiment-sized
+// sample counts (thousands).
+class SampleSet {
+ public:
+  void add(double sample) { samples_.push_back(sample); }
+  std::size_t count() const { return samples_.size(); }
+  double mean() const;
+  // Nearest-rank percentile, p in [0,100]. Returns 0 for empty sets.
+  double percentile(double p) const;
+  double min() const;
+  double max() const;
+
+ private:
+  std::vector<double> samples_;
+};
+
+// Fixed-width ASCII table used by the bench binaries to print paper-style
+// tables (Table 1 / Table 2 reproductions).
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> headers);
+
+  void addRow(std::vector<std::string> cells);
+  // Convenience: formats doubles with the given precision.
+  static std::string formatDouble(double value, int precision);
+
+  std::string render() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace cookiepicker::util

@@ -1,0 +1,217 @@
+#include "util/strings.h"
+
+#include <algorithm>
+#include <cctype>
+
+namespace cookiepicker::util {
+
+namespace {
+bool isAsciiSpace(char ch) {
+  return ch == ' ' || ch == '\t' || ch == '\r' || ch == '\n' || ch == '\f' ||
+         ch == '\v';
+}
+}  // namespace
+
+char toLowerAscii(char ch) {
+  return (ch >= 'A' && ch <= 'Z') ? static_cast<char>(ch - 'A' + 'a') : ch;
+}
+
+std::string toLowerAscii(std::string_view text) {
+  std::string result(text);
+  std::transform(result.begin(), result.end(), result.begin(),
+                 [](char ch) { return toLowerAscii(ch); });
+  return result;
+}
+
+bool equalsIgnoreCase(std::string_view a, std::string_view b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (toLowerAscii(a[i]) != toLowerAscii(b[i])) return false;
+  }
+  return true;
+}
+
+std::string_view trim(std::string_view text) {
+  std::size_t begin = 0;
+  std::size_t end = text.size();
+  while (begin < end && isAsciiSpace(text[begin])) ++begin;
+  while (end > begin && isAsciiSpace(text[end - 1])) --end;
+  return text.substr(begin, end - begin);
+}
+
+std::vector<std::string> split(std::string_view text, char separator) {
+  std::vector<std::string> parts;
+  std::size_t start = 0;
+  while (true) {
+    const std::size_t pos = text.find(separator, start);
+    if (pos == std::string_view::npos) {
+      parts.emplace_back(text.substr(start));
+      return parts;
+    }
+    parts.emplace_back(text.substr(start, pos - start));
+    start = pos + 1;
+  }
+}
+
+std::vector<std::string> splitWhitespace(std::string_view text) {
+  std::vector<std::string> parts;
+  std::size_t i = 0;
+  while (i < text.size()) {
+    while (i < text.size() && isAsciiSpace(text[i])) ++i;
+    const std::size_t start = i;
+    while (i < text.size() && !isAsciiSpace(text[i])) ++i;
+    if (i > start) parts.emplace_back(text.substr(start, i - start));
+  }
+  return parts;
+}
+
+std::string join(const std::vector<std::string>& parts,
+                 std::string_view separator) {
+  std::string result;
+  for (std::size_t i = 0; i < parts.size(); ++i) {
+    if (i > 0) result.append(separator);
+    result.append(parts[i]);
+  }
+  return result;
+}
+
+bool containsIgnoreCase(std::string_view haystack, std::string_view needle) {
+  if (needle.empty()) return true;
+  if (needle.size() > haystack.size()) return false;
+  for (std::size_t i = 0; i + needle.size() <= haystack.size(); ++i) {
+    bool match = true;
+    for (std::size_t j = 0; j < needle.size(); ++j) {
+      if (toLowerAscii(haystack[i + j]) != toLowerAscii(needle[j])) {
+        match = false;
+        break;
+      }
+    }
+    if (match) return true;
+  }
+  return false;
+}
+
+namespace {
+// Decodes one UTF-8 sequence starting at text[i]; advances i past it.
+// Malformed bytes decode as U+FFFD and advance by one.
+unsigned long decodeUtf8At(std::string_view text, std::size_t& i) {
+  const auto lead = static_cast<unsigned char>(text[i]);
+  int extra = 0;
+  unsigned long codePoint = lead;
+  if (lead < 0x80) {
+    extra = 0;
+  } else if ((lead >> 5) == 0x6) {
+    extra = 1;
+    codePoint = lead & 0x1F;
+  } else if ((lead >> 4) == 0xE) {
+    extra = 2;
+    codePoint = lead & 0x0F;
+  } else if ((lead >> 3) == 0x1E) {
+    extra = 3;
+    codePoint = lead & 0x07;
+  } else {
+    ++i;
+    return 0xFFFD;
+  }
+  if (i + static_cast<std::size_t>(extra) >= text.size()) {
+    // Truncated sequence.
+    ++i;
+    return 0xFFFD;
+  }
+  for (int k = 1; k <= extra; ++k) {
+    const auto byte = static_cast<unsigned char>(text[i + static_cast<std::size_t>(k)]);
+    if ((byte >> 6) != 0x2) {
+      ++i;
+      return 0xFFFD;
+    }
+    codePoint = (codePoint << 6) | (byte & 0x3F);
+  }
+  i += static_cast<std::size_t>(extra) + 1;
+  return codePoint;
+}
+
+// Unicode punctuation/symbol ranges that should not count as word content
+// (dashes, quotes, bullets, arrows, box drawing, geometric shapes, and the
+// Latin-1 punctuation block).
+bool isUnicodePunctuationOrSymbol(unsigned long codePoint) {
+  return (codePoint >= 0xA0 && codePoint <= 0xBF) ||      // Latin-1 punct
+         (codePoint >= 0x2000 && codePoint <= 0x206F) ||  // general punct
+         (codePoint >= 0x2190 && codePoint <= 0x21FF) ||  // arrows
+         (codePoint >= 0x2500 && codePoint <= 0x25FF) ||  // box/geometry
+         codePoint == 0xD7 || codePoint == 0xF7 ||        // × ÷
+         codePoint == 0xFFFD;
+}
+}  // namespace
+
+bool hasAlphanumeric(std::string_view text) {
+  // ASCII letters/digits count; so does any non-ASCII *letter-like* code
+  // point (UTF-8 text in other scripts is word content — a page in Chinese
+  // must not become invisible to the content metric), but Unicode
+  // punctuation (em-dashes, bullets, arrows) stays noise.
+  std::size_t i = 0;
+  while (i < text.size()) {
+    const auto byte = static_cast<unsigned char>(text[i]);
+    if (byte < 0x80) {
+      if (std::isalnum(byte) != 0) return true;
+      ++i;
+      continue;
+    }
+    const unsigned long codePoint = decodeUtf8At(text, i);
+    if (!isUnicodePunctuationOrSymbol(codePoint)) return true;
+  }
+  return false;
+}
+
+bool looksLikeDateOrTime(std::string_view text) {
+  const std::string_view trimmed = trim(text);
+  if (trimmed.empty()) return false;
+  bool sawDigit = false;
+  for (const char ch : trimmed) {
+    if (std::isdigit(static_cast<unsigned char>(ch)) != 0) {
+      sawDigit = true;
+      continue;
+    }
+    if (ch == ':' || ch == '/' || ch == '.' || ch == ',' || ch == '-' ||
+        ch == ' ') {
+      continue;
+    }
+    return false;
+  }
+  return sawDigit;
+}
+
+std::string replaceAll(std::string_view text, std::string_view from,
+                       std::string_view to) {
+  if (from.empty()) return std::string(text);
+  std::string result;
+  std::size_t start = 0;
+  while (true) {
+    const std::size_t pos = text.find(from, start);
+    if (pos == std::string_view::npos) {
+      result.append(text.substr(start));
+      return result;
+    }
+    result.append(text.substr(start, pos - start));
+    result.append(to);
+    start = pos + from.size();
+  }
+}
+
+std::string collapseWhitespace(std::string_view text) {
+  std::string result;
+  bool pendingSpace = false;
+  for (const char ch : text) {
+    if (isAsciiSpace(ch)) {
+      pendingSpace = !result.empty();
+      continue;
+    }
+    if (pendingSpace) {
+      result.push_back(' ');
+      pendingSpace = false;
+    }
+    result.push_back(ch);
+  }
+  return result;
+}
+
+}  // namespace cookiepicker::util

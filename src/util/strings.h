@@ -1,0 +1,49 @@
+// Small string utilities shared across modules.
+//
+// Only ASCII semantics — HTTP header names, tag names, attribute names and
+// cookie attributes are all ASCII-case-insensitive by specification, and the
+// synthetic web we generate is ASCII.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace cookiepicker::util {
+
+char toLowerAscii(char ch);
+std::string toLowerAscii(std::string_view text);
+
+bool equalsIgnoreCase(std::string_view a, std::string_view b);
+
+// Trims ASCII whitespace (space, tab, CR, LF, FF, VT) from both ends.
+std::string_view trim(std::string_view text);
+
+// Splits on a single character; empty fields are kept (so "a;;b" → 3 parts).
+std::vector<std::string> split(std::string_view text, char separator);
+
+// Splits on runs of ASCII whitespace; empty fields are dropped.
+std::vector<std::string> splitWhitespace(std::string_view text);
+
+std::string join(const std::vector<std::string>& parts,
+                 std::string_view separator);
+
+bool containsIgnoreCase(std::string_view haystack, std::string_view needle);
+
+// True if the text contains at least one ASCII letter or digit. CVCE treats
+// text nodes failing this as noise (pure punctuation/whitespace).
+bool hasAlphanumeric(std::string_view text);
+
+// True if every non-space character is a digit or one of ":/.,-" — the shape
+// of dates, times and counters ("12:30:05", "2007-01-17"). CVCE noise rule.
+bool looksLikeDateOrTime(std::string_view text);
+
+// Replaces every occurrence of `from` (non-empty) with `to`.
+std::string replaceAll(std::string_view text, std::string_view from,
+                       std::string_view to);
+
+// Collapses runs of ASCII whitespace into single spaces and trims. Used to
+// canonicalize text-node content before comparison.
+std::string collapseWhitespace(std::string_view text);
+
+}  // namespace cookiepicker::util

@@ -1,0 +1,167 @@
+// Prompt-based manager and P3P baselines (Sections 1 and 6).
+#include <gtest/gtest.h>
+
+#include "baseline/alternatives.h"
+#include "server/generator.h"
+#include "server/p3p.h"
+#include "test_support.h"
+
+namespace cookiepicker::baseline {
+namespace {
+
+using server::P3pPurpose;
+using testsupport::SimWorld;
+
+// --- PromptingManager ---------------------------------------------------------
+
+TEST(PromptingManager, OnePromptPerNewCookie) {
+  SimWorld world;
+  const auto spec = world.addGenericSite("shop.example");  // 3 persistent
+  int allowAll = 0;
+  PromptingManager manager([&](const std::string&, const std::string&) {
+    ++allowAll;
+    return true;
+  });
+  const auto view = world.browser.visit(world.urlFor(spec));
+  const int prompts = manager.onPageView(world.browser, view);
+  EXPECT_EQ(prompts, 3);
+  // Revisiting does not re-prompt for already-decided cookies.
+  const auto second = world.browser.visit(world.urlFor(spec));
+  EXPECT_EQ(manager.onPageView(world.browser, second), 0);
+  EXPECT_EQ(manager.totalPrompts(), 3u);
+}
+
+TEST(PromptingManager, DeniedCookiesRemovedFromJar) {
+  SimWorld world;
+  const auto spec = world.addGenericSite("shop.example");
+  PromptingManager manager([](const std::string&, const std::string& name) {
+    return name == "prefstyle";  // user denies the trackers
+  });
+  const auto view = world.browser.visit(world.urlFor(spec));
+  manager.onPageView(world.browser, view);
+  EXPECT_EQ(manager.denied(), 2u);
+  const auto records =
+      world.browser.jar().persistentCookiesForHost(spec.domain);
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_EQ(records[0]->key.name, "prefstyle");
+}
+
+TEST(PromptingManager, DeniedCookieRepromptsIfSiteSetsItAgain) {
+  // The 2007 tools remembered the decision per (host, name): a re-set
+  // cookie gets silently re-denied... here the decision map prevents a new
+  // prompt, so the second visit stores it again but no dialog appears.
+  SimWorld world;
+  const auto spec = world.addGenericSite("shop.example");
+  PromptingManager manager(
+      [](const std::string&, const std::string&) { return false; });
+  auto view = world.browser.visit(world.urlFor(spec));
+  EXPECT_EQ(manager.onPageView(world.browser, view), 3);
+  view = world.browser.visit(world.urlFor(spec));
+  EXPECT_EQ(manager.onPageView(world.browser, view), 0);
+}
+
+TEST(PromptingManager, PromptsScaleWithSites) {
+  SimWorld world;
+  PromptingManager manager(
+      [](const std::string&, const std::string&) { return true; });
+  for (int i = 0; i < 4; ++i) {
+    const auto spec = world.addGenericSite("s" + std::to_string(i) +
+                                           ".example",
+                                           static_cast<std::uint64_t>(i));
+    const auto view = world.browser.visit(world.urlFor(spec));
+    manager.onPageView(world.browser, view);
+  }
+  EXPECT_EQ(manager.totalPrompts(), 12u);  // 3 cookies × 4 sites
+}
+
+// --- P3P ----------------------------------------------------------------------
+
+TEST(P3p, PolicyServedWhenSiteOptsIn) {
+  SimWorld world;
+  auto spec = server::makeGenericSpec("P", "polite.example", 3);
+  spec.p3pPolicy = true;
+  world.addSite(spec);
+  net::HttpRequest request;
+  request.url = *net::Url::parse("http://polite.example/w3c/p3p.xml");
+  const auto exchange = world.network.dispatch(request);
+  EXPECT_EQ(exchange.response.status, 200);
+  EXPECT_NE(exchange.response.body.find("<POLICY>"), std::string::npos);
+  EXPECT_NE(exchange.response.body.find("prefstyle"), std::string::npos);
+}
+
+TEST(P3p, NoPolicyMeans404) {
+  SimWorld world;
+  const auto spec = world.addGenericSite("silent.example");
+  net::HttpRequest request;
+  request.url =
+      *net::Url::parse("http://" + spec.domain + "/w3c/p3p.xml");
+  EXPECT_EQ(world.network.dispatch(request).response.status, 404);
+}
+
+TEST(P3p, ParsePolicyRoundTrip) {
+  const std::string xml =
+      "<POLICY>\n"
+      "  <COOKIE name=\"uid\" purpose=\"tracking\"/>\n"
+      "  <COOKIE name=\"theme\" purpose=\"personalization\"/>\n"
+      "  <COOKIE name=\"sid\" purpose=\"session-state\"/>\n"
+      "</POLICY>\n";
+  const auto declarations = P3pClassifier::parsePolicy(xml);
+  ASSERT_EQ(declarations.size(), 3u);
+  EXPECT_EQ(declarations.at("uid"), P3pPurpose::Tracking);
+  EXPECT_EQ(declarations.at("theme"), P3pPurpose::Personalization);
+  EXPECT_EQ(declarations.at("sid"), P3pPurpose::SessionState);
+}
+
+TEST(P3p, ParsePolicyToleratesGarbage) {
+  EXPECT_TRUE(P3pClassifier::parsePolicy("").empty());
+  EXPECT_TRUE(P3pClassifier::parsePolicy("<POLICY></POLICY>").empty());
+  EXPECT_TRUE(P3pClassifier::parsePolicy("<COOKIE purpose=\"x\"/>").empty());
+}
+
+TEST(P3p, ClassifierDecidesDeclaredCookies) {
+  SimWorld world;
+  auto spec = server::makeGenericSpec("P", "polite.example", 3);
+  spec.p3pPolicy = true;
+  world.addSite(spec);
+  P3pClassifier classifier(world.network);
+  EXPECT_EQ(classifier.classify("polite.example", "trk0"),
+            P3pPurpose::Tracking);
+  EXPECT_EQ(classifier.classify("polite.example", "prefstyle"),
+            P3pPurpose::Personalization);
+  EXPECT_FALSE(
+      classifier.classify("polite.example", "unknown").has_value());
+}
+
+TEST(P3p, ClassifierUndecidableWithoutPolicy) {
+  SimWorld world;
+  const auto spec = world.addGenericSite("silent.example");
+  P3pClassifier classifier(world.network);
+  EXPECT_FALSE(classifier.classify(spec.domain, "trk0").has_value());
+}
+
+TEST(P3p, PolicyFetchedOncePerHost) {
+  SimWorld world;
+  auto spec = server::makeGenericSpec("P", "polite.example", 3);
+  spec.p3pPolicy = true;
+  world.addSite(spec);
+  P3pClassifier classifier(world.network);
+  classifier.classify("polite.example", "trk0");
+  classifier.classify("polite.example", "trk1");
+  classifier.classify("polite.example", "prefstyle");
+  EXPECT_EQ(classifier.policyFetches(), 1u);
+}
+
+TEST(P3p, AdoptionIsLowInMeasurementPopulation) {
+  // The paper's objection, as a number: at realistic adoption most cookies
+  // are undecidable via P3P.
+  const auto roster = server::measurementRoster(200, 2007);
+  int withPolicy = 0;
+  for (const auto& spec : roster) {
+    if (spec.p3pPolicy) ++withPolicy;
+  }
+  EXPECT_GT(withPolicy, 3);
+  EXPECT_LT(withPolicy, 40);  // ~8% of 200
+}
+
+}  // namespace
+}  // namespace cookiepicker::baseline

@@ -1,0 +1,282 @@
+#include <gtest/gtest.h>
+
+#include "core/cookie_picker.h"
+#include "core/forcum.h"
+#include "server/generator.h"
+#include "test_support.h"
+
+namespace cookiepicker::core {
+namespace {
+
+using testsupport::SimWorld;
+
+// Crawl helper: browse `views` pages of a site through the picker.
+void crawl(CookiePicker& picker, const server::SiteSpec& spec, int views) {
+  const auto paths = server::buildSite(spec, picker.browser().clock())
+                         ->pagePaths();  // same path scheme
+  for (int i = 0; i < views; ++i) {
+    picker.browse("http://" + spec.domain +
+                  paths[static_cast<std::size_t>(i) % paths.size()]);
+  }
+}
+
+server::SiteSpec trackerOnlySpec(const std::string& domain, int trackers) {
+  server::SiteSpec spec;
+  spec.label = "T";
+  spec.domain = domain;
+  spec.category = "news";
+  spec.seed = 31;
+  spec.containerTrackers = trackers;
+  return spec;
+}
+
+server::SiteSpec prefSpec(const std::string& domain, int intensity = 2) {
+  server::SiteSpec spec;
+  spec.label = "P";
+  spec.domain = domain;
+  spec.category = "arts";
+  spec.seed = 32;
+  spec.preferenceCookies = 1;
+  spec.preferenceIntensity = intensity;
+  return spec;
+}
+
+// --- FORCUM engine -------------------------------------------------------------
+
+TEST(Forcum, TrackerCookiesNeverMarked) {
+  SimWorld world;
+  const auto spec = world.addSite(trackerOnlySpec("trk.example", 3));
+  CookiePicker picker(world.browser);
+  crawl(picker, spec, 12);
+  for (const cookies::CookieRecord* record :
+       world.browser.jar().persistentCookiesForHost(spec.domain)) {
+    EXPECT_FALSE(record->useful) << record->key.name;
+  }
+}
+
+TEST(Forcum, PreferenceCookieMarkedUseful) {
+  SimWorld world;
+  const auto spec = world.addSite(prefSpec("pref.example"));
+  CookiePicker picker(world.browser);
+  crawl(picker, spec, 6);
+  const auto records =
+      world.browser.jar().persistentCookiesForHost(spec.domain);
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_TRUE(records[0]->useful);
+}
+
+TEST(Forcum, FirstViewCannotDetectYet) {
+  // On the very first view the regular page was fetched without cookies,
+  // so regular and hidden copies agree; marking happens from view two on.
+  SimWorld world;
+  const auto spec = world.addSite(prefSpec("pref.example"));
+  CookiePicker picker(world.browser);
+  const ForcumStepReport first = picker.browse(world.urlFor(spec));
+  EXPECT_TRUE(first.newlyMarked.empty());
+  const ForcumStepReport second = picker.browse(world.urlFor(spec));
+  EXPECT_FALSE(second.newlyMarked.empty());
+}
+
+TEST(Forcum, CoSentTrackersGetCoMarked) {
+  // The P5/P6 effect: trackers riding the same request as a useful cookie
+  // are marked together with it under AllPersistent group testing.
+  SimWorld world;
+  auto spec = prefSpec("mix.example");
+  spec.containerTrackers = 3;
+  world.addSite(spec);
+  CookiePicker picker(world.browser);
+  crawl(picker, spec, 6);
+  int marked = 0;
+  for (const cookies::CookieRecord* record :
+       world.browser.jar().persistentCookiesForHost(spec.domain)) {
+    if (record->useful) ++marked;
+  }
+  EXPECT_EQ(marked, 4);  // 1 real + 3 co-sent
+}
+
+TEST(Forcum, PerCookieModeAvoidsCoMarking) {
+  SimWorld world;
+  auto spec = prefSpec("mix.example");
+  spec.containerTrackers = 3;
+  world.addSite(spec);
+  CookiePickerConfig config;
+  config.forcum.groupMode = CookieGroupMode::PerCookie;
+  CookiePicker picker(world.browser, config);
+  crawl(picker, spec, 20);  // per-cookie testing needs more views
+  int marked = 0;
+  for (const cookies::CookieRecord* record :
+       world.browser.jar().persistentCookiesForHost(spec.domain)) {
+    if (record->useful) {
+      ++marked;
+      EXPECT_EQ(record->key.name, "prefstyle");
+    }
+  }
+  EXPECT_EQ(marked, 1);
+}
+
+TEST(Forcum, NoHiddenRequestWithoutPersistentCookies) {
+  SimWorld world;
+  server::SiteSpec spec;
+  spec.label = "N";
+  spec.domain = "plain.example";
+  spec.category = "science";
+  spec.seed = 3;
+  spec.sessionCart = true;  // session cookie only
+  world.addSite(spec);
+  CookiePicker picker(world.browser);
+  const ForcumStepReport report = picker.browse("http://plain.example/");
+  EXPECT_FALSE(report.hiddenRequestSent);
+}
+
+TEST(Forcum, TrainingTurnsOffAfterStableViews) {
+  SimWorld world;
+  const auto spec = world.addSite(trackerOnlySpec("trk.example", 2));
+  CookiePickerConfig config;
+  config.forcum.stableViewThreshold = 5;
+  CookiePicker picker(world.browser, config);
+  crawl(picker, spec, 12);
+  EXPECT_FALSE(picker.forcum().isTrainingActive(spec.domain));
+  const ForcumEngine::SiteState* state =
+      picker.forcum().siteState(spec.domain);
+  ASSERT_NE(state, nullptr);
+  // Once off, later views send no hidden requests.
+  const int hiddenBefore = state->hiddenRequests;
+  picker.browse(world.urlFor(spec));
+  EXPECT_EQ(state->hiddenRequests, hiddenBefore);
+}
+
+TEST(Forcum, NewCookieReactivatesTraining) {
+  SimWorld world;
+  const auto spec = world.addSite(trackerOnlySpec("trk.example", 2));
+  CookiePickerConfig config;
+  config.forcum.stableViewThreshold = 4;
+  CookiePicker picker(world.browser, config);
+  crawl(picker, spec, 10);
+  ASSERT_FALSE(picker.forcum().isTrainingActive(spec.domain));
+  // A new cookie appears (e.g. the site deployed a new tracker).
+  net::SetCookie fresh;
+  fresh.name = "brandnew";
+  fresh.value = "1";
+  fresh.maxAgeSeconds = 86400;
+  world.browser.jar().store(fresh, *net::Url::parse(world.urlFor(spec)),
+                            true, world.clock.nowMs());
+  picker.browse(world.urlFor(spec));
+  EXPECT_TRUE(picker.forcum().isTrainingActive(spec.domain));
+}
+
+TEST(Forcum, ManualResumeWorks) {
+  SimWorld world;
+  const auto spec = world.addSite(trackerOnlySpec("trk.example", 1));
+  CookiePickerConfig config;
+  config.forcum.stableViewThreshold = 3;
+  CookiePicker picker(world.browser, config);
+  crawl(picker, spec, 8);
+  ASSERT_FALSE(picker.forcum().isTrainingActive(spec.domain));
+  picker.forcum().resumeTraining(spec.domain);
+  EXPECT_TRUE(picker.forcum().isTrainingActive(spec.domain));
+}
+
+TEST(Forcum, ReportsDurationAndDetectionStats) {
+  SimWorld world;
+  const auto spec = world.addSite(trackerOnlySpec("trk.example", 2));
+  CookiePicker picker(world.browser);
+  crawl(picker, spec, 5);
+  const HostReport report = picker.report(spec.domain);
+  EXPECT_EQ(report.persistentCookies, 2);
+  EXPECT_EQ(report.markedUseful, 0);
+  EXPECT_GT(report.hiddenRequests, 0);
+  EXPECT_GT(report.averageDurationMs, 0.0);
+  EXPECT_GE(report.averageDetectionMs, 0.0);
+  // Duration is dominated by the hidden round trip: comfortably below the
+  // >10 s mean think time.
+  EXPECT_LT(report.averageDurationMs, 10'000.0);
+}
+
+// --- enforcement -----------------------------------------------------------------
+
+TEST(CookiePickerFacade, EnforcementBlocksAndDeletesUseless) {
+  SimWorld world;
+  auto spec = prefSpec("mix.example");
+  spec.pixelTrackers = 2;  // path-scoped: never co-marked
+  world.addSite(spec);
+  CookiePicker picker(world.browser);
+  // Crawl page views plus the pixel paths get fetched as subresources.
+  crawl(picker, spec, 8);
+  // pref + 2 pixel trackers (path-scoped, never co-marked).
+  ASSERT_EQ(world.browser.jar().persistentCookiesForHost(spec.domain).size(),
+            3u);
+  picker.enforceForHost(spec.domain);
+  EXPECT_TRUE(picker.isEnforced(spec.domain));
+  // The pref cookie (useful) survives; pixels were host cookies on the same
+  // host with /metrics paths — removed as useless.
+  bool prefSurvives = false;
+  for (const cookies::CookieRecord* record : world.browser.jar().all()) {
+    if (record->key.name == "prefstyle") prefSurvives = true;
+    EXPECT_FALSE(record->key.name.starts_with("px"));
+  }
+  EXPECT_TRUE(prefSurvives);
+}
+
+TEST(CookiePickerFacade, AutoEnforceAfterStability) {
+  SimWorld world;
+  const auto spec = world.addSite(trackerOnlySpec("trk.example", 2));
+  CookiePickerConfig config;
+  config.forcum.stableViewThreshold = 4;
+  config.autoEnforce = true;
+  CookiePicker picker(world.browser, config);
+  crawl(picker, spec, 10);
+  EXPECT_TRUE(picker.isEnforced(spec.domain));
+  // Jar no longer holds the trackers.
+  EXPECT_TRUE(
+      world.browser.jar().persistentCookiesForHost(spec.domain).empty());
+}
+
+// --- backward error recovery -------------------------------------------------------
+
+TEST(Recovery, ButtonRemarksPageCookiesUseful) {
+  SimWorld world;
+  const auto spec = world.addSite(trackerOnlySpec("trk.example", 2));
+  CookiePicker picker(world.browser);
+  crawl(picker, spec, 4);
+  // User notices a problem and presses the button.
+  const auto changed =
+      picker.pressRecoveryButton(*net::Url::parse(world.urlFor(spec)));
+  EXPECT_EQ(changed.size(), 2u);
+  for (const cookies::CookieRecord* record :
+       world.browser.jar().persistentCookiesForHost(spec.domain)) {
+    EXPECT_TRUE(record->useful);
+  }
+  EXPECT_EQ(picker.recovery().recoveryCount(), 1);
+  EXPECT_TRUE(picker.forcum().isTrainingActive(spec.domain));
+}
+
+TEST(Recovery, RecoveredCookiesSurviveEnforcement) {
+  SimWorld world;
+  const auto spec = world.addSite(trackerOnlySpec("trk.example", 1));
+  CookiePicker picker(world.browser);
+  crawl(picker, spec, 3);
+  picker.pressRecoveryButton(*net::Url::parse(world.urlFor(spec)));
+  picker.enforceForHost(spec.domain);
+  EXPECT_EQ(world.browser.jar().persistentCookiesForHost(spec.domain).size(),
+            1u);
+}
+
+TEST(Recovery, MarksMonotone) {
+  // markUseful is one-directional: pressing recovery twice or re-running
+  // training never un-marks.
+  SimWorld world;
+  const auto spec = world.addSite(prefSpec("pref.example"));
+  CookiePicker picker(world.browser);
+  crawl(picker, spec, 6);
+  const auto before =
+      world.browser.jar().persistentCookiesForHost(spec.domain);
+  ASSERT_FALSE(before.empty());
+  ASSERT_TRUE(before[0]->useful);
+  crawl(picker, spec, 6);
+  EXPECT_TRUE(world.browser.jar()
+                  .persistentCookiesForHost(spec.domain)[0]
+                  ->useful);
+}
+
+}  // namespace
+}  // namespace cookiepicker::core

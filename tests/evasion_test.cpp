@@ -1,0 +1,308 @@
+// Section 5.3: evasion against CookiePicker, and the consistency-reprobe
+// countermeasure extension.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/cookie_picker.h"
+#include "server/evasion.h"
+#include "server/generator.h"
+#include "server/site.h"
+#include "test_support.h"
+
+namespace cookiepicker {
+namespace {
+
+using core::CookieGroupMode;
+using core::CookiePicker;
+using core::CookiePickerConfig;
+using testsupport::SimWorld;
+
+// --- HiddenRequestDetector ----------------------------------------------------
+
+TEST(HiddenRequestDetector, FirstRequestIsNeverAProbe) {
+  server::HiddenRequestDetector detector;
+  EXPECT_FALSE(detector.looksLikeProbe("/", 3, 1000));
+}
+
+TEST(HiddenRequestDetector, RepeatWithFewerCookiesInWindowIsProbe) {
+  server::HiddenRequestDetector detector;
+  detector.looksLikeProbe("/", 3, 1000);
+  EXPECT_TRUE(detector.looksLikeProbe("/", 0, 3000));
+}
+
+TEST(HiddenRequestDetector, RepeatWithSameCookiesIsNotProbe) {
+  server::HiddenRequestDetector detector;
+  detector.looksLikeProbe("/", 3, 1000);
+  EXPECT_FALSE(detector.looksLikeProbe("/", 3, 3000));
+}
+
+TEST(HiddenRequestDetector, OutsideWindowIsNotProbe) {
+  server::HiddenRequestDetector detector;
+  detector.setWindowMs(5'000);
+  detector.looksLikeProbe("/", 3, 1000);
+  EXPECT_FALSE(detector.looksLikeProbe("/", 0, 10'000));
+}
+
+TEST(HiddenRequestDetector, ProbeDoesNotUpdateBaseline) {
+  server::HiddenRequestDetector detector;
+  detector.looksLikeProbe("/", 3, 1000);
+  EXPECT_TRUE(detector.looksLikeProbe("/", 0, 2000));
+  // A second probe shortly after must still compare against the genuine
+  // request's cookie count (3), not the probe's (0).
+  EXPECT_TRUE(detector.looksLikeProbe("/", 1, 2500));
+}
+
+TEST(HiddenRequestDetector, PathsAreIndependent) {
+  server::HiddenRequestDetector detector;
+  detector.looksLikeProbe("/a", 3, 1000);
+  EXPECT_FALSE(detector.looksLikeProbe("/b", 0, 1500));
+}
+
+// --- the attack ---------------------------------------------------------------
+
+server::SiteSpec evasiveTrackerSpec(const std::string& domain) {
+  server::SiteSpec spec;
+  spec.label = "EV";
+  spec.domain = domain;
+  spec.category = "business";
+  spec.seed = 61;
+  spec.containerTrackers = 2;  // pure trackers the operator wants kept
+  return spec;
+}
+
+std::shared_ptr<server::WebSite> buildEvasiveSite(
+    const server::SiteSpec& spec, util::SimClock& clock,
+    server::EvasionBehavior** evasionOut) {
+  auto site = server::buildSite(spec, clock);
+  auto evasion = std::make_unique<server::EvasionBehavior>();
+  *evasionOut = evasion.get();
+  site->addBehavior(std::move(evasion));
+  return site;
+}
+
+TEST(Evasion, DefeatsVanillaCookiePicker) {
+  SimWorld world;
+  const auto spec = evasiveTrackerSpec("evil.example");
+  server::EvasionBehavior* evasion = nullptr;
+  world.network.registerHost(
+      spec.domain, buildEvasiveSite(spec, world.clock, &evasion));
+
+  CookiePicker picker(world.browser);
+  for (int i = 0; i < 6; ++i) {
+    picker.browse("http://evil.example/page" + std::to_string(i + 1));
+  }
+  EXPECT_GT(evasion->probesDetected(), 0u);
+  // The cloaked probe responses made the useless trackers look useful —
+  // exactly the evasion the paper describes.
+  int marked = 0;
+  for (const cookies::CookieRecord* record :
+       world.browser.jar().persistentCookiesForHost(spec.domain)) {
+    if (record->useful) ++marked;
+  }
+  EXPECT_EQ(marked, 2);
+}
+
+TEST(Evasion, ConsistencyReprobeRestoresCorrectVerdict) {
+  SimWorld world;
+  const auto spec = evasiveTrackerSpec("evil.example");
+  server::EvasionBehavior* evasion = nullptr;
+  world.network.registerHost(
+      spec.domain, buildEvasiveSite(spec, world.clock, &evasion));
+
+  CookiePickerConfig config;
+  config.forcum.consistencyReprobe = true;
+  CookiePicker picker(world.browser, config);
+  bool sawInconsistency = false;
+  for (int i = 0; i < 6; ++i) {
+    const auto report =
+        picker.browse("http://evil.example/page" + std::to_string(i + 1));
+    sawInconsistency |= report.inconsistentHiddenCopies;
+  }
+  EXPECT_TRUE(sawInconsistency);
+  for (const cookies::CookieRecord* record :
+       world.browser.jar().persistentCookiesForHost(spec.domain)) {
+    EXPECT_FALSE(record->useful) << record->key.name;
+  }
+}
+
+TEST(Evasion, ReprobeDoesNotBreakLegitimateDetection) {
+  // On an honest site with a genuinely useful cookie, the two hidden copies
+  // agree and the marking proceeds normally.
+  SimWorld world;
+  server::SiteSpec spec;
+  spec.label = "OK";
+  spec.domain = "honest.example";
+  spec.category = "arts";
+  spec.seed = 62;
+  spec.preferenceCookies = 1;
+  spec.preferenceIntensity = 2;
+  world.addSite(spec);
+
+  CookiePickerConfig config;
+  config.forcum.consistencyReprobe = true;
+  CookiePicker picker(world.browser, config);
+  for (int i = 0; i < 5; ++i) {
+    picker.browse("http://honest.example/page" + std::to_string(i + 1));
+  }
+  const auto records =
+      world.browser.jar().persistentCookiesForHost(spec.domain);
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_TRUE(records[0]->useful);
+}
+
+TEST(Evasion, ReprobeVetoesLayoutNoiseDetections) {
+  // Side benefit: S1/S10/S27-style dynamics also tend to fail the
+  // hidden-vs-hidden agreement check. One reprobe cannot eliminate these
+  // false positives (both hidden copies may land on the calm variant while
+  // the regular copy was shuffled — quantified in bench_evasion), but the
+  // veto must demonstrably fire on dynamic pages.
+  SimWorld world;
+  server::SiteSpec spec;
+  spec.label = "NZ";
+  spec.domain = "noisy.example";
+  spec.category = "news";
+  spec.seed = 63;
+  spec.containerTrackers = 2;
+  spec.layoutNoiseProbability = 0.45;
+  world.addSite(spec);
+
+  CookiePickerConfig config;
+  config.forcum.consistencyReprobe = true;
+  CookiePicker picker(world.browser, config);
+  int vetoes = 0;
+  int falseMarks = 0;
+  for (int i = 0; i < 20; ++i) {
+    const auto report =
+        picker.browse("http://noisy.example/page" + std::to_string(i % 8 + 1));
+    if (report.inconsistentHiddenCopies) ++vetoes;
+    falseMarks += static_cast<int>(report.newlyMarked.size());
+  }
+  EXPECT_GT(vetoes, 0);
+  // Every vetoed view would have been a false marking in vanilla mode.
+  EXPECT_LE(falseMarks, 2);
+}
+
+// --- Bisection group testing -----------------------------------------------------
+
+TEST(Bisection, IsolatesUsefulCookieWithoutCoMarking) {
+  SimWorld world;
+  server::SiteSpec spec;
+  spec.label = "B";
+  spec.domain = "bisect.example";
+  spec.category = "science";
+  spec.seed = 64;
+  spec.preferenceCookies = 1;
+  spec.preferenceIntensity = 2;
+  spec.containerTrackers = 7;  // 8 cookies total, 1 useful
+  world.addSite(spec);
+
+  CookiePickerConfig config;
+  config.forcum.groupMode = CookieGroupMode::Bisection;
+  CookiePicker picker(world.browser, config);
+  for (int i = 0; i < 16; ++i) {
+    picker.browse("http://bisect.example/page" + std::to_string(i % 8 + 1));
+  }
+  int marked = 0;
+  for (const cookies::CookieRecord* record :
+       world.browser.jar().persistentCookiesForHost(spec.domain)) {
+    if (record->useful) {
+      ++marked;
+      EXPECT_EQ(record->key.name, "prefstyle");
+    }
+  }
+  EXPECT_EQ(marked, 1);
+}
+
+TEST(Bisection, ConvergesFasterThanPerCookie) {
+  // Worst case for round-robin: the single useful cookie ("zpref") sorts
+  // *after* all 15 trackers, so PerCookie only reaches it on its 16th test.
+  // Bisection pins it down in O(log n) difference-bearing views.
+  auto viewsToMark = [](CookieGroupMode mode) {
+    SimWorld world;
+    server::SiteConfig siteConfig;
+    siteConfig.domain = "race.example";
+    siteConfig.title = "Race";
+    siteConfig.category = "science";
+    siteConfig.seed = 65;
+    auto site = std::make_shared<server::WebSite>(siteConfig, world.clock);
+    site->addBehavior(
+        std::make_unique<server::PreferenceCookieBehavior>("zpref", 2));
+    for (int i = 0; i < 15; ++i) {
+      site->addBehavior(std::make_unique<server::TrackingCookieBehavior>(
+          "trk" + std::to_string(i)));
+    }
+    world.network.registerHost(siteConfig.domain, site);
+
+    CookiePickerConfig config;
+    config.forcum.groupMode = mode;
+    CookiePicker picker(world.browser, config);
+    for (int i = 1; i <= 64; ++i) {
+      const auto report = picker.browse("http://race.example/page" +
+                                        std::to_string(i % 8 + 1));
+      if (!report.newlyMarked.empty()) return i;
+    }
+    return 9999;
+  };
+  const int bisectionViews = viewsToMark(CookieGroupMode::Bisection);
+  const int perCookieViews = viewsToMark(CookieGroupMode::PerCookie);
+  EXPECT_LT(bisectionViews, perCookieViews);
+  EXPECT_LE(bisectionViews, 12);  // ~1 no-op + 1 full + log2(16) splits
+  EXPECT_GE(perCookieViews, 16);  // had to walk the whole tracker list
+}
+
+TEST(Bisection, MultipleUsefulCookiesAllFound) {
+  SimWorld world;
+  server::SiteSpec spec;
+  spec.label = "B2";
+  spec.domain = "multi.example";
+  spec.category = "home";
+  spec.seed = 66;
+  spec.preferenceCookies = 2;
+  spec.containerTrackers = 6;
+  world.addSite(spec);
+
+  CookiePickerConfig config;
+  config.forcum.groupMode = CookieGroupMode::Bisection;
+  CookiePicker picker(world.browser, config);
+  for (int i = 0; i < 24; ++i) {
+    picker.browse("http://multi.example/page" + std::to_string(i % 8 + 1));
+  }
+  int marked = 0;
+  for (const cookies::CookieRecord* record :
+       world.browser.jar().persistentCookiesForHost(spec.domain)) {
+    if (record->useful) {
+      ++marked;
+      EXPECT_TRUE(record->key.name.starts_with("pref"))
+          << record->key.name;
+    }
+  }
+  EXPECT_EQ(marked, 2);
+}
+
+TEST(Bisection, TrackerOnlySiteStabilizesUnmarked) {
+  SimWorld world;
+  server::SiteSpec spec;
+  spec.label = "B3";
+  spec.domain = "flat.example";
+  spec.category = "games";
+  spec.seed = 67;
+  spec.containerTrackers = 4;
+  world.addSite(spec);
+
+  CookiePickerConfig config;
+  config.forcum.groupMode = CookieGroupMode::Bisection;
+  config.forcum.stableViewThreshold = 6;
+  CookiePicker picker(world.browser, config);
+  for (int i = 0; i < 12; ++i) {
+    picker.browse("http://flat.example/page" + std::to_string(i % 8 + 1));
+  }
+  EXPECT_FALSE(picker.forcum().isTrainingActive(spec.domain));
+  for (const cookies::CookieRecord* record :
+       world.browser.jar().persistentCookiesForHost(spec.domain)) {
+    EXPECT_FALSE(record->useful);
+  }
+}
+
+}  // namespace
+}  // namespace cookiepicker

@@ -1,0 +1,185 @@
+// Adversarial inputs for the HTML pipeline. The paper's step three only
+// works if malformed pages are normalized identically on the regular and
+// hidden paths, which makes the parser's *totality* and *determinism* the
+// properties that matter more than spec-exact trees.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "dom/serialize.h"
+#include "html/entities.h"
+#include "html/parser.h"
+#include "html/tokenizer.h"
+
+namespace cookiepicker::html {
+namespace {
+
+using dom::structureSignature;
+using dom::toDebugString;
+
+std::string parseSignature(const std::string& input) {
+  return structureSignature(*parseHtml(input));
+}
+
+// --- tag soup --------------------------------------------------------------
+
+TEST(Torture, UnclosedEverything) {
+  EXPECT_EQ(parseSignature("<div><span><b><i>deep"),
+            "html(head,body(div(span(b(i)))))");
+}
+
+TEST(Torture, OnlyEndTags) {
+  EXPECT_EQ(parseSignature("</div></p></body></html></table>"),
+            "html(head,body)");
+}
+
+TEST(Torture, InterleavedTags) {
+  // <b><i></b></i> — the classic misnesting; our parser closes i with b.
+  EXPECT_EQ(parseSignature("<p><b><i>x</b>y</i></p>"),
+            "html(head,body(p(b(i))))");
+}
+
+TEST(Torture, TagInsideAttributeValue) {
+  const auto signature =
+      parseSignature("<div title=\"<p>not a tag</p>\">x</div>");
+  EXPECT_EQ(signature, "html(head,body(div))");
+}
+
+TEST(Torture, UnterminatedAttributeQuote) {
+  // The quote swallows the rest of the input; parser must not hang or
+  // crash, and must produce something deterministic.
+  const std::string input = "<div class=\"oops><p>text</p>";
+  EXPECT_EQ(toDebugString(*parseHtml(input)),
+            toDebugString(*parseHtml(input)));
+}
+
+TEST(Torture, NullLikeAndControlCharacters) {
+  std::string input = "<p>a";
+  input.push_back('\x01');
+  input += "b</p>";
+  const auto document = parseHtml(input);
+  EXPECT_NE(document->findFirst("p"), nullptr);
+}
+
+TEST(Torture, AbsurdNestingDepth) {
+  std::string input;
+  for (int i = 0; i < 200; ++i) input += "<div>";
+  input += "bottom";
+  const auto document = parseHtml(input);
+  EXPECT_EQ(document->findAll("div").size(), 200u);
+  // textContent at the bottom of the pit.
+  EXPECT_NE(document->textContent().find("bottom"), std::string::npos);
+}
+
+TEST(Torture, ManySiblings) {
+  std::string input = "<ul>";
+  for (int i = 0; i < 500; ++i) input += "<li>x";
+  input += "</ul>";
+  const auto document = parseHtml(input);
+  EXPECT_EQ(document->findAll("li").size(), 500u);
+  const dom::Node* list = document->findFirst("ul");
+  ASSERT_NE(list, nullptr);
+  EXPECT_EQ(list->childCount(), 500u);  // all li are siblings, not nested
+}
+
+TEST(Torture, TableSoup) {
+  // Rows and cells with no table context rules beyond auto-closing.
+  EXPECT_EQ(parseSignature("<table><td>a<tr><td>b<td>c</table>"),
+            "html(head,body(table(td,tr(td,td))))");
+}
+
+TEST(Torture, HeadAfterBodyContentIgnoredStructurally) {
+  const auto signature = parseSignature("<p>x</p><head><title>t</title>");
+  // The late <head> tag cannot rewind; title lands in body (lenient), but
+  // structure stays deterministic.
+  EXPECT_EQ(parseSignature("<p>x</p><head><title>t</title>"), signature);
+}
+
+TEST(Torture, SelfClosingNonVoidElement) {
+  // "<div/>" — HTML treats the slash as noise... our tokenizer honours the
+  // self-closing flag, so the div takes no children. Either behaviour is
+  // fine as long as it is stable; pin it.
+  EXPECT_EQ(parseSignature("<div/><p>x</p>"), "html(head,body(div,p))");
+}
+
+TEST(Torture, CommentContainingTags) {
+  const auto document = parseHtml("<!-- <p>ghost</p> --><div>real</div>");
+  EXPECT_EQ(document->findAll("p").size(), 0u);
+  EXPECT_EQ(document->findAll("div").size(), 1u);
+}
+
+TEST(Torture, ConditionalCommentStyleInput) {
+  const auto document =
+      parseHtml("<!--[if IE]><p>ie only</p><![endif]--><div>x</div>");
+  EXPECT_EQ(document->findAll("p").size(), 0u);
+}
+
+TEST(Torture, ScriptContainingFakeEndTags) {
+  const auto document = parseHtml(
+      "<script>var s = \"</div></body>\"; if (1 </scr + ipt>2) {}</script>"
+      "<p>after</p>");
+  // The first "</scr" does not terminate the script (only "</script" does);
+  // ensure the paragraph still exists and nothing crashed.
+  EXPECT_EQ(document->findAll("p").size(), 1u);
+}
+
+TEST(Torture, StyleWithBracesAndSelectors) {
+  const auto document = parseHtml(
+      "<style>div > p::before { content: \"<li>\"; }</style><div><p>x</p>"
+      "</div>");
+  EXPECT_EQ(document->findAll("li").size(), 0u);
+  const dom::Node* style = document->findFirst("style");
+  ASSERT_NE(style, nullptr);
+  EXPECT_NE(style->textContent().find("content"), std::string::npos);
+}
+
+TEST(Torture, EntitiesEverywhere) {
+  const auto document = parseHtml(
+      "<p title=\"&lt;&amp;&gt;\">&amp;&#65;&bogus;&\n</p>");
+  const dom::Node* paragraph = document->findFirst("p");
+  ASSERT_NE(paragraph, nullptr);
+  EXPECT_EQ(paragraph->attribute("title").value_or(""), "<&>");
+  EXPECT_NE(paragraph->textContent().find("&A&bogus;"), std::string::npos);
+}
+
+TEST(Torture, VeryLongAttributeValue) {
+  const std::string longValue(100'000, 'x');
+  const auto document =
+      parseHtml("<div data-blob=\"" + longValue + "\">y</div>");
+  const dom::Node* div = document->findFirst("div");
+  ASSERT_NE(div, nullptr);
+  EXPECT_EQ(div->attribute("data-blob").value_or("").size(), 100'000u);
+}
+
+TEST(Torture, EmptyTagName) {
+  // "< >" and "<>" are text, "</>" is a stray end tag.
+  const auto document = parseHtml("a <> b </> c < > d");
+  EXPECT_NE(document->textContent().find("a <> b"), std::string::npos);
+}
+
+// Determinism sweep over deliberately broken fragments.
+class BrokenFragment : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(BrokenFragment, ParsesDeterministicallyAndSerializesStably) {
+  const std::string input = GetParam();
+  const auto first = parseHtml(input);
+  const auto second = parseHtml(input);
+  EXPECT_EQ(toDebugString(*first), toDebugString(*second));
+  // serialize → reparse → serialize is a fixpoint.
+  const std::string once = dom::toHtml(*first);
+  const std::string twice = dom::toHtml(*parseHtml(once));
+  EXPECT_EQ(once, twice) << input;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Fragments, BrokenFragment,
+    ::testing::Values(
+        "<div", "</", "<!", "<!-", "<!--", "<p class=", "<p class='",
+        "<a href=\"x", "text<", "<<<<", "<p><p><p>", "</p></p>",
+        "<table><table><table>", "<select><option><select>",
+        "<script>", "<style>unclosed", "<title>t", "<textarea><p>x",
+        "<li><li></ul><li>", "<b><p></b></p>", "&#;", "&#x;", "a&b;c",
+        "<img src=x<p>", "<div =\"x\">", "<div ==>", "<DIV CLASS=UPPER>"));
+
+}  // namespace
+}  // namespace cookiepicker::html

@@ -1,0 +1,98 @@
+#include <gtest/gtest.h>
+
+#include "measure/census.h"
+#include "server/generator.h"
+
+namespace cookiepicker::measure {
+namespace {
+
+TEST(Census, CountsSitesAndCookies) {
+  const auto roster = server::table1Roster();
+  CensusOptions options;
+  options.pagesPerSite = 2;
+  const CensusReport report = runCensus(roster, options);
+  EXPECT_EQ(report.sitesVisited, 30);
+  // Every Table 1 site sets persistent cookies by construction.
+  EXPECT_EQ(report.sitesSettingPersistent, 30);
+  EXPECT_GT(report.totalCookies(), 0);
+  EXPECT_GT(report.persistentCookies(), 0);
+}
+
+TEST(Census, PixelCookiesRequireVisitingPages) {
+  // S16's 24 pixel trackers are set by embedded pixel requests; a census
+  // that renders pages (and their objects) must observe them.
+  std::vector<server::SiteSpec> roster = {server::table1Roster()[15]};
+  const CensusReport report = runCensus(roster);
+  EXPECT_EQ(report.persistentCookies(), 25);
+}
+
+TEST(Census, SessionAndPersistentSeparated) {
+  server::SiteSpec spec;
+  spec.label = "C";
+  spec.domain = "census.example";
+  spec.category = "shopping";
+  spec.seed = 5;
+  spec.sessionCart = true;
+  spec.containerTrackers = 2;
+  const CensusReport report = runCensus({spec});
+  EXPECT_EQ(report.persistentCookies(), 2);
+  EXPECT_EQ(report.sessionCookies(), 1);
+}
+
+TEST(Census, LifetimeFractionsConsistent) {
+  const auto roster = server::measurementRoster(80, 42);
+  const CensusReport report = runCensus(roster);
+  double totalFraction = 0.0;
+  int totalCount = 0;
+  for (const auto& [label, count, fraction] : report.lifetimeBuckets()) {
+    totalCount += count;
+    totalFraction += fraction;
+    (void)label;
+  }
+  EXPECT_EQ(totalCount, report.persistentCookies());
+  EXPECT_NEAR(totalFraction, 1.0, 1e-9);
+  // Monotone: fraction >= 2 years is a subset of >= 1 year.
+  EXPECT_LE(report.persistentFractionWithLifetimeAtLeast(730LL * 86400),
+            report.persistentFractionWithLifetimeAtLeast(365LL * 86400));
+}
+
+TEST(Census, ReproducesYearPlusMajorityClaim) {
+  // Section 2: "above 60% of them are set to expire after one year or even
+  // longer".
+  const auto roster = server::measurementRoster(200, 2007);
+  const CensusReport report = runCensus(roster);
+  EXPECT_GT(report.persistentFractionWithLifetimeAtLeast(365LL * 86400),
+            0.60);
+}
+
+TEST(Census, CategoriesCovered) {
+  const auto roster = server::measurementRoster(150, 7);
+  const CensusReport report = runCensus(roster);
+  // With 150 sites over 15 categories, virtually every category appears.
+  EXPECT_GE(report.persistentPerCategory().size(), 10u);
+}
+
+TEST(Census, EmptyRoster) {
+  const CensusReport report = runCensus({});
+  EXPECT_EQ(report.sitesVisited, 0);
+  EXPECT_EQ(report.totalCookies(), 0);
+  EXPECT_EQ(report.persistentFractionWithLifetimeAtLeast(1), 0.0);
+}
+
+TEST(MeasurementRoster, MixtureShape) {
+  const auto roster = server::measurementRoster(300, 99);
+  ASSERT_EQ(roster.size(), 300u);
+  int cookieFree = 0;
+  int persistentSites = 0;
+  for (const auto& spec : roster) {
+    if (spec.totalPersistent() == 0 && !spec.sessionCart) ++cookieFree;
+    if (spec.totalPersistent() > 0) ++persistentSites;
+  }
+  // Rough mixture sanity: ~12% cookie-free, ~70% persistent.
+  EXPECT_GT(cookieFree, 15);
+  EXPECT_LT(cookieFree, 90);
+  EXPECT_GT(persistentSites, 150);
+}
+
+}  // namespace
+}  // namespace cookiepicker::measure

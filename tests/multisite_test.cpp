@@ -1,0 +1,205 @@
+// Multi-site workflows: interleaved browsing across sites, determinism of
+// whole campaigns, browser restarts mid-training, and cookie expiry during
+// training — the messy realities FORCUM's per-site state must survive.
+#include <gtest/gtest.h>
+
+#include "core/cookie_picker.h"
+#include "server/generator.h"
+#include "test_support.h"
+
+namespace cookiepicker {
+namespace {
+
+using core::CookiePicker;
+using core::CookiePickerConfig;
+using server::SiteSpec;
+using testsupport::SimWorld;
+
+SiteSpec prefSite(const std::string& domain, std::uint64_t seed) {
+  SiteSpec spec;
+  spec.label = "P";
+  spec.domain = domain;
+  spec.category = "arts";
+  spec.seed = seed;
+  spec.preferenceCookies = 1;
+  spec.preferenceIntensity = 2;
+  return spec;
+}
+
+SiteSpec trackerSite(const std::string& domain, std::uint64_t seed,
+                     int trackers = 2) {
+  SiteSpec spec;
+  spec.label = "T";
+  spec.domain = domain;
+  spec.category = "news";
+  spec.seed = seed;
+  spec.containerTrackers = trackers;
+  return spec;
+}
+
+TEST(MultiSite, InterleavedBrowsingKeepsPerSiteStateSeparate) {
+  SimWorld world;
+  const auto pref = world.addSite(prefSite("pref.example", 1));
+  const auto tracker = world.addSite(trackerSite("trk.example", 2));
+  CookiePicker picker(world.browser);
+
+  // Alternate between the two sites, page by page.
+  for (int i = 0; i < 8; ++i) {
+    picker.browse("http://pref.example/page" + std::to_string(i % 4 + 1));
+    picker.browse("http://trk.example/page" + std::to_string(i % 4 + 1));
+  }
+  for (const cookies::CookieRecord* record :
+       world.browser.jar().persistentCookiesForHost(pref.domain)) {
+    EXPECT_TRUE(record->useful);
+  }
+  for (const cookies::CookieRecord* record :
+       world.browser.jar().persistentCookiesForHost(tracker.domain)) {
+    EXPECT_FALSE(record->useful);
+  }
+  // Both sites have independent training states.
+  EXPECT_NE(picker.forcum().siteState(pref.domain), nullptr);
+  EXPECT_NE(picker.forcum().siteState(tracker.domain), nullptr);
+}
+
+TEST(MultiSite, CampaignIsDeterministicPerSeed) {
+  auto runOnce = [](std::uint64_t seed) {
+    SimWorld world(seed);
+    const auto spec = world.addSite(trackerSite("t.example", 5, 3));
+    CookiePicker picker(world.browser);
+    for (int i = 0; i < 10; ++i) {
+      picker.browse("http://t.example/page" + std::to_string(i % 5 + 1));
+    }
+    (void)spec;
+    return world.browser.jar().serialize();
+  };
+  EXPECT_EQ(runOnce(42), runOnce(42));
+  EXPECT_NE(runOnce(42), runOnce(43));  // latency draws differ at least
+}
+
+TEST(MultiSite, RestartMidTrainingResumesFromPersistentState) {
+  SimWorld world;
+  const auto spec = world.addSite(prefSite("pref.example", 7));
+  {
+    CookiePicker picker(world.browser);
+    for (int i = 0; i < 3; ++i) {
+      picker.browse("http://pref.example/page" + std::to_string(i + 1));
+    }
+  }
+  // Browser restart: session cookies drop, persistent ones (with marks)
+  // survive via the serialized jar.
+  const std::string saved = world.browser.jar().serialize();
+  world.browser.jar().endSession();
+  cookies::CookieJar restored = cookies::CookieJar::deserialize(saved);
+
+  bool marked = false;
+  for (const cookies::CookieRecord* record :
+       restored.persistentCookiesForHost(spec.domain)) {
+    if (record->useful) marked = true;
+  }
+  EXPECT_TRUE(marked);
+}
+
+TEST(MultiSite, CookieExpiryDuringTrainingHandled) {
+  SimWorld world;
+  // Short-lived tracker: expires after one simulated hour.
+  SiteSpec spec = trackerSite("shortlived.example", 9, 0);
+  world.addSite(spec);
+  // Manually install a short-lived cookie as if set by the site earlier.
+  net::SetCookie shortCookie;
+  shortCookie.name = "blink";
+  shortCookie.value = "1";
+  shortCookie.maxAgeSeconds = 3600;
+  world.browser.jar().store(shortCookie,
+                            *net::Url::parse("http://shortlived.example/"),
+                            true, world.clock.nowMs());
+
+  CookiePicker picker(world.browser);
+  picker.browse("http://shortlived.example/");
+  EXPECT_EQ(
+      world.browser.jar().persistentCookiesForHost(spec.domain).size(), 1u);
+  // Hours pass; the cookie expires; the next view purges it and FORCUM has
+  // nothing left to test.
+  world.clock.advanceSeconds(7200);
+  const auto report = picker.browse("http://shortlived.example/");
+  EXPECT_FALSE(report.hiddenRequestSent);
+  EXPECT_TRUE(
+      world.browser.jar().persistentCookiesForHost(spec.domain).empty());
+}
+
+TEST(MultiSite, EnforcementIsPerHostNotGlobal) {
+  SimWorld world;
+  const auto siteA = world.addSite(trackerSite("a.example", 11));
+  const auto siteB = world.addSite(trackerSite("b.example", 12));
+  CookiePicker picker(world.browser);
+  for (int i = 0; i < 4; ++i) {
+    picker.browse("http://a.example/page" + std::to_string(i + 1));
+    picker.browse("http://b.example/page" + std::to_string(i + 1));
+  }
+  picker.enforceForHost(siteA.domain);
+  EXPECT_TRUE(
+      world.browser.jar().persistentCookiesForHost(siteA.domain).empty());
+  EXPECT_FALSE(
+      world.browser.jar().persistentCookiesForHost(siteB.domain).empty());
+  (void)siteB;
+}
+
+TEST(MultiSite, SameNameCookiesOnDifferentSitesIndependent) {
+  // Both sites set a cookie literally named "prefstyle"; only the one whose
+  // absence changes pages gets marked.
+  SimWorld world;
+  const auto real = world.addSite(prefSite("real.example", 21));
+  // A tracker site that *names* its tracker like a preference cookie.
+  SimWorld* worldPtr = &world;
+  server::SiteSpec decoy;
+  decoy.label = "D";
+  decoy.domain = "decoy.example";
+  decoy.category = "games";
+  decoy.seed = 22;
+  decoy.containerTrackers = 0;
+  worldPtr->addSite(decoy);
+  {
+    // Install a tracker named "prefstyle" by hand on the decoy domain.
+    net::SetCookie fake;
+    fake.name = "prefstyle";
+    fake.value = "tracker";
+    fake.maxAgeSeconds = 999'999;
+    world.browser.jar().store(fake,
+                              *net::Url::parse("http://decoy.example/"),
+                              true, world.clock.nowMs());
+  }
+  CookiePicker picker(world.browser);
+  for (int i = 0; i < 5; ++i) {
+    picker.browse("http://real.example/page" + std::to_string(i + 1));
+    picker.browse("http://decoy.example/page" + std::to_string(i + 1));
+  }
+  const cookies::CookieRecord* realRecord =
+      world.browser.jar().find({"prefstyle", "real.example", "/"});
+  const cookies::CookieRecord* decoyRecord =
+      world.browser.jar().find({"prefstyle", "decoy.example", "/"});
+  ASSERT_NE(realRecord, nullptr);
+  ASSERT_NE(decoyRecord, nullptr);
+  EXPECT_TRUE(realRecord->useful);
+  EXPECT_FALSE(decoyRecord->useful);
+  (void)real;
+}
+
+TEST(MultiSite, HostReportAggregatesAcrossManySites) {
+  SimWorld world;
+  CookiePicker picker(world.browser);
+  for (int i = 0; i < 5; ++i) {
+    const auto spec = world.addSite(
+        trackerSite("s" + std::to_string(i) + ".example",
+                    100 + static_cast<std::uint64_t>(i)));
+    for (int view = 0; view < 3; ++view) {
+      picker.browse("http://" + spec.domain + "/page" +
+                    std::to_string(view + 1));
+    }
+    const core::HostReport report = picker.report(spec.domain);
+    EXPECT_EQ(report.pageViews, 3);
+    EXPECT_EQ(report.persistentCookies, 2);
+    EXPECT_EQ(report.markedUseful, 0);
+  }
+}
+
+}  // namespace
+}  // namespace cookiepicker

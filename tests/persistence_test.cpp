@@ -1,0 +1,145 @@
+// Extension-state persistence: FORCUM training state and full CookiePicker
+// state (jar + training + enforcement) survive serialization round trips
+// and browser restarts.
+#include <gtest/gtest.h>
+
+#include "core/cookie_picker.h"
+#include "server/generator.h"
+#include "test_support.h"
+
+namespace cookiepicker::core {
+namespace {
+
+using testsupport::SimWorld;
+
+server::SiteSpec trackerSpec(const std::string& domain) {
+  server::SiteSpec spec;
+  spec.label = "T";
+  spec.domain = domain;
+  spec.category = "news";
+  spec.seed = 77;
+  spec.containerTrackers = 2;
+  return spec;
+}
+
+TEST(ForcumPersistence, RoundTripPreservesSiteState) {
+  SimWorld world;
+  const auto spec = world.addSite(trackerSpec("t.example"));
+  CookiePickerConfig config;
+  config.forcum.stableViewThreshold = 4;
+  CookiePicker picker(world.browser, config);
+  for (int i = 0; i < 8; ++i) {
+    picker.browse("http://t.example/page" + std::to_string(i % 5 + 1));
+  }
+  const ForcumEngine::SiteState* before =
+      picker.forcum().siteState(spec.domain);
+  ASSERT_NE(before, nullptr);
+  const bool wasActive = before->trainingActive;
+  const int views = before->totalViews;
+  const std::size_t known = before->knownPersistent.size();
+
+  const std::string serialized = picker.forcum().serializeState();
+  picker.forcum().restoreState(serialized);
+
+  const ForcumEngine::SiteState* after =
+      picker.forcum().siteState(spec.domain);
+  ASSERT_NE(after, nullptr);
+  EXPECT_EQ(after->trainingActive, wasActive);
+  EXPECT_EQ(after->totalViews, views);
+  EXPECT_EQ(after->knownPersistent.size(), known);
+}
+
+TEST(ForcumPersistence, MalformedLinesSkipped) {
+  SimWorld world;
+  CookiePicker picker(world.browser);
+  picker.forcum().restoreState("garbage\nmore\tfields\tbut\twrong\n");
+  EXPECT_EQ(picker.forcum().siteState("garbage"), nullptr);
+}
+
+TEST(ForcumPersistence, EmptyStateRestores) {
+  SimWorld world;
+  CookiePicker picker(world.browser);
+  picker.forcum().restoreState("");
+  EXPECT_EQ(picker.forcum().siteState("any.example"), nullptr);
+}
+
+TEST(PickerPersistence, FullRestartKeepsDecisionsAndEnforcement) {
+  SimWorld world;
+  const auto spec = world.addSite(trackerSpec("t.example"));
+  std::string saved;
+  {
+    CookiePickerConfig config;
+    config.forcum.stableViewThreshold = 3;
+    CookiePicker picker(world.browser, config);
+    for (int i = 0; i < 7; ++i) {
+      picker.browse("http://t.example/page" + std::to_string(i % 5 + 1));
+    }
+    picker.enforceForHost(spec.domain);
+    ASSERT_TRUE(picker.isEnforced(spec.domain));
+    saved = picker.saveState();
+  }
+
+  // Fresh browser process: new jar, new picker; restore.
+  SimWorld world2;
+  world2.addSite(trackerSpec("t.example"));
+  CookiePicker restored(world2.browser);
+  restored.loadState(saved);
+
+  EXPECT_TRUE(restored.isEnforced(spec.domain));
+  EXPECT_FALSE(restored.forcum().isTrainingActive(spec.domain));
+  // The jar state (enforcement deleted the trackers) carried over.
+  EXPECT_TRUE(
+      world2.browser.jar().persistentCookiesForHost(spec.domain).empty());
+
+  // New views neither retrain nor leak cookies: the site re-sets trackers,
+  // the known-cookie set already contains them → training stays off.
+  restored.browse("http://t.example/");
+  EXPECT_FALSE(restored.forcum().isTrainingActive(spec.domain));
+  const browser::PageView view = world2.browser.visit("http://t.example/");
+  EXPECT_EQ(
+      view.containerRequest.headers.get("Cookie").value_or("").find("trk"),
+      std::string::npos);
+}
+
+TEST(PickerPersistence, UsefulMarksSurviveRestart) {
+  SimWorld world;
+  server::SiteSpec spec;
+  spec.label = "P";
+  spec.domain = "pref.example";
+  spec.category = "arts";
+  spec.seed = 88;
+  spec.preferenceCookies = 1;
+  spec.preferenceIntensity = 2;
+  world.addSite(spec);
+  std::string saved;
+  {
+    CookiePicker picker(world.browser);
+    for (int i = 0; i < 5; ++i) {
+      picker.browse("http://pref.example/page" + std::to_string(i + 1));
+    }
+    saved = picker.saveState();
+  }
+  SimWorld world2;
+  world2.addSite(spec);
+  CookiePicker restored(world2.browser);
+  restored.loadState(saved);
+  const cookies::CookieRecord* record =
+      world2.browser.jar().find({"prefstyle", "pref.example", "/"});
+  ASSERT_NE(record, nullptr);
+  EXPECT_TRUE(record->useful);
+}
+
+TEST(PickerPersistence, LoadStateIsIdempotent) {
+  SimWorld world;
+  world.addSite(trackerSpec("t.example"));
+  CookiePicker picker(world.browser);
+  for (int i = 0; i < 4; ++i) {
+    picker.browse("http://t.example/page" + std::to_string(i + 1));
+  }
+  const std::string once = picker.saveState();
+  picker.loadState(once);
+  EXPECT_EQ(picker.saveState(), once);
+}
+
+}  // namespace
+}  // namespace cookiepicker::core

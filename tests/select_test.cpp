@@ -1,0 +1,163 @@
+#include <gtest/gtest.h>
+
+#include "dom/select.h"
+#include "html/parser.h"
+
+namespace cookiepicker::dom {
+namespace {
+
+const char* kPage =
+    "<body>"
+    "<div id=\"page\" class=\"wrapper main-area\">"
+    "  <nav><ul><li class=\"item\"><a href=\"/\">Home</a></li>"
+    "  <li class=\"item active\"><a href=\"/x\">X</a></li></ul></nav>"
+    "  <main>"
+    "    <section class=\"content\"><h2>A</h2><p>one</p></section>"
+    "    <section class=\"content featured\"><h2>B</h2><p>two</p>"
+    "      <div class=\"widget\"><ul><li>deep</li></ul></div>"
+    "    </section>"
+    "  </main>"
+    "  <footer><p>fine print</p></footer>"
+    "</div>"
+    "</body>";
+
+std::unique_ptr<Node> page() { return html::parseHtml(kPage); }
+
+TEST(Select, ByTag) {
+  auto document = page();
+  EXPECT_EQ(select(*document, "section").size(), 2u);
+  EXPECT_EQ(select(*document, "h2").size(), 2u);
+  EXPECT_EQ(select(*document, "table").size(), 0u);
+}
+
+TEST(Select, Universal) {
+  auto document = page();
+  const auto all = select(*document, "*");
+  // Every element, no text/comment nodes.
+  for (const Node* node : all) {
+    EXPECT_TRUE(node->isElement());
+  }
+  EXPECT_GT(all.size(), 10u);
+}
+
+TEST(Select, ByClass) {
+  auto document = page();
+  EXPECT_EQ(select(*document, ".content").size(), 2u);
+  EXPECT_EQ(select(*document, ".featured").size(), 1u);
+  EXPECT_EQ(select(*document, ".item").size(), 2u);
+  // Class matching is token-wise: "main-area" is one token.
+  EXPECT_EQ(select(*document, ".main-area").size(), 1u);
+  EXPECT_EQ(select(*document, ".main").size(), 0u);
+}
+
+TEST(Select, ById) {
+  auto document = page();
+  const auto matched = select(*document, "#page");
+  ASSERT_EQ(matched.size(), 1u);
+  EXPECT_EQ(matched[0]->name(), "div");
+}
+
+TEST(Select, CompoundTagClassId) {
+  auto document = page();
+  EXPECT_EQ(select(*document, "section.content.featured").size(), 1u);
+  EXPECT_EQ(select(*document, "div#page.wrapper").size(), 1u);
+  EXPECT_EQ(select(*document, "section#page").size(), 0u);
+}
+
+TEST(Select, AttributePresenceAndValue) {
+  auto document = page();
+  EXPECT_EQ(select(*document, "a[href]").size(), 2u);
+  EXPECT_EQ(select(*document, "a[href=/]").size(), 1u);
+  EXPECT_EQ(select(*document, "a[href='/x']").size(), 1u);
+  EXPECT_EQ(select(*document, "a[href=\"/nope\"]").size(), 0u);
+}
+
+TEST(Select, DescendantCombinator) {
+  auto document = page();
+  EXPECT_EQ(select(*document, "main p").size(), 2u);
+  EXPECT_EQ(select(*document, "footer p").size(), 1u);
+  EXPECT_EQ(select(*document, "nav p").size(), 0u);
+  EXPECT_EQ(select(*document, "#page li").size(), 3u);
+  EXPECT_EQ(select(*document, "main .widget li").size(), 1u);
+}
+
+TEST(Select, ChildCombinator) {
+  auto document = page();
+  // Sections are direct children of main; p is a child of section.
+  EXPECT_EQ(select(*document, "main > section").size(), 2u);
+  EXPECT_EQ(select(*document, "section > p").size(), 2u);
+  // li is NOT a direct child of main.
+  EXPECT_EQ(select(*document, "main > li").size(), 0u);
+  EXPECT_EQ(select(*document, "main li").size(), 1u);
+}
+
+TEST(Select, MixedCombinators) {
+  auto document = page();
+  EXPECT_EQ(select(*document, "#page > main section.featured > div ul li")
+                .size(),
+            1u);
+}
+
+TEST(Select, GroupsWithComma) {
+  auto document = page();
+  EXPECT_EQ(select(*document, "h2, footer p").size(), 3u);
+  // Duplicates are not produced when both groups match the same node.
+  EXPECT_EQ(select(*document, "section, .content").size(), 2u);
+}
+
+TEST(Select, SelectFirstPreorder) {
+  auto document = page();
+  const Node* first = selectFirst(*document, "li");
+  ASSERT_NE(first, nullptr);
+  EXPECT_EQ(first->textContent(), "Home");
+  EXPECT_EQ(selectFirst(*document, "video"), nullptr);
+}
+
+TEST(Select, MatchesEvaluatesAncestors) {
+  auto document = page();
+  const Node* deepLi = selectFirst(*document, ".widget li");
+  ASSERT_NE(deepLi, nullptr);
+  EXPECT_TRUE(matches(*deepLi, "main li"));
+  EXPECT_TRUE(matches(*deepLi, "section.featured > div > ul > li"));
+  EXPECT_FALSE(matches(*deepLi, "nav li"));
+}
+
+TEST(Select, MutableOverloadAllowsEditing) {
+  auto document = page();
+  for (Node* section : select(*document, "section")) {
+    section->setAttribute("data-seen", "1");
+  }
+  EXPECT_EQ(select(*document, "section[data-seen=1]").size(), 2u);
+}
+
+TEST(Select, CaseBehaviour) {
+  auto document = page();
+  // Tag names are case-insensitive (normalized to lowercase)...
+  EXPECT_EQ(select(*document, "SECTION").size(), 2u);
+  EXPECT_EQ(select(*document, "section").size(), 2u);
+  // ...class values are case-sensitive.
+  EXPECT_EQ(select(*document, ".Content").size(), 0u);
+}
+
+TEST(Select, SyntaxErrorsThrow) {
+  auto document = page();
+  EXPECT_THROW(select(*document, ""), std::invalid_argument);
+  EXPECT_THROW(select(*document, ">"), std::invalid_argument);
+  EXPECT_THROW(select(*document, "div >"), std::invalid_argument);
+  EXPECT_THROW(select(*document, "div,,p"), std::invalid_argument);
+  EXPECT_THROW(select(*document, ".#"), std::invalid_argument);
+  EXPECT_THROW(select(*document, "a[href"), std::invalid_argument);
+  EXPECT_THROW(select(*document, "a[href='x]"), std::invalid_argument);
+}
+
+TEST(Select, RootItselfCanMatch) {
+  auto tree = html::parseHtml("<div class=\"only\"><p>x</p></div>");
+  const Node* div = tree->findFirst("div");
+  ASSERT_NE(div, nullptr);
+  const auto matched = select(*div, "div.only");
+  ASSERT_EQ(matched.size(), 1u);
+  EXPECT_EQ(matched[0], div);
+}
+
+}  // namespace
+}  // namespace cookiepicker::dom

@@ -1,0 +1,124 @@
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "browser/session_model.h"
+
+namespace cookiepicker::browser {
+namespace {
+
+std::vector<std::string> makeDomains(int count) {
+  std::vector<std::string> domains;
+  for (int i = 0; i < count; ++i) {
+    domains.push_back("site" + std::to_string(i) + ".example");
+  }
+  return domains;
+}
+
+TEST(SessionModel, DeterministicPerSeed) {
+  UserSessionModel first(makeDomains(10), {}, 7);
+  UserSessionModel second(makeDomains(10), {}, 7);
+  for (int i = 0; i < 200; ++i) {
+    const auto stepA = first.next();
+    const auto stepB = second.next();
+    EXPECT_EQ(stepA.url, stepB.url);
+    EXPECT_EQ(stepA.sessionStart, stepB.sessionStart);
+    EXPECT_EQ(stepA.dayStart, stepB.dayStart);
+  }
+}
+
+TEST(SessionModel, FirstStepStartsASessionButNotADay) {
+  UserSessionModel model(makeDomains(5), {}, 3);
+  const auto step = model.next();
+  EXPECT_TRUE(step.sessionStart);
+  EXPECT_FALSE(step.dayStart);  // day 1 is implicit
+}
+
+TEST(SessionModel, UrlsPointIntoDomainList) {
+  const auto domains = makeDomains(6);
+  UserSessionModel model(domains, {}, 11);
+  for (int i = 0; i < 300; ++i) {
+    const auto step = model.next();
+    bool matched = false;
+    for (const std::string& domain : domains) {
+      if (step.url.find("http://" + domain + "/") == 0) matched = true;
+    }
+    EXPECT_TRUE(matched) << step.url;
+  }
+}
+
+TEST(SessionModel, ZipfSkewsTowardLowRanks) {
+  const auto domains = makeDomains(20);
+  UserSessionModel model(domains, {}, 13);
+  std::map<std::string, int> sessionCounts;
+  for (int i = 0; i < 5000; ++i) {
+    const auto step = model.next();
+    if (step.sessionStart) {
+      for (const std::string& domain : domains) {
+        if (step.url.find(domain) != std::string::npos) {
+          ++sessionCounts[domain];
+        }
+      }
+    }
+  }
+  // Rank 0 must dominate rank 10 by a clear margin under s=1 Zipf.
+  EXPECT_GT(sessionCounts[domains[0]], 3 * sessionCounts[domains[10]]);
+}
+
+TEST(SessionModel, SessionLengthMeanRoughlyAsConfigured) {
+  UserSessionModel::Config config;
+  config.meanPagesPerSession = 5.0;
+  UserSessionModel model(makeDomains(8), config, 17);
+  int sessions = 0;
+  int pages = 0;
+  for (int i = 0; i < 20000; ++i) {
+    const auto step = model.next();
+    if (step.sessionStart) ++sessions;
+    ++pages;
+  }
+  const double mean = static_cast<double>(pages) / sessions;
+  EXPECT_NEAR(mean, 5.0, 1.0);
+}
+
+TEST(SessionModel, DayBoundariesEverySessionsPerDay) {
+  UserSessionModel::Config config;
+  config.sessionsPerDay = 3;
+  UserSessionModel model(makeDomains(4), config, 19);
+  int sessions = 0;
+  int days = 0;
+  for (int i = 0; i < 10000; ++i) {
+    const auto step = model.next();
+    if (step.sessionStart) ++sessions;
+    if (step.dayStart) ++days;
+  }
+  // Day starts lag session starts by a factor of sessionsPerDay.
+  EXPECT_NEAR(static_cast<double>(sessions) / days, 3.0, 0.2);
+}
+
+TEST(SessionModel, SessionsStayOnOneSite) {
+  const auto domains = makeDomains(10);
+  UserSessionModel model(domains, {}, 23);
+  std::string sessionDomain;
+  for (int i = 0; i < 1000; ++i) {
+    const auto step = model.next();
+    const std::size_t start = std::string("http://").size();
+    const std::string domain =
+        step.url.substr(start, step.url.find('/', start) - start);
+    if (step.sessionStart) {
+      sessionDomain = domain;
+    } else {
+      EXPECT_EQ(domain, sessionDomain);
+    }
+  }
+}
+
+TEST(SessionModel, RankOf) {
+  const auto domains = makeDomains(3);
+  UserSessionModel model(domains, {}, 29);
+  EXPECT_EQ(model.rankOf("site0.example"), 0u);
+  EXPECT_EQ(model.rankOf("site2.example"), 2u);
+  EXPECT_EQ(model.rankOf("unknown.example"), 3u);
+}
+
+}  // namespace
+}  // namespace cookiepicker::browser

@@ -1,0 +1,44 @@
+// Shared fixtures and helpers for the test suite.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "browser/browser.h"
+#include "net/network.h"
+#include "server/generator.h"
+#include "server/site.h"
+#include "util/clock.h"
+
+namespace cookiepicker::testsupport {
+
+// A little internet: network + clock + browser wired together, with helpers
+// to drop sites in.
+struct SimWorld {
+  util::SimClock clock;
+  net::Network network{42};
+  browser::Browser browser{network, clock};
+
+  explicit SimWorld(std::uint64_t networkSeed = 42)
+      : network(networkSeed), browser(network, clock) {}
+
+  // Registers a site built from a spec and returns its spec for ground truth.
+  server::SiteSpec addSite(server::SiteSpec spec) {
+    network.registerHost(spec.domain, server::buildSite(spec, clock),
+                         spec.latencyProfile());
+    return spec;
+  }
+
+  // A minimal calm site with one preference cookie and two trackers.
+  server::SiteSpec addGenericSite(const std::string& domain,
+                                  std::uint64_t seed = 7) {
+    return addSite(server::makeGenericSpec("T", domain, seed));
+  }
+
+  std::string urlFor(const server::SiteSpec& spec,
+                     const std::string& path = "/") const {
+    return "http://" + spec.domain + path;
+  }
+};
+
+}  // namespace cookiepicker::testsupport

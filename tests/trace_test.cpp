@@ -1,0 +1,167 @@
+// Trace record/replay: capture a live campaign once, rerun it offline.
+#include <gtest/gtest.h>
+
+#include "core/cookie_picker.h"
+#include "net/trace.h"
+#include "server/generator.h"
+#include "test_support.h"
+
+namespace cookiepicker::net {
+namespace {
+
+using testsupport::SimWorld;
+
+TraceEntry makeEntry(const std::string& url, const std::string& body,
+                     const std::string& cookies = "") {
+  TraceEntry entry;
+  entry.method = "GET";
+  entry.url = url;
+  entry.cookieHeader = cookies;
+  entry.contentType = "text/html";
+  entry.body = body;
+  return entry;
+}
+
+// --- format ---------------------------------------------------------------
+
+TEST(TraceFormat, RoundTripsEntries) {
+  std::vector<TraceEntry> entries;
+  TraceEntry entry = makeEntry("http://a.com/x", "<p>hi</p>", "a=1; b=2");
+  entry.setCookies = {"sid=9; Max-Age=60", "u=v; Path=/x"};
+  entry.status = 201;
+  entries.push_back(entry);
+  entries.push_back(makeEntry("http://b.com/", ""));
+
+  const auto parsed = parseTrace(serializeTrace(entries));
+  ASSERT_EQ(parsed.size(), 2u);
+  EXPECT_EQ(parsed[0].url, "http://a.com/x");
+  EXPECT_EQ(parsed[0].cookieHeader, "a=1; b=2");
+  EXPECT_EQ(parsed[0].status, 201);
+  ASSERT_EQ(parsed[0].setCookies.size(), 2u);
+  EXPECT_EQ(parsed[0].setCookies[1], "u=v; Path=/x");
+  EXPECT_EQ(parsed[1].body, "");
+}
+
+TEST(TraceFormat, BinaryBodiesSurvive) {
+  TraceEntry entry = makeEntry("http://a.com/img.png", "");
+  entry.body = std::string("\x00\x01\nENTRY 5:fake\xff", 16);
+  const auto parsed = parseTrace(serializeTrace({entry}));
+  ASSERT_EQ(parsed.size(), 1u);
+  EXPECT_EQ(parsed[0].body, entry.body);
+}
+
+TEST(TraceFormat, CorruptInputStopsAtLastGoodEntry) {
+  const std::string good = serializeTrace({makeEntry("http://a.com/", "x")});
+  EXPECT_EQ(parseTrace(good + "ENTRY garbage").size(), 1u);
+  EXPECT_TRUE(parseTrace("not a trace").empty());
+  EXPECT_TRUE(parseTrace("").empty());
+}
+
+// --- recording --------------------------------------------------------------
+
+TEST(Recording, CapturesExchangesThroughWrapper) {
+  SimWorld world;
+  const auto spec = world.addGenericSite("rec.example");
+  // Re-register the host behind a recorder.
+  auto recorder = std::make_shared<RecordingHandler>(
+      server::buildSite(spec, world.clock));
+  world.network.registerHost(spec.domain, recorder);
+
+  world.browser.visit(world.urlFor(spec));
+  EXPECT_GT(recorder->entries().size(), 3u);  // container + objects
+  EXPECT_EQ(recorder->entries()[0].url, "http://rec.example/");
+  EXPECT_EQ(recorder->entries()[0].status, 200);
+  EXPECT_FALSE(recorder->entries()[0].setCookies.empty());
+}
+
+// --- replay -------------------------------------------------------------------
+
+TEST(Replay, ServesRecordedResponses) {
+  std::vector<TraceEntry> entries = {
+      makeEntry("http://r.example/", "<body><p>recorded</p></body>")};
+  entries[0].setCookies = {"trk=1; Max-Age=99"};
+  ReplayHandler replay(entries);
+
+  HttpRequest request;
+  request.url = *Url::parse("http://r.example/");
+  const HttpResponse response = replay.handle(request);
+  EXPECT_EQ(response.status, 200);
+  EXPECT_NE(response.body.find("recorded"), std::string::npos);
+  EXPECT_EQ(response.setCookieHeaders().size(), 1u);
+}
+
+TEST(Replay, MatchesOnCookieHeader) {
+  ReplayHandler replay({makeEntry("http://r.example/", "plain", ""),
+                        makeEntry("http://r.example/", "personalized",
+                                  "pref=1")});
+  HttpRequest bare;
+  bare.url = *Url::parse("http://r.example/");
+  EXPECT_EQ(replay.handle(bare).body, "plain");
+  HttpRequest withCookie = bare;
+  withCookie.headers.set("Cookie", "pref=1");
+  EXPECT_EQ(replay.handle(withCookie).body, "personalized");
+}
+
+TEST(Replay, SequentialResponsesThenLastRepeats) {
+  ReplayHandler replay({makeEntry("http://r.example/", "first"),
+                        makeEntry("http://r.example/", "second")});
+  HttpRequest request;
+  request.url = *Url::parse("http://r.example/");
+  EXPECT_EQ(replay.handle(request).body, "first");
+  EXPECT_EQ(replay.handle(request).body, "second");
+  EXPECT_EQ(replay.handle(request).body, "second");  // repeats
+}
+
+TEST(Replay, UnknownRequestsAre404AndCounted) {
+  ReplayHandler replay({makeEntry("http://r.example/", "x")});
+  HttpRequest request;
+  request.url = *Url::parse("http://r.example/other");
+  EXPECT_EQ(replay.handle(request).status, 404);
+  EXPECT_EQ(replay.misses(), 1u);
+}
+
+// --- end to end: capture a campaign, replay it, same verdicts -----------------
+
+TEST(Replay, CapturedCampaignReproducesVerdictsOffline) {
+  server::SiteSpec spec;
+  spec.label = "P";
+  spec.domain = "cap.example";
+  spec.category = "arts";
+  spec.seed = 19;
+  spec.preferenceCookies = 1;
+  spec.preferenceIntensity = 2;
+  spec.containerTrackers = 1;
+
+  // Pass 1: live site behind a recorder.
+  std::string traceText;
+  std::string liveJar;
+  {
+    SimWorld world(99);
+    auto recorder = std::make_shared<RecordingHandler>(
+        server::buildSite(spec, world.clock));
+    world.network.registerHost(spec.domain, recorder);
+    core::CookiePicker picker(world.browser);
+    for (int i = 0; i < 6; ++i) {
+      picker.browse("http://cap.example/page" + std::to_string(i + 1));
+    }
+    traceText = recorder->serialize();
+    liveJar = world.browser.jar().serialize();
+  }
+
+  // Pass 2: replay the trace with no live site at all.
+  {
+    SimWorld world(99);
+    world.network.registerHost(
+        spec.domain,
+        std::make_shared<ReplayHandler>(parseTrace(traceText)));
+    core::CookiePicker picker(world.browser);
+    for (int i = 0; i < 6; ++i) {
+      picker.browse("http://cap.example/page" + std::to_string(i + 1));
+    }
+    // Same cookies, same usefulness verdicts.
+    EXPECT_EQ(world.browser.jar().serialize(), liveJar);
+  }
+}
+
+}  // namespace
+}  // namespace cookiepicker::net

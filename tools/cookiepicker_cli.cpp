@@ -1,0 +1,223 @@
+// cookiepicker — command-line driver for the library.
+//
+//   cookiepicker demo                          quickstart on one site
+//   cookiepicker audit  [--sites N] [--views V] [--seed S]
+//                                              census + CookiePicker summary
+//   cookiepicker census [--sites N] [--seed S] cookie-usage measurement only
+//   cookiepicker table1 | table2               paper-table reproductions
+//   cookiepicker record --out FILE [--seed S]  capture a campaign trace
+//   cookiepicker replay --in FILE  [--seed S]  rerun a captured trace
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "browser/browser.h"
+#include "core/cookie_picker.h"
+#include "measure/census.h"
+#include "net/network.h"
+#include "net/trace.h"
+#include "server/generator.h"
+#include "util/clock.h"
+#include "util/stats.h"
+
+namespace {
+
+using namespace cookiepicker;
+
+struct Options {
+  int sites = 30;
+  int views = 10;
+  std::uint64_t seed = 2007;
+  std::string inFile;
+  std::string outFile;
+};
+
+Options parseOptions(int argc, char** argv, int firstFlag) {
+  Options options;
+  for (int i = firstFlag; i < argc; ++i) {
+    const std::string flag = argv[i];
+    auto next = [&]() -> std::string {
+      return i + 1 < argc ? argv[++i] : std::string();
+    };
+    if (flag == "--sites") {
+      options.sites = std::max(1, std::atoi(next().c_str()));
+    } else if (flag == "--views") {
+      options.views = std::max(1, std::atoi(next().c_str()));
+    } else if (flag == "--seed") {
+      options.seed = std::strtoull(next().c_str(), nullptr, 10);
+    } else if (flag == "--in") {
+      options.inFile = next();
+    } else if (flag == "--out") {
+      options.outFile = next();
+    } else {
+      std::fprintf(stderr, "unknown flag: %s\n", flag.c_str());
+    }
+  }
+  return options;
+}
+
+int runDemo() {
+  util::SimClock clock;
+  net::Network network(1);
+  server::SiteSpec spec = server::makeGenericSpec("Demo", "demo.example", 42);
+  spec.containerTrackers = 0;
+  spec.pixelTrackers = 2;
+  network.registerHost(spec.domain, server::buildSite(spec, clock));
+  browser::Browser browser(network, clock);
+  core::CookiePicker picker(browser);
+  for (int i = 0; i < 8; ++i) {
+    picker.browse("http://demo.example/page" + std::to_string(i % 6 + 1));
+  }
+  std::printf("verdicts for %s:\n", spec.domain.c_str());
+  for (const cookies::CookieRecord* record :
+       browser.jar().persistentCookiesForHost(spec.domain)) {
+    std::printf("  %-10s %s\n", record->key.name.c_str(),
+                record->useful ? "USEFUL" : "useless");
+  }
+  return 0;
+}
+
+int runCensus(const Options& options) {
+  const auto roster = server::measurementRoster(options.sites, options.seed);
+  const measure::CensusReport report = measure::runCensus(roster);
+  std::printf("sites: %d, cookies: %d (%d persistent)\n",
+              report.sitesVisited, report.totalCookies(),
+              report.persistentCookies());
+  std::printf("persistent >= 1 year: %.1f%%\n",
+              100.0 * report.persistentFractionWithLifetimeAtLeast(
+                          365LL * 86400));
+  for (const auto& [label, count, fraction] : report.lifetimeBuckets()) {
+    std::printf("  %-18s %5d  %5.1f%%\n", label.c_str(), count,
+                100.0 * fraction);
+  }
+  return 0;
+}
+
+int runAudit(const Options& options) {
+  util::SimClock clock;
+  net::Network network(options.seed);
+  browser::Browser browser(network, clock);
+  core::CookiePickerConfig config;
+  config.autoEnforce = true;
+  core::CookiePicker picker(browser, config);
+  const auto roster = server::measurementRoster(options.sites, options.seed);
+  server::registerRoster(network, clock, roster);
+
+  int usefulKept = 0;
+  int removed = 0;
+  for (const server::SiteSpec& spec : roster) {
+    for (int view = 0; view < options.views; ++view) {
+      picker.browse("http://" + spec.domain + "/page" +
+                    std::to_string(view % spec.pageCount));
+    }
+    const core::HostReport report = picker.report(spec.domain);
+    usefulKept += report.markedUseful;
+    removed += spec.totalPersistent() - report.persistentCookies;
+  }
+  std::printf("sites audited        : %d (%d views each)\n", options.sites,
+              options.views);
+  std::printf("cookies kept useful  : %d\n", usefulKept);
+  std::printf("trackers removed     : %d\n", removed);
+  std::printf("user interruptions   : %d\n",
+              picker.recovery().recoveryCount());
+  return 0;
+}
+
+// Shared by record/replay so both passes issue the identical workload.
+template <typename MakeHandler>
+std::string runCampaignWith(const Options& options,
+                            MakeHandler&& makeHandler,
+                            std::string* traceOut) {
+  util::SimClock clock;
+  net::Network network(options.seed);
+  server::SiteSpec spec =
+      server::makeGenericSpec("Cli", "cli.example", options.seed);
+  auto handler = makeHandler(spec, clock);
+  network.registerHost(spec.domain, handler.first);
+  browser::Browser browser(network, clock);
+  core::CookiePicker picker(browser);
+  for (int view = 0; view < options.views; ++view) {
+    picker.browse("http://cli.example/page" +
+                  std::to_string(view % spec.pageCount));
+  }
+  if (traceOut != nullptr) *traceOut = handler.second();
+  return browser.jar().serialize();
+}
+
+int runRecord(const Options& options) {
+  if (options.outFile.empty()) {
+    std::fprintf(stderr, "record requires --out FILE\n");
+    return 2;
+  }
+  std::string traceText;
+  const std::string jar = runCampaignWith(
+      options,
+      [](const server::SiteSpec& spec, util::SimClock& clock) {
+        auto recorder = std::make_shared<net::RecordingHandler>(
+            server::buildSite(spec, clock));
+        return std::make_pair(
+            std::static_pointer_cast<net::HttpHandler>(recorder),
+            [recorder]() { return recorder->serialize(); });
+      },
+      &traceText);
+  std::ofstream out(options.outFile, std::ios::binary);
+  out << traceText;
+  std::printf("recorded trace to %s\njar state:\n%s", options.outFile.c_str(),
+              jar.c_str());
+  return 0;
+}
+
+int runReplay(const Options& options) {
+  if (options.inFile.empty()) {
+    std::fprintf(stderr, "replay requires --in FILE\n");
+    return 2;
+  }
+  std::ifstream in(options.inFile, std::ios::binary);
+  if (!in) {
+    std::fprintf(stderr, "cannot read %s\n", options.inFile.c_str());
+    return 2;
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  const std::string jar = runCampaignWith(
+      options,
+      [&buffer](const server::SiteSpec&, util::SimClock&) {
+        auto replay = std::make_shared<net::ReplayHandler>(
+            net::parseTrace(buffer.str()));
+        return std::make_pair(
+            std::static_pointer_cast<net::HttpHandler>(replay),
+            []() { return std::string(); });
+      },
+      nullptr);
+  std::printf("replayed %s\njar state:\n%s", options.inFile.c_str(),
+              jar.c_str());
+  return 0;
+}
+
+int usage() {
+  std::fprintf(
+      stderr,
+      "usage: cookiepicker <demo|audit|census|record|replay> [flags]\n"
+      "  demo                              one-site walkthrough\n"
+      "  audit  [--sites N] [--views V] [--seed S]\n"
+      "  census [--sites N] [--seed S]\n"
+      "  record --out FILE [--views V] [--seed S]\n"
+      "  replay --in FILE  [--views V] [--seed S]\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string command = argv[1];
+  const Options options = parseOptions(argc, argv, 2);
+  if (command == "demo") return runDemo();
+  if (command == "census") return runCensus(options);
+  if (command == "audit") return runAudit(options);
+  if (command == "record") return runRecord(options);
+  if (command == "replay") return runReplay(options);
+  return usage();
+}
