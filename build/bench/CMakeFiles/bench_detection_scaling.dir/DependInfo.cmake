@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_detection_scaling.cpp" "bench/CMakeFiles/bench_detection_scaling.dir/bench_detection_scaling.cpp.o" "gcc" "bench/CMakeFiles/bench_detection_scaling.dir/bench_detection_scaling.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/bench/CMakeFiles/cp_bench_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/cp_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/baseline/CMakeFiles/cp_baseline.dir/DependInfo.cmake"
+  "/root/repo/build/src/measure/CMakeFiles/cp_measure.dir/DependInfo.cmake"
+  "/root/repo/build/src/server/CMakeFiles/cp_server.dir/DependInfo.cmake"
+  "/root/repo/build/src/browser/CMakeFiles/cp_browser.dir/DependInfo.cmake"
+  "/root/repo/build/src/cookies/CMakeFiles/cp_cookies.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/cp_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/html/CMakeFiles/cp_html.dir/DependInfo.cmake"
+  "/root/repo/build/src/dom/CMakeFiles/cp_dom.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/cp_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_detection_scaling.dir/bench_detection_scaling.cpp.o"
+  "CMakeFiles/bench_detection_scaling.dir/bench_detection_scaling.cpp.o.d"
+  "bench_detection_scaling"
+  "bench_detection_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_detection_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

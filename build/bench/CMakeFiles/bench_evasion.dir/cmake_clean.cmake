@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_evasion.dir/bench_evasion.cpp.o"
+  "CMakeFiles/bench_evasion.dir/bench_evasion.cpp.o.d"
+  "bench_evasion"
+  "bench_evasion.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_evasion.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_threshold_ablation.dir/bench_threshold_ablation.cpp.o"
+  "CMakeFiles/bench_threshold_ablation.dir/bench_threshold_ablation.cpp.o.d"
+  "bench_threshold_ablation"
+  "bench_threshold_ablation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_threshold_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

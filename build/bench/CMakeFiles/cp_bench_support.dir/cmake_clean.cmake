@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cp_bench_support.dir/bench_support.cpp.o"
+  "CMakeFiles/cp_bench_support.dir/bench_support.cpp.o.d"
+  "libcp_bench_support.a"
+  "libcp_bench_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cp_bench_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/evasion_arms_race.dir/evasion_arms_race.cpp.o"
+  "CMakeFiles/evasion_arms_race.dir/evasion_arms_race.cpp.o.d"
+  "evasion_arms_race"
+  "evasion_arms_race.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/evasion_arms_race.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/measurement_study.dir/measurement_study.cpp.o"
+  "CMakeFiles/measurement_study.dir/measurement_study.cpp.o.d"
+  "measurement_study"
+  "measurement_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/measurement_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/shopping_site.dir/shopping_site.cpp.o"
+  "CMakeFiles/shopping_site.dir/shopping_site.cpp.o.d"
+  "shopping_site"
+  "shopping_site.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/shopping_site.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,16 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("util")
+subdirs("dom")
+subdirs("html")
+subdirs("net")
+subdirs("cookies")
+subdirs("server")
+subdirs("browser")
+subdirs("core")
+subdirs("baseline")
+subdirs("measure")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cp_baseline.dir/alternatives.cpp.o"
+  "CMakeFiles/cp_baseline.dir/alternatives.cpp.o.d"
+  "CMakeFiles/cp_baseline.dir/doppelganger.cpp.o"
+  "CMakeFiles/cp_baseline.dir/doppelganger.cpp.o.d"
+  "CMakeFiles/cp_baseline.dir/tree_distance.cpp.o"
+  "CMakeFiles/cp_baseline.dir/tree_distance.cpp.o.d"
+  "libcp_baseline.a"
+  "libcp_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cp_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/browser/browser.cpp" "src/browser/CMakeFiles/cp_browser.dir/browser.cpp.o" "gcc" "src/browser/CMakeFiles/cp_browser.dir/browser.cpp.o.d"
+  "/root/repo/src/browser/session_model.cpp" "src/browser/CMakeFiles/cp_browser.dir/session_model.cpp.o" "gcc" "src/browser/CMakeFiles/cp_browser.dir/session_model.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/cookies/CMakeFiles/cp_cookies.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/cp_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/html/CMakeFiles/cp_html.dir/DependInfo.cmake"
+  "/root/repo/build/src/dom/CMakeFiles/cp_dom.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/cp_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

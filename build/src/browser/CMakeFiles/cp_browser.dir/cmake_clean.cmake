@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cp_browser.dir/browser.cpp.o"
+  "CMakeFiles/cp_browser.dir/browser.cpp.o.d"
+  "CMakeFiles/cp_browser.dir/session_model.cpp.o"
+  "CMakeFiles/cp_browser.dir/session_model.cpp.o.d"
+  "libcp_browser.a"
+  "libcp_browser.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cp_browser.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cp_cookies.dir/jar.cpp.o"
+  "CMakeFiles/cp_cookies.dir/jar.cpp.o.d"
+  "libcp_cookies.a"
+  "libcp_cookies.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cp_cookies.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

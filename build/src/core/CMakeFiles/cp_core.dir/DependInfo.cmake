@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/cookie_picker.cpp" "src/core/CMakeFiles/cp_core.dir/cookie_picker.cpp.o" "gcc" "src/core/CMakeFiles/cp_core.dir/cookie_picker.cpp.o.d"
+  "/root/repo/src/core/cvce.cpp" "src/core/CMakeFiles/cp_core.dir/cvce.cpp.o" "gcc" "src/core/CMakeFiles/cp_core.dir/cvce.cpp.o.d"
+  "/root/repo/src/core/decision.cpp" "src/core/CMakeFiles/cp_core.dir/decision.cpp.o" "gcc" "src/core/CMakeFiles/cp_core.dir/decision.cpp.o.d"
+  "/root/repo/src/core/explain.cpp" "src/core/CMakeFiles/cp_core.dir/explain.cpp.o" "gcc" "src/core/CMakeFiles/cp_core.dir/explain.cpp.o.d"
+  "/root/repo/src/core/forcum.cpp" "src/core/CMakeFiles/cp_core.dir/forcum.cpp.o" "gcc" "src/core/CMakeFiles/cp_core.dir/forcum.cpp.o.d"
+  "/root/repo/src/core/recovery.cpp" "src/core/CMakeFiles/cp_core.dir/recovery.cpp.o" "gcc" "src/core/CMakeFiles/cp_core.dir/recovery.cpp.o.d"
+  "/root/repo/src/core/rstm.cpp" "src/core/CMakeFiles/cp_core.dir/rstm.cpp.o" "gcc" "src/core/CMakeFiles/cp_core.dir/rstm.cpp.o.d"
+  "/root/repo/src/core/stm.cpp" "src/core/CMakeFiles/cp_core.dir/stm.cpp.o" "gcc" "src/core/CMakeFiles/cp_core.dir/stm.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/browser/CMakeFiles/cp_browser.dir/DependInfo.cmake"
+  "/root/repo/build/src/cookies/CMakeFiles/cp_cookies.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/cp_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/html/CMakeFiles/cp_html.dir/DependInfo.cmake"
+  "/root/repo/build/src/dom/CMakeFiles/cp_dom.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/cp_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

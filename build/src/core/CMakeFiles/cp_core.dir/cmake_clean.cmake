@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cp_core.dir/cookie_picker.cpp.o"
+  "CMakeFiles/cp_core.dir/cookie_picker.cpp.o.d"
+  "CMakeFiles/cp_core.dir/cvce.cpp.o"
+  "CMakeFiles/cp_core.dir/cvce.cpp.o.d"
+  "CMakeFiles/cp_core.dir/decision.cpp.o"
+  "CMakeFiles/cp_core.dir/decision.cpp.o.d"
+  "CMakeFiles/cp_core.dir/explain.cpp.o"
+  "CMakeFiles/cp_core.dir/explain.cpp.o.d"
+  "CMakeFiles/cp_core.dir/forcum.cpp.o"
+  "CMakeFiles/cp_core.dir/forcum.cpp.o.d"
+  "CMakeFiles/cp_core.dir/recovery.cpp.o"
+  "CMakeFiles/cp_core.dir/recovery.cpp.o.d"
+  "CMakeFiles/cp_core.dir/rstm.cpp.o"
+  "CMakeFiles/cp_core.dir/rstm.cpp.o.d"
+  "CMakeFiles/cp_core.dir/stm.cpp.o"
+  "CMakeFiles/cp_core.dir/stm.cpp.o.d"
+  "libcp_core.a"
+  "libcp_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cp_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dom/builder.cpp" "src/dom/CMakeFiles/cp_dom.dir/builder.cpp.o" "gcc" "src/dom/CMakeFiles/cp_dom.dir/builder.cpp.o.d"
+  "/root/repo/src/dom/node.cpp" "src/dom/CMakeFiles/cp_dom.dir/node.cpp.o" "gcc" "src/dom/CMakeFiles/cp_dom.dir/node.cpp.o.d"
+  "/root/repo/src/dom/select.cpp" "src/dom/CMakeFiles/cp_dom.dir/select.cpp.o" "gcc" "src/dom/CMakeFiles/cp_dom.dir/select.cpp.o.d"
+  "/root/repo/src/dom/serialize.cpp" "src/dom/CMakeFiles/cp_dom.dir/serialize.cpp.o" "gcc" "src/dom/CMakeFiles/cp_dom.dir/serialize.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/cp_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

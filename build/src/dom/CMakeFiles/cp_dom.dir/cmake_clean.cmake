@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cp_dom.dir/builder.cpp.o"
+  "CMakeFiles/cp_dom.dir/builder.cpp.o.d"
+  "CMakeFiles/cp_dom.dir/node.cpp.o"
+  "CMakeFiles/cp_dom.dir/node.cpp.o.d"
+  "CMakeFiles/cp_dom.dir/select.cpp.o"
+  "CMakeFiles/cp_dom.dir/select.cpp.o.d"
+  "CMakeFiles/cp_dom.dir/serialize.cpp.o"
+  "CMakeFiles/cp_dom.dir/serialize.cpp.o.d"
+  "libcp_dom.a"
+  "libcp_dom.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cp_dom.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

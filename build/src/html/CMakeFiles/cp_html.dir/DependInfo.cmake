@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/html/entities.cpp" "src/html/CMakeFiles/cp_html.dir/entities.cpp.o" "gcc" "src/html/CMakeFiles/cp_html.dir/entities.cpp.o.d"
+  "/root/repo/src/html/parser.cpp" "src/html/CMakeFiles/cp_html.dir/parser.cpp.o" "gcc" "src/html/CMakeFiles/cp_html.dir/parser.cpp.o.d"
+  "/root/repo/src/html/tokenizer.cpp" "src/html/CMakeFiles/cp_html.dir/tokenizer.cpp.o" "gcc" "src/html/CMakeFiles/cp_html.dir/tokenizer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/dom/CMakeFiles/cp_dom.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/cp_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

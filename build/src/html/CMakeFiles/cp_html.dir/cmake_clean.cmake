@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cp_html.dir/entities.cpp.o"
+  "CMakeFiles/cp_html.dir/entities.cpp.o.d"
+  "CMakeFiles/cp_html.dir/parser.cpp.o"
+  "CMakeFiles/cp_html.dir/parser.cpp.o.d"
+  "CMakeFiles/cp_html.dir/tokenizer.cpp.o"
+  "CMakeFiles/cp_html.dir/tokenizer.cpp.o.d"
+  "libcp_html.a"
+  "libcp_html.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cp_html.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cp_measure.dir/census.cpp.o"
+  "CMakeFiles/cp_measure.dir/census.cpp.o.d"
+  "libcp_measure.a"
+  "libcp_measure.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cp_measure.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cp_net.dir/cookie_parse.cpp.o"
+  "CMakeFiles/cp_net.dir/cookie_parse.cpp.o.d"
+  "CMakeFiles/cp_net.dir/http.cpp.o"
+  "CMakeFiles/cp_net.dir/http.cpp.o.d"
+  "CMakeFiles/cp_net.dir/network.cpp.o"
+  "CMakeFiles/cp_net.dir/network.cpp.o.d"
+  "CMakeFiles/cp_net.dir/trace.cpp.o"
+  "CMakeFiles/cp_net.dir/trace.cpp.o.d"
+  "CMakeFiles/cp_net.dir/url.cpp.o"
+  "CMakeFiles/cp_net.dir/url.cpp.o.d"
+  "libcp_net.a"
+  "libcp_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cp_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/server/behaviors.cpp" "src/server/CMakeFiles/cp_server.dir/behaviors.cpp.o" "gcc" "src/server/CMakeFiles/cp_server.dir/behaviors.cpp.o.d"
+  "/root/repo/src/server/evasion.cpp" "src/server/CMakeFiles/cp_server.dir/evasion.cpp.o" "gcc" "src/server/CMakeFiles/cp_server.dir/evasion.cpp.o.d"
+  "/root/repo/src/server/fragments.cpp" "src/server/CMakeFiles/cp_server.dir/fragments.cpp.o" "gcc" "src/server/CMakeFiles/cp_server.dir/fragments.cpp.o.d"
+  "/root/repo/src/server/generator.cpp" "src/server/CMakeFiles/cp_server.dir/generator.cpp.o" "gcc" "src/server/CMakeFiles/cp_server.dir/generator.cpp.o.d"
+  "/root/repo/src/server/p3p.cpp" "src/server/CMakeFiles/cp_server.dir/p3p.cpp.o" "gcc" "src/server/CMakeFiles/cp_server.dir/p3p.cpp.o.d"
+  "/root/repo/src/server/site.cpp" "src/server/CMakeFiles/cp_server.dir/site.cpp.o" "gcc" "src/server/CMakeFiles/cp_server.dir/site.cpp.o.d"
+  "/root/repo/src/server/words.cpp" "src/server/CMakeFiles/cp_server.dir/words.cpp.o" "gcc" "src/server/CMakeFiles/cp_server.dir/words.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/cp_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/dom/CMakeFiles/cp_dom.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/cp_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cp_server.dir/behaviors.cpp.o"
+  "CMakeFiles/cp_server.dir/behaviors.cpp.o.d"
+  "CMakeFiles/cp_server.dir/evasion.cpp.o"
+  "CMakeFiles/cp_server.dir/evasion.cpp.o.d"
+  "CMakeFiles/cp_server.dir/fragments.cpp.o"
+  "CMakeFiles/cp_server.dir/fragments.cpp.o.d"
+  "CMakeFiles/cp_server.dir/generator.cpp.o"
+  "CMakeFiles/cp_server.dir/generator.cpp.o.d"
+  "CMakeFiles/cp_server.dir/p3p.cpp.o"
+  "CMakeFiles/cp_server.dir/p3p.cpp.o.d"
+  "CMakeFiles/cp_server.dir/site.cpp.o"
+  "CMakeFiles/cp_server.dir/site.cpp.o.d"
+  "CMakeFiles/cp_server.dir/words.cpp.o"
+  "CMakeFiles/cp_server.dir/words.cpp.o.d"
+  "libcp_server.a"
+  "libcp_server.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cp_server.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

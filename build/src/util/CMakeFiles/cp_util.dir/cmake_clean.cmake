@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cp_util.dir/clock.cpp.o"
+  "CMakeFiles/cp_util.dir/clock.cpp.o.d"
+  "CMakeFiles/cp_util.dir/log.cpp.o"
+  "CMakeFiles/cp_util.dir/log.cpp.o.d"
+  "CMakeFiles/cp_util.dir/rng.cpp.o"
+  "CMakeFiles/cp_util.dir/rng.cpp.o.d"
+  "CMakeFiles/cp_util.dir/stats.cpp.o"
+  "CMakeFiles/cp_util.dir/stats.cpp.o.d"
+  "CMakeFiles/cp_util.dir/strings.cpp.o"
+  "CMakeFiles/cp_util.dir/strings.cpp.o.d"
+  "libcp_util.a"
+  "libcp_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cp_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

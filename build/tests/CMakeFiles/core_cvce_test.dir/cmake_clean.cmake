@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_cvce_test.dir/core_cvce_test.cpp.o"
+  "CMakeFiles/core_cvce_test.dir/core_cvce_test.cpp.o.d"
+  "core_cvce_test"
+  "core_cvce_test.pdb"
+  "core_cvce_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_cvce_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

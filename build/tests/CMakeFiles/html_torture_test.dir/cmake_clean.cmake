@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/html_torture_test.dir/html_torture_test.cpp.o"
+  "CMakeFiles/html_torture_test.dir/html_torture_test.cpp.o.d"
+  "html_torture_test"
+  "html_torture_test.pdb"
+  "html_torture_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/html_torture_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jar_limits_test.dir/jar_limits_test.cpp.o"
+  "CMakeFiles/jar_limits_test.dir/jar_limits_test.cpp.o.d"
+  "jar_limits_test"
+  "jar_limits_test.pdb"
+  "jar_limits_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jar_limits_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

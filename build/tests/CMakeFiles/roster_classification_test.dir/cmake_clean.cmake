@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/roster_classification_test.dir/roster_classification_test.cpp.o"
+  "CMakeFiles/roster_classification_test.dir/roster_classification_test.cpp.o.d"
+  "roster_classification_test"
+  "roster_classification_test.pdb"
+  "roster_classification_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/roster_classification_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

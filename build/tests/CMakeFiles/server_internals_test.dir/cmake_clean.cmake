@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/server_internals_test.dir/server_internals_test.cpp.o"
+  "CMakeFiles/server_internals_test.dir/server_internals_test.cpp.o.d"
+  "server_internals_test"
+  "server_internals_test.pdb"
+  "server_internals_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/server_internals_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cookiepicker_cli.dir/cookiepicker_cli.cpp.o"
+  "CMakeFiles/cookiepicker_cli.dir/cookiepicker_cli.cpp.o.d"
+  "cookiepicker"
+  "cookiepicker.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cookiepicker_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
