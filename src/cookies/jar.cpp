@@ -25,6 +25,22 @@ bool pathMatches(const std::string& requestPath,
   return false;
 }
 
+CookieJar::CookieJar(const CookieJar& other) {
+  std::lock_guard lock(other.mutex_);
+  cookies_ = other.cookies_;
+  limits_ = other.limits_;
+  evictions_ = other.evictions_;
+}
+
+CookieJar& CookieJar::operator=(const CookieJar& other) {
+  if (this == &other) return *this;
+  std::scoped_lock lock(mutex_, other.mutex_);
+  cookies_ = other.cookies_;
+  limits_ = other.limits_;
+  evictions_ = other.evictions_;
+  return *this;
+}
+
 SetCookieOutcome CookieJar::store(const net::SetCookie& parsed,
                                   const net::Url& requestUrl, bool firstParty,
                                   util::SimTimeMs nowMs) {
@@ -62,6 +78,7 @@ SetCookieOutcome CookieJar::store(const net::SetCookie& parsed,
     record.expiryMs = *parsed.expiresEpochSeconds * 1000;
   }
 
+  std::lock_guard lock(mutex_);
   const auto existing = cookies_.find(record.key);
   // An already-expired cookie (Max-Age <= 0 or past Expires) is a deletion
   // request.
@@ -124,9 +141,11 @@ void CookieJar::enforceLimits(const std::string& domain) {
   }
 }
 
-std::vector<const CookieRecord*> CookieJar::cookiesFor(
+std::vector<const CookieRecord*> CookieJar::cookiesForLocked(
     const net::Url& url, util::SimTimeMs nowMs, const SendOptions& options) {
-  purgeExpired(nowMs);
+  removeIfLocked([nowMs](const CookieRecord& record) {
+    return record.isExpired(nowMs);
+  });
   std::vector<CookieRecord*> matches;
   for (auto& [key, record] : cookies_) {
     const bool domainOk =
@@ -160,22 +179,31 @@ std::vector<const CookieRecord*> CookieJar::cookiesFor(
   return {matches.begin(), matches.end()};
 }
 
+std::vector<const CookieRecord*> CookieJar::cookiesFor(
+    const net::Url& url, util::SimTimeMs nowMs, const SendOptions& options) {
+  std::lock_guard lock(mutex_);
+  return cookiesForLocked(url, nowMs, options);
+}
+
 std::string CookieJar::cookieHeaderFor(const net::Url& url,
                                        util::SimTimeMs nowMs,
                                        const SendOptions& options) {
+  std::lock_guard lock(mutex_);
   std::vector<std::pair<std::string, std::string>> pairs;
-  for (const CookieRecord* record : cookiesFor(url, nowMs, options)) {
+  for (const CookieRecord* record : cookiesForLocked(url, nowMs, options)) {
     pairs.emplace_back(record->key.name, record->value);
   }
   return net::formatCookieHeader(pairs);
 }
 
 const CookieRecord* CookieJar::find(const CookieKey& key) const {
+  std::lock_guard lock(mutex_);
   const auto it = cookies_.find(key);
   return it == cookies_.end() ? nullptr : &it->second;
 }
 
 std::vector<const CookieRecord*> CookieJar::all() const {
+  std::lock_guard lock(mutex_);
   std::vector<const CookieRecord*> records;
   records.reserve(cookies_.size());
   for (const auto& [key, record] : cookies_) records.push_back(&record);
@@ -184,6 +212,7 @@ std::vector<const CookieRecord*> CookieJar::all() const {
 
 std::vector<const CookieRecord*> CookieJar::persistentCookiesForHost(
     const std::string& host) const {
+  std::lock_guard lock(mutex_);
   std::vector<const CookieRecord*> records;
   for (const auto& [key, record] : cookies_) {
     if (!record.persistent) continue;
@@ -196,13 +225,14 @@ std::vector<const CookieRecord*> CookieJar::persistentCookiesForHost(
 }
 
 bool CookieJar::markUseful(const CookieKey& key) {
+  std::lock_guard lock(mutex_);
   const auto it = cookies_.find(key);
   if (it == cookies_.end()) return false;
   it->second.useful = true;
   return true;
 }
 
-std::size_t CookieJar::removeIf(
+std::size_t CookieJar::removeIfLocked(
     const std::function<bool(const CookieRecord&)>& predicate) {
   std::size_t removed = 0;
   for (auto it = cookies_.begin(); it != cookies_.end();) {
@@ -214,6 +244,12 @@ std::size_t CookieJar::removeIf(
     }
   }
   return removed;
+}
+
+std::size_t CookieJar::removeIf(
+    const std::function<bool(const CookieRecord&)>& predicate) {
+  std::lock_guard lock(mutex_);
+  return removeIfLocked(predicate);
 }
 
 void CookieJar::endSession() {
@@ -230,6 +266,7 @@ std::string CookieJar::serialize() const {
   // Tab-separated, one cookie per line:
   // name value domain path hostOnly secure httpOnly persistent expiry
   // creation firstParty useful
+  std::lock_guard lock(mutex_);
   std::ostringstream out;
   for (const auto& [key, record] : cookies_) {
     out << key.name << '\t' << record.value << '\t' << key.domain << '\t'

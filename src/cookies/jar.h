@@ -5,11 +5,20 @@
 // operations CookiePicker's FORCUM process needs: enumerate the persistent
 // cookies a request would carry, mark a set of cookies useful, and purge the
 // still-useless ones once a site's cookie set stabilizes.
+//
+// Thread safety: every public method locks an internal mutex, so concurrent
+// store/mark/remove/serialize calls (the fleet's stress scenarios) never
+// corrupt the map. The pointer-returning queries (`find`, `all`,
+// `cookiesFor`, ...) hand out pointers to map nodes, which std::map keeps
+// stable under unrelated inserts/erases — but a caller that holds such a
+// pointer across a concurrent erase of *that* cookie must synchronize
+// externally (one session per jar, or the CookiePicker-level lock).
 #pragma once
 
 #include <cstdint>
 #include <functional>
 #include <map>
+#include <mutex>
 #include <optional>
 #include <string>
 #include <vector>
@@ -44,6 +53,12 @@ struct JarLimits {
 
 class CookieJar {
  public:
+  CookieJar() = default;
+  // Copyable (deep copy of the records; each jar gets its own mutex) so the
+  // fleet can merge per-session jars and loadState can replace a live jar.
+  CookieJar(const CookieJar& other);
+  CookieJar& operator=(const CookieJar& other);
+
   // Applies one Set-Cookie header received from `requestUrl`. `firstParty`
   // reflects whether the request was same-site with the top-level document.
   // Rejections: domain attribute that does not cover the request host, or
@@ -65,7 +80,10 @@ class CookieJar {
                               const SendOptions& options = {});
 
   // --- inspection ---
-  std::size_t size() const { return cookies_.size(); }
+  std::size_t size() const {
+    std::lock_guard lock(mutex_);
+    return cookies_.size();
+  }
   const CookieRecord* find(const CookieKey& key) const;
   std::vector<const CookieRecord*> all() const;
   // Persistent cookies whose domain matches `host` (the per-site view used
@@ -84,13 +102,25 @@ class CookieJar {
   void endSession();
   // Drops expired persistent cookies.
   void purgeExpired(util::SimTimeMs nowMs);
-  void clear() { cookies_.clear(); }
+  void clear() {
+    std::lock_guard lock(mutex_);
+    cookies_.clear();
+  }
 
   // --- capacity ---
-  void setLimits(JarLimits limits) { limits_ = limits; }
-  const JarLimits& limits() const { return limits_; }
+  void setLimits(JarLimits limits) {
+    std::lock_guard lock(mutex_);
+    limits_ = limits;
+  }
+  JarLimits limits() const {
+    std::lock_guard lock(mutex_);
+    return limits_;
+  }
   // How many evictions the limits have forced so far.
-  std::size_t evictionCount() const { return evictions_; }
+  std::size_t evictionCount() const {
+    std::lock_guard lock(mutex_);
+    return evictions_;
+  }
 
   // --- persistence (text format, one cookie per line) ---
   std::string serialize() const;
@@ -99,9 +129,16 @@ class CookieJar {
  private:
   // Evicts until the per-domain count of `domain` and the total count are
   // within limits. Eviction order: unmarked before useful, then least
-  // recently accessed.
+  // recently accessed. Caller holds mutex_.
   void enforceLimits(const std::string& domain);
+  // Unlocked bodies shared by the public, locking entry points.
+  std::vector<const CookieRecord*> cookiesForLocked(const net::Url& url,
+                                                    util::SimTimeMs nowMs,
+                                                    const SendOptions& options);
+  std::size_t removeIfLocked(
+      const std::function<bool(const CookieRecord&)>& predicate);
 
+  mutable std::mutex mutex_;
   std::map<CookieKey, CookieRecord> cookies_;
   JarLimits limits_;
   std::size_t evictions_ = 0;

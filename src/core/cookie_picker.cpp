@@ -37,21 +37,33 @@ ForcumStepReport CookiePicker::browse(const std::string& url) {
 }
 
 ForcumStepReport CookiePicker::browse(const net::Url& url) {
+  std::lock_guard lock(mutex_);
   const browser::PageView view = browser_.visit(url);
-  ForcumStepReport report = onPageLoaded(view);
+  ForcumStepReport report = onPageLoadedLocked(view);
   browser_.think();
   return report;
 }
 
 ForcumStepReport CookiePicker::onPageLoaded(const browser::PageView& view) {
+  std::lock_guard lock(mutex_);
+  return onPageLoadedLocked(view);
+}
+
+ForcumStepReport CookiePicker::onPageLoadedLocked(
+    const browser::PageView& view) {
   ForcumStepReport report = forcum_.onPageView(view);
   if (config_.autoEnforce && !report.trainingActive) {
-    enforceForHost(view.url.host());
+    enforceForHostLocked(view.url.host());
   }
   return report;
 }
 
 void CookiePicker::enforceForHost(const std::string& host) {
+  std::lock_guard lock(mutex_);
+  enforceForHostLocked(host);
+}
+
+void CookiePicker::enforceForHostLocked(const std::string& host) {
   enforcedHosts_->insert(host);
   if (config_.deleteUselessOnEnforce) {
     browser_.jar().removeIf([&host](const cookies::CookieRecord& record) {
@@ -66,6 +78,7 @@ void CookiePicker::enforceForHost(const std::string& host) {
 void CookiePicker::enforceStableHosts() {
   // Walk every host FORCUM has seen; stable ones get enforced.
   // (Host list comes from the jar plus training states.)
+  std::lock_guard lock(mutex_);
   std::set<std::string> hosts;
   for (const cookies::CookieRecord* record : browser_.jar().all()) {
     hosts.insert(record->key.domain);
@@ -73,17 +86,19 @@ void CookiePicker::enforceStableHosts() {
   for (const std::string& host : hosts) {
     const ForcumEngine::SiteState* state = forcum_.siteState(host);
     if (state != nullptr && !state->trainingActive) {
-      enforceForHost(host);
+      enforceForHostLocked(host);
     }
   }
 }
 
 bool CookiePicker::isEnforced(const std::string& host) const {
+  std::lock_guard lock(mutex_);
   return enforcedHosts_->contains(host);
 }
 
 std::vector<cookies::CookieKey> CookiePicker::pressRecoveryButton(
     const net::Url& url) {
+  std::lock_guard lock(mutex_);
   // Recovery must see blocked cookies too, so lift enforcement for the host
   // while re-marking.
   const bool wasEnforced = enforcedHosts_->erase(url.host()) > 0;
@@ -101,6 +116,7 @@ constexpr char kEnforcedMarker[] = "== enforced ==";
 }  // namespace
 
 std::string CookiePicker::saveState() const {
+  std::lock_guard lock(mutex_);
   std::string out;
   out += std::string(kJarMarker) + "\n" + browser_.jar().serialize();
   out += std::string(kForcumMarker) + "\n" + forcum_.serializeState();
@@ -112,6 +128,7 @@ std::string CookiePicker::saveState() const {
 }
 
 void CookiePicker::loadState(const std::string& text) {
+  std::lock_guard lock(mutex_);
   enum class Section { None, Jar, Forcum, Enforced };
   std::string jarText;
   std::string forcumText;
@@ -149,6 +166,7 @@ void CookiePicker::loadState(const std::string& text) {
 }
 
 HostReport CookiePicker::report(const std::string& host) const {
+  std::lock_guard lock(mutex_);
   HostReport hostReport;
   hostReport.host = host;
   for (const cookies::CookieRecord* record :

@@ -13,10 +13,19 @@
 //   auto view = picker.browse("http://shop.example.com/");   // visit + train
 //   ...
 //   picker.enforceStableHosts();   // block + purge useless cookies
+// Thread safety: every public method acquires an internal mutex, so one
+// CookiePicker (and the Browser/jar it wraps) may be driven from several
+// threads — concurrent browse/enforce/recover interleavings serialize
+// instead of racing. Distinct CookiePicker instances over distinct Browsers
+// share nothing but the Network, which synchronizes itself; that is the
+// fleet's parallelism model. Callers that reach past the facade (e.g.
+// calling browser().visit() directly) are outside this lock and must be
+// single-threaded with respect to that Browser.
 #pragma once
 
 #include <map>
 #include <memory>
+#include <mutex>
 #include <set>
 #include <string>
 
@@ -89,7 +98,13 @@ class CookiePicker {
 
  private:
   void installSendFilter();
+  // Unlocked bodies shared by the public, locking entry points.
+  ForcumStepReport onPageLoadedLocked(const browser::PageView& view);
+  void enforceForHostLocked(const std::string& host);
 
+  // Serializes all public operations; recursive calls go through the
+  // *Locked helpers instead of re-entering.
+  mutable std::mutex mutex_;
   browser::Browser& browser_;
   CookiePickerConfig config_;
   ForcumEngine forcum_;

@@ -1,0 +1,127 @@
+#include "fleet/fleet.h"
+
+#include <algorithm>
+#include <atomic>
+#include <thread>
+
+#include "browser/browser.h"
+#include "util/clock.h"
+#include "util/rng.h"
+
+namespace cookiepicker::fleet {
+
+int FleetReport::totalPersistentCookies() const {
+  int total = 0;
+  for (const HostResult& host : hosts) total += host.report.persistentCookies;
+  return total;
+}
+
+int FleetReport::totalMarkedUseful() const {
+  int total = 0;
+  for (const HostResult& host : hosts) total += host.report.markedUseful;
+  return total;
+}
+
+std::string FleetReport::serializeState() const {
+  std::string out;
+  for (const HostResult& host : hosts) {
+    out += "== fleet host " + host.host + " ==\n";
+    out += host.state;
+  }
+  return out;
+}
+
+cookies::CookieJar FleetReport::mergedJar() const {
+  std::string lines;
+  for (const HostResult& host : hosts) lines += host.jarState;
+  return cookies::CookieJar::deserialize(lines);
+}
+
+TrainingFleet::TrainingFleet(net::Network& network, FleetConfig config)
+    : network_(network), config_(std::move(config)) {}
+
+HostResult TrainingFleet::runHostSession(const server::SiteSpec& spec) const {
+  HostResult result;
+  result.label = spec.label;
+  result.host = spec.domain;
+
+  // Everything below is session-local: its own clock, jar, and an RNG stream
+  // keyed by the host name — a pure function of (seed, host, views).
+  util::SimClock clock;
+  browser::Browser browser(network_, clock, config_.policy,
+                           config_.seed ^ util::fnv1a64(spec.domain));
+  core::CookiePicker picker(browser, config_.picker);
+
+  const int pages = std::max(1, spec.pageCount);
+  for (int view = 0; view < config_.viewsPerHost; ++view) {
+    picker.browse("http://" + spec.domain + "/page" +
+                  std::to_string(view % pages));
+    ++result.pagesVisited;
+  }
+  if (config_.enforceStableAfterRun) {
+    picker.enforceStableHosts();
+  }
+  result.report = picker.report(spec.domain);
+  result.state = picker.saveState();
+  result.jarState = browser.jar().serialize();
+  return result;
+}
+
+FleetReport TrainingFleet::run(const std::vector<server::SiteSpec>& roster) {
+  FleetReport report;
+  const int workers = std::clamp(
+      config_.workers, 1,
+      roster.empty() ? 1 : static_cast<int>(roster.size()));
+  report.workers = workers;
+  report.hosts.resize(roster.size());
+
+  // The work queue: an atomic cursor over the roster. Results land in the
+  // roster-order slot, so the report is scheduling-independent.
+  std::atomic<std::size_t> nextTask{0};
+  std::vector<double> busyMs(static_cast<std::size_t>(workers), 0.0);
+  auto workerLoop = [&](int workerIndex) {
+    while (true) {
+      const std::size_t task =
+          nextTask.fetch_add(1, std::memory_order_relaxed);
+      if (task >= roster.size()) break;
+      util::StopWatch sessionWatch;
+      HostResult result = runHostSession(roster[task]);
+      result.wallMs = sessionWatch.elapsedMs();
+      result.workerIndex = workerIndex;
+      busyMs[static_cast<std::size_t>(workerIndex)] += result.wallMs;
+      report.hosts[task] = std::move(result);
+    }
+  };
+
+  util::StopWatch wall;
+  if (workers <= 1) {
+    workerLoop(0);
+  } else {
+    std::vector<std::thread> threads;
+    threads.reserve(static_cast<std::size_t>(workers));
+    for (int worker = 0; worker < workers; ++worker) {
+      threads.emplace_back(workerLoop, worker);
+    }
+    for (std::thread& thread : threads) thread.join();
+  }
+  report.wallMs = wall.elapsedMs();
+
+  for (const HostResult& host : report.hosts) {
+    report.pagesVisited += static_cast<std::uint64_t>(host.pagesVisited);
+    report.hiddenRequests +=
+        static_cast<std::uint64_t>(host.report.hiddenRequests);
+  }
+  if (report.wallMs > 0.0) {
+    report.pagesPerSecond =
+        static_cast<double>(report.pagesVisited) / (report.wallMs / 1000.0);
+    report.hiddenRequestsPerSecond =
+        static_cast<double>(report.hiddenRequests) /
+        (report.wallMs / 1000.0);
+    double totalBusyMs = 0.0;
+    for (const double ms : busyMs) totalBusyMs += ms;
+    report.workerUtilization = totalBusyMs / (workers * report.wallMs);
+  }
+  return report;
+}
+
+}  // namespace cookiepicker::fleet

@@ -1,0 +1,104 @@
+// Parallel multi-session training fleet.
+//
+// Scales FORCUM training from one browsing session to N worker threads
+// sharing one simulated Network. The unit of work is a *host*: each worker
+// pulls the next site off a shared roster queue, spins up a fresh
+// Browser + CookiePicker session for it (its own SimClock and jar, its RNG
+// forked from the fleet seed keyed by the host name), drives the configured
+// number of page views, and records the session's final state. Hosts are
+// independent — the embarrassingly parallel shape of crawl-scale cookie
+// studies — so throughput scales with workers while results stay exactly
+// reproducible.
+//
+// Determinism invariant: for a fixed seed, roster, and views-per-host, the
+// per-host reports, jar marks, and `FleetReport::serializeState()` bytes are
+// identical for any worker count (1, 8, ...). This holds because every
+// source of randomness a host session touches is keyed by the host name
+// (session RNG, the Network's per-host latency streams) and every clock is
+// session-local, so scheduling order cannot leak into results.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "cookies/jar.h"
+#include "cookies/policy.h"
+#include "core/cookie_picker.h"
+#include "net/network.h"
+#include "server/generator.h"
+
+namespace cookiepicker::fleet {
+
+struct FleetConfig {
+  int workers = 1;
+  int viewsPerHost = 12;
+  std::uint64_t seed = 2007;
+  core::CookiePickerConfig picker;
+  cookies::CookiePolicy policy = cookies::CookiePolicy::recommended();
+  // Enforce every stable host at the end of its session (block + purge the
+  // cookies FORCUM left unmarked), as a batch audit would.
+  bool enforceStableAfterRun = true;
+};
+
+// Outcome of one host's training session.
+struct HostResult {
+  std::string label;
+  std::string host;
+  core::HostReport report;
+  // The session's full CookiePicker::saveState() blob (jar with marks,
+  // FORCUM state, enforced hosts) — the determinism anchor.
+  std::string state;
+  // The session jar alone, for cross-host merging.
+  std::string jarState;
+  int pagesVisited = 0;
+  // Host (real) time the session took and which worker ran it. Informational
+  // only: excluded from serializeState() so timing never breaks determinism.
+  double wallMs = 0.0;
+  int workerIndex = -1;
+};
+
+struct FleetReport {
+  int workers = 1;
+  double wallMs = 0.0;
+  std::uint64_t pagesVisited = 0;
+  std::uint64_t hiddenRequests = 0;
+  double pagesPerSecond = 0.0;
+  double hiddenRequestsPerSecond = 0.0;
+  // Sum of per-worker busy time over (workers * wall time); 1.0 = no worker
+  // ever idled waiting for the queue to drain.
+  double workerUtilization = 0.0;
+  // Always in roster order, whatever order the queue drained in.
+  std::vector<HostResult> hosts;
+
+  int totalPersistentCookies() const;
+  int totalMarkedUseful() const;
+
+  // Concatenation of every host session's state, in roster order — the blob
+  // the determinism tests compare byte-for-byte across worker counts.
+  std::string serializeState() const;
+  // Union of the per-session jars (host sessions touch disjoint cookie
+  // domains, so the merge is conflict-free).
+  cookies::CookieJar mergedJar() const;
+};
+
+class TrainingFleet {
+ public:
+  TrainingFleet(net::Network& network, FleetConfig config = {});
+
+  // Trains every site in the roster, fanning the hosts out over
+  // `config.workers` threads. The roster must already be registered on the
+  // network (see server::registerRoster). `workers <= 1` runs inline on the
+  // calling thread.
+  FleetReport run(const std::vector<server::SiteSpec>& roster);
+
+  const FleetConfig& config() const { return config_; }
+
+ private:
+  HostResult runHostSession(const server::SiteSpec& spec) const;
+
+  net::Network& network_;
+  FleetConfig config_;
+};
+
+}  // namespace cookiepicker::fleet

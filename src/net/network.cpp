@@ -1,5 +1,8 @@
 #include "net/network.h"
 
+#include <chrono>
+#include <thread>
+
 #include "util/strings.h"
 
 namespace cookiepicker::net {
@@ -51,10 +54,19 @@ double LatencyProfile::sampleMs(util::Pcg32& rng,
 void Network::registerHost(const std::string& host,
                            std::shared_ptr<HttpHandler> handler,
                            LatencyProfile profile) {
-  hosts_[util::toLowerAscii(host)] = {std::move(handler), profile};
+  const std::string key = util::toLowerAscii(host);
+  auto entry = std::make_unique<HostEntry>();
+  entry->handler = std::move(handler);
+  entry->profile = profile;
+  // Keyed by host name so the stream survives re-registration and does not
+  // depend on registration order.
+  entry->rng = util::Pcg32(seed_, /*sequence=*/0x6e657477UL).fork(key);
+  std::unique_lock lock(registryMutex_);
+  hosts_[key] = std::move(entry);
 }
 
 bool Network::knowsHost(const std::string& host) const {
+  std::shared_lock lock(registryMutex_);
   return hosts_.contains(util::toLowerAscii(host));
 }
 
@@ -62,32 +74,55 @@ Exchange Network::dispatch(const HttpRequest& request) {
   Exchange exchange;
   exchange.requestBytes = toWireFormat(request).size();
 
-  const auto it = hosts_.find(request.url.host());
-  if (it == hosts_.end()) {
+  HostEntry* entry = nullptr;
+  {
+    std::shared_lock lock(registryMutex_);
+    const auto it = hosts_.find(request.url.host());
+    if (it != hosts_.end()) entry = it->second.get();
+  }
+
+  if (entry == nullptr) {
     exchange.response = HttpResponse::notFound(request.url.toString());
     exchange.response.status = 404;
+    // Stateless per-request stream keyed by (host, path): unknown-host
+    // latency is a pure function of the request, so concurrent sessions
+    // probing the same missing host cannot perturb each other.
+    util::Pcg32 rng(seed_ ^ util::fnv1a64(request.url.host()),
+                    util::fnv1a64(request.url.path()));
     exchange.latencyMs =
-        LatencyProfile::fast().sampleMs(rng_, exchange.response.body.size());
-  } else if (failureProbability_ > 0.0 && rng_.chance(failureProbability_)) {
-    ++injectedFailures_;
-    exchange.response.status = 503;
-    exchange.response.statusText = "Service Unavailable";
-    exchange.response.headers.set("Content-Type", "text/html");
-    exchange.response.body =
-        "<html><body><h1>503 Service Unavailable</h1></body></html>";
-    exchange.latencyMs =
-        it->second.profile.sampleMs(rng_, exchange.response.body.size());
+        LatencyProfile::fast().sampleMs(rng, exchange.response.body.size());
   } else {
-    exchange.response = it->second.handler->handle(request);
-    exchange.responseBytes = toWireFormat(exchange.response).size();
-    exchange.latencyMs =
-        it->second.profile.sampleMs(rng_, exchange.responseBytes) +
-        exchange.response.serverProcessingMs;
+    std::lock_guard lock(entry->mutex);
+    const double failureProbability =
+        failureProbability_.load(std::memory_order_relaxed);
+    if (failureProbability > 0.0 && entry->rng.chance(failureProbability)) {
+      injectedFailures_.fetch_add(1, std::memory_order_relaxed);
+      exchange.response.status = 503;
+      exchange.response.statusText = "Service Unavailable";
+      exchange.response.headers.set("Content-Type", "text/html");
+      exchange.response.body =
+          "<html><body><h1>503 Service Unavailable</h1></body></html>";
+      exchange.latencyMs =
+          entry->profile.sampleMs(entry->rng, exchange.response.body.size());
+    } else {
+      exchange.response = entry->handler->handle(request);
+      exchange.responseBytes = toWireFormat(exchange.response).size();
+      exchange.latencyMs =
+          entry->profile.sampleMs(entry->rng, exchange.responseBytes) +
+          exchange.response.serverProcessingMs;
+    }
   }
   exchange.responseBytes = toWireFormat(exchange.response).size();
 
-  ++totalRequests_;
-  totalBytes_ += exchange.requestBytes + exchange.responseBytes;
+  totalRequests_.fetch_add(1, std::memory_order_relaxed);
+  totalBytes_.fetch_add(exchange.requestBytes + exchange.responseBytes,
+                        std::memory_order_relaxed);
+
+  const double scale = wallLatencyScale_.load(std::memory_order_relaxed);
+  if (scale > 0.0) {
+    std::this_thread::sleep_for(
+        std::chrono::duration<double, std::milli>(exchange.latencyMs * scale));
+  }
   return exchange;
 }
 

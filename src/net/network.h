@@ -5,12 +5,25 @@
 // model reports how long each exchange *would* have taken. Callers (the
 // browser) advance the simulated clock by that amount, so timing results are
 // deterministic functions of the RNG seed.
+//
+// Thread safety: `dispatch` may be called concurrently from many browser
+// sessions (the fleet layer). The host registry is guarded by a shared
+// mutex (register before spawning workers for best throughput), each host's
+// handler + latency RNG is serialized by a per-host mutex, and the traffic
+// counters are atomic. Latency randomness is drawn from *per-host* RNG
+// streams forked from the network seed and keyed by host name, so the
+// latency sequence a host serves depends only on the requests sent to that
+// host — never on how requests to different hosts interleave. That is the
+// invariant that keeps fleet results byte-identical across worker counts.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <map>
 #include <memory>
+#include <mutex>
+#include <shared_mutex>
 #include <string>
 
 #include "net/http.h"
@@ -53,8 +66,7 @@ struct Exchange {
 
 class Network {
  public:
-  explicit Network(std::uint64_t seed = 7)
-      : rng_(seed, /*sequence=*/0x6e657477UL) {}
+  explicit Network(std::uint64_t seed = 7) : seed_(seed) {}
 
   // Registers a handler for a host (exact match, lowercase).
   void registerHost(const std::string& host,
@@ -64,37 +76,64 @@ class Network {
 
   // Dispatches a request to the host's handler. Unknown hosts get a
   // synthetic 404 with fast latency (a resolver failure would be faster
-  // still; indistinguishable for our purposes).
+  // still; indistinguishable for our purposes). Safe to call concurrently;
+  // requests to the same host serialize on that host's lock.
   Exchange dispatch(const HttpRequest& request);
 
   // Failure injection: with this probability, a request to a *known* host
   // returns 503 instead of reaching its handler (transient overload /
   // dropped connection). Exercises every caller's non-200 path.
   void setFailureProbability(double probability) {
-    failureProbability_ = probability;
+    failureProbability_.store(probability, std::memory_order_relaxed);
   }
-  std::uint64_t injectedFailures() const { return injectedFailures_; }
+  std::uint64_t injectedFailures() const {
+    return injectedFailures_.load(std::memory_order_relaxed);
+  }
+
+  // Wall-latency emulation: when scale > 0, dispatch() additionally sleeps
+  // for latencyMs * scale of *host* time, turning the simulated wait into a
+  // real one. Results are unaffected (the simulated clock still advances by
+  // the full latency); only wall time changes. The fleet scaling benchmark
+  // uses this to reproduce the network-bound regime of a real crawl, where
+  // extra workers win by overlapping waits.
+  void setWallLatencyScale(double scale) {
+    wallLatencyScale_.store(scale, std::memory_order_relaxed);
+  }
+  double wallLatencyScale() const {
+    return wallLatencyScale_.load(std::memory_order_relaxed);
+  }
 
   // --- accounting (reset per experiment as needed) ---
-  std::uint64_t totalRequests() const { return totalRequests_; }
-  std::uint64_t totalBytesTransferred() const { return totalBytes_; }
+  std::uint64_t totalRequests() const {
+    return totalRequests_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t totalBytesTransferred() const {
+    return totalBytes_.load(std::memory_order_relaxed);
+  }
   void resetCounters() {
-    totalRequests_ = 0;
-    totalBytes_ = 0;
+    totalRequests_.store(0, std::memory_order_relaxed);
+    totalBytes_.store(0, std::memory_order_relaxed);
   }
 
  private:
   struct HostEntry {
     std::shared_ptr<HttpHandler> handler;
     LatencyProfile profile;
+    // Per-host latency stream: forked from the network seed, keyed by host
+    // name, advanced only by requests to this host.
+    util::Pcg32 rng;
+    // Serializes handler invocation and RNG draws for this host.
+    std::mutex mutex;
   };
 
-  std::map<std::string, HostEntry> hosts_;
-  util::Pcg32 rng_;
-  std::uint64_t totalRequests_ = 0;
-  std::uint64_t totalBytes_ = 0;
-  double failureProbability_ = 0.0;
-  std::uint64_t injectedFailures_ = 0;
+  std::map<std::string, std::unique_ptr<HostEntry>> hosts_;
+  mutable std::shared_mutex registryMutex_;
+  std::uint64_t seed_;
+  std::atomic<std::uint64_t> totalRequests_{0};
+  std::atomic<std::uint64_t> totalBytes_{0};
+  std::atomic<double> failureProbability_{0.0};
+  std::atomic<std::uint64_t> injectedFailures_{0};
+  std::atomic<double> wallLatencyScale_{0.0};
 };
 
 }  // namespace cookiepicker::net

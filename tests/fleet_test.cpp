@@ -1,0 +1,205 @@
+// Fleet-layer tests: determinism under parallelism (the tentpole invariant
+// — results must be byte-identical for any worker count) and thread-safety
+// stress scenarios designed to fail under TSan if the jar / network /
+// picker locking ever regresses.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "browser/browser.h"
+#include "core/cookie_picker.h"
+#include "fleet/fleet.h"
+#include "net/network.h"
+#include "server/generator.h"
+#include "util/clock.h"
+
+namespace cookiepicker {
+namespace {
+
+fleet::FleetReport runFleet(const std::vector<server::SiteSpec>& roster,
+                            int workers, int views,
+                            std::uint64_t seed = 1234) {
+  // Fresh network + registration per run: runs must not share latency-RNG
+  // or server-side state, or the comparison would be meaningless.
+  util::SimClock serverClock;
+  net::Network network(seed);
+  server::registerRoster(network, serverClock, roster);
+  fleet::FleetConfig config;
+  config.workers = workers;
+  config.viewsPerHost = views;
+  config.seed = seed;
+  config.picker.autoEnforce = true;
+  fleet::TrainingFleet trainingFleet(network, config);
+  return trainingFleet.run(roster);
+}
+
+TEST(FleetDeterminism, SerializedStateIdenticalForOneVsEightWorkers) {
+  const auto roster = server::measurementRoster(12, 77);
+  const fleet::FleetReport serial = runFleet(roster, 1, 8);
+  const fleet::FleetReport parallel = runFleet(roster, 8, 8);
+
+  // The tentpole invariant: jar marks, FORCUM state, and enforcement
+  // decisions are byte-identical however many workers raced through the
+  // roster.
+  EXPECT_EQ(serial.serializeState(), parallel.serializeState());
+  EXPECT_EQ(serial.mergedJar().serialize(), parallel.mergedJar().serialize());
+  EXPECT_EQ(serial.pagesVisited, parallel.pagesVisited);
+  EXPECT_EQ(serial.hiddenRequests, parallel.hiddenRequests);
+  for (std::size_t i = 0; i < roster.size(); ++i) {
+    EXPECT_EQ(serial.hosts[i].report.markedUseful,
+              parallel.hosts[i].report.markedUseful)
+        << roster[i].domain;
+    EXPECT_EQ(serial.hosts[i].report.enforced,
+              parallel.hosts[i].report.enforced)
+        << roster[i].domain;
+  }
+  EXPECT_NE(serial.serializeState().find("== fleet host"), std::string::npos);
+}
+
+TEST(FleetDeterminism, RepeatedParallelRunsAgree) {
+  const auto roster = server::measurementRoster(9, 3);
+  const fleet::FleetReport first = runFleet(roster, 4, 6);
+  const fleet::FleetReport second = runFleet(roster, 4, 6);
+  EXPECT_EQ(first.serializeState(), second.serializeState());
+}
+
+TEST(FleetReportTest, AggregatesAreConsistent) {
+  const auto roster = server::measurementRoster(6, 11);
+  const fleet::FleetReport report = runFleet(roster, 3, 5);
+  EXPECT_EQ(report.workers, 3);
+  EXPECT_EQ(report.pagesVisited, 6u * 5u);
+  EXPECT_EQ(report.hosts.size(), roster.size());
+  EXPECT_GT(report.wallMs, 0.0);
+  EXPECT_GT(report.pagesPerSecond, 0.0);
+  EXPECT_GT(report.workerUtilization, 0.0);
+  EXPECT_LE(report.workerUtilization, 1.0 + 1e-9);
+  for (std::size_t i = 0; i < roster.size(); ++i) {
+    EXPECT_EQ(report.hosts[i].host, roster[i].domain);  // roster order
+    EXPECT_GE(report.hosts[i].workerIndex, 0);
+    EXPECT_LT(report.hosts[i].workerIndex, 3);
+  }
+}
+
+TEST(FleetReportTest, WorkerCountClampedToRoster) {
+  const auto roster = server::measurementRoster(2, 5);
+  const fleet::FleetReport report = runFleet(roster, 16, 3);
+  EXPECT_EQ(report.workers, 2);
+}
+
+// 64 hosts trained by a fleet, then a shared CookiePicker hammered with
+// enforce/recover/browse from many threads. Passing here under TSan is the
+// proof the jar/network/picker locking holds; without the locks this test
+// reports races immediately.
+TEST(FleetStress, ConcurrentEnforceRecoverOn64Hosts) {
+  const int hostCount = 64;
+  const auto roster = server::measurementRoster(hostCount, 5);
+  util::SimClock serverClock;
+  net::Network network(5);
+  server::registerRoster(network, serverClock, roster);
+
+  // One shared session over all hosts (the single-user configuration the
+  // paper describes), primed with one page view per host.
+  util::SimClock clock;
+  browser::Browser browser(network, clock);
+  core::CookiePicker picker(browser);
+  for (const server::SiteSpec& spec : roster) {
+    picker.browse("http://" + spec.domain + "/page0");
+  }
+
+  const int threads = 8;
+  const int opsPerThread = 48;
+  std::atomic<int> recoveries{0};
+  std::vector<std::thread> pool;
+  pool.reserve(threads);
+  for (int t = 0; t < threads; ++t) {
+    pool.emplace_back([&, t]() {
+      for (int op = 0; op < opsPerThread; ++op) {
+        const server::SiteSpec& spec =
+            roster[static_cast<std::size_t>((t * 31 + op * 7) % hostCount)];
+        const std::string url = "http://" + spec.domain + "/page0";
+        switch ((t + op) % 3) {
+          case 0:
+            picker.enforceForHost(spec.domain);
+            break;
+          case 1: {
+            const auto parsed = net::Url::parse(url);
+            ASSERT_TRUE(parsed.has_value());
+            recoveries += static_cast<int>(
+                picker.pressRecoveryButton(*parsed).size());
+            break;
+          }
+          default:
+            picker.browse(url);
+            break;
+        }
+      }
+    });
+  }
+  for (std::thread& thread : pool) thread.join();
+
+  // The jar survived: serialization round-trips and keys are unique.
+  const std::string serialized = browser.jar().serialize();
+  const cookies::CookieJar reloaded =
+      cookies::CookieJar::deserialize(serialized);
+  EXPECT_EQ(reloaded.size(), browser.jar().size());
+  std::set<cookies::CookieKey> keys;
+  for (const cookies::CookieRecord* record : browser.jar().all()) {
+    EXPECT_TRUE(keys.insert(record->key).second)
+        << "duplicate cookie key " << record->key.name;
+  }
+  // Enforced hosts transmit no unmarked persistent cookies: revisit each
+  // enforced host and inspect the Cookie header the request carried.
+  for (const server::SiteSpec& spec : roster) {
+    if (!picker.isEnforced(spec.domain)) continue;
+    const auto url = net::Url::parse("http://" + spec.domain + "/page0");
+    ASSERT_TRUE(url.has_value());
+    const browser::PageView view = browser.visit(*url);
+    const std::string header = view.containerRequest.cookieHeader();
+    for (const cookies::CookieRecord* record :
+         browser.jar().persistentCookiesForHost(spec.domain)) {
+      if (record->useful) continue;
+      EXPECT_EQ(header.find(record->key.name + "="), std::string::npos)
+          << "blocked cookie " << record->key.name << " was transmitted to "
+          << spec.domain;
+    }
+  }
+}
+
+// Many independent sessions (one per host, as the fleet runs them) sharing
+// one Network: exercises concurrent dispatch, per-host RNG streams, and the
+// atomic traffic counters.
+TEST(FleetStress, ConcurrentSessionsShareOneNetwork) {
+  const auto roster = server::measurementRoster(16, 9);
+  util::SimClock serverClock;
+  net::Network network(9);
+  server::registerRoster(network, serverClock, roster);
+  network.setFailureProbability(0.1);  // exercise the 503 path too
+
+  std::vector<std::thread> pool;
+  for (int t = 0; t < 4; ++t) {
+    pool.emplace_back([&, t]() {
+      for (std::size_t i = static_cast<std::size_t>(t); i < roster.size();
+           i += 4) {
+        util::SimClock clock;
+        browser::Browser browser(network, clock,
+                                 cookies::CookiePolicy::recommended(),
+                                 1000 + i);
+        core::CookiePicker picker(browser);
+        for (int view = 0; view < 4; ++view) {
+          picker.browse("http://" + roster[i].domain + "/page" +
+                        std::to_string(view));
+        }
+      }
+    });
+  }
+  for (std::thread& thread : pool) thread.join();
+  EXPECT_GT(network.totalRequests(), 0u);
+  EXPECT_GT(network.totalBytesTransferred(), 0u);
+}
+
+}  // namespace
+}  // namespace cookiepicker

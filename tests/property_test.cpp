@@ -5,14 +5,21 @@
 #include <map>
 #include <set>
 #include <string>
+#include <thread>
+#include <vector>
 
 #include "baseline/tree_distance.h"
+#include "browser/browser.h"
+#include "core/cookie_picker.h"
 #include "core/cvce.h"
 #include "core/rstm.h"
 #include "core/stm.h"
 #include "dom/builder.h"
 #include "dom/serialize.h"
 #include "html/parser.h"
+#include "net/network.h"
+#include "server/generator.h"
+#include "util/clock.h"
 #include "util/rng.h"
 
 namespace cookiepicker {
@@ -224,6 +231,85 @@ TEST_P(SeededProperty, BottomUpNeverExceedsTreeSizes) {
     const std::size_t matched = baseline::bottomUpMatching(*treeA, *treeB);
     EXPECT_LE(matched, treeA->subtreeSize());
     EXPECT_LE(matched, treeB->subtreeSize());
+  }
+}
+
+TEST_P(SeededProperty, ConcurrentBrowseEnforceRecoverPreservesJarInvariants) {
+  // Random interleavings of the three user-facing operations across threads
+  // must never corrupt the jar: every CookieKey unique, serialization
+  // round-trips, and an enforced host's unmarked persistent cookies are
+  // never transmitted. Each thread draws its op sequence from its own
+  // forked RNG stream, so the schedule is random but reproducible.
+  const std::uint64_t seed = GetParam();
+  const auto roster = server::measurementRoster(5, seed);
+  util::SimClock serverClock;
+  net::Network network(seed);
+  server::registerRoster(network, serverClock, roster);
+
+  util::SimClock clock;
+  browser::Browser browser(network, clock,
+                           cookies::CookiePolicy::recommended(), seed);
+  core::CookiePicker picker(browser);
+  for (const server::SiteSpec& spec : roster) {
+    picker.browse("http://" + spec.domain + "/page0");
+  }
+
+  const int threadCount = 4;
+  std::vector<std::thread> pool;
+  pool.reserve(threadCount);
+  for (int t = 0; t < threadCount; ++t) {
+    pool.emplace_back([&, t]() {
+      util::Pcg32 rng(seed, static_cast<std::uint64_t>(t) + 101);
+      for (int op = 0; op < 12; ++op) {
+        const server::SiteSpec& spec =
+            roster[rng.uniform(0, static_cast<std::uint32_t>(
+                                      roster.size() - 1))];
+        const std::string url = "http://" + spec.domain + "/page" +
+                                std::to_string(rng.uniform(0, 3));
+        switch (rng.uniform(0, 2)) {
+          case 0:
+            picker.browse(url);
+            break;
+          case 1:
+            picker.enforceForHost(spec.domain);
+            break;
+          default: {
+            const auto parsed = net::Url::parse(url);
+            ASSERT_TRUE(parsed.has_value());
+            picker.pressRecoveryButton(*parsed);
+            break;
+          }
+        }
+      }
+    });
+  }
+  for (std::thread& thread : pool) thread.join();
+
+  // Invariant 1: no duplicate CookieKey, and serialize/deserialize is a
+  // bijection on the surviving records.
+  std::set<cookies::CookieKey> keys;
+  for (const cookies::CookieRecord* record : browser.jar().all()) {
+    EXPECT_TRUE(keys.insert(record->key).second);
+  }
+  const cookies::CookieJar reloaded =
+      cookies::CookieJar::deserialize(browser.jar().serialize());
+  EXPECT_EQ(reloaded.size(), browser.jar().size());
+
+  // Invariant 2: blocked ⟹ not transmitted. Revisit each enforced host and
+  // check the Cookie header that actually went out.
+  for (const server::SiteSpec& spec : roster) {
+    if (!picker.isEnforced(spec.domain)) continue;
+    const auto url = net::Url::parse("http://" + spec.domain + "/page0");
+    ASSERT_TRUE(url.has_value());
+    const std::string header =
+        browser.visit(*url).containerRequest.cookieHeader();
+    for (const cookies::CookieRecord* record :
+         browser.jar().persistentCookiesForHost(spec.domain)) {
+      if (record->useful) continue;
+      EXPECT_EQ(header.find(record->key.name + "="), std::string::npos)
+          << record->key.name << " leaked from enforced host "
+          << spec.domain;
+    }
   }
 }
 

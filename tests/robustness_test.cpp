@@ -178,6 +178,10 @@ TEST(QueryCachePerformance, CookieMakesResponsesFaster) {
   spec.category = "reference";
   spec.seed = 10;
   spec.queryCache = true;
+  // Low-jitter profile: the assertion compares two latency draws against the
+  // deterministic recompute penalty, so typical-profile jitter (median
+  // ~735 ms, heavy tail) could swamp the margin on an unlucky stream.
+  spec.speed = server::SiteSpeed::Fast;
   world.addSite(spec);
 
   // First visit: no cookie → recompute penalty.
@@ -198,6 +202,7 @@ TEST(QueryCachePerformance, BlockingTheCookieCostsTime) {
   spec.category = "reference";
   spec.seed = 11;
   spec.queryCache = true;
+  spec.speed = server::SiteSpeed::Fast;  // see CookieMakesResponsesFaster
   world.addSite(spec);
   world.browser.visit("http://perf.example/");  // seeds the cookie
 

@@ -1,0 +1,40 @@
+#!/usr/bin/env bash
+# Tier-1 verification under sanitizers.
+#
+# Builds and runs the full ctest suite three times: plain, under
+# ThreadSanitizer (-DCOOKIEPICKER_SANITIZE=thread — the concurrency suite's
+# contract), and under AddressSanitizer+UBSan (-DCOOKIEPICKER_SANITIZE=
+# address). Each configuration gets its own build tree so caches never mix.
+#
+#   tools/check.sh            # all three configurations
+#   tools/check.sh thread     # just the TSan pass
+#   tools/check.sh address    # just the ASan/UBSan pass
+#   tools/check.sh plain      # just the unsanitized pass
+set -euo pipefail
+
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+JOBS="${JOBS:-$(nproc)}"
+CONFIGS=("${@:-plain}")
+if [[ $# -eq 0 ]]; then
+  CONFIGS=(plain thread address)
+fi
+
+for config in "${CONFIGS[@]}"; do
+  case "$config" in
+    plain)   sanitize="" ;;
+    thread)  sanitize="thread" ;;
+    address) sanitize="address" ;;
+    *) echo "unknown configuration: $config (want plain|thread|address)" >&2
+       exit 2 ;;
+  esac
+  build_dir="$ROOT/build-check-$config"
+  echo "=== [$config] configuring $build_dir ==="
+  cmake -B "$build_dir" -S "$ROOT" \
+        -DCOOKIEPICKER_SANITIZE="$sanitize" >/dev/null
+  echo "=== [$config] building ==="
+  cmake --build "$build_dir" -j "$JOBS"
+  echo "=== [$config] running ctest ==="
+  (cd "$build_dir" && ctest --output-on-failure -j "$JOBS")
+  echo "=== [$config] OK ==="
+done
+echo "all checks passed: ${CONFIGS[*]}"

@@ -1,8 +1,9 @@
 // cookiepicker — command-line driver for the library.
 //
 //   cookiepicker demo                          quickstart on one site
-//   cookiepicker audit  [--sites N] [--views V] [--seed S]
+//   cookiepicker audit  [--sites N] [--views V] [--seed S] [--workers W]
 //                                              census + CookiePicker summary
+//                                              (W >= 1 runs the worker fleet)
 //   cookiepicker census [--sites N] [--seed S] cookie-usage measurement only
 //   cookiepicker table1 | table2               paper-table reproductions
 //   cookiepicker record --out FILE [--seed S]  capture a campaign trace
@@ -15,6 +16,7 @@
 
 #include "browser/browser.h"
 #include "core/cookie_picker.h"
+#include "fleet/fleet.h"
 #include "measure/census.h"
 #include "net/network.h"
 #include "net/trace.h"
@@ -29,6 +31,7 @@ using namespace cookiepicker;
 struct Options {
   int sites = 30;
   int views = 10;
+  int workers = 0;  // 0 = classic single-session audit; >= 1 = fleet
   std::uint64_t seed = 2007;
   std::string inFile;
   std::string outFile;
@@ -45,6 +48,8 @@ Options parseOptions(int argc, char** argv, int firstFlag) {
       options.sites = std::max(1, std::atoi(next().c_str()));
     } else if (flag == "--views") {
       options.views = std::max(1, std::atoi(next().c_str()));
+    } else if (flag == "--workers") {
+      options.workers = std::max(1, std::atoi(next().c_str()));
     } else if (flag == "--seed") {
       options.seed = std::strtoull(next().c_str(), nullptr, 10);
     } else if (flag == "--in") {
@@ -95,7 +100,45 @@ int runCensus(const Options& options) {
   return 0;
 }
 
+// Parallel audit: per-host sessions fanned out over a worker fleet. Results
+// are byte-identical for any --workers value (per-host RNG streams and
+// session-local clocks), so more workers only changes wall time.
+int runFleetAudit(const Options& options) {
+  util::SimClock serverClock;
+  net::Network network(options.seed);
+  const auto roster = server::measurementRoster(options.sites, options.seed);
+  server::registerRoster(network, serverClock, roster);
+
+  fleet::FleetConfig config;
+  config.workers = options.workers;
+  config.viewsPerHost = options.views;
+  config.seed = options.seed;
+  config.picker.autoEnforce = true;
+  fleet::TrainingFleet fleet(network, config);
+  const fleet::FleetReport report = fleet.run(roster);
+
+  int removed = 0;
+  for (std::size_t i = 0; i < roster.size(); ++i) {
+    removed += roster[i].totalPersistent() -
+               report.hosts[i].report.persistentCookies;
+  }
+  std::printf("sites audited        : %d (%d views each, %d workers)\n",
+              options.sites, options.views, report.workers);
+  std::printf("cookies kept useful  : %d\n", report.totalMarkedUseful());
+  std::printf("trackers removed     : %d\n", removed);
+  std::printf("pages visited        : %llu (%.1f pages/s)\n",
+              static_cast<unsigned long long>(report.pagesVisited),
+              report.pagesPerSecond);
+  std::printf("hidden requests      : %llu (%.1f req/s)\n",
+              static_cast<unsigned long long>(report.hiddenRequests),
+              report.hiddenRequestsPerSecond);
+  std::printf("worker utilization   : %.0f%%\n",
+              100.0 * report.workerUtilization);
+  return 0;
+}
+
 int runAudit(const Options& options) {
+  if (options.workers >= 1) return runFleetAudit(options);
   util::SimClock clock;
   net::Network network(options.seed);
   browser::Browser browser(network, clock);
@@ -201,7 +244,9 @@ int usage() {
       stderr,
       "usage: cookiepicker <demo|audit|census|record|replay> [flags]\n"
       "  demo                              one-site walkthrough\n"
-      "  audit  [--sites N] [--views V] [--seed S]\n"
+      "  audit  [--sites N] [--views V] [--seed S] [--workers W]\n"
+      "         (--workers fans per-host sessions out over W threads;\n"
+      "          results are identical for any W)\n"
       "  census [--sites N] [--seed S]\n"
       "  record --out FILE [--views V] [--seed S]\n"
       "  replay --in FILE  [--views V] [--seed S]\n");
