@@ -1,0 +1,257 @@
+// Detection hot-path benchmark: reference dom::Node implementations vs the
+// snapshot fast path, on regular/hidden page pairs fetched from the Table 1
+// and Table 2 rosters. Measures detection steps per second and heap bytes
+// allocated per step (via global operator new/delete accounting), checks
+// in-loop that both paths return identical decisions, and writes the
+// results as JSON (argv[1], default BENCH_hotpath.json) so the numbers are
+// versioned alongside the code that produced them.
+//
+// Build Release: the speedup gate in tools/bench.sh reads the JSON this
+// emits and EXPERIMENTS.md quotes it.
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <new>
+#include <string>
+#include <vector>
+
+#include "browser/browser.h"
+#include "core/decision.h"
+#include "dom/interner.h"
+#include "dom/snapshot.h"
+#include "net/network.h"
+#include "server/generator.h"
+#include "util/clock.h"
+
+// --- allocation accounting ----------------------------------------------------
+// Every operator-new in the process funnels through these counters; the
+// bench snapshots them around each timed loop. Deliberately minimal: no
+// alignment overloads (nothing in the hot path over-aligns), malloc_usable
+// size is not consulted (requested bytes are what the code asked for).
+
+namespace {
+std::atomic<std::uint64_t> g_allocBytes{0};
+std::atomic<std::uint64_t> g_allocCalls{0};
+}  // namespace
+
+void* operator new(std::size_t size) {
+  g_allocBytes.fetch_add(size, std::memory_order_relaxed);
+  g_allocCalls.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size == 0 ? 1 : size)) return p;
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t size) { return ::operator new(size); }
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+
+namespace {
+
+using namespace cookiepicker;
+
+struct PagePair {
+  std::unique_ptr<dom::Node> regular;
+  std::unique_ptr<dom::Node> hidden;
+  std::shared_ptr<const dom::TreeSnapshot> regularSnapshot;
+  std::shared_ptr<const dom::TreeSnapshot> hiddenSnapshot;
+};
+
+// Regular/hidden document pairs the way FORCUM produces them: crawl each
+// roster site until cookies flow, then pair the saved view with a hidden
+// fetch that strips every persistent cookie.
+std::vector<PagePair> buildPairs(const std::vector<server::SiteSpec>& roster,
+                                 std::uint64_t seed) {
+  util::SimClock serverClock;
+  net::Network network(seed);
+  server::registerRoster(network, serverClock, roster);
+
+  std::vector<PagePair> pairs;
+  pairs.reserve(roster.size());
+  for (const server::SiteSpec& spec : roster) {
+    util::SimClock clock;
+    browser::Browser browser(network, clock,
+                             cookies::CookiePolicy::recommended(), seed);
+    browser.visit("http://" + spec.domain + "/page0");
+    browser.visit("http://" + spec.domain + "/page1");
+    browser::PageView view = browser.visit("http://" + spec.domain + "/page0");
+    browser::HiddenFetchResult hidden = browser.hiddenFetch(
+        view, [](const cookies::CookieRecord&) { return true; });
+    if (view.document == nullptr || hidden.document == nullptr) continue;
+    PagePair pair;
+    pair.regular = std::move(view.document);
+    pair.hidden = std::move(hidden.document);
+    pair.regularSnapshot = std::move(view.snapshot);
+    pair.hiddenSnapshot = std::move(hidden.snapshot);
+    pairs.push_back(std::move(pair));
+  }
+  return pairs;
+}
+
+struct LoopResult {
+  double stepsPerSec = 0.0;
+  double bytesPerStep = 0.0;
+  double allocsPerStep = 0.0;
+};
+
+template <typename Step>
+LoopResult timedLoop(int reps, std::size_t pairCount, Step&& step) {
+  const std::uint64_t bytesBefore =
+      g_allocBytes.load(std::memory_order_relaxed);
+  const std::uint64_t callsBefore =
+      g_allocCalls.load(std::memory_order_relaxed);
+  const util::StopWatch watch;
+  for (int rep = 0; rep < reps; ++rep) {
+    for (std::size_t i = 0; i < pairCount; ++i) step(i);
+  }
+  const double elapsedMs = watch.elapsedMs();
+  const auto steps = static_cast<double>(reps) * static_cast<double>(pairCount);
+  LoopResult result;
+  result.stepsPerSec = steps / (elapsedMs / 1000.0);
+  result.bytesPerStep =
+      static_cast<double>(g_allocBytes.load(std::memory_order_relaxed) -
+                          bytesBefore) /
+      steps;
+  result.allocsPerStep =
+      static_cast<double>(g_allocCalls.load(std::memory_order_relaxed) -
+                          callsBefore) /
+      steps;
+  return result;
+}
+
+struct RosterReport {
+  std::string name;
+  std::size_t pairs = 0;
+  LoopResult reference;
+  LoopResult fast;
+  double speedup = 0.0;
+  double snapshotBuildUsPerDoc = 0.0;
+};
+
+RosterReport benchRoster(const std::string& name,
+                         const std::vector<server::SiteSpec>& roster) {
+  RosterReport report;
+  report.name = name;
+  std::vector<PagePair> pairs = buildPairs(roster, 2007);
+  report.pairs = pairs.size();
+
+  const core::DecisionConfig config;
+  core::DetectionScratch scratch;
+
+  // Verify once, before timing: the two paths must agree bit for bit on
+  // every pair, or the speedup below is measuring a different algorithm.
+  for (const PagePair& pair : pairs) {
+    const core::DecisionResult reference =
+        core::decideCookieUsefulness(*pair.regular, *pair.hidden, config);
+    const core::DecisionResult fast = core::decideCookieUsefulness(
+        *pair.regularSnapshot, *pair.hiddenSnapshot, scratch, config);
+    if (reference.treeSim != fast.treeSim ||
+        reference.textSim != fast.textSim ||
+        reference.causedByCookies != fast.causedByCookies) {
+      std::fprintf(stderr,
+                   "FATAL: fast path diverged on %s (tree %.17g vs %.17g, "
+                   "text %.17g vs %.17g)\n",
+                   name.c_str(), reference.treeSim, fast.treeSim,
+                   reference.textSim, fast.textSim);
+      std::exit(1);
+    }
+  }
+
+  constexpr int kReferenceReps = 20;
+  constexpr int kFastReps = 200;
+  report.reference = timedLoop(kReferenceReps, pairs.size(), [&](size_t i) {
+    core::decideCookieUsefulness(*pairs[i].regular, *pairs[i].hidden, config);
+  });
+  // One untimed pass grows the arena/scratch to working-set size; the timed
+  // steady state is what FORCUM sees after its first few views.
+  for (const PagePair& pair : pairs) {
+    core::decideCookieUsefulness(*pair.regularSnapshot, *pair.hiddenSnapshot,
+                                 scratch, config);
+  }
+  report.fast = timedLoop(kFastReps, pairs.size(), [&](std::size_t i) {
+    core::decideCookieUsefulness(*pairs[i].regularSnapshot,
+                                 *pairs[i].hiddenSnapshot, scratch, config);
+  });
+  report.speedup = report.fast.stepsPerSec / report.reference.stepsPerSec;
+
+  // Cost of building the snapshots the fast path reads — paid once per
+  // parse, amortized over every detection step on that document.
+  constexpr int kBuildReps = 20;
+  const util::StopWatch buildWatch;
+  for (int rep = 0; rep < kBuildReps; ++rep) {
+    for (const PagePair& pair : pairs) {
+      dom::TreeSnapshot regular(*pair.regular);
+      dom::TreeSnapshot hidden(*pair.hidden);
+      (void)regular;
+      (void)hidden;
+    }
+  }
+  report.snapshotBuildUsPerDoc =
+      buildWatch.elapsedMs() * 1000.0 /
+      (2.0 * kBuildReps * static_cast<double>(pairs.size()));
+  return report;
+}
+
+void appendLoopJson(std::string& out, const char* key,
+                    const LoopResult& loop) {
+  char buffer[256];
+  std::snprintf(buffer, sizeof(buffer),
+                "      \"%s\": {\"steps_per_sec\": %.1f, "
+                "\"bytes_per_step\": %.1f, \"allocs_per_step\": %.2f}",
+                key, loop.stepsPerSec, loop.bytesPerStep, loop.allocsPerStep);
+  out += buffer;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string outputPath = argc > 1 ? argv[1] : "BENCH_hotpath.json";
+
+  std::printf("=== detection hot path: reference vs snapshot fast path ===\n\n");
+  std::vector<RosterReport> reports;
+  reports.push_back(benchRoster("table1", cookiepicker::server::table1Roster()));
+  reports.push_back(benchRoster("table2", cookiepicker::server::table2Roster()));
+
+  std::string json = "{\n  \"benchmark\": \"detection_hotpath\",\n"
+                     "  \"rosters\": {\n";
+  for (std::size_t i = 0; i < reports.size(); ++i) {
+    const RosterReport& report = reports[i];
+    std::printf("[%s] %zu pairs\n", report.name.c_str(), report.pairs);
+    std::printf("  reference : %10.1f steps/s  %10.1f bytes/step  %8.2f allocs/step\n",
+                report.reference.stepsPerSec, report.reference.bytesPerStep,
+                report.reference.allocsPerStep);
+    std::printf("  fast      : %10.1f steps/s  %10.1f bytes/step  %8.2f allocs/step\n",
+                report.fast.stepsPerSec, report.fast.bytesPerStep,
+                report.fast.allocsPerStep);
+    std::printf("  speedup   : %.2fx   snapshot build: %.1f us/doc\n\n",
+                report.speedup, report.snapshotBuildUsPerDoc);
+
+    char buffer[256];
+    std::snprintf(buffer, sizeof(buffer),
+                  "    \"%s\": {\n      \"pairs\": %zu,\n",
+                  report.name.c_str(), report.pairs);
+    json += buffer;
+    appendLoopJson(json, "reference", report.reference);
+    json += ",\n";
+    appendLoopJson(json, "fast", report.fast);
+    json += ",\n";
+    std::snprintf(buffer, sizeof(buffer),
+                  "      \"speedup\": %.2f,\n"
+                  "      \"snapshot_build_us_per_doc\": %.1f\n    }%s\n",
+                  report.speedup, report.snapshotBuildUsPerDoc,
+                  i + 1 < reports.size() ? "," : "");
+    json += buffer;
+  }
+  json += "  }\n}\n";
+
+  if (std::FILE* file = std::fopen(outputPath.c_str(), "w")) {
+    std::fwrite(json.data(), 1, json.size(), file);
+    std::fclose(file);
+    std::printf("wrote %s\n", outputPath.c_str());
+  } else {
+    std::fprintf(stderr, "cannot write %s\n", outputPath.c_str());
+    return 1;
+  }
+  return 0;
+}

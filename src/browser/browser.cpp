@@ -111,6 +111,7 @@ PageView Browser::visit(const std::string& url) {
     PageView view;
     view.status = 0;
     view.document = html::parseHtml("");
+    view.snapshot = std::make_shared<const dom::TreeSnapshot>(*view.document);
     return view;
   }
   return visit(*parsed);
@@ -142,6 +143,9 @@ PageView Browser::visit(const net::Url& url) {
   view.status = exchange.response.status;
   view.containerHtml = exchange.response.body;
   view.document = html::parseHtml(view.containerHtml);
+  // Flatten once at parse time; every detection step over this view reads
+  // the cached snapshot instead of re-walking the node tree.
+  view.snapshot = std::make_shared<const dom::TreeSnapshot>(*view.document);
 
   // Object requests (stylesheets, images, scripts).
   view.subresources = collectSubresources(*view.document, view.url);
@@ -216,8 +220,10 @@ HiddenFetchResult Browser::hiddenFetch(
   result.status = exchange.response.status;
   result.html = exchange.response.body;
   // Parsed with the same shared HTML parser as the regular copy, per
-  // Section 3.2 step three.
+  // Section 3.2 step three — and flattened by the same snapshot builder.
   result.document = html::parseHtml(result.html);
+  result.snapshot =
+      std::make_shared<const dom::TreeSnapshot>(*result.document);
   // The hidden response triggers no object loads and its Set-Cookie headers
   // are deliberately ignored.
   clock_.advanceMs(static_cast<util::SimTimeMs>(exchange.latencyMs));

@@ -39,6 +39,9 @@ class ThinkTimeModel {
 
 struct HiddenFetchResult {
   std::unique_ptr<dom::Node> document;
+  // Flattened detection view of `document`, built at parse time like
+  // PageView::snapshot; null when the fetch failed to produce a document.
+  std::shared_ptr<const dom::TreeSnapshot> snapshot;
   std::string html;
   double latencyMs = 0.0;
   int status = 0;

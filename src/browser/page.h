@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "dom/node.h"
+#include "dom/snapshot.h"
 #include "net/http.h"
 #include "util/clock.h"
 
@@ -28,6 +29,10 @@ struct PageView {
   net::HttpRequest containerRequest;
   // The regular DOM tree, parsed by the shared HTML parser.
   std::unique_ptr<dom::Node> document;
+  // Flattened detection view of `document`, built once at parse time and
+  // reused by every FORCUM step over this view (shared so reports and
+  // copies of the view alias one snapshot).
+  std::shared_ptr<const dom::TreeSnapshot> snapshot;
   // Raw container HTML (kept for baselines that diff serialized text).
   std::string containerHtml;
   std::vector<net::Url> subresources;

@@ -118,11 +118,11 @@ constexpr char kEnforcedMarker[] = "== enforced ==";
 std::string CookiePicker::saveState() const {
   std::lock_guard lock(mutex_);
   std::string out;
-  out += std::string(kJarMarker) + "\n" + browser_.jar().serialize();
-  out += std::string(kForcumMarker) + "\n" + forcum_.serializeState();
-  out += std::string(kEnforcedMarker) + "\n";
+  util::appendParts(out, {kJarMarker, "\n", browser_.jar().serialize()});
+  util::appendParts(out, {kForcumMarker, "\n", forcum_.serializeState()});
+  util::appendParts(out, {kEnforcedMarker, "\n"});
   for (const std::string& host : *enforcedHosts_) {
-    out += host + "\n";
+    util::appendParts(out, {host, "\n"});
   }
   return out;
 }
@@ -149,10 +149,10 @@ void CookiePicker::loadState(const std::string& text) {
     }
     switch (section) {
       case Section::Jar:
-        jarText += line + "\n";
+        util::appendParts(jarText, {line, "\n"});
         break;
       case Section::Forcum:
-        forcumText += line + "\n";
+        util::appendParts(forcumText, {line, "\n"});
         break;
       case Section::Enforced:
         if (!line.empty()) enforcedHosts_->insert(line);

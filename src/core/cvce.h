@@ -10,10 +10,14 @@
 // for filtering page dynamics.
 #pragma once
 
+#include <cstdint>
 #include <set>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "dom/node.h"
+#include "dom/snapshot.h"
 
 namespace cookiepicker::core {
 
@@ -49,5 +53,53 @@ bool looksLikeAdvertisementContainer(const dom::Node& element);
 // The context prefix of a context-content string (everything before the
 // separator); the whole string if no separator is present.
 std::string contextOf(const std::string& contextContent);
+
+// --- snapshot fast path ----------------------------------------------------
+// The interned form of a context-content string: the context path as a
+// global ContextId and the collapsed text as a 64-bit FNV-1a hash. A sorted
+// deduplicated vector of these plays the role of the reference
+// std::set<std::string>, with NTextSim reduced to a linear merge.
+
+struct CvceFeature {
+  dom::ContextId contextId = 0;
+  std::uint64_t textHash = 0;
+
+  friend bool operator==(const CvceFeature& a, const CvceFeature& b) {
+    return a.contextId == b.contextId && a.textHash == b.textHash;
+  }
+  friend bool operator<(const CvceFeature& a, const CvceFeature& b) {
+    return a.contextId != b.contextId ? a.contextId < b.contextId
+                                      : a.textHash < b.textHash;
+  }
+};
+
+using CvceFeatureSet = std::vector<CvceFeature>;
+
+// Reusable scratch for extraction and the merge — reused across detection
+// steps so the steady state allocates nothing. Not thread-safe; one per
+// engine/thread.
+struct CvceScratch {
+  // Extraction: open element frames as (subtreeEnd, contextId).
+  std::vector<std::pair<std::uint32_t, dom::ContextId>> stack;
+  // Merge: per-context counts of each side's unique features.
+  std::vector<std::pair<dom::ContextId, std::size_t>> unique1;
+  std::vector<std::pair<dom::ContextId, std::size_t>> unique2;
+};
+
+// Figure 4's contentExtract over a snapshot: same traversal, same noise
+// rules (all precomputed per node at snapshot build), emitting sorted
+// deduplicated (contextId, textHash) pairs into `output` (cleared first).
+void extractContextContentFeatures(const dom::TreeSnapshot& snapshot,
+                                   std::uint32_t root,
+                                   const CvceOptions& options,
+                                   CvceScratch& scratch,
+                                   CvceFeatureSet& output);
+
+// Formula 3 as a linear merge over two sorted feature sets, with the
+// same-context replacement credit computed from context-bucketed unique
+// counts — integer-for-integer the arithmetic of the reference nTextSim,
+// so the resulting doubles are bit-identical.
+double nTextSim(const CvceFeatureSet& s1, const CvceFeatureSet& s2,
+                CvceScratch& scratch, bool sameContextCredit = true);
 
 }  // namespace cookiepicker::core

@@ -4,6 +4,31 @@
 
 namespace cookiepicker::core {
 
+namespace {
+
+// Figure 5's verdict from the two similarities — shared by the reference
+// and snapshot paths so the threshold logic cannot drift between them.
+void applyDecisionMode(DecisionResult& result, const DecisionConfig& config) {
+  const bool treeDiffers = result.treeSim <= config.treeThreshold;
+  const bool textDiffers = result.textSim <= config.textThreshold;
+  switch (config.mode) {
+    case DecisionMode::Both:
+      result.causedByCookies = treeDiffers && textDiffers;
+      break;
+    case DecisionMode::TreeOnly:
+      result.causedByCookies = treeDiffers;
+      break;
+    case DecisionMode::TextOnly:
+      result.causedByCookies = textDiffers;
+      break;
+    case DecisionMode::Either:
+      result.causedByCookies = treeDiffers || textDiffers;
+      break;
+  }
+}
+
+}  // namespace
+
 DecisionResult decideCookieUsefulness(const dom::Node& regularDocument,
                                       const dom::Node& hiddenDocument,
                                       const DecisionConfig& config) {
@@ -21,22 +46,31 @@ DecisionResult decideCookieUsefulness(const dom::Node& regularDocument,
   result.textSim =
       nTextSim(regularContent, hiddenContent, config.sameContextCredit);
 
-  const bool treeDiffers = result.treeSim <= config.treeThreshold;
-  const bool textDiffers = result.textSim <= config.textThreshold;
-  switch (config.mode) {
-    case DecisionMode::Both:
-      result.causedByCookies = treeDiffers && textDiffers;
-      break;
-    case DecisionMode::TreeOnly:
-      result.causedByCookies = treeDiffers;
-      break;
-    case DecisionMode::TextOnly:
-      result.causedByCookies = textDiffers;
-      break;
-    case DecisionMode::Either:
-      result.causedByCookies = treeDiffers || textDiffers;
-      break;
-  }
+  applyDecisionMode(result, config);
+  result.detectionTimeMs = watch.elapsedMs();
+  return result;
+}
+
+DecisionResult decideCookieUsefulness(const dom::TreeSnapshot& regularSnapshot,
+                                      const dom::TreeSnapshot& hiddenSnapshot,
+                                      DetectionScratch& scratch,
+                                      const DecisionConfig& config) {
+  DecisionResult result;
+  const util::StopWatch watch;
+
+  const std::uint32_t regularRoot = regularSnapshot.comparisonRootIndex();
+  const std::uint32_t hiddenRoot = hiddenSnapshot.comparisonRootIndex();
+
+  result.treeSim = nTreeSim(regularSnapshot, regularRoot, hiddenSnapshot,
+                            hiddenRoot, scratch.rstm, config.maxLevel);
+  extractContextContentFeatures(regularSnapshot, regularRoot, config.cvce,
+                                scratch.cvce, scratch.regularFeatures);
+  extractContextContentFeatures(hiddenSnapshot, hiddenRoot, config.cvce,
+                                scratch.cvce, scratch.hiddenFeatures);
+  result.textSim = nTextSim(scratch.regularFeatures, scratch.hiddenFeatures,
+                            scratch.cvce, config.sameContextCredit);
+
+  applyDecisionMode(result, config);
   result.detectionTimeMs = watch.elapsedMs();
   return result;
 }

@@ -26,6 +26,12 @@ struct DecisionConfig {
   CvceOptions cvce;
   bool sameContextCredit = true;  // the s term of Formula 3
   DecisionMode mode = DecisionMode::Both;
+  // Escape hatch: when false, FORCUM ignores the cached TreeSnapshots and
+  // runs the dom::Node reference implementations (reachable from
+  // CookiePickerConfig via forcum.decision). The two paths return
+  // bit-identical similarities; this exists for A/B measurement and as a
+  // belt-and-braces fallback.
+  bool useSnapshotFastPath = true;
 };
 
 struct DecisionResult {
@@ -41,6 +47,25 @@ struct DecisionResult {
 // rooted at each document's <body>, per Section 5.2) and applies Figure 5.
 DecisionResult decideCookieUsefulness(const dom::Node& regularDocument,
                                       const dom::Node& hiddenDocument,
+                                      const DecisionConfig& config = {});
+
+// All reusable scratch memory one detection step needs: the RSTM DP arena,
+// the CVCE extraction/merge scratch, and the two feature vectors. One per
+// engine (or bench thread); after the first few steps the hot path
+// performs no heap allocation at all.
+struct DetectionScratch {
+  RstmArena rstm;
+  CvceScratch cvce;
+  CvceFeatureSet regularFeatures;
+  CvceFeatureSet hiddenFeatures;
+};
+
+// The allocation-free fast path over cached snapshots. Bit-identical
+// similarities and verdicts to the document overload (differential
+// property test); ~an order of magnitude faster on roster pages.
+DecisionResult decideCookieUsefulness(const dom::TreeSnapshot& regularSnapshot,
+                                      const dom::TreeSnapshot& hiddenSnapshot,
+                                      DetectionScratch& scratch,
                                       const DecisionConfig& config = {});
 
 }  // namespace cookiepicker::core

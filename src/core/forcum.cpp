@@ -1,6 +1,7 @@
 #include "core/forcum.h"
 
 #include <algorithm>
+#include <charconv>
 
 #include "util/clock.h"
 #include "util/strings.h"
@@ -10,6 +11,68 @@ namespace cookiepicker::core {
 
 using cookies::CookieKey;
 using cookies::CookieRecord;
+
+namespace {
+
+// The state format uses '\t', ';', '|' and '\n' as structural separators.
+// Cookie names/domains/paths are attacker-influenced (a server picks them),
+// so fields are percent-escaped on the way out and decoded on the way in —
+// a cookie literally named "a|b;c" must survive a save/load round trip
+// instead of corrupting neighbouring fields.
+void appendEscapedField(std::string& out, std::string_view field) {
+  for (const char c : field) {
+    switch (c) {
+      case '%': out += "%25"; break;
+      case '|': out += "%7C"; break;
+      case ';': out += "%3B"; break;
+      case '\t': out += "%09"; break;
+      case '\n': out += "%0A"; break;
+      case '\r': out += "%0D"; break;
+      default: out += c; break;
+    }
+  }
+}
+
+int hexValue(char c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+  return -1;
+}
+
+std::string unescapeField(std::string_view field) {
+  std::string out;
+  out.reserve(field.size());
+  for (std::size_t i = 0; i < field.size(); ++i) {
+    if (field[i] == '%' && i + 2 < field.size()) {
+      const int hi = hexValue(field[i + 1]);
+      const int lo = hexValue(field[i + 2]);
+      if (hi >= 0 && lo >= 0) {
+        out += static_cast<char>(hi * 16 + lo);
+        i += 2;
+        continue;
+      }
+    }
+    out += field[i];
+  }
+  return out;
+}
+
+// Parses a non-negative decimal counter; false on garbage, overflow, or
+// trailing junk (std::stoi would have accepted "12abc" and thrown on
+// overflow — from_chars reports both without exceptions).
+bool parseCount(std::string_view text, int& value) {
+  int parsed = 0;
+  const auto [ptr, ec] =
+      std::from_chars(text.data(), text.data() + text.size(), parsed);
+  if (ec != std::errc() || ptr != text.data() + text.size() || parsed < 0) {
+    return false;
+  }
+  value = parsed;
+  return true;
+}
+
+}  // namespace
 
 ForcumEngine::ForcumEngine(browser::Browser& browser, ForcumConfig config)
     : browser_(browser), config_(std::move(config)) {}
@@ -84,17 +147,22 @@ std::string ForcumEngine::serializeState() const {
   //   name|domain|path ; name|domain|path ; ...
   std::string out;
   for (const auto& [host, state] : sites_) {
-    out += host + "\t" + (state.trainingActive ? "1" : "0") + "\t" +
-           std::to_string(state.totalViews) + "\t" +
-           std::to_string(state.hiddenRequests) + "\t" +
-           std::to_string(state.consecutiveQuietViews) + "\t";
+    util::appendParts(out, {host, "\t", state.trainingActive ? "1" : "0",
+                            "\t", std::to_string(state.totalViews), "\t",
+                            std::to_string(state.hiddenRequests), "\t",
+                            std::to_string(state.consecutiveQuietViews),
+                            "\t"});
     bool first = true;
     for (const CookieKey& key : state.knownPersistent) {
-      if (!first) out += ";";
-      out += key.name + "|" + key.domain + "|" + key.path;
+      if (!first) out += ';';
+      appendEscapedField(out, key.name);
+      out += '|';
+      appendEscapedField(out, key.domain);
+      out += '|';
+      appendEscapedField(out, key.path);
       first = false;
     }
-    out += "\n";
+    out += '\n';
   }
   return out;
 }
@@ -107,18 +175,18 @@ void ForcumEngine::restoreState(const std::string& text) {
     if (fields.size() != 6) continue;
     SiteState state;
     state.trainingActive = fields[1] == "1";
-    try {
-      state.totalViews = std::stoi(fields[2]);
-      state.hiddenRequests = std::stoi(fields[3]);
-      state.consecutiveQuietViews = std::stoi(fields[4]);
-    } catch (const std::exception&) {
+    if (!parseCount(fields[2], state.totalViews) ||
+        !parseCount(fields[3], state.hiddenRequests) ||
+        !parseCount(fields[4], state.consecutiveQuietViews)) {
       continue;
     }
     for (const std::string& keyText : util::split(fields[5], ';')) {
       if (keyText.empty()) continue;
       const std::vector<std::string> parts = util::split(keyText, '|');
       if (parts.size() != 3) continue;
-      state.knownPersistent.insert({parts[0], parts[1], parts[2]});
+      state.knownPersistent.insert({unescapeField(parts[0]),
+                                    unescapeField(parts[1]),
+                                    unescapeField(parts[2])});
     }
     sites_[fields[0]] = std::move(state);
   }
@@ -237,8 +305,17 @@ ForcumStepReport ForcumEngine::runStep(const browser::PageView& view,
     return report;
   }
 
-  report.decision = decideCookieUsefulness(*view.document, *hidden.document,
-                                           config_.decision);
+  // Fast path: both copies were flattened at parse time, so the decision
+  // runs over snapshot arrays with this engine's reusable scratch. The
+  // reference dom::Node path stays reachable via the config escape hatch
+  // (and as the fallback when a caller hands in views without snapshots).
+  const bool fastPath = config_.decision.useSnapshotFastPath &&
+                        view.snapshot != nullptr && hidden.snapshot != nullptr;
+  report.decision =
+      fastPath ? decideCookieUsefulness(*view.snapshot, *hidden.snapshot,
+                                        scratch_, config_.decision)
+               : decideCookieUsefulness(*view.document, *hidden.document,
+                                        config_.decision);
   if (report.decision.causedByCookies && config_.consistencyReprobe) {
     // Second hidden copy, identical stripped group. If the two hidden
     // copies differ from *each other*, the regular-vs-hidden difference
@@ -257,8 +334,13 @@ ForcumStepReport ForcumEngine::runStep(const browser::PageView& view,
       DecisionConfig agreementConfig = config_.decision;
       agreementConfig.mode = DecisionMode::Either;
       agreementConfig.sameContextCredit = false;
-      const DecisionResult agreement = decideCookieUsefulness(
-          *hidden.document, *reprobe.document, agreementConfig);
+      const DecisionResult agreement =
+          (agreementConfig.useSnapshotFastPath &&
+           hidden.snapshot != nullptr && reprobe.snapshot != nullptr)
+              ? decideCookieUsefulness(*hidden.snapshot, *reprobe.snapshot,
+                                       scratch_, agreementConfig)
+              : decideCookieUsefulness(*hidden.document, *reprobe.document,
+                                       agreementConfig);
       report.reprobeRan = true;
       report.reprobeAgreement = agreement;
       if (agreement.causedByCookies) {

@@ -127,6 +127,9 @@ class ForcumEngine {
 
   browser::Browser& browser_;
   ForcumConfig config_;
+  // Reused by every detection step this engine runs (steps are serialized
+  // by the CookiePicker facade lock; fleet workers own distinct engines).
+  DetectionScratch scratch_;
   std::map<std::string, SiteState> sites_;
   // Round-robin cursor for PerCookie mode, per host.
   std::map<std::string, std::size_t> perCookieCursor_;

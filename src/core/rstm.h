@@ -10,12 +10,35 @@
 #pragma once
 
 #include <cstddef>
+#include <vector>
 
 #include "dom/node.h"
+#include "dom/snapshot.h"
 
 namespace cookiepicker::core {
 
 inline constexpr int kDefaultMaxLevel = 5;  // the paper's l = 5
+
+// Reusable scratch memory for the snapshot RSTM: a bump arena the rolling
+// DP rows are carved from, so recursion performs no per-node heap
+// allocation once the arena has grown to the working-set size. Owned by the
+// caller (one per ForcumEngine / bench loop) and reused across steps; not
+// thread-safe — give each thread its own.
+struct RstmArena {
+  std::vector<std::size_t> cells;
+  std::size_t used = 0;
+
+  // Reserves `count` cells and returns their base offset. Offsets stay
+  // valid across nested acquires even when the vector reallocates, which is
+  // why the DP below indexes `cells` instead of holding pointers.
+  std::size_t acquire(std::size_t count) {
+    const std::size_t base = used;
+    used += count;
+    if (cells.size() < used) cells.resize(std::max(used, cells.size() * 2));
+    return base;
+  }
+  void release(std::size_t base) { used = base; }
+};
 
 // Figure 2, literally: RSTM(A, B, level) with level starting at 0 for the
 // roots; pairs at depth >= maxLevel, leaf pairs, and non-visual pairs
@@ -44,5 +67,27 @@ const dom::Node& comparisonRoot(const dom::Node& document);
 // True if RSTM counts this node: an element with visual effect.
 // (Leafness and depth are checked by the recursion, not here.)
 bool isVisibleStructuralNode(const dom::Node& node);
+
+// --- snapshot fast path ----------------------------------------------------
+// Same algorithms over dom::TreeSnapshot indices: interned-symbol compares,
+// rolling-row DP in the caller's arena, and an allocation-free counting
+// scan. The dom::Node overloads above remain the reference implementation;
+// tests/detection_fastpath_test.cpp proves the two return bit-identical
+// results on seeded random tree pairs.
+
+std::size_t restrictedSimpleTreeMatching(const dom::TreeSnapshot& a,
+                                         std::uint32_t rootA,
+                                         const dom::TreeSnapshot& b,
+                                         std::uint32_t rootB,
+                                         RstmArena& arena,
+                                         int maxLevel = kDefaultMaxLevel);
+
+std::size_t countRestrictedNodes(const dom::TreeSnapshot& snapshot,
+                                 std::uint32_t root,
+                                 int maxLevel = kDefaultMaxLevel);
+
+double nTreeSim(const dom::TreeSnapshot& a, std::uint32_t rootA,
+                const dom::TreeSnapshot& b, std::uint32_t rootB,
+                RstmArena& arena, int maxLevel = kDefaultMaxLevel);
 
 }  // namespace cookiepicker::core

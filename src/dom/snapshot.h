@@ -1,0 +1,113 @@
+// Flattened DOM snapshot — the cache-friendly substrate of the detection
+// hot path.
+//
+// A TreeSnapshot is a one-pass preorder flattening of a parsed document
+// into parallel arrays: interned name symbols, subtree extents, child
+// spans, depth, and the per-node predicates RSTM and CVCE would otherwise
+// recompute from strings on every comparison (visibility, script/option
+// tags, ad-container class/id heuristic, text noise filters, a 64-bit
+// FNV-1a hash of each text node's collapsed content). Built exactly once
+// per document — at parse time, cached on the PageView — and then read by
+// every detection step over that document with integer compares and zero
+// further allocation.
+//
+// The snapshot is immutable after construction and safe to share across
+// threads; the interners it writes through are globally synchronized.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "dom/interner.h"
+#include "dom/node.h"
+
+namespace cookiepicker::dom {
+
+class TreeSnapshot {
+ public:
+  // Flattens the whole subtree under `root` (typically the parsed document
+  // node). Node indices below are preorder positions, root at 0.
+  explicit TreeSnapshot(const Node& root);
+
+  std::uint32_t nodeCount() const {
+    return static_cast<std::uint32_t>(symbols_.size());
+  }
+
+  // The paper's comparison root: first preorder <body> element, else 0.
+  std::uint32_t comparisonRootIndex() const { return comparisonRoot_; }
+
+  // --- per-node structure -------------------------------------------------
+  SymbolId symbol(std::uint32_t i) const { return symbols_[i]; }
+  // One past the last preorder index of i's subtree.
+  std::uint32_t subtreeEnd(std::uint32_t i) const { return subtreeEnd_[i]; }
+  // Depth below the snapshot root (root = 0).
+  std::int32_t level(std::uint32_t i) const { return levels_[i]; }
+  std::uint32_t childCount(std::uint32_t i) const {
+    return childOffset_[i + 1] - childOffset_[i];
+  }
+  // Preorder index of i's k-th child, O(1).
+  std::uint32_t child(std::uint32_t i, std::uint32_t k) const {
+    return childIndex_[childOffset_[i] + k];
+  }
+
+  // --- per-node predicates (precomputed) ----------------------------------
+  bool isElement(std::uint32_t i) const { return flag(i, kElement); }
+  bool isText(std::uint32_t i) const { return flag(i, kText); }
+  bool isComment(std::uint32_t i) const { return flag(i, kComment); }
+  // core::isVisibleStructuralNode, precomputed.
+  bool visibleStructural(std::uint32_t i) const {
+    return flag(i, kVisibleStructural);
+  }
+  // Element tag in {script, style, noscript}.
+  bool isScriptish(std::uint32_t i) const { return flag(i, kScriptish); }
+  bool isOption(std::uint32_t i) const { return flag(i, kOption); }
+  // Element whose class/id carries an ad marker token.
+  bool isAdContainer(std::uint32_t i) const { return flag(i, kAdContainer); }
+
+  // --- text-node content, canonicalized at build time ---------------------
+  // All three refer to the whitespace-collapsed text.
+  bool textNonEmpty(std::uint32_t i) const { return flag(i, kTextNonEmpty); }
+  bool textHasAlphanumeric(std::uint32_t i) const {
+    return flag(i, kTextHasAlnum);
+  }
+  bool textLooksLikeDateTime(std::uint32_t i) const {
+    return flag(i, kTextDateLike);
+  }
+  // FNV-1a 64 of the collapsed text (0 for non-text nodes).
+  std::uint64_t textHash(std::uint32_t i) const { return textHashes_[i]; }
+
+  // Rough heap footprint, for the benchmark's bytes accounting.
+  std::size_t memoryBytes() const;
+
+ private:
+  enum Flag : std::uint16_t {
+    kElement = 1U << 0,
+    kText = 1U << 1,
+    kComment = 1U << 2,
+    kVisibleStructural = 1U << 3,
+    kScriptish = 1U << 4,
+    kOption = 1U << 5,
+    kAdContainer = 1U << 6,
+    kTextNonEmpty = 1U << 7,
+    kTextHasAlnum = 1U << 8,
+    kTextDateLike = 1U << 9,
+  };
+
+  bool flag(std::uint32_t i, Flag bit) const {
+    return (flags_[i] & bit) != 0;
+  }
+
+  std::uint32_t flatten(const Node& node, std::int32_t level);
+
+  std::vector<SymbolId> symbols_;
+  std::vector<std::uint32_t> subtreeEnd_;
+  std::vector<std::int32_t> levels_;
+  std::vector<std::uint16_t> flags_;
+  std::vector<std::uint64_t> textHashes_;
+  // Children of node i are childIndex_[childOffset_[i] .. childOffset_[i+1]).
+  std::vector<std::uint32_t> childOffset_;
+  std::vector<std::uint32_t> childIndex_;
+  std::uint32_t comparisonRoot_ = 0;
+};
+
+}  // namespace cookiepicker::dom

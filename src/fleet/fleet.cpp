@@ -5,6 +5,7 @@
 #include <thread>
 
 #include "browser/browser.h"
+#include "dom/interner.h"
 #include "util/clock.h"
 #include "util/rng.h"
 
@@ -68,6 +69,10 @@ HostResult TrainingFleet::runHostSession(const server::SiteSpec& spec) const {
 }
 
 FleetReport TrainingFleet::run(const std::vector<server::SiteSpec>& roster) {
+  // Pre-intern common tag names so the worker threads mostly hit the
+  // interner's shared-lock fast path instead of racing on first-touch
+  // inserts during the opening page views.
+  dom::warmGlobalInterners();
   FleetReport report;
   const int workers = std::clamp(
       config_.workers, 1,

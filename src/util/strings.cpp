@@ -197,6 +197,40 @@ std::string replaceAll(std::string_view text, std::string_view from,
   }
 }
 
+void appendParts(std::string& out,
+                 std::initializer_list<std::string_view> parts) {
+  std::size_t total = out.size();
+  for (const std::string_view part : parts) total += part.size();
+  if (out.capacity() < total) out.reserve(total);
+  for (const std::string_view part : parts) out.append(part);
+}
+
+namespace {
+bool isAdMarkerToken(std::string_view token) {
+  static constexpr std::string_view kMarkers[] = {
+      "ad",        "ads",   "adslot", "advert", "advertisement",
+      "sponsor",   "sponsored", "banner", "promo", "doubleclick"};
+  for (const std::string_view marker : kMarkers) {
+    if (equalsIgnoreCase(token, marker)) return true;
+  }
+  return false;
+}
+}  // namespace
+
+bool hasAdSignalToken(std::string_view value) {
+  std::size_t start = 0;
+  for (std::size_t i = 0; i <= value.size(); ++i) {
+    if (i == value.size() || value[i] == ' ' || value[i] == '-' ||
+        value[i] == '_') {
+      if (i > start && isAdMarkerToken(value.substr(start, i - start))) {
+        return true;
+      }
+      start = i + 1;
+    }
+  }
+  return false;
+}
+
 std::string collapseWhitespace(std::string_view text) {
   std::string result;
   bool pendingSpace = false;

@@ -5,6 +5,7 @@
 // synthetic web we generate is ASCII.
 #pragma once
 
+#include <initializer_list>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -45,5 +46,18 @@ std::string replaceAll(std::string_view text, std::string_view from,
 // Collapses runs of ASCII whitespace into single spaces and trims. Used to
 // canonicalize text-node content before comparison.
 std::string collapseWhitespace(std::string_view text);
+
+// Appends every part to `out` after a single reserve — the building block
+// for serializers that would otherwise chain `a + b + c` temporaries.
+void appendParts(std::string& out,
+                 std::initializer_list<std::string_view> parts);
+
+// True if any token of `value` — split on ' ', '-', '_', compared
+// ASCII-case-insensitively — is an advertisement marker ("ad", "ads",
+// "adslot", "advert", "advertisement", "sponsor", "sponsored", "banner",
+// "promo", "doubleclick"). Token-wise so "download"/"shadow" do not trip.
+// Single scan, no allocation: this runs per class/id attribute on the
+// CVCE hot path.
+bool hasAdSignalToken(std::string_view value);
 
 }  // namespace cookiepicker::util

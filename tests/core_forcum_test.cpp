@@ -41,6 +41,66 @@ server::SiteSpec prefSpec(const std::string& domain, int intensity = 2) {
   return spec;
 }
 
+// --- state (de)serialization ---------------------------------------------------
+
+TEST(ForcumState, HostileCookieNamesRoundTrip) {
+  // Cookie names/domains/paths are server-chosen; ones containing the state
+  // format's own separators ('|', ';', '\t', newlines, '%') must survive a
+  // save/load cycle intact instead of corrupting neighbouring fields.
+  SimWorld world;
+  ForcumEngine engine(world.browser);
+  const std::string serialized =
+      "evil.example\t1\t7\t3\t2\t"
+      "a%7Cb%3Bc|evil.example|/%09d;"
+      "plain|evil.example|/;"
+      "pct%2525|evil.example|/%0A\n";
+  engine.restoreState(serialized);
+
+  const ForcumEngine::SiteState* state = engine.siteState("evil.example");
+  ASSERT_NE(state, nullptr);
+  EXPECT_EQ(state->totalViews, 7);
+  EXPECT_EQ(state->hiddenRequests, 3);
+  EXPECT_EQ(state->consecutiveQuietViews, 2);
+  ASSERT_EQ(state->knownPersistent.size(), 3u);
+  EXPECT_TRUE(state->knownPersistent.contains(
+      {"a|b;c", "evil.example", "/\td"}));
+  EXPECT_TRUE(state->knownPersistent.contains(
+      {"plain", "evil.example", "/"}));
+  EXPECT_TRUE(state->knownPersistent.contains(
+      {"pct%25", "evil.example", "/\n"}));
+
+  // Serialize -> restore is a fixpoint: a second engine restored from the
+  // first's output holds byte-identical state.
+  const std::string reserialized = engine.serializeState();
+  ForcumEngine second(world.browser);
+  second.restoreState(reserialized);
+  EXPECT_EQ(second.serializeState(), reserialized);
+  const ForcumEngine::SiteState* restored = second.siteState("evil.example");
+  ASSERT_NE(restored, nullptr);
+  EXPECT_EQ(restored->knownPersistent, state->knownPersistent);
+}
+
+TEST(ForcumState, MalformedCountersSkipLineWithoutThrowing) {
+  // std::from_chars-based parsing: trailing junk, negatives, overflow, and
+  // plain garbage all skip the line (old std::stoi accepted "12abc").
+  SimWorld world;
+  ForcumEngine engine(world.browser);
+  engine.restoreState(
+      "junk.example\t1\t12abc\t3\t2\tn|d|/\n"
+      "neg.example\t1\t-4\t3\t2\tn|d|/\n"
+      "huge.example\t1\t99999999999999999999\t3\t2\tn|d|/\n"
+      "empty.example\t1\t\t3\t2\tn|d|/\n"
+      "good.example\t0\t5\t1\t0\tn|d|/\n");
+  EXPECT_EQ(engine.siteState("junk.example"), nullptr);
+  EXPECT_EQ(engine.siteState("neg.example"), nullptr);
+  EXPECT_EQ(engine.siteState("huge.example"), nullptr);
+  EXPECT_EQ(engine.siteState("empty.example"), nullptr);
+  const ForcumEngine::SiteState* good = engine.siteState("good.example");
+  ASSERT_NE(good, nullptr);
+  EXPECT_EQ(good->totalViews, 5);
+  EXPECT_FALSE(good->trainingActive);
+}
+
 // --- FORCUM engine -------------------------------------------------------------
 
 TEST(Forcum, TrackerCookiesNeverMarked) {

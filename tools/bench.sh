@@ -1,0 +1,44 @@
+#!/usr/bin/env bash
+# Release-mode performance benches.
+#
+# Builds an optimized tree (build-bench), runs the detection hot-path bench
+# (which rewrites BENCH_hotpath.json at the repo root — commit it when the
+# numbers move) and the fleet scaling bench, and gates on the hot path
+# achieving at least MIN_SPEEDUP (default 3) over the reference
+# implementation on the Table 1 roster.
+#
+#   tools/bench.sh            # hot path + fleet scaling
+#   MIN_SPEEDUP=5 tools/bench.sh
+set -euo pipefail
+
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+JOBS="${JOBS:-$(nproc)}"
+MIN_SPEEDUP="${MIN_SPEEDUP:-3}"
+BUILD_DIR="$ROOT/build-bench"
+
+echo "=== configuring $BUILD_DIR (Release) ==="
+cmake -B "$BUILD_DIR" -S "$ROOT" -DCMAKE_BUILD_TYPE=Release >/dev/null
+echo "=== building benches ==="
+cmake --build "$BUILD_DIR" -j "$JOBS" \
+      --target bench_detection_hotpath bench_fleet_scaling
+
+echo "=== detection hot path ==="
+"$BUILD_DIR/bench/bench_detection_hotpath" "$ROOT/BENCH_hotpath.json"
+
+echo "=== speedup gate (>= ${MIN_SPEEDUP}x on table1) ==="
+speedup="$(sed -n 's/.*"speedup": \([0-9.]*\),.*/\1/p' \
+           "$ROOT/BENCH_hotpath.json" | head -1)"
+if [[ -z "$speedup" ]]; then
+  echo "FAIL: could not read speedup from BENCH_hotpath.json" >&2
+  exit 1
+fi
+if ! awk -v s="$speedup" -v min="$MIN_SPEEDUP" 'BEGIN { exit !(s >= min) }'; then
+  echo "FAIL: table1 speedup ${speedup}x below required ${MIN_SPEEDUP}x" >&2
+  exit 1
+fi
+echo "OK: table1 speedup ${speedup}x"
+
+echo "=== fleet scaling ==="
+"$BUILD_DIR/bench/bench_fleet_scaling"
+
+echo "all benches done; BENCH_hotpath.json updated"

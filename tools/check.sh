@@ -1,40 +1,55 @@
 #!/usr/bin/env bash
 # Tier-1 verification under sanitizers.
 #
-# Builds and runs the full ctest suite three times: plain, under
+# Builds and runs the full ctest suite four times: plain, under
 # ThreadSanitizer (-DCOOKIEPICKER_SANITIZE=thread — the concurrency suite's
-# contract), and under AddressSanitizer+UBSan (-DCOOKIEPICKER_SANITIZE=
-# address). Each configuration gets its own build tree so caches never mix.
+# contract), under AddressSanitizer+UBSan (-DCOOKIEPICKER_SANITIZE=
+# address), and a Debug build of the fast-path differential suite (the
+# bit-identical checks must hold without optimizer-dependent FP behaviour).
+# Each configuration gets its own build tree so caches never mix.
 #
-#   tools/check.sh            # all three configurations
+#   tools/check.sh            # all four configurations
 #   tools/check.sh thread     # just the TSan pass
 #   tools/check.sh address    # just the ASan/UBSan pass
 #   tools/check.sh plain      # just the unsanitized pass
+#   tools/check.sh debug      # just the Debug differential pass
 set -euo pipefail
 
 ROOT="$(cd "$(dirname "$0")/.." && pwd)"
 JOBS="${JOBS:-$(nproc)}"
 CONFIGS=("${@:-plain}")
 if [[ $# -eq 0 ]]; then
-  CONFIGS=(plain thread address)
+  CONFIGS=(plain thread address debug)
 fi
 
 for config in "${CONFIGS[@]}"; do
+  sanitize=""
+  build_type=""
   case "$config" in
-    plain)   sanitize="" ;;
+    plain)   ;;
     thread)  sanitize="thread" ;;
     address) sanitize="address" ;;
-    *) echo "unknown configuration: $config (want plain|thread|address)" >&2
+    debug)   build_type="Debug" ;;
+    *) echo "unknown configuration: $config (want plain|thread|address|debug)" >&2
        exit 2 ;;
   esac
   build_dir="$ROOT/build-check-$config"
   echo "=== [$config] configuring $build_dir ==="
   cmake -B "$build_dir" -S "$ROOT" \
-        -DCOOKIEPICKER_SANITIZE="$sanitize" >/dev/null
-  echo "=== [$config] building ==="
-  cmake --build "$build_dir" -j "$JOBS"
-  echo "=== [$config] running ctest ==="
-  (cd "$build_dir" && ctest --output-on-failure -j "$JOBS")
+        -DCOOKIEPICKER_SANITIZE="$sanitize" \
+        -DCMAKE_BUILD_TYPE="$build_type" >/dev/null
+  if [[ "$config" == debug ]]; then
+    echo "=== [$config] building differential suite ==="
+    cmake --build "$build_dir" -j "$JOBS" --target detection_fastpath_test
+    echo "=== [$config] running differential suite ==="
+    (cd "$build_dir" && ctest --output-on-failure -j "$JOBS" \
+        -R 'FastPathDifferential|Interner')
+  else
+    echo "=== [$config] building ==="
+    cmake --build "$build_dir" -j "$JOBS"
+    echo "=== [$config] running ctest ==="
+    (cd "$build_dir" && ctest --output-on-failure -j "$JOBS")
+  fi
   echo "=== [$config] OK ==="
 done
 echo "all checks passed: ${CONFIGS[*]}"
