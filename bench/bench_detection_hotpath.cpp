@@ -21,6 +21,8 @@
 #include "dom/interner.h"
 #include "dom/snapshot.h"
 #include "net/network.h"
+#include "obs/metrics.h"
+#include "obs/recorder.h"
 #include "server/generator.h"
 #include "util/clock.h"
 
@@ -125,7 +127,13 @@ struct RosterReport {
   std::size_t pairs = 0;
   LoopResult reference;
   LoopResult fast;
+  // The fast loop re-run with the flight recorder's metrics registry
+  // installed as the thread's session sink (spans + counters recording).
+  LoopResult instrumented;
   double speedup = 0.0;
+  // instrumented steps/s over bare steps/s — tools/bench.sh gates this at
+  // >= 0.9 (instrumentation may cost at most 10%).
+  double instrumentedRatio = 0.0;
   double snapshotBuildUsPerDoc = 0.0;
 };
 
@@ -174,6 +182,34 @@ RosterReport benchRoster(const std::string& name,
                                  *pairs[i].hiddenSnapshot, scratch, config);
   });
   report.speedup = report.fast.stepsPerSec / report.reference.stepsPerSec;
+
+  // The same fast loop with instrumentation live: an enabled registry
+  // installed as this thread's session sink, so every step records its
+  // Decision span, kernel spans, and verdict counters. Must stay
+  // allocation-free — obs recording never touches the heap.
+  {
+    obs::MetricsRegistry metrics;
+    obs::ScopedObsSession obsScope(&metrics, nullptr);
+    for (const PagePair& pair : pairs) {
+      core::decideCookieUsefulness(*pair.regularSnapshot,
+                                   *pair.hiddenSnapshot, scratch, config);
+    }
+    report.instrumented = timedLoop(kFastReps, pairs.size(), [&](std::size_t i) {
+      core::decideCookieUsefulness(*pairs[i].regularSnapshot,
+                                   *pairs[i].hiddenSnapshot, scratch, config);
+    });
+    if (report.instrumented.bytesPerStep != 0.0 ||
+        report.instrumented.allocsPerStep != 0.0) {
+      std::fprintf(stderr,
+                   "FATAL: instrumented hot path allocated on %s "
+                   "(%.1f bytes/step, %.2f allocs/step)\n",
+                   name.c_str(), report.instrumented.bytesPerStep,
+                   report.instrumented.allocsPerStep);
+      std::exit(1);
+    }
+  }
+  report.instrumentedRatio =
+      report.instrumented.stepsPerSec / report.fast.stepsPerSec;
 
   // Cost of building the snapshots the fast path reads — paid once per
   // parse, amortized over every detection step on that document.
@@ -224,8 +260,14 @@ int main(int argc, char** argv) {
     std::printf("  fast      : %10.1f steps/s  %10.1f bytes/step  %8.2f allocs/step\n",
                 report.fast.stepsPerSec, report.fast.bytesPerStep,
                 report.fast.allocsPerStep);
-    std::printf("  speedup   : %.2fx   snapshot build: %.1f us/doc\n\n",
-                report.speedup, report.snapshotBuildUsPerDoc);
+    std::printf("  +metrics  : %10.1f steps/s  %10.1f bytes/step  %8.2f allocs/step\n",
+                report.instrumented.stepsPerSec,
+                report.instrumented.bytesPerStep,
+                report.instrumented.allocsPerStep);
+    std::printf("  speedup   : %.2fx   instrumented ratio: %.2f   "
+                "snapshot build: %.1f us/doc\n\n",
+                report.speedup, report.instrumentedRatio,
+                report.snapshotBuildUsPerDoc);
 
     char buffer[256];
     std::snprintf(buffer, sizeof(buffer),
@@ -236,10 +278,14 @@ int main(int argc, char** argv) {
     json += ",\n";
     appendLoopJson(json, "fast", report.fast);
     json += ",\n";
+    appendLoopJson(json, "instrumented", report.instrumented);
+    json += ",\n";
     std::snprintf(buffer, sizeof(buffer),
                   "      \"speedup\": %.2f,\n"
+                  "      \"instrumented_ratio\": %.2f,\n"
                   "      \"snapshot_build_us_per_doc\": %.1f\n    }%s\n",
-                  report.speedup, report.snapshotBuildUsPerDoc,
+                  report.speedup, report.instrumentedRatio,
+                  report.snapshotBuildUsPerDoc,
                   i + 1 < reports.size() ? "," : "");
     json += buffer;
   }

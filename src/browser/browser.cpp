@@ -4,6 +4,7 @@
 #include <set>
 
 #include "html/parser.h"
+#include "obs/recorder.h"
 #include "util/log.h"
 #include "util/strings.h"
 
@@ -118,6 +119,8 @@ PageView Browser::visit(const std::string& url) {
 }
 
 PageView Browser::visit(const net::Url& url) {
+  obs::ScopedTimer visitSpan(obs::Timer::PageVisit);
+  obs::count(obs::Counter::PagesVisited);
   PageView view;
   net::Url current = url;
   net::HttpRequest request;
@@ -136,16 +139,23 @@ PageView Browser::visit(const net::Url& url) {
     if (!location.has_value()) break;
     current = current.resolve(*location);
     ++view.timing.redirectCount;
+    obs::count(obs::Counter::RedirectsFollowed);
   }
 
   view.url = current;
   view.containerRequest = request;
   view.status = exchange.response.status;
   view.containerHtml = exchange.response.body;
-  view.document = html::parseHtml(view.containerHtml);
+  {
+    obs::ScopedTimer parseSpan(obs::Timer::HtmlParse);
+    view.document = html::parseHtml(view.containerHtml);
+  }
   // Flatten once at parse time; every detection step over this view reads
   // the cached snapshot instead of re-walking the node tree.
-  view.snapshot = std::make_shared<const dom::TreeSnapshot>(*view.document);
+  {
+    obs::ScopedTimer snapshotSpan(obs::Timer::SnapshotBuild);
+    view.snapshot = std::make_shared<const dom::TreeSnapshot>(*view.document);
+  }
 
   // Object requests (stylesheets, images, scripts).
   view.subresources = collectSubresources(*view.document, view.url);
@@ -156,6 +166,7 @@ PageView Browser::visit(const net::Url& url) {
     net::HttpRequest subRequest = buildRequest(resource, view.url);
     const net::Exchange subExchange = network_.dispatch(subRequest);
     ++objectRequests_;
+    obs::count(obs::Counter::SubresourceFetches);
     storeResponseCookies(subExchange.response, resource, view.url);
     batchMs = std::max(batchMs, subExchange.latencyMs);
     if (++inBatch == kParallelConnections) {
@@ -178,6 +189,8 @@ HiddenFetchResult Browser::hiddenFetch(
     const PageView& view,
     const std::function<bool(const cookies::CookieRecord&)>&
         excludePersistent) {
+  obs::ScopedTimer hiddenSpan(obs::Timer::HiddenFetch);
+  obs::count(obs::Counter::HiddenFetches);
   HiddenFetchResult result;
 
   // Section 3.2, step two: the hidden request "uses the same URI as the
@@ -221,9 +234,15 @@ HiddenFetchResult Browser::hiddenFetch(
   result.html = exchange.response.body;
   // Parsed with the same shared HTML parser as the regular copy, per
   // Section 3.2 step three — and flattened by the same snapshot builder.
-  result.document = html::parseHtml(result.html);
-  result.snapshot =
-      std::make_shared<const dom::TreeSnapshot>(*result.document);
+  {
+    obs::ScopedTimer parseSpan(obs::Timer::HtmlParse);
+    result.document = html::parseHtml(result.html);
+  }
+  {
+    obs::ScopedTimer snapshotSpan(obs::Timer::SnapshotBuild);
+    result.snapshot =
+        std::make_shared<const dom::TreeSnapshot>(*result.document);
+  }
   // The hidden response triggers no object loads and its Set-Cookie headers
   // are deliberately ignored.
   clock_.advanceMs(static_cast<util::SimTimeMs>(exchange.latencyMs));

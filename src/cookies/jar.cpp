@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <sstream>
 
+#include "obs/recorder.h"
 #include "util/strings.h"
 
 namespace cookiepicker::cookies {
@@ -85,6 +86,8 @@ SetCookieOutcome CookieJar::store(const net::SetCookie& parsed,
   if (record.persistent && record.expiryMs <= nowMs) {
     if (existing != cookies_.end()) {
       cookies_.erase(existing);
+      obs::gaugeSet(obs::Gauge::JarCookies,
+                    static_cast<std::int64_t>(cookies_.size()));
       return SetCookieOutcome::Deleted;
     }
     return SetCookieOutcome::Rejected;
@@ -99,6 +102,8 @@ SetCookieOutcome CookieJar::store(const net::SetCookie& parsed,
   }
   cookies_.emplace(record.key, record);
   enforceLimits(record.key.domain);
+  obs::gaugeSet(obs::Gauge::JarCookies,
+                static_cast<std::int64_t>(cookies_.size()));
   return SetCookieOutcome::Stored;
 }
 
@@ -121,6 +126,7 @@ void CookieJar::enforceLimits(const std::string& domain) {
     if (victim != nullptr) {
       cookies_.erase(victim->key);
       ++evictions_;
+      obs::count(obs::Counter::JarEvictions);
     }
   };
 
@@ -242,6 +248,10 @@ std::size_t CookieJar::removeIfLocked(
     } else {
       ++it;
     }
+  }
+  if (removed > 0) {
+    obs::gaugeSet(obs::Gauge::JarCookies,
+                  static_cast<std::int64_t>(cookies_.size()));
   }
   return removed;
 }

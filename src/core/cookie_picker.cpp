@@ -1,5 +1,6 @@
 #include "core/cookie_picker.h"
 
+#include "obs/recorder.h"
 #include "util/log.h"
 #include "util/strings.h"
 
@@ -64,7 +65,9 @@ void CookiePicker::enforceForHost(const std::string& host) {
 }
 
 void CookiePicker::enforceForHostLocked(const std::string& host) {
-  enforcedHosts_->insert(host);
+  if (enforcedHosts_->insert(host).second) {
+    obs::count(obs::Counter::HostsEnforced);
+  }
   if (config_.deleteUselessOnEnforce) {
     browser_.jar().removeIf([&host](const cookies::CookieRecord& record) {
       if (!record.persistent || record.useful) return false;

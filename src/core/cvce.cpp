@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <map>
 
+#include "obs/recorder.h"
 #include "util/strings.h"
 
 namespace cookiepicker::core {
@@ -68,6 +69,8 @@ bool looksLikeAdvertisementContainer(const dom::Node& element) {
 
 std::set<std::string> extractContextContent(const dom::Node& root,
                                             const CvceOptions& options) {
+  obs::ScopedTimer span(obs::Timer::CvceExtract);
+  obs::count(obs::Counter::CvceExtractions);
   std::set<std::string> output;
   // The root element's own name seeds the context, so paths are stable
   // regardless of what the root's parent looked like.
@@ -96,6 +99,8 @@ std::string contextOf(const std::string& contextContent) {
 
 double nTextSim(const std::set<std::string>& s1,
                 const std::set<std::string>& s2, bool sameContextCredit) {
+  obs::ScopedTimer span(obs::Timer::CvceMerge);
+  obs::count(obs::Counter::CvceMerges);
   if (s1.empty() && s2.empty()) return 1.0;
 
   std::size_t intersection = 0;
@@ -139,6 +144,8 @@ void extractContextContentFeatures(const dom::TreeSnapshot& snapshot,
                                    const CvceOptions& options,
                                    CvceScratch& scratch,
                                    CvceFeatureSet& output) {
+  obs::ScopedTimer span(obs::Timer::CvceExtract);
+  obs::count(obs::Counter::CvceExtractions);
   output.clear();
   auto& stack = scratch.stack;
   stack.clear();
@@ -208,6 +215,8 @@ void bumpContext(std::vector<std::pair<dom::ContextId, std::size_t>>& buckets,
 
 double nTextSim(const CvceFeatureSet& s1, const CvceFeatureSet& s2,
                 CvceScratch& scratch, bool sameContextCredit) {
+  obs::ScopedTimer span(obs::Timer::CvceMerge);
+  obs::count(obs::Counter::CvceMerges);
   if (s1.empty() && s2.empty()) return 1.0;
 
   auto& unique1 = scratch.unique1;

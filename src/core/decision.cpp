@@ -1,5 +1,6 @@
 #include "core/decision.h"
 
+#include "obs/recorder.h"
 #include "util/clock.h"
 
 namespace cookiepicker::core {
@@ -34,6 +35,7 @@ DecisionResult decideCookieUsefulness(const dom::Node& regularDocument,
                                       const DecisionConfig& config) {
   DecisionResult result;
   const util::StopWatch watch;
+  obs::ScopedTimer span(obs::Timer::Decision);
 
   const dom::Node& regularRoot = comparisonRoot(regularDocument);
   const dom::Node& hiddenRoot = comparisonRoot(hiddenDocument);
@@ -47,6 +49,9 @@ DecisionResult decideCookieUsefulness(const dom::Node& regularDocument,
       nTextSim(regularContent, hiddenContent, config.sameContextCredit);
 
   applyDecisionMode(result, config);
+  obs::count(obs::Counter::Decisions);
+  obs::count(result.causedByCookies ? obs::Counter::VerdictCookieCaused
+                                    : obs::Counter::VerdictNoDifference);
   result.detectionTimeMs = watch.elapsedMs();
   return result;
 }
@@ -57,6 +62,7 @@ DecisionResult decideCookieUsefulness(const dom::TreeSnapshot& regularSnapshot,
                                       const DecisionConfig& config) {
   DecisionResult result;
   const util::StopWatch watch;
+  obs::ScopedTimer span(obs::Timer::Decision);
 
   const std::uint32_t regularRoot = regularSnapshot.comparisonRootIndex();
   const std::uint32_t hiddenRoot = hiddenSnapshot.comparisonRootIndex();
@@ -71,6 +77,11 @@ DecisionResult decideCookieUsefulness(const dom::TreeSnapshot& regularSnapshot,
                             scratch.cvce, config.sameContextCredit);
 
   applyDecisionMode(result, config);
+  obs::count(obs::Counter::Decisions);
+  obs::count(result.causedByCookies ? obs::Counter::VerdictCookieCaused
+                                    : obs::Counter::VerdictNoDifference);
+  obs::gaugeMax(obs::Gauge::RstmArenaCells,
+                static_cast<std::int64_t>(scratch.rstm.cells.size()));
   result.detectionTimeMs = watch.elapsedMs();
   return result;
 }

@@ -104,7 +104,15 @@ DifferenceExplanation explainDifference(const dom::Node& regularDocument,
   DifferenceExplanation explanation;
   explanation.decision = decideCookieUsefulness(
       regularDocument, hiddenDocument, options.decision);
+  collectDifferenceEvidence(regularDocument, hiddenDocument, options,
+                            explanation);
+  return explanation;
+}
 
+void collectDifferenceEvidence(const dom::Node& regularDocument,
+                               const dom::Node& hiddenDocument,
+                               const ExplainOptions& options,
+                               DifferenceExplanation& explanation) {
   const Node& regularRoot = comparisonRoot(regularDocument);
   const Node& hiddenRoot = comparisonRoot(hiddenDocument);
 
@@ -125,7 +133,6 @@ DifferenceExplanation explainDifference(const dom::Node& regularDocument,
       setOnly(regularText, hiddenText, options.maxItems);
   explanation.textOnlyInHidden =
       setOnly(hiddenText, regularText, options.maxItems);
-  return explanation;
 }
 
 }  // namespace cookiepicker::core

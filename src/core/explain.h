@@ -42,4 +42,14 @@ DifferenceExplanation explainDifference(const dom::Node& regularDocument,
                                         const dom::Node& hiddenDocument,
                                         const ExplainOptions& options = {});
 
+// Evidence-gathering half of explainDifference: fills the four
+// structure/text lists without re-running the decision (the caller supplies
+// `explanation.decision` itself, typically from a verdict it already has —
+// the audit trail uses this to attach evidence to cookie-caused verdicts
+// without paying for a second detection pass).
+void collectDifferenceEvidence(const dom::Node& regularDocument,
+                               const dom::Node& hiddenDocument,
+                               const ExplainOptions& options,
+                               DifferenceExplanation& explanation);
+
 }  // namespace cookiepicker::core

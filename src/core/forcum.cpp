@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <charconv>
 
+#include "core/explain.h"
+#include "obs/recorder.h"
 #include "util/clock.h"
 #include "util/strings.h"
 #include "util/log.h"
@@ -72,7 +74,33 @@ bool parseCount(std::string_view text, int& value) {
   return true;
 }
 
+// The audit-trail rendering of a cookie key; matches the serialized-state
+// escaping so group entries in the two formats compare equal.
+std::string renderCookieKey(const CookieKey& key) {
+  std::string out;
+  appendEscapedField(out, key.name);
+  out += '|';
+  appendEscapedField(out, key.domain);
+  out += '|';
+  appendEscapedField(out, key.path);
+  return out;
+}
+
 }  // namespace
+
+const char* decisionModeName(DecisionMode mode) {
+  switch (mode) {
+    case DecisionMode::Both:
+      return "both";
+    case DecisionMode::TreeOnly:
+      return "tree-only";
+    case DecisionMode::TextOnly:
+      return "text-only";
+    case DecisionMode::Either:
+      return "either";
+  }
+  return "both";
+}
 
 ForcumEngine::ForcumEngine(browser::Browser& browser, ForcumConfig config)
     : browser_(browser), config_(std::move(config)) {}
@@ -102,6 +130,7 @@ ForcumStepReport ForcumEngine::onPageView(const browser::PageView& view) {
   const std::string& host = view.url.host();
   SiteState& state = stateFor(host);
   ++state.totalViews;
+  pendingAudit_.reset();
 
   // Detect newly appeared persistent cookies; they restart training
   // automatically ("it will be turned on automatically if CookiePicker
@@ -137,6 +166,16 @@ ForcumStepReport ForcumEngine::onPageView(const browser::PageView& view) {
     state.trainingActive = false;
     CP_LOG_INFO << "FORCUM stable for " << host << " after "
                 << state.totalViews << " views";
+  }
+  if (pendingAudit_.has_value()) {
+    // The counter transitions above are the last two fields of the record;
+    // only now can it be sealed and appended.
+    pendingAudit_->quietAfter = state.consecutiveQuietViews;
+    pendingAudit_->trainingActiveAfter = state.trainingActive;
+    if (obs::AuditTrail* audit = obs::activeAudit()) {
+      audit->append(*pendingAudit_);
+    }
+    pendingAudit_.reset();
   }
   return report;
 }
@@ -255,6 +294,10 @@ void ForcumEngine::onBisectionOutcome(
 
 ForcumStepReport ForcumEngine::runStep(const browser::PageView& view,
                                        SiteState& state) {
+  obs::ScopedTimer stepSpan(obs::Timer::ForcumStep);
+  // Captured before the step so the audit record can show the transition
+  // (onPageView rewrites the counter after runStep returns).
+  const int quietBefore = state.consecutiveQuietViews;
   ForcumStepReport report;
 
   // Only real container documents are trained on: an error page (5xx/4xx
@@ -347,6 +390,7 @@ ForcumStepReport ForcumEngine::runStep(const browser::PageView& view,
         // The copies disagree although nothing changed between them.
         report.inconsistentHiddenCopies = true;
         report.decision.causedByCookies = false;
+        obs::count(obs::Counter::VerdictVetoed);
         CP_LOG_WARN << "inconsistent hidden copies from " << view.url.host()
                     << " — suspected cloaking or page dynamics";
       }
@@ -371,6 +415,69 @@ ForcumStepReport ForcumEngine::runStep(const browser::PageView& view,
         browser_.jar().markUseful(key);
         report.newlyMarked.push_back(key);
       }
+    }
+  }
+
+  if (!report.newlyMarked.empty()) {
+    obs::count(obs::Counter::CookiesMarkedUseful,
+               static_cast<std::int64_t>(report.newlyMarked.size()));
+  }
+
+  if (obs::activeAudit() != nullptr) {
+    // One audit record per Figure-5 decision. causedByCookies is the *raw*
+    // verdict (re-derivable from the recorded similarities via
+    // figure5Verdict); a re-probe veto is recorded separately, so the
+    // effective outcome is causedByCookies && !reprobeVetoed.
+    pendingAudit_.emplace();
+    obs::AuditRecord& record = *pendingAudit_;
+    record.host = view.url.host();
+    record.url = view.url.toString();
+    record.view = state.totalViews;
+    for (const CookieKey& key : report.testedGroup) {
+      record.testedGroup.push_back(renderCookieKey(key));
+    }
+    record.treeSim = report.decision.treeSim;
+    record.textSim = report.decision.textSim;
+    record.treeThreshold = config_.decision.treeThreshold;
+    record.textThreshold = config_.decision.textThreshold;
+    record.level = config_.decision.maxLevel;
+    record.mode = decisionModeName(config_.decision.mode);
+    const bool treeDiffers =
+        report.decision.treeSim <= config_.decision.treeThreshold;
+    const bool textDiffers =
+        report.decision.textSim <= config_.decision.textThreshold;
+    record.branch = obs::figure5Branch(treeDiffers, textDiffers);
+    record.causedByCookies =
+        report.decision.causedByCookies || report.inconsistentHiddenCopies;
+    record.reprobeRan = report.reprobeRan;
+    record.reprobeVetoed = report.inconsistentHiddenCopies;
+    if (report.reprobeRan) {
+      record.reprobeTreeSim = report.reprobeAgreement.treeSim;
+      record.reprobeTextSim = report.reprobeAgreement.textSim;
+    }
+    record.hiddenLatencyMs = report.hiddenLatencyMs;
+    record.viewsTotal = state.totalViews;
+    record.hiddenRequests = state.hiddenRequests;
+    record.quietBefore = quietBefore;
+    for (const CookieKey& key : report.newlyMarked) {
+      record.marked.push_back(renderCookieKey(key));
+    }
+    if (report.decision.causedByCookies) {
+      // Evidence costs a reference-path diff, so it is gathered only for
+      // the verdicts a user would ask about — the ones that marked (or
+      // would have marked) cookies.
+      ExplainOptions explainOptions;
+      explainOptions.decision = config_.decision;
+      DifferenceExplanation evidence;
+      evidence.decision = report.decision;
+      collectDifferenceEvidence(*view.document, *hidden.document,
+                                explainOptions, evidence);
+      record.evidenceStructureRegular =
+          std::move(evidence.structureOnlyInRegular);
+      record.evidenceStructureHidden =
+          std::move(evidence.structureOnlyInHidden);
+      record.evidenceTextRegular = std::move(evidence.textOnlyInRegular);
+      record.evidenceTextHidden = std::move(evidence.textOnlyInHidden);
     }
   }
 

@@ -13,6 +13,7 @@
 
 #include <deque>
 #include <map>
+#include <optional>
 #include <set>
 #include <string>
 #include <vector>
@@ -20,6 +21,7 @@
 #include "browser/browser.h"
 #include "cookies/record.h"
 #include "core/decision.h"
+#include "obs/audit.h"
 #include "util/stats.h"
 
 namespace cookiepicker::core {
@@ -136,6 +138,15 @@ class ForcumEngine {
   // Pending candidate groups for Bisection mode, per host (front = next).
   std::map<std::string, std::deque<std::vector<cookies::CookieKey>>>
       bisectionQueue_;
+  // Audit record built by runStep; the post-step counter transitions
+  // (quietAfter, trainingActiveAfter) only exist back in onPageView, which
+  // finalizes and appends it. Engines are serialized per session, so one
+  // pending slot suffices.
+  std::optional<obs::AuditRecord> pendingAudit_;
 };
+
+// The audit-trail rendering of a DecisionMode ("both", "tree-only",
+// "text-only", "either") — the inverse of what figure5Verdict consumes.
+const char* decisionModeName(DecisionMode mode);
 
 }  // namespace cookiepicker::core

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <vector>
 
+#include "obs/recorder.h"
+
 namespace cookiepicker::core {
 
 namespace {
@@ -114,6 +116,8 @@ std::size_t countRestrictedNodes(const dom::Node& root, int maxLevel) {
 }
 
 double nTreeSim(const dom::Node& a, const dom::Node& b, int maxLevel) {
+  obs::ScopedTimer span(obs::Timer::RstmDp);
+  obs::count(obs::Counter::RstmEvaluations);
   const auto matched =
       static_cast<double>(restrictedSimpleTreeMatching(a, b, maxLevel));
   const auto countA = static_cast<double>(countRestrictedNodes(a, maxLevel));
@@ -167,6 +171,8 @@ std::size_t countRestrictedNodes(const dom::TreeSnapshot& snapshot,
 double nTreeSim(const dom::TreeSnapshot& a, std::uint32_t rootA,
                 const dom::TreeSnapshot& b, std::uint32_t rootB,
                 RstmArena& arena, int maxLevel) {
+  obs::ScopedTimer span(obs::Timer::RstmDp);
+  obs::count(obs::Counter::RstmEvaluations);
   const auto matched = static_cast<double>(
       restrictedSimpleTreeMatching(a, rootA, b, rootB, arena, maxLevel));
   const auto countA =

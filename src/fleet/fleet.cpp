@@ -2,11 +2,15 @@
 
 #include <algorithm>
 #include <atomic>
+#include <optional>
 #include <thread>
 
 #include "browser/browser.h"
 #include "dom/interner.h"
+#include "obs/audit.h"
+#include "obs/recorder.h"
 #include "util/clock.h"
+#include "util/log.h"
 #include "util/rng.h"
 
 namespace cookiepicker::fleet {
@@ -38,6 +42,18 @@ cookies::CookieJar FleetReport::mergedJar() const {
   return cookies::CookieJar::deserialize(lines);
 }
 
+obs::MetricsSnapshot FleetReport::mergedMetrics() const {
+  obs::MetricsSnapshot merged;
+  for (const HostResult& host : hosts) merged.merge(host.metrics);
+  return merged;
+}
+
+std::string FleetReport::auditJsonl() const {
+  std::string out;
+  for (const HostResult& host : hosts) out += host.auditJsonl;
+  return out;
+}
+
 TrainingFleet::TrainingFleet(net::Network& network, FleetConfig config)
     : network_(network), config_(std::move(config)) {}
 
@@ -53,6 +69,16 @@ HostResult TrainingFleet::runHostSession(const server::SiteSpec& spec) const {
                            config_.seed ^ util::fnv1a64(spec.domain));
   core::CookiePicker picker(browser, config_.picker);
 
+  // Session-scoped flight recorder: every obs::count / span / audit append
+  // on this thread lands in these sinks until the scope ends, so metrics
+  // attribute per host session no matter which worker runs it.
+  obs::MetricsRegistry sessionMetrics(config_.collectObservability);
+  obs::AuditTrail sessionAudit;
+  std::optional<obs::ScopedObsSession> obsScope;
+  if (config_.collectObservability) {
+    obsScope.emplace(&sessionMetrics, &sessionAudit);
+  }
+
   const int pages = std::max(1, spec.pageCount);
   for (int view = 0; view < config_.viewsPerHost; ++view) {
     picker.browse("http://" + spec.domain + "/page" +
@@ -65,6 +91,11 @@ HostResult TrainingFleet::runHostSession(const server::SiteSpec& spec) const {
   result.report = picker.report(spec.domain);
   result.state = picker.saveState();
   result.jarState = browser.jar().serialize();
+  if (config_.collectObservability) {
+    obsScope.reset();  // detach before snapshotting
+    result.metrics = sessionMetrics.snapshot();
+    result.auditJsonl = sessionAudit.jsonl();
+  }
   return result;
 }
 
@@ -85,6 +116,7 @@ FleetReport TrainingFleet::run(const std::vector<server::SiteSpec>& roster) {
   std::atomic<std::size_t> nextTask{0};
   std::vector<double> busyMs(static_cast<std::size_t>(workers), 0.0);
   auto workerLoop = [&](int workerIndex) {
+    util::Logger::setThreadWorkerIndex(workerIndex);
     while (true) {
       const std::size_t task =
           nextTask.fetch_add(1, std::memory_order_relaxed);
@@ -96,6 +128,9 @@ FleetReport TrainingFleet::run(const std::vector<server::SiteSpec>& roster) {
       busyMs[static_cast<std::size_t>(workerIndex)] += result.wallMs;
       report.hosts[task] = std::move(result);
     }
+    // The inline (workers <= 1) path runs on the caller's thread; leave no
+    // tag behind either way.
+    util::Logger::setThreadWorkerIndex(-1);
   };
 
   util::StopWatch wall;

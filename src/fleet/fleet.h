@@ -26,6 +26,7 @@
 #include "cookies/policy.h"
 #include "core/cookie_picker.h"
 #include "net/network.h"
+#include "obs/metrics.h"
 #include "server/generator.h"
 
 namespace cookiepicker::fleet {
@@ -39,6 +40,12 @@ struct FleetConfig {
   // Enforce every stable host at the end of its session (block + purge the
   // cookies FORCUM left unmarked), as a batch audit would.
   bool enforceStableAfterRun = true;
+  // Flight recorder: when true, every host session runs under its own
+  // obs::MetricsRegistry + obs::AuditTrail (installed thread-locally for
+  // the session's duration), and the per-host snapshots/trails land in
+  // HostResult. Deterministic metrics and audit bytes are part of the
+  // fleet's determinism invariant; timing histograms are not.
+  bool collectObservability = false;
 };
 
 // Outcome of one host's training session.
@@ -52,6 +59,12 @@ struct HostResult {
   // The session jar alone, for cross-host merging.
   std::string jarState;
   int pagesVisited = 0;
+  // Session-scoped observability (filled when collectObservability is on):
+  // the metrics snapshot taken at session end and the session's audit
+  // trail. The deterministic half of the snapshot and the audit bytes are
+  // pure functions of (seed, host, views); the timing half is host-clock.
+  obs::MetricsSnapshot metrics;
+  std::string auditJsonl;
   // Host (real) time the session took and which worker ran it. Informational
   // only: excluded from serializeState() so timing never breaks determinism.
   double wallMs = 0.0;
@@ -80,6 +93,14 @@ struct FleetReport {
   // Union of the per-session jars (host sessions touch disjoint cookie
   // domains, so the merge is conflict-free).
   cookies::CookieJar mergedJar() const;
+
+  // Merge of the per-host metrics snapshots, in roster order. Counter and
+  // gauge merges commute, so the deterministic half is identical for any
+  // worker count; timer histograms merge too but carry host-clock values.
+  obs::MetricsSnapshot mergedMetrics() const;
+  // Concatenation of the per-host audit trails, in roster order — a
+  // scheduling-independent JSONL stream (seq numbers are per host session).
+  std::string auditJsonl() const;
 };
 
 class TrainingFleet {

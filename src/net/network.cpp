@@ -3,6 +3,7 @@
 #include <chrono>
 #include <thread>
 
+#include "obs/recorder.h"
 #include "util/strings.h"
 
 namespace cookiepicker::net {
@@ -97,6 +98,7 @@ Exchange Network::dispatch(const HttpRequest& request) {
         failureProbability_.load(std::memory_order_relaxed);
     if (failureProbability > 0.0 && entry->rng.chance(failureProbability)) {
       injectedFailures_.fetch_add(1, std::memory_order_relaxed);
+      obs::count(obs::Counter::NetworkFailuresInjected);
       exchange.response.status = 503;
       exchange.response.statusText = "Service Unavailable";
       exchange.response.headers.set("Content-Type", "text/html");
@@ -117,6 +119,9 @@ Exchange Network::dispatch(const HttpRequest& request) {
   totalRequests_.fetch_add(1, std::memory_order_relaxed);
   totalBytes_.fetch_add(exchange.requestBytes + exchange.responseBytes,
                         std::memory_order_relaxed);
+  obs::count(obs::Counter::NetworkRequests);
+  obs::count(obs::Counter::NetworkBytes,
+             exchange.requestBytes + exchange.responseBytes);
 
   const double scale = wallLatencyScale_.load(std::memory_order_relaxed);
   if (scale > 0.0) {

@@ -104,12 +104,43 @@ class Network {
   }
 
   // --- accounting (reset per experiment as needed) ---
+  //
+  // Ordering contract: the three traffic counters are independent relaxed
+  // atomics. Each individual read/reset is race-free (TSan-clean), but the
+  // *set* is not updated atomically with respect to a dispatch in flight: a
+  // reader racing a dispatch may see the request counted and its bytes not
+  // yet added (dispatch bumps requests first), and a resetCounters() racing
+  // a dispatch may zero one counter before the other is bumped, leaving
+  // e.g. bytes > 0 with requests == 0. Callers that need a coherent
+  // cross-counter view (the overhead benchmarks, per-experiment deltas)
+  // must quiesce dispatch first; snapshotCounters() documents the same
+  // caveat in API form and reads all three in one call.
+  struct TrafficCounters {
+    std::uint64_t requests = 0;
+    std::uint64_t bytes = 0;
+    std::uint64_t injectedFailures = 0;
+  };
+  // One relaxed read of each counter. Coherent only while no dispatch is in
+  // flight; mid-run values are per-counter accurate but mutually skewed by
+  // at most the requests currently inside dispatch().
+  TrafficCounters snapshotCounters() const {
+    TrafficCounters counters;
+    counters.requests = totalRequests_.load(std::memory_order_relaxed);
+    counters.bytes = totalBytes_.load(std::memory_order_relaxed);
+    counters.injectedFailures =
+        injectedFailures_.load(std::memory_order_relaxed);
+    return counters;
+  }
   std::uint64_t totalRequests() const {
     return totalRequests_.load(std::memory_order_relaxed);
   }
   std::uint64_t totalBytesTransferred() const {
     return totalBytes_.load(std::memory_order_relaxed);
   }
+  // Zeroes requests and bytes (not injectedFailures, whose consumers track
+  // lifetime totals across failure-injection experiments). Safe to call
+  // concurrently with dispatch — each store is atomic — but see the
+  // ordering contract above for what a concurrent reader may observe.
   void resetCounters() {
     totalRequests_.store(0, std::memory_order_relaxed);
     totalBytes_.store(0, std::memory_order_relaxed);

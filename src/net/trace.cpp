@@ -2,6 +2,7 @@
 
 #include <charconv>
 
+#include "obs/recorder.h"
 #include "util/strings.h"
 
 namespace cookiepicker::net {
@@ -121,6 +122,7 @@ HttpResponse ReplayHandler::handle(const HttpRequest& request) {
   const auto it = byKey_.find(key);
   if (it == byKey_.end()) {
     ++misses_;
+    obs::count(obs::Counter::ReplayMisses);
     return HttpResponse::notFound(request.url.toString());
   }
   const std::vector<TraceEntry>& recorded = it->second;

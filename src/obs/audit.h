@@ -1,0 +1,107 @@
+// Per-verdict audit trail — the flight recorder's narrative half.
+//
+// Every Figure-5 decision FORCUM takes appends one structured JSONL record:
+// which cookies were tested, both similarities, the thresholds and level in
+// force, the branch the decision took, the re-probe outcome, and the FORCUM
+// counter transitions. Everything recorded is a deterministic function of
+// (seed, roster, views): simulated latencies are included, host-clock
+// timings are not — so the trail is byte-identical for any fleet worker
+// count and any mark can be replayed and explained offline.
+//
+// Records parse back (`parseAuditRecordLine`) and the branch can be
+// re-derived from the recorded similarities (`figure5Branch` /
+// `figure5Verdict`), which is exactly what the round-trip test does.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace cookiepicker::obs {
+
+struct AuditRecord {
+  std::uint64_t seq = 0;  // assigned by AuditTrail::append (1-based)
+  std::string host;
+  std::string url;
+  // FORCUM view counter for this host at decision time.
+  std::int64_t view = 0;
+  // Tested cookie group, "name|domain|path" per entry, sorted (CookieKey
+  // order), so the record bytes never depend on iteration incidentals.
+  std::vector<std::string> testedGroup;
+
+  double treeSim = 1.0;
+  double textSim = 1.0;
+  double treeThreshold = 0.0;
+  double textThreshold = 0.0;
+  std::int64_t level = 0;            // the RSTM restriction level l
+  std::string mode;                  // "both" | "tree-only" | ...
+  std::string branch;                // figure5Branch(...) label
+  bool causedByCookies = false;
+
+  bool reprobeRan = false;
+  bool reprobeVetoed = false;
+  double reprobeTreeSim = 1.0;
+  double reprobeTextSim = 1.0;
+
+  // Simulated (deterministic) latency of the hidden round trip(s).
+  double hiddenLatencyMs = 0.0;
+
+  // FORCUM counter transitions for the host.
+  std::int64_t viewsTotal = 0;
+  std::int64_t hiddenRequests = 0;
+  std::int64_t quietBefore = 0;
+  std::int64_t quietAfter = 0;
+  bool trainingActiveAfter = true;
+
+  // Cookies newly marked useful by this decision, same key rendering.
+  std::vector<std::string> marked;
+
+  // Supporting evidence from core::explain (collected only for marking
+  // verdicts): structural regions and context-content strings present in
+  // only one page version.
+  std::vector<std::string> evidenceStructureRegular;
+  std::vector<std::string> evidenceStructureHidden;
+  std::vector<std::string> evidenceTextRegular;
+  std::vector<std::string> evidenceTextHidden;
+
+  // Canonical single-line JSON (fixed key order, shortest round-trip
+  // doubles). parse(toJsonLine()) == *this, byte for byte.
+  std::string toJsonLine() const;
+};
+
+// Parses one line produced by AuditRecord::toJsonLine. Returns nullopt on
+// malformed input; unknown keys are an error (the format is closed).
+std::optional<AuditRecord> parseAuditRecordLine(std::string_view line);
+
+// The Figure-5 branch label from the two threshold comparisons:
+// "both-differ", "tree-only-differs", "text-only-differs",
+// "neither-differs".
+const char* figure5Branch(bool treeDiffers, bool textDiffers);
+
+// The verdict the given decision mode derives from those comparisons.
+// `mode` is the recorded string; unknown modes return false.
+bool figure5Verdict(std::string_view mode, bool treeDiffers,
+                    bool textDiffers);
+
+// Thread-safe JSONL sink. Appends serialize under a mutex; a fleet host
+// session owns one trail, so the per-host byte streams concatenate in
+// roster order into a scheduling-independent fleet trail.
+class AuditTrail {
+ public:
+  // Serializes and appends, assigning the record's seq (1-based, per
+  // trail). The record is taken by reference so callers can reuse storage.
+  void append(AuditRecord& record);
+
+  std::string jsonl() const;
+  std::uint64_t recordCount() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::string lines_;
+  std::uint64_t seq_ = 0;
+};
+
+}  // namespace cookiepicker::obs

@@ -1,0 +1,18 @@
+#include "obs/recorder.h"
+
+namespace cookiepicker::obs {
+
+namespace detail {
+thread_local ObsSinks t_sinks;
+}  // namespace detail
+
+ScopedObsSession::ScopedObsSession(MetricsRegistry* metrics,
+                                   AuditTrail* audit)
+    : previous_(detail::t_sinks) {
+  detail::t_sinks.metrics = metrics;
+  detail::t_sinks.audit = audit;
+}
+
+ScopedObsSession::~ScopedObsSession() { detail::t_sinks = previous_; }
+
+}  // namespace cookiepicker::obs

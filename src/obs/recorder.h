@@ -1,0 +1,110 @@
+// Session routing for the observability layer.
+//
+// Instrumentation sites (browser, network, detection kernels, FORCUM) do
+// not take a registry parameter — they ask `activeMetrics()` which sink the
+// *current thread* should record into:
+//
+//   1. the session sinks installed by a ScopedObsSession on this thread
+//      (how fleet workers attribute work to their current host session), or
+//   2. the process-global MetricsRegistry, if it is enabled, or
+//   3. nothing (nullptr) — the disabled fast path: one thread-local load,
+//      one relaxed atomic load, no clock reads, no allocation.
+//
+// ScopedObsSession nests: the previous sinks are restored on destruction,
+// so a session-in-a-session (tests driving a fleet from an instrumented
+// harness) attributes correctly.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+#include "obs/metrics.h"
+
+namespace cookiepicker::obs {
+
+class AuditTrail;
+
+struct ObsSinks {
+  MetricsRegistry* metrics = nullptr;
+  AuditTrail* audit = nullptr;
+};
+
+namespace detail {
+// One slot per thread; read on every instrumentation hit, so kept as raw
+// pointers with no indirection.
+extern thread_local ObsSinks t_sinks;
+}  // namespace detail
+
+// The metrics sink the current thread should record into; nullptr when
+// instrumentation is off for this thread (no session, global disabled).
+inline MetricsRegistry* activeMetrics() {
+  if (detail::t_sinks.metrics != nullptr) return detail::t_sinks.metrics;
+  MetricsRegistry& global = MetricsRegistry::global();
+  return global.enabled() ? &global : nullptr;
+}
+
+// The audit sink, or nullptr. Only sessions have audit trails; the global
+// registry never collects one (there is no one to hand the records to).
+inline AuditTrail* activeAudit() { return detail::t_sinks.audit; }
+
+// --- recording helpers (the spellings instrumentation sites use) ----------
+
+inline void count(Counter counter, std::uint64_t delta = 1) {
+  if (MetricsRegistry* metrics = activeMetrics()) {
+    metrics->add(counter, delta);
+  }
+}
+
+inline void gaugeSet(Gauge gauge, std::int64_t value) {
+  if (MetricsRegistry* metrics = activeMetrics()) {
+    metrics->gaugeSet(gauge, value);
+  }
+}
+
+inline void gaugeMax(Gauge gauge, std::int64_t value) {
+  if (MetricsRegistry* metrics = activeMetrics()) {
+    metrics->gaugeMax(gauge, value);
+  }
+}
+
+// Scoped span: times its lexical scope into one phase histogram. Resolves
+// the sink once at construction; when instrumentation is off it never reads
+// the clock.
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(Timer timer)
+      : metrics_(activeMetrics()), timer_(timer) {
+    if (metrics_ != nullptr) start_ = std::chrono::steady_clock::now();
+  }
+  ~ScopedTimer() {
+    if (metrics_ == nullptr) return;
+    const auto elapsed = std::chrono::steady_clock::now() - start_;
+    metrics_->recordTimerNs(
+        timer_,
+        static_cast<std::uint64_t>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(elapsed)
+                .count()));
+  }
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+ private:
+  MetricsRegistry* metrics_;
+  Timer timer_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+// Installs session sinks on the current thread for its lifetime; restores
+// whatever was installed before on destruction. `audit` may be null.
+class ScopedObsSession {
+ public:
+  ScopedObsSession(MetricsRegistry* metrics, AuditTrail* audit);
+  ~ScopedObsSession();
+  ScopedObsSession(const ScopedObsSession&) = delete;
+  ScopedObsSession& operator=(const ScopedObsSession&) = delete;
+
+ private:
+  ObsSinks previous_;
+};
+
+}  // namespace cookiepicker::obs

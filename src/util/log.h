@@ -1,9 +1,13 @@
 // Minimal leveled logger.
 //
 // The library itself is silent by default (Error threshold); examples and
-// debugging sessions can raise verbosity. Deliberately not thread-aware:
-// the whole simulation is single-threaded by design (a browser extension's
-// event loop), which keeps every run exactly reproducible.
+// debugging sessions can raise verbosity. Thread-safe: the threshold is an
+// atomic and the sink serializes writes under a mutex, so fleet workers
+// logging concurrently interleave whole lines, never bytes. (The original
+// single-threaded design predates the PR-1 fleet.) A worker thread may tag
+// itself with `setThreadWorkerIndex`; tagged lines render as
+// "[INFO] [w3] message" so fleet logs attribute to the worker that wrote
+// them.
 #pragma once
 
 #include <sstream>
@@ -19,6 +23,11 @@ class Logger {
   static void setThreshold(LogLevel level);
   static void write(LogLevel level, const std::string& message);
   static const char* levelName(LogLevel level);
+
+  // Optional per-thread tag included in log lines (fleet worker index).
+  // Negative clears the tag. Thread-local: each worker tags itself.
+  static void setThreadWorkerIndex(int workerIndex);
+  static int threadWorkerIndex();
 };
 
 namespace detail {

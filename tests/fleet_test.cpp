@@ -201,5 +201,61 @@ TEST(FleetStress, ConcurrentSessionsShareOneNetwork) {
   EXPECT_GT(network.totalBytesTransferred(), 0u);
 }
 
+// A monitor thread snapshotting and periodically resetting the traffic
+// counters while browsing sessions dispatch: exercises the relaxed-atomic
+// ordering contract documented on Network::snapshotCounters (TSan must stay
+// quiet; mid-run snapshots may be torn across fields but each field is a
+// value some interleaving permits, and injectedFailures survives resets).
+TEST(FleetStress, NetworkCounterResetDuringRun) {
+  const auto roster = server::measurementRoster(8, 41);
+  util::SimClock serverClock;
+  net::Network network(41);
+  server::registerRoster(network, serverClock, roster);
+  network.setFailureProbability(0.2);
+
+  std::atomic<bool> done{false};
+  std::uint64_t peakFailures = 0;
+  std::thread monitor([&]() {
+    int spins = 0;
+    while (!done.load(std::memory_order_relaxed)) {
+      const net::Network::TrafficCounters counters =
+          network.snapshotCounters();
+      // injectedFailures is never reset, so it is monotonic even while
+      // requests/bytes are being zeroed underneath us.
+      EXPECT_GE(counters.injectedFailures, peakFailures);
+      peakFailures = counters.injectedFailures;
+      if (++spins % 4 == 0) network.resetCounters();
+      std::this_thread::yield();
+    }
+  });
+
+  std::vector<std::thread> pool;
+  for (int t = 0; t < 4; ++t) {
+    pool.emplace_back([&, t]() {
+      for (std::size_t i = static_cast<std::size_t>(t); i < roster.size();
+           i += 4) {
+        util::SimClock clock;
+        browser::Browser browser(network, clock,
+                                 cookies::CookiePolicy::recommended(),
+                                 2000 + i);
+        for (int view = 0; view < 3; ++view) {
+          browser.visit("http://" + roster[i].domain + "/page" +
+                        std::to_string(view));
+        }
+      }
+    });
+  }
+  for (std::thread& thread : pool) thread.join();
+  done.store(true, std::memory_order_relaxed);
+  monitor.join();
+
+  // Post-quiescence the snapshot is exact: one final reset drains it.
+  network.resetCounters();
+  const net::Network::TrafficCounters drained = network.snapshotCounters();
+  EXPECT_EQ(drained.requests, 0u);
+  EXPECT_EQ(drained.bytes, 0u);
+  EXPECT_EQ(drained.injectedFailures, network.injectedFailures());
+}
+
 }  // namespace
 }  // namespace cookiepicker

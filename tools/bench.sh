@@ -3,9 +3,11 @@
 #
 # Builds an optimized tree (build-bench), runs the detection hot-path bench
 # (which rewrites BENCH_hotpath.json at the repo root — commit it when the
-# numbers move) and the fleet scaling bench, and gates on the hot path
+# numbers move) and the fleet scaling bench, and gates on (a) the hot path
 # achieving at least MIN_SPEEDUP (default 3) over the reference
-# implementation on the Table 1 roster.
+# implementation on the Table 1 roster, and (b) the flight-recorder
+# instrumentation costing at most 10% of fast-path throughput
+# (instrumented_ratio >= MIN_INSTRUMENTED_RATIO, default 0.9).
 #
 #   tools/bench.sh            # hot path + fleet scaling
 #   MIN_SPEEDUP=5 tools/bench.sh
@@ -14,6 +16,7 @@ set -euo pipefail
 ROOT="$(cd "$(dirname "$0")/.." && pwd)"
 JOBS="${JOBS:-$(nproc)}"
 MIN_SPEEDUP="${MIN_SPEEDUP:-3}"
+MIN_INSTRUMENTED_RATIO="${MIN_INSTRUMENTED_RATIO:-0.9}"
 BUILD_DIR="$ROOT/build-bench"
 
 echo "=== configuring $BUILD_DIR (Release) ==="
@@ -37,6 +40,20 @@ if ! awk -v s="$speedup" -v min="$MIN_SPEEDUP" 'BEGIN { exit !(s >= min) }'; the
   exit 1
 fi
 echo "OK: table1 speedup ${speedup}x"
+
+echo "=== instrumentation overhead gate (ratio >= ${MIN_INSTRUMENTED_RATIO} on table1) ==="
+ratio="$(sed -n 's/.*"instrumented_ratio": \([0-9.]*\),.*/\1/p' \
+         "$ROOT/BENCH_hotpath.json" | head -1)"
+if [[ -z "$ratio" ]]; then
+  echo "FAIL: could not read instrumented_ratio from BENCH_hotpath.json" >&2
+  exit 1
+fi
+if ! awk -v r="$ratio" -v min="$MIN_INSTRUMENTED_RATIO" \
+     'BEGIN { exit !(r >= min) }'; then
+  echo "FAIL: table1 instrumented ratio ${ratio} below required ${MIN_INSTRUMENTED_RATIO}" >&2
+  exit 1
+fi
+echo "OK: table1 instrumented ratio ${ratio}"
 
 echo "=== fleet scaling ==="
 "$BUILD_DIR/bench/bench_fleet_scaling"

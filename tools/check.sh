@@ -1,39 +1,54 @@
 #!/usr/bin/env bash
 # Tier-1 verification under sanitizers.
 #
-# Builds and runs the full ctest suite four times: plain, under
+# Builds and runs the full ctest suite five times: plain, under
 # ThreadSanitizer (-DCOOKIEPICKER_SANITIZE=thread — the concurrency suite's
-# contract), under AddressSanitizer+UBSan (-DCOOKIEPICKER_SANITIZE=
-# address), and a Debug build of the fast-path differential suite (the
-# bit-identical checks must hold without optimizer-dependent FP behaviour).
-# Each configuration gets its own build tree so caches never mix.
+# contract), the TSan tree again with the flight recorder's process-global
+# metrics registry enabled (COOKIEPICKER_OBS=1, so every obs::count / span
+# in every test records concurrently into one shared registry), under
+# AddressSanitizer+UBSan (-DCOOKIEPICKER_SANITIZE=address), and a Debug
+# build of the fast-path differential suite (the bit-identical checks must
+# hold without optimizer-dependent FP behaviour). Each configuration gets
+# its own build tree so caches never mix (thread-metrics reuses the thread
+# tree — same binaries, different environment).
 #
-#   tools/check.sh            # all four configurations
-#   tools/check.sh thread     # just the TSan pass
-#   tools/check.sh address    # just the ASan/UBSan pass
-#   tools/check.sh plain      # just the unsanitized pass
-#   tools/check.sh debug      # just the Debug differential pass
+#   tools/check.sh                 # all five configurations
+#   tools/check.sh thread          # just the TSan pass
+#   tools/check.sh thread-metrics  # TSan with the global recorder enabled
+#   tools/check.sh address         # just the ASan/UBSan pass
+#   tools/check.sh plain           # just the unsanitized pass
+#   tools/check.sh debug           # just the Debug differential pass
 set -euo pipefail
 
 ROOT="$(cd "$(dirname "$0")/.." && pwd)"
 JOBS="${JOBS:-$(nproc)}"
 CONFIGS=("${@:-plain}")
 if [[ $# -eq 0 ]]; then
-  CONFIGS=(plain thread address debug)
+  CONFIGS=(plain thread thread-metrics address debug)
 fi
 
 for config in "${CONFIGS[@]}"; do
   sanitize=""
   build_type=""
+  obs_env=""
+  build_dir="$ROOT/build-check-$config"
   case "$config" in
     plain)   ;;
     thread)  sanitize="thread" ;;
+    thread-metrics)
+      # Same TSan binaries as `thread`; the only change is the environment
+      # flag that switches MetricsRegistry::global() on, so every test
+      # exercises concurrent recording into one shared registry.
+      sanitize="thread"
+      obs_env="1"
+      build_dir="$ROOT/build-check-thread"
+      ;;
     address) sanitize="address" ;;
     debug)   build_type="Debug" ;;
-    *) echo "unknown configuration: $config (want plain|thread|address|debug)" >&2
+    *) echo "unknown configuration: $config" \
+            "(want plain|thread|thread-metrics|address|debug)" >&2
        exit 2 ;;
   esac
-  build_dir="$ROOT/build-check-$config"
   echo "=== [$config] configuring $build_dir ==="
   cmake -B "$build_dir" -S "$ROOT" \
         -DCOOKIEPICKER_SANITIZE="$sanitize" \
@@ -48,7 +63,8 @@ for config in "${CONFIGS[@]}"; do
     echo "=== [$config] building ==="
     cmake --build "$build_dir" -j "$JOBS"
     echo "=== [$config] running ctest ==="
-    (cd "$build_dir" && ctest --output-on-failure -j "$JOBS")
+    (cd "$build_dir" && COOKIEPICKER_OBS="$obs_env" \
+        ctest --output-on-failure -j "$JOBS")
   fi
   echo "=== [$config] OK ==="
 done

@@ -8,9 +8,18 @@
 //   cookiepicker table1 | table2               paper-table reproductions
 //   cookiepicker record --out FILE [--seed S]  capture a campaign trace
 //   cookiepicker replay --in FILE  [--seed S]  rerun a captured trace
+//                       [--strict]             (non-zero exit on drift)
+//   cookiepicker stats  [--sites N] ...        instrumented run: counters +
+//                                              per-phase latency shares
+//
+// Flight-recorder outputs (audit + stats): --metrics-out FILE writes the
+// metrics snapshot as JSON, --audit-out FILE writes the per-verdict JSONL
+// audit trail.
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <optional>
 #include <sstream>
 #include <string>
 
@@ -20,6 +29,9 @@
 #include "measure/census.h"
 #include "net/network.h"
 #include "net/trace.h"
+#include "obs/audit.h"
+#include "obs/metrics.h"
+#include "obs/recorder.h"
 #include "server/generator.h"
 #include "util/clock.h"
 #include "util/stats.h"
@@ -35,6 +47,9 @@ struct Options {
   std::uint64_t seed = 2007;
   std::string inFile;
   std::string outFile;
+  std::string metricsOut;  // metrics snapshot JSON destination
+  std::string auditOut;    // audit-trail JSONL destination
+  bool strict = false;     // replay: exit non-zero on drift
 };
 
 Options parseOptions(int argc, char** argv, int firstFlag) {
@@ -56,11 +71,43 @@ Options parseOptions(int argc, char** argv, int firstFlag) {
       options.inFile = next();
     } else if (flag == "--out") {
       options.outFile = next();
+    } else if (flag == "--metrics-out") {
+      options.metricsOut = next();
+    } else if (flag == "--audit-out") {
+      options.auditOut = next();
+    } else if (flag == "--strict") {
+      options.strict = true;
     } else {
       std::fprintf(stderr, "unknown flag: %s\n", flag.c_str());
     }
   }
   return options;
+}
+
+bool writeFileOrComplain(const std::string& path, const std::string& bytes) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return false;
+  }
+  out << bytes;
+  return true;
+}
+
+// Writes the flight-recorder outputs an instrumented run produced. Returns
+// false (-> exit code) only on I/O failure.
+bool writeObsOutputs(const Options& options,
+                     const obs::MetricsSnapshot& metrics,
+                     const std::string& auditJsonl) {
+  bool ok = true;
+  if (!options.metricsOut.empty()) {
+    ok = writeFileOrComplain(options.metricsOut, metrics.toJson() + "\n") &&
+         ok;
+  }
+  if (!options.auditOut.empty()) {
+    ok = writeFileOrComplain(options.auditOut, auditJsonl) && ok;
+  }
+  return ok;
 }
 
 int runDemo() {
@@ -114,6 +161,8 @@ int runFleetAudit(const Options& options) {
   config.viewsPerHost = options.views;
   config.seed = options.seed;
   config.picker.autoEnforce = true;
+  config.collectObservability =
+      !options.metricsOut.empty() || !options.auditOut.empty();
   fleet::TrainingFleet fleet(network, config);
   const fleet::FleetReport report = fleet.run(roster);
 
@@ -134,6 +183,11 @@ int runFleetAudit(const Options& options) {
               report.hiddenRequestsPerSecond);
   std::printf("worker utilization   : %.0f%%\n",
               100.0 * report.workerUtilization);
+  if (config.collectObservability &&
+      !writeObsOutputs(options, report.mergedMetrics(),
+                       report.auditJsonl())) {
+    return 2;
+  }
   return 0;
 }
 
@@ -147,6 +201,15 @@ int runAudit(const Options& options) {
   core::CookiePicker picker(browser, config);
   const auto roster = server::measurementRoster(options.sites, options.seed);
   server::registerRoster(network, clock, roster);
+
+  // Single-session flight recorder: one registry + trail for the whole run,
+  // installed for the duration of the browsing loop.
+  const bool collectObs =
+      !options.metricsOut.empty() || !options.auditOut.empty();
+  obs::MetricsRegistry metrics(collectObs);
+  obs::AuditTrail audit;
+  std::optional<obs::ScopedObsSession> obsScope;
+  if (collectObs) obsScope.emplace(&metrics, &audit);
 
   int usefulKept = 0;
   int removed = 0;
@@ -165,6 +228,12 @@ int runAudit(const Options& options) {
   std::printf("trackers removed     : %d\n", removed);
   std::printf("user interruptions   : %d\n",
               picker.recovery().recoveryCount());
+  if (collectObs) {
+    obsScope.reset();
+    if (!writeObsOutputs(options, metrics.snapshot(), audit.jsonl())) {
+      return 2;
+    }
+  }
   return 0;
 }
 
@@ -224,11 +293,12 @@ int runReplay(const Options& options) {
   }
   std::ostringstream buffer;
   buffer << in.rdbuf();
+  // The handler outlives the campaign so the drift summary can read it.
+  auto replay =
+      std::make_shared<net::ReplayHandler>(net::parseTrace(buffer.str()));
   const std::string jar = runCampaignWith(
       options,
-      [&buffer](const server::SiteSpec&, util::SimClock&) {
-        auto replay = std::make_shared<net::ReplayHandler>(
-            net::parseTrace(buffer.str()));
+      [&replay](const server::SiteSpec&, util::SimClock&) {
         return std::make_pair(
             std::static_pointer_cast<net::HttpHandler>(replay),
             []() { return std::string(); });
@@ -236,20 +306,108 @@ int runReplay(const Options& options) {
       nullptr);
   std::printf("replayed %s\njar state:\n%s", options.inFile.c_str(),
               jar.c_str());
+  const std::uint64_t misses = replay->misses();
+  if (misses == 0) {
+    std::printf("replay drift         : none (every request matched)\n");
+  } else {
+    std::printf("replay drift         : %llu request(s) had no recorded "
+                "counterpart%s\n",
+                static_cast<unsigned long long>(misses),
+                options.strict ? " [strict]" : "");
+  }
+  if (options.strict && misses > 0) return 1;
+  return 0;
+}
+
+// Instrumented fleet run: prints the flight recorder's deterministic
+// counters plus where the host time went, phase by phase. The "share"
+// column is over the non-overlapping leaf phases (parse, snapshot build,
+// RSTM DP, CVCE extract/merge); the umbrella spans (decision, hidden fetch,
+// page visit, FORCUM step) nest those and are listed without a share.
+int runStats(const Options& options) {
+  util::SimClock serverClock;
+  net::Network network(options.seed);
+  const auto roster = server::measurementRoster(options.sites, options.seed);
+  server::registerRoster(network, serverClock, roster);
+
+  fleet::FleetConfig config;
+  config.workers = std::max(1, options.workers);
+  config.viewsPerHost = options.views;
+  config.seed = options.seed;
+  config.picker.autoEnforce = true;
+  config.collectObservability = true;
+  fleet::TrainingFleet fleet(network, config);
+  const fleet::FleetReport report = fleet.run(roster);
+  const obs::MetricsSnapshot metrics = report.mergedMetrics();
+
+  std::printf("deterministic counters (%d sites, %d views, seed %llu):\n",
+              options.sites, options.views,
+              static_cast<unsigned long long>(options.seed));
+  for (std::size_t i = 0; i < obs::kCounterCount; ++i) {
+    std::printf("  %-26s %12llu\n",
+                obs::counterName(static_cast<obs::Counter>(i)),
+                static_cast<unsigned long long>(metrics.counters[i]));
+  }
+  for (std::size_t i = 0; i < obs::kGaugeCount; ++i) {
+    std::printf("  %-26s %12lld\n",
+                obs::gaugeName(static_cast<obs::Gauge>(i)),
+                static_cast<long long>(metrics.gauges[i]));
+  }
+
+  const obs::Timer leafPhases[] = {
+      obs::Timer::HtmlParse, obs::Timer::SnapshotBuild, obs::Timer::RstmDp,
+      obs::Timer::CvceExtract, obs::Timer::CvceMerge};
+  double leafTotalMs = 0.0;
+  for (const obs::Timer timer : leafPhases) {
+    leafTotalMs += metrics.timer(timer).totalMs();
+  }
+  std::printf("\nper-phase host time (share over leaf phases):\n");
+  std::printf("  %-16s %10s %12s %10s %10s %7s\n", "phase", "count",
+              "total ms", "mean ms", "p90 ms", "share");
+  for (std::size_t i = 0; i < obs::kTimerCount; ++i) {
+    const auto timer = static_cast<obs::Timer>(i);
+    const obs::HistogramSnapshot& histogram = metrics.timer(timer);
+    if (histogram.count == 0) continue;
+    const bool leaf =
+        std::find(std::begin(leafPhases), std::end(leafPhases), timer) !=
+        std::end(leafPhases);
+    std::string share = "-";
+    if (leaf && leafTotalMs > 0.0) {
+      share = util::TextTable::formatDouble(
+                  100.0 * histogram.totalMs() / leafTotalMs, 1) +
+              "%";
+    }
+    std::printf("  %-16s %10llu %12.2f %10.4f %10.4f %7s\n",
+                obs::timerName(timer),
+                static_cast<unsigned long long>(histogram.count),
+                histogram.totalMs(), histogram.meanMs(),
+                histogram.percentileMs(0.90), share.c_str());
+  }
+  const std::string auditJsonl = report.auditJsonl();
+  std::printf("\naudit records        : %llu\n",
+              static_cast<unsigned long long>(
+                  std::count(auditJsonl.begin(), auditJsonl.end(), '\n')));
+  if (!writeObsOutputs(options, metrics, auditJsonl)) return 2;
   return 0;
 }
 
 int usage() {
   std::fprintf(
       stderr,
-      "usage: cookiepicker <demo|audit|census|record|replay> [flags]\n"
+      "usage: cookiepicker <demo|audit|census|stats|record|replay> [flags]\n"
       "  demo                              one-site walkthrough\n"
       "  audit  [--sites N] [--views V] [--seed S] [--workers W]\n"
+      "         [--metrics-out FILE] [--audit-out FILE]\n"
       "         (--workers fans per-host sessions out over W threads;\n"
-      "          results are identical for any W)\n"
+      "          results are identical for any W; the out files dump the\n"
+      "          flight recorder: metrics JSON and per-verdict JSONL)\n"
       "  census [--sites N] [--seed S]\n"
+      "  stats  [--sites N] [--views V] [--seed S] [--workers W]\n"
+      "         [--metrics-out FILE] [--audit-out FILE]\n"
+      "         (instrumented run: counter table + per-phase latency)\n"
       "  record --out FILE [--views V] [--seed S]\n"
-      "  replay --in FILE  [--views V] [--seed S]\n");
+      "  replay --in FILE  [--views V] [--seed S] [--strict]\n"
+      "         (prints a drift summary; --strict exits 1 on any miss)\n");
   return 2;
 }
 
@@ -262,6 +420,7 @@ int main(int argc, char** argv) {
   if (command == "demo") return runDemo();
   if (command == "census") return runCensus(options);
   if (command == "audit") return runAudit(options);
+  if (command == "stats") return runStats(options);
   if (command == "record") return runRecord(options);
   if (command == "replay") return runReplay(options);
   return usage();
