@@ -1,6 +1,8 @@
 #include "browser/browser.h"
 
+#include <algorithm>
 #include <cmath>
+#include <cstdlib>
 #include <set>
 
 #include "html/parser.h"
@@ -27,11 +29,45 @@ Browser::Browser(net::Network& network, util::SimClock& clock,
       policy_(policy),
       rng_(seed, /*sequence=*/0x62726f77UL) {}
 
+namespace {
+
+// A body shorter than its declared Content-Length — the signature a
+// mid-transfer truncation leaves behind (our handlers never set the header
+// themselves; only the fault layer does, preserving the original size).
+bool bodyTruncated(const net::HttpResponse& response) {
+  const auto contentLength = response.headers.get("Content-Length");
+  if (!contentLength.has_value()) return false;
+  char* end = nullptr;
+  const unsigned long long declared =
+      std::strtoull(contentLength->c_str(), &end, 10);
+  if (end == contentLength->c_str()) return false;
+  return declared > response.body.size();
+}
+
+// Why a hidden-fetch attempt cannot be used, or empty if it can.
+std::string hiddenFailureReason(const net::Exchange& exchange) {
+  if (exchange.response.status == 0) {
+    // Transport failure: the injected fault names itself via statusText.
+    return exchange.response.statusText.empty()
+               ? std::string("transport-error")
+               : exchange.response.statusText;
+  }
+  if (exchange.response.status >= 500) {
+    return "http-" + std::to_string(exchange.response.status);
+  }
+  if (bodyTruncated(exchange.response)) return "truncated-body";
+  return {};
+}
+
+}  // namespace
+
 net::HttpRequest Browser::buildRequest(const net::Url& url,
-                                       const net::Url& documentUrl) {
+                                       const net::Url& documentUrl,
+                                       net::RequestKind kind) {
   net::HttpRequest request;
   request.method = "GET";
   request.url = url;
+  request.kind = kind;
   request.headers.set("User-Agent", "CookiePickerSim/1.0 (Firefox/1.5 model)");
   request.headers.set("Accept", "text/html,*/*");
 
@@ -163,7 +199,8 @@ PageView Browser::visit(const net::Url& url) {
   double batchMs = 0.0;
   int inBatch = 0;
   for (const net::Url& resource : view.subresources) {
-    net::HttpRequest subRequest = buildRequest(resource, view.url);
+    net::HttpRequest subRequest =
+        buildRequest(resource, view.url, net::RequestKind::Subresource);
     const net::Exchange subExchange = network_.dispatch(subRequest);
     ++objectRequests_;
     obs::count(obs::Counter::SubresourceFetches);
@@ -228,8 +265,48 @@ HiddenFetchResult Browser::hiddenFetch(
     request.headers.set("Cookie", cookieHeader);
   }
 
-  const net::Exchange exchange = network_.dispatch(request);
-  result.latencyMs = exchange.latencyMs;
+  // Dispatch with bounded retry. Failed attempts advance the clock by
+  // their own round trip plus an exponential jittered backoff; the final
+  // attempt's latency is applied after parsing, exactly where the
+  // pre-retry code advanced it, so a clean fetch replays byte-identically.
+  request.kind = net::RequestKind::Hidden;
+  net::Exchange exchange;
+  std::string failureReason;
+  for (int attempt = 0;; ++attempt) {
+    request.attempt = attempt;
+    exchange = network_.dispatch(request);
+    result.latencyMs += exchange.latencyMs;
+    ++result.attempts;
+    failureReason = hiddenFailureReason(exchange);
+    if (failureReason.empty()) break;
+    if (attempt + 1 >= hiddenRetryPolicy_.maxAttempts) {
+      result.degraded = true;
+      obs::count(obs::Counter::HiddenFetchExhausted);
+      break;
+    }
+    if (hiddenRetriesUsed_ >= hiddenRetryPolicy_.sessionRetryBudget) {
+      result.degraded = true;
+      obs::count(obs::Counter::HiddenRetryBudgetExhausted);
+      obs::count(obs::Counter::HiddenFetchExhausted);
+      break;
+    }
+    clock_.advanceMs(static_cast<util::SimTimeMs>(exchange.latencyMs));
+    double backoff =
+        std::min(hiddenRetryPolicy_.initialBackoffMs *
+                     std::pow(hiddenRetryPolicy_.backoffMultiplier,
+                              static_cast<double>(attempt)),
+                 hiddenRetryPolicy_.maxBackoffMs);
+    // Jitter is drawn from the session RNG only when a retry actually
+    // happens, so fault-free runs consume no extra draws.
+    backoff += backoff * hiddenRetryPolicy_.jitterFraction *
+               (2.0 * rng_.uniform01() - 1.0);
+    clock_.advanceMs(static_cast<util::SimTimeMs>(backoff));
+    result.latencyMs += backoff;
+    ++hiddenRetriesUsed_;
+    obs::count(obs::Counter::HiddenFetchRetries);
+  }
+  result.degradedReason = failureReason;
+  result.truncated = bodyTruncated(exchange.response);
   result.status = exchange.response.status;
   result.html = exchange.response.body;
   // Parsed with the same shared HTML parser as the regular copy, per

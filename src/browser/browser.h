@@ -37,17 +37,47 @@ class ThinkTimeModel {
   double floorMs_;
 };
 
+// How hiddenFetch responds to transport failures (connection drops,
+// timeouts, 5xx, truncated bodies). Backoff is exponential over the
+// *virtual* clock with deterministic jitter drawn from the session RNG, so
+// a faulty run replays byte-identically; a fault-free run draws nothing
+// extra and behaves exactly as if no retry layer existed.
+struct RetryPolicy {
+  int maxAttempts = 3;              // total tries, first attempt included
+  double initialBackoffMs = 400.0;  // wait before the first retry
+  double backoffMultiplier = 2.0;
+  double maxBackoffMs = 6400.0;
+  double jitterFraction = 0.25;     // backoff * (1 ± jitterFraction)
+  // Retries a session may spend across its lifetime. Once exhausted,
+  // hidden fetches degrade after their first failed attempt instead of
+  // hammering a host that is clearly down.
+  std::uint64_t sessionRetryBudget = 256;
+};
+
 struct HiddenFetchResult {
   std::unique_ptr<dom::Node> document;
   // Flattened detection view of `document`, built at parse time like
   // PageView::snapshot; null when the fetch failed to produce a document.
   std::shared_ptr<const dom::TreeSnapshot> snapshot;
   std::string html;
+  // Total virtual time spent: every attempt's round trip plus backoffs.
   double latencyMs = 0.0;
   int status = 0;
   // Names of the persistent cookies that were stripped from the request —
   // the "group of cookies whose usefulness will be tested" (Section 3.2).
   std::vector<cookies::CookieKey> strippedCookies;
+  // Dispatches issued for this fetch (1 = clean first try).
+  int attempts = 0;
+  // The final response body arrived shorter than its Content-Length.
+  bool truncated = false;
+  // Every allowed attempt failed; `document` holds whatever the last
+  // attempt returned (an error page, a truncated body, or nothing) and
+  // must not be compared against the regular copy.
+  bool degraded = false;
+  std::string degradedReason;  // e.g. "connection-drop", "http-503"
+
+  // True when the result is safe to feed into a FORCUM comparison.
+  bool usable() const { return status == 200 && !degraded; }
 };
 
 class Browser {
@@ -86,6 +116,13 @@ class Browser {
   // Simulates the user pausing between page views; advances the clock.
   double think();
 
+  void setHiddenRetryPolicy(RetryPolicy policy) {
+    hiddenRetryPolicy_ = policy;
+  }
+  const RetryPolicy& hiddenRetryPolicy() const { return hiddenRetryPolicy_; }
+  // Retries spent so far against hiddenRetryPolicy().sessionRetryBudget.
+  std::uint64_t hiddenRetriesUsed() const { return hiddenRetriesUsed_; }
+
   cookies::CookieJar& jar() { return jar_; }
   const cookies::CookieJar& jar() const { return jar_; }
   util::SimClock& clock() { return clock_; }
@@ -102,8 +139,9 @@ class Browser {
   static constexpr int kParallelConnections = 4;
 
  private:
-  net::HttpRequest buildRequest(const net::Url& url,
-                                const net::Url& documentUrl);
+  net::HttpRequest buildRequest(
+      const net::Url& url, const net::Url& documentUrl,
+      net::RequestKind kind = net::RequestKind::Container);
   void storeResponseCookies(const net::HttpResponse& response,
                             const net::Url& requestUrl,
                             const net::Url& documentUrl);
@@ -118,6 +156,8 @@ class Browser {
   ThinkTimeModel thinkTime_;
   std::function<bool(const cookies::CookieRecord&)> persistentSendFilter_;
   std::uint64_t objectRequests_ = 0;
+  RetryPolicy hiddenRetryPolicy_;
+  std::uint64_t hiddenRetriesUsed_ = 0;
 };
 
 }  // namespace cookiepicker::browser

@@ -86,6 +86,12 @@ std::string renderCookieKey(const CookieKey& key) {
   return out;
 }
 
+// Human-readable cause of a failed hidden fetch for skip reasons.
+std::string failureLabel(const browser::HiddenFetchResult& result) {
+  if (!result.degradedReason.empty()) return result.degradedReason;
+  return "http-" + std::to_string(result.status);
+}
+
 }  // namespace
 
 const char* decisionModeName(DecisionMode mode) {
@@ -159,7 +165,9 @@ ForcumStepReport ForcumEngine::onPageView(const browser::PageView& view) {
 
   if (sawNewCookie || !report.newlyMarked.empty()) {
     state.consecutiveQuietViews = 0;
-  } else {
+  } else if (!report.skipped) {
+    // Skipped (degraded) steps are quiet-neutral: a flaky host must not
+    // ride its own outages into the "stable" state.
     ++state.consecutiveQuietViews;
   }
   if (state.consecutiveQuietViews >= config_.stableViewThreshold) {
@@ -302,8 +310,11 @@ ForcumStepReport ForcumEngine::runStep(const browser::PageView& view,
 
   // Only real container documents are trained on: an error page (5xx/4xx
   // from a transient failure) compared against a healthy hidden copy would
-  // mark every cookie in sight.
+  // mark every cookie in sight. Degrade to a counter-neutral skip.
   if (view.status != 200 || view.document == nullptr) {
+    report.skipped = true;
+    report.skipReason = "container-error";
+    obs::count(obs::Counter::ForcumStepsSkipped);
     return report;
   }
 
@@ -337,16 +348,44 @@ ForcumStepReport ForcumEngine::runStep(const browser::PageView& view,
       view, [&group](const CookieRecord& record) {
         return group.contains(record.key);
       });
-  ++state.hiddenRequests;
   report.hiddenRequestSent = true;
   report.hiddenLatencyMs = hidden.latencyMs;
+  report.hiddenAttempts = hidden.attempts;
   report.testedGroup.assign(group.begin(), group.end());
 
-  if (hidden.status != 200 || hidden.document == nullptr) {
-    // Server error on the hidden path: no decision this round.
+  if (!hidden.usable() || hidden.document == nullptr) {
+    // The hidden copy never usably arrived (retries exhausted, error
+    // status, truncated body): no decision this round. The state counters
+    // stay untouched — only usable hidden rounds count — and the skip
+    // leaves an audit record explaining itself.
+    report.skipped = true;
+    report.skipReason = "hidden-degraded:" + failureLabel(hidden);
+    obs::count(obs::Counter::ForcumStepsSkipped);
+    if (obs::activeAudit() != nullptr) {
+      pendingAudit_.emplace();
+      obs::AuditRecord& record = *pendingAudit_;
+      record.host = view.url.host();
+      record.url = view.url.toString();
+      record.view = state.totalViews;
+      for (const CookieKey& key : report.testedGroup) {
+        record.testedGroup.push_back(renderCookieKey(key));
+      }
+      record.treeThreshold = config_.decision.treeThreshold;
+      record.textThreshold = config_.decision.textThreshold;
+      record.level = config_.decision.maxLevel;
+      record.mode = decisionModeName(config_.decision.mode);
+      record.branch = "skipped";
+      record.skippedReason = report.skipReason;
+      record.hiddenLatencyMs = report.hiddenLatencyMs;
+      record.hiddenAttempts = report.hiddenAttempts;
+      record.viewsTotal = state.totalViews;
+      record.hiddenRequests = state.hiddenRequests;
+      record.quietBefore = quietBefore;
+    }
     report.durationMs = hidden.latencyMs + hostWatch.elapsedMs();
     return report;
   }
+  ++state.hiddenRequests;
 
   // Fast path: both copies were flattened at parse time, so the decision
   // runs over snapshot arrays with this engine's reusable scratch. The
@@ -359,6 +398,9 @@ ForcumStepReport ForcumEngine::runStep(const browser::PageView& view,
                                         scratch_, config_.decision)
                : decideCookieUsefulness(*view.document, *hidden.document,
                                         config_.decision);
+  // The raw Figure-5 verdict, before any veto overwrites it — the audit
+  // trail records this (its rederivation invariant depends on it).
+  const bool rawVerdict = report.decision.causedByCookies;
   if (report.decision.causedByCookies && config_.consistencyReprobe) {
     // Second hidden copy, identical stripped group. If the two hidden
     // copies differ from *each other*, the regular-vs-hidden difference
@@ -367,9 +409,19 @@ ForcumStepReport ForcumEngine::runStep(const browser::PageView& view,
         view, [&group](const CookieRecord& record) {
           return group.contains(record.key);
         });
-    ++state.hiddenRequests;
     report.hiddenLatencyMs += reprobe.latencyMs;
-    if (reprobe.status == 200 && reprobe.document != nullptr) {
+    report.hiddenAttempts += reprobe.attempts;
+    if (!reprobe.usable() || reprobe.document == nullptr) {
+      // The confirming copy never arrived. Marking on an unconfirmed
+      // verdict would defeat the re-probe's purpose, so the marking is
+      // vetoed and the step degrades (the audit record keeps the real
+      // branch and raw verdict, plus the skip reason).
+      report.skipped = true;
+      report.skipReason = "reprobe-degraded:" + failureLabel(reprobe);
+      report.decision.causedByCookies = false;
+      obs::count(obs::Counter::ForcumStepsSkipped);
+    } else {
+      ++state.hiddenRequests;
       // The agreement check is deliberately *stricter* than detection:
       // either metric disagreeing is suspicious, and the s term is
       // disabled — a cloaker that reuses one defacement skeleton with
@@ -426,8 +478,8 @@ ForcumStepReport ForcumEngine::runStep(const browser::PageView& view,
   if (obs::activeAudit() != nullptr) {
     // One audit record per Figure-5 decision. causedByCookies is the *raw*
     // verdict (re-derivable from the recorded similarities via
-    // figure5Verdict); a re-probe veto is recorded separately, so the
-    // effective outcome is causedByCookies && !reprobeVetoed.
+    // figure5Verdict); vetoes are recorded separately, so the effective
+    // outcome is causedByCookies && !reprobeVetoed && skippedReason empty.
     pendingAudit_.emplace();
     obs::AuditRecord& record = *pendingAudit_;
     record.host = view.url.host();
@@ -447,8 +499,8 @@ ForcumStepReport ForcumEngine::runStep(const browser::PageView& view,
     const bool textDiffers =
         report.decision.textSim <= config_.decision.textThreshold;
     record.branch = obs::figure5Branch(treeDiffers, textDiffers);
-    record.causedByCookies =
-        report.decision.causedByCookies || report.inconsistentHiddenCopies;
+    record.skippedReason = report.skipReason;
+    record.causedByCookies = rawVerdict;
     record.reprobeRan = report.reprobeRan;
     record.reprobeVetoed = report.inconsistentHiddenCopies;
     if (report.reprobeRan) {
@@ -456,6 +508,7 @@ ForcumStepReport ForcumEngine::runStep(const browser::PageView& view,
       record.reprobeTextSim = report.reprobeAgreement.textSim;
     }
     record.hiddenLatencyMs = report.hiddenLatencyMs;
+    record.hiddenAttempts = report.hiddenAttempts;
     record.viewsTotal = state.totalViews;
     record.hiddenRequests = state.hiddenRequests;
     record.quietBefore = quietBefore;

@@ -75,6 +75,15 @@ struct ForcumStepReport {
   // difference detection, i.e. everything from issuing the hidden request
   // to the usefulness decision.
   double durationMs = 0.0;
+  // Graceful degradation: the step could not produce a trustworthy
+  // regular/hidden pair (error container page, hidden fetch exhausted its
+  // retries, or the consistency re-probe did). A skipped step marks
+  // nothing, advances no FORCUM counters, and leaves the quiet streak
+  // untouched — faults must not train a host toward "stable".
+  bool skipped = false;
+  std::string skipReason;  // "container-error", "hidden-degraded:...", ...
+  // Hidden-fetch network attempts this step spent, retries included.
+  int hiddenAttempts = 0;
 };
 
 class ForcumEngine {

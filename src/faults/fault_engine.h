@@ -1,0 +1,50 @@
+// Per-host fault-plan evaluation.
+//
+// The Network owns one HostFaultState per registered host, mutated only
+// under that host's dispatch lock — so schedule cursors and probability
+// draws advance exactly once per request to the host, in the host's own
+// request order, never perturbed by how other hosts' traffic interleaves.
+// That is what keeps a faulty fleet run byte-identical across worker
+// counts.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "faults/fault_plan.h"
+#include "util/rng.h"
+
+namespace cookiepicker::faults {
+
+class HostFaultState {
+ public:
+  // Evaluates `plan` for one request to `host` and returns the first rule
+  // that fires, or nullptr. Advances the host's logical index counters
+  // (only on first attempts — retries share the original's index) and the
+  // per-rule flap cursors. `generation` identifies the installed plan; a
+  // new generation resets all cursors, so swapping plans mid-run restarts
+  // the schedule deterministically.
+  const FaultRule* evaluate(const FaultPlan& plan, std::uint64_t generation,
+                            std::string_view host, Scope kind,
+                            bool firstAttempt, util::Pcg32& rng);
+
+ private:
+  std::uint64_t generation_ = ~0ull;
+  // Logical (first-attempt) request counts, per scope; slot 0 (Any) counts
+  // every kind.
+  std::array<std::uint64_t, kScopeCount> logicalIndex_{};
+  // Physical matched-request counts, one per plan rule.
+  std::vector<std::uint64_t> flapCursor_;
+};
+
+// Deterministically garbles a header value using draws from `rng` — the
+// "corrupted Set-Cookie" fault. A handful of bytes are overwritten with
+// arbitrary printable characters, so the result may fail to parse or parse
+// into a different cookie; either way the consumer sees hostile header
+// bytes that are a pure function of the host's RNG stream.
+std::string corruptHeaderValue(std::string_view value, util::Pcg32& rng);
+
+}  // namespace cookiepicker::faults

@@ -1,0 +1,206 @@
+#include "faults/fault_plan.h"
+
+#include <charconv>
+
+#include "util/strings.h"
+
+namespace cookiepicker::faults {
+
+namespace {
+
+// Shortest round-trip rendering, same contract as the audit trail's doubles:
+// parse(serialize(x)) == x exactly, bytes a pure function of the value.
+void appendDouble(std::string& out, double value) {
+  char buffer[64];
+  const auto [ptr, ec] = std::to_chars(buffer, buffer + sizeof(buffer), value);
+  out.append(buffer, ptr);
+  (void)ec;
+}
+
+bool parseUint64(std::string_view text, std::uint64_t& value) {
+  const auto [ptr, ec] =
+      std::from_chars(text.data(), text.data() + text.size(), value);
+  return ec == std::errc() && ptr == text.data() + text.size();
+}
+
+bool parseUint32(std::string_view text, std::uint32_t& value) {
+  const auto [ptr, ec] =
+      std::from_chars(text.data(), text.data() + text.size(), value);
+  return ec == std::errc() && ptr == text.data() + text.size();
+}
+
+bool parseDoubleField(std::string_view text, double& value) {
+  const auto [ptr, ec] =
+      std::from_chars(text.data(), text.data() + text.size(), value);
+  return ec == std::errc() && ptr == text.data() + text.size();
+}
+
+}  // namespace
+
+const char* scopeName(Scope scope) {
+  switch (scope) {
+    case Scope::Any: return "any";
+    case Scope::Container: return "container";
+    case Scope::Subresource: return "subresource";
+    case Scope::Hidden: return "hidden";
+  }
+  return "any";
+}
+
+const char* actionName(Action action) {
+  switch (action) {
+    case Action::ServerError: return "server-error";
+    case Action::ConnectionDrop: return "connection-drop";
+    case Action::Timeout: return "timeout";
+    case Action::TruncateBody: return "truncate-body";
+    case Action::CorruptSetCookie: return "corrupt-set-cookie";
+    case Action::SlowDrip: return "slow-drip";
+  }
+  return "server-error";
+}
+
+std::optional<Scope> parseScope(std::string_view text) {
+  if (text == "any") return Scope::Any;
+  if (text == "container") return Scope::Container;
+  if (text == "subresource") return Scope::Subresource;
+  if (text == "hidden") return Scope::Hidden;
+  return std::nullopt;
+}
+
+std::optional<Action> parseAction(std::string_view text) {
+  if (text == "server-error") return Action::ServerError;
+  if (text == "connection-drop") return Action::ConnectionDrop;
+  if (text == "timeout") return Action::Timeout;
+  if (text == "truncate-body") return Action::TruncateBody;
+  if (text == "corrupt-set-cookie") return Action::CorruptSetCookie;
+  if (text == "slow-drip") return Action::SlowDrip;
+  return std::nullopt;
+}
+
+std::string FaultPlan::serialize() const {
+  std::string out = "# cookiepicker fault plan v1\n";
+  for (const FaultRule& rule : rules) {
+    out += "rule host=";
+    out += rule.host;
+    out += " scope=";
+    out += scopeName(rule.scope);
+    out += " action=";
+    out += actionName(rule.action);
+    out += " status=";
+    out += std::to_string(rule.status);
+    out += " truncate-at=";
+    out += std::to_string(rule.truncateAtBytes);
+    out += " extra-ms=";
+    appendDouble(out, rule.extraLatencyMs);
+    out += " first=";
+    out += std::to_string(rule.firstIndex);
+    out += " last=";
+    out += rule.lastIndex == kAllRequests ? "max"
+                                          : std::to_string(rule.lastIndex);
+    out += " fail=";
+    out += std::to_string(rule.failCount);
+    out += " recover=";
+    out += std::to_string(rule.recoverCount);
+    out += " p=";
+    appendDouble(out, rule.probability);
+    out += '\n';
+  }
+  return out;
+}
+
+std::optional<FaultPlan> FaultPlan::parse(std::string_view text) {
+  FaultPlan plan;
+  for (const std::string& rawLine : util::split(text, '\n')) {
+    const std::string_view line = util::trim(rawLine);
+    if (line.empty() || line[0] == '#') continue;
+    const std::vector<std::string> tokens = util::splitWhitespace(line);
+    if (tokens.empty()) continue;
+    if (tokens[0] != "rule") return std::nullopt;
+
+    FaultRule rule;
+    bool sawAction = false;
+    // Each key at most once; anything unrecognized is corruption, not noise
+    // — a typo'd plan must fail loudly, not silently inject nothing.
+    std::vector<std::string_view> seen;
+    for (std::size_t i = 1; i < tokens.size(); ++i) {
+      const std::string& token = tokens[i];
+      const std::size_t eq = token.find('=');
+      if (eq == std::string::npos || eq == 0) return std::nullopt;
+      const std::string_view key = std::string_view(token).substr(0, eq);
+      const std::string_view value = std::string_view(token).substr(eq + 1);
+      if (value.empty()) return std::nullopt;
+      for (const std::string_view previous : seen) {
+        if (previous == key) return std::nullopt;
+      }
+      seen.push_back(key);
+
+      if (key == "host") {
+        rule.host = util::toLowerAscii(value);
+      } else if (key == "scope") {
+        const auto scope = parseScope(value);
+        if (!scope.has_value()) return std::nullopt;
+        rule.scope = *scope;
+      } else if (key == "action") {
+        const auto action = parseAction(value);
+        if (!action.has_value()) return std::nullopt;
+        rule.action = *action;
+        sawAction = true;
+      } else if (key == "status") {
+        std::uint32_t status = 0;
+        if (!parseUint32(value, status) || status < 100 || status > 599) {
+          return std::nullopt;
+        }
+        rule.status = static_cast<int>(status);
+      } else if (key == "truncate-at") {
+        if (!parseUint64(value, rule.truncateAtBytes)) return std::nullopt;
+      } else if (key == "extra-ms") {
+        if (!parseDoubleField(value, rule.extraLatencyMs) ||
+            rule.extraLatencyMs < 0.0) {
+          return std::nullopt;
+        }
+      } else if (key == "first") {
+        if (!parseUint64(value, rule.firstIndex)) return std::nullopt;
+      } else if (key == "last") {
+        if (value == "max") {
+          rule.lastIndex = kAllRequests;
+        } else if (!parseUint64(value, rule.lastIndex)) {
+          return std::nullopt;
+        }
+      } else if (key == "fail") {
+        if (!parseUint32(value, rule.failCount)) return std::nullopt;
+      } else if (key == "recover") {
+        if (!parseUint32(value, rule.recoverCount)) return std::nullopt;
+      } else if (key == "p") {
+        if (!parseDoubleField(value, rule.probability) ||
+            rule.probability < 0.0 || rule.probability > 1.0) {
+          return std::nullopt;
+        }
+      } else {
+        return std::nullopt;
+      }
+    }
+    if (!sawAction || rule.host.empty() ||
+        rule.firstIndex > rule.lastIndex) {
+      return std::nullopt;
+    }
+    plan.rules.push_back(std::move(rule));
+  }
+  return plan;
+}
+
+std::shared_ptr<const FaultPlan> FaultPlan::uniformFailure(
+    double probability) {
+  auto plan = std::make_shared<FaultPlan>();
+  FaultRule rule;
+  rule.host = "*";
+  rule.scope = Scope::Any;
+  rule.action = Action::ServerError;
+  rule.status = 503;
+  rule.probability = probability < 0.0 ? 0.0
+                     : probability > 1.0 ? 1.0
+                                         : probability;
+  plan->rules.push_back(std::move(rule));
+  return plan;
+}
+
+}  // namespace cookiepicker::faults

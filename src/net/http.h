@@ -36,11 +36,25 @@ class HeaderMap {
   std::vector<Entry> entries_;
 };
 
+// What role a request plays in the page-load pipeline. Not wire data — the
+// browser tags requests so the network's fault-injection schedules can be
+// scoped per request kind (a plan that drops hidden refetches must not
+// touch the container the user is looking at).
+enum class RequestKind : std::uint8_t {
+  Container,    // container page (and redirect follows)
+  Subresource,  // embedded object fetch
+  Hidden,       // FORCUM hidden refetch / consistency re-probe
+};
+
 struct HttpRequest {
   std::string method = "GET";
   Url url;
   HeaderMap headers;
   std::string body;
+  RequestKind kind = RequestKind::Container;
+  // Retry ordinal: 0 = first try. Retries share the first attempt's logical
+  // fault-schedule index (see faults::HostFaultState).
+  int attempt = 0;
 
   // The Cookie request header, or empty if absent. Convenience used
   // throughout the server code.

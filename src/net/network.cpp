@@ -71,6 +71,64 @@ bool Network::knowsHost(const std::string& host) const {
   return hosts_.contains(util::toLowerAscii(host));
 }
 
+void Network::setFaultPlan(std::shared_ptr<const faults::FaultPlan> plan) {
+  std::lock_guard lock(faultPlanMutex_);
+  faultPlan_ = std::move(plan);
+  ++faultPlanGeneration_;
+}
+
+std::shared_ptr<const faults::FaultPlan> Network::faultPlan() const {
+  std::lock_guard lock(faultPlanMutex_);
+  return faultPlan_;
+}
+
+void Network::setFailureProbability(double probability) {
+  setFaultPlan(probability > 0.0 ? faults::FaultPlan::uniformFailure(probability)
+                                 : nullptr);
+}
+
+namespace {
+
+faults::Scope scopeForKind(RequestKind kind) {
+  switch (kind) {
+    case RequestKind::Container: return faults::Scope::Container;
+    case RequestKind::Subresource: return faults::Scope::Subresource;
+    case RequestKind::Hidden: return faults::Scope::Hidden;
+  }
+  return faults::Scope::Container;
+}
+
+obs::Counter counterForAction(faults::Action action) {
+  switch (action) {
+    case faults::Action::ServerError: return obs::Counter::FaultServerErrors;
+    case faults::Action::ConnectionDrop:
+      return obs::Counter::FaultConnectionDrops;
+    case faults::Action::Timeout: return obs::Counter::FaultTimeouts;
+    case faults::Action::TruncateBody:
+      return obs::Counter::FaultTruncatedBodies;
+    case faults::Action::CorruptSetCookie:
+      return obs::Counter::FaultCorruptedSetCookies;
+    case faults::Action::SlowDrip: return obs::Counter::FaultSlowDrips;
+  }
+  return obs::Counter::FaultServerErrors;
+}
+
+// Actions that replace the exchange outright, before the handler runs.
+bool isShortCircuitAction(faults::Action action) {
+  return action == faults::Action::ServerError ||
+         action == faults::Action::ConnectionDrop ||
+         action == faults::Action::Timeout;
+}
+
+}  // namespace
+
+void Network::recordInjectedFault(Exchange& exchange, faults::Action action) {
+  exchange.injectedFault = faults::actionName(action);
+  injectedFailures_.fetch_add(1, std::memory_order_relaxed);
+  obs::count(obs::Counter::NetworkFailuresInjected);
+  obs::count(counterForAction(action));
+}
+
 Exchange Network::dispatch(const HttpRequest& request) {
   Exchange exchange;
   exchange.requestBytes = toWireFormat(request).size();
@@ -93,25 +151,97 @@ Exchange Network::dispatch(const HttpRequest& request) {
     exchange.latencyMs =
         LatencyProfile::fast().sampleMs(rng, exchange.response.body.size());
   } else {
+    std::shared_ptr<const faults::FaultPlan> plan;
+    std::uint64_t planGeneration = 0;
+    {
+      std::lock_guard planLock(faultPlanMutex_);
+      plan = faultPlan_;
+      planGeneration = faultPlanGeneration_;
+    }
     std::lock_guard lock(entry->mutex);
-    const double failureProbability =
-        failureProbability_.load(std::memory_order_relaxed);
-    if (failureProbability > 0.0 && entry->rng.chance(failureProbability)) {
-      injectedFailures_.fetch_add(1, std::memory_order_relaxed);
-      obs::count(obs::Counter::NetworkFailuresInjected);
-      exchange.response.status = 503;
-      exchange.response.statusText = "Service Unavailable";
-      exchange.response.headers.set("Content-Type", "text/html");
-      exchange.response.body =
-          "<html><body><h1>503 Service Unavailable</h1></body></html>";
-      exchange.latencyMs =
-          entry->profile.sampleMs(entry->rng, exchange.response.body.size());
+    const faults::FaultRule* fault = nullptr;
+    if (plan != nullptr && !plan->empty()) {
+      fault = entry->faultState.evaluate(
+          *plan, planGeneration, request.url.host(),
+          scopeForKind(request.kind), request.attempt == 0, entry->rng);
+    }
+    if (fault != nullptr && isShortCircuitAction(fault->action)) {
+      recordInjectedFault(exchange, fault->action);
+      switch (fault->action) {
+        case faults::Action::ServerError:
+          exchange.response.status = fault->status;
+          exchange.response.statusText = fault->status == 503
+                                             ? "Service Unavailable"
+                                             : "Server Error";
+          exchange.response.headers.set("Content-Type", "text/html");
+          exchange.response.body = "<html><body><h1>" +
+                                   std::to_string(fault->status) + " " +
+                                   exchange.response.statusText +
+                                   "</h1></body></html>";
+          exchange.latencyMs = entry->profile.sampleMs(
+              entry->rng, exchange.response.body.size());
+          break;
+        case faults::Action::ConnectionDrop:
+          exchange.response.status = 0;
+          exchange.response.statusText = "connection dropped";
+          exchange.response.body.clear();
+          exchange.latencyMs = entry->profile.sampleMs(entry->rng, 0);
+          break;
+        case faults::Action::Timeout:
+          // The caller waits out the full virtual deadline before giving
+          // up — a timeout costs clock time, unlike a drop.
+          exchange.response.status = 0;
+          exchange.response.statusText = "timeout";
+          exchange.response.body.clear();
+          exchange.latencyMs =
+              entry->profile.sampleMs(entry->rng, 0) + fault->extraLatencyMs;
+          break;
+        default:
+          break;
+      }
     } else {
       exchange.response = entry->handler->handle(request);
+      double extraLatencyMs = 0.0;
+      if (fault != nullptr) {
+        switch (fault->action) {
+          case faults::Action::TruncateBody:
+            // Only an actual cut counts as injected; Content-Length keeps
+            // the original size (our handlers never set it) so consumers
+            // can detect the truncation the way a real client would.
+            if (exchange.response.body.size() > fault->truncateAtBytes) {
+              exchange.response.headers.set(
+                  "Content-Length",
+                  std::to_string(exchange.response.body.size()));
+              exchange.response.body.resize(fault->truncateAtBytes);
+              recordInjectedFault(exchange, fault->action);
+            }
+            break;
+          case faults::Action::CorruptSetCookie: {
+            const std::vector<std::string> setCookies =
+                exchange.response.headers.getAll("Set-Cookie");
+            if (!setCookies.empty()) {
+              exchange.response.headers.remove("Set-Cookie");
+              for (const std::string& value : setCookies) {
+                exchange.response.headers.add(
+                    "Set-Cookie",
+                    faults::corruptHeaderValue(value, entry->rng));
+              }
+              recordInjectedFault(exchange, fault->action);
+            }
+            break;
+          }
+          case faults::Action::SlowDrip:
+            extraLatencyMs = fault->extraLatencyMs;
+            recordInjectedFault(exchange, fault->action);
+            break;
+          default:
+            break;
+        }
+      }
       exchange.responseBytes = toWireFormat(exchange.response).size();
       exchange.latencyMs =
           entry->profile.sampleMs(entry->rng, exchange.responseBytes) +
-          exchange.response.serverProcessingMs;
+          exchange.response.serverProcessingMs + extraLatencyMs;
     }
   }
   exchange.responseBytes = toWireFormat(exchange.response).size();

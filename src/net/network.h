@@ -26,6 +26,8 @@
 #include <shared_mutex>
 #include <string>
 
+#include "faults/fault_engine.h"
+#include "faults/fault_plan.h"
 #include "net/http.h"
 #include "util/rng.h"
 
@@ -62,6 +64,10 @@ struct Exchange {
   double latencyMs = 0.0;
   std::size_t requestBytes = 0;
   std::size_t responseBytes = 0;
+  // Name of the fault action the plan injected into this exchange (the
+  // faults::actionName string), or nullptr for a clean exchange. Transport
+  // failures (connection-drop, timeout) additionally report status 0.
+  const char* injectedFault = nullptr;
 };
 
 class Network {
@@ -80,12 +86,19 @@ class Network {
   // requests to the same host serialize on that host's lock.
   Exchange dispatch(const HttpRequest& request);
 
-  // Failure injection: with this probability, a request to a *known* host
-  // returns 503 instead of reaching its handler (transient overload /
-  // dropped connection). Exercises every caller's non-200 path.
-  void setFailureProbability(double probability) {
-    failureProbability_.store(probability, std::memory_order_relaxed);
-  }
+  // Fault injection: installs a schedule of faults evaluated per request to
+  // *known* hosts (unknown hosts already fail with their synthetic 404).
+  // Every probabilistic gate draws from the host's forked RNG stream, so a
+  // faulty run is as reproducible as a clean one. nullptr (or an empty
+  // plan) disables injection. Installing a plan resets the per-host
+  // schedule cursors; safe to call between or during runs.
+  void setFaultPlan(std::shared_ptr<const faults::FaultPlan> plan);
+  std::shared_ptr<const faults::FaultPlan> faultPlan() const;
+
+  // Legacy knob, kept as sugar: compiles to a one-rule plan that 503s any
+  // request with the given probability (<= 0 clears the plan).
+  void setFailureProbability(double probability);
+
   std::uint64_t injectedFailures() const {
     return injectedFailures_.load(std::memory_order_relaxed);
   }
@@ -147,12 +160,19 @@ class Network {
   }
 
  private:
+  // Annotates an exchange with the injected action and bumps the lifetime
+  // failure counter plus the per-action obs counters.
+  void recordInjectedFault(Exchange& exchange, faults::Action action);
+
   struct HostEntry {
     std::shared_ptr<HttpHandler> handler;
     LatencyProfile profile;
     // Per-host latency stream: forked from the network seed, keyed by host
     // name, advanced only by requests to this host.
     util::Pcg32 rng;
+    // Fault-schedule cursors for this host (logical indices, flap phases);
+    // mutated under the host lock only.
+    faults::HostFaultState faultState;
     // Serializes handler invocation and RNG draws for this host.
     std::mutex mutex;
   };
@@ -162,9 +182,15 @@ class Network {
   std::uint64_t seed_;
   std::atomic<std::uint64_t> totalRequests_{0};
   std::atomic<std::uint64_t> totalBytes_{0};
-  std::atomic<double> failureProbability_{0.0};
   std::atomic<std::uint64_t> injectedFailures_{0};
   std::atomic<double> wallLatencyScale_{0.0};
+  // The installed fault plan and its generation counter. Each install bumps
+  // the generation, which the per-host states notice to reset their
+  // cursors. A plain mutex: the critical section is two pointer-sized
+  // copies, far cheaper than the handler work it precedes.
+  std::shared_ptr<const faults::FaultPlan> faultPlan_;
+  std::uint64_t faultPlanGeneration_ = 0;
+  mutable std::mutex faultPlanMutex_;
 };
 
 }  // namespace cookiepicker::net

@@ -238,12 +238,14 @@ std::string AuditRecord::toJsonLine() const {
   appendIntField(out, "level", level);
   appendStringField(out, "mode", mode);
   appendStringField(out, "branch", branch);
+  appendStringField(out, "skipped_reason", skippedReason);
   appendBoolField(out, "caused_by_cookies", causedByCookies);
   appendBoolField(out, "reprobe_ran", reprobeRan);
   appendBoolField(out, "reprobe_vetoed", reprobeVetoed);
   appendDoubleField(out, "reprobe_tree_sim", reprobeTreeSim);
   appendDoubleField(out, "reprobe_text_sim", reprobeTextSim);
   appendDoubleField(out, "hidden_latency_ms", hiddenLatencyMs);
+  appendIntField(out, "hidden_attempts", hiddenAttempts);
   appendIntField(out, "views_total", viewsTotal);
   appendIntField(out, "hidden_requests", hiddenRequests);
   appendIntField(out, "quiet_before", quietBefore);
@@ -292,6 +294,8 @@ std::optional<AuditRecord> parseAuditRecordLine(std::string_view line) {
       ok = parseString(cursor, record.mode);
     } else if (key == "branch") {
       ok = parseString(cursor, record.branch);
+    } else if (key == "skipped_reason") {
+      ok = parseString(cursor, record.skippedReason);
     } else if (key == "caused_by_cookies") {
       ok = parseBool(cursor, record.causedByCookies);
     } else if (key == "reprobe_ran") {
@@ -304,6 +308,8 @@ std::optional<AuditRecord> parseAuditRecordLine(std::string_view line) {
       ok = parseDouble(cursor, record.reprobeTextSim);
     } else if (key == "hidden_latency_ms") {
       ok = parseDouble(cursor, record.hiddenLatencyMs);
+    } else if (key == "hidden_attempts") {
+      ok = parseInt(cursor, record.hiddenAttempts);
     } else if (key == "views_total") {
       ok = parseInt(cursor, record.viewsTotal);
     } else if (key == "hidden_requests") {

@@ -39,6 +39,10 @@ struct AuditRecord {
   std::int64_t level = 0;            // the RSTM restriction level l
   std::string mode;                  // "both" | "tree-only" | ...
   std::string branch;                // figure5Branch(...) label
+  // Why this step was degraded to a skip ("hidden-degraded:<reason>",
+  // "container-error", "reprobe-degraded:<reason>"), or empty for a normal
+  // decision. Skipped steps never mark cookies.
+  std::string skippedReason;
   bool causedByCookies = false;
 
   bool reprobeRan = false;
@@ -48,6 +52,8 @@ struct AuditRecord {
 
   // Simulated (deterministic) latency of the hidden round trip(s).
   double hiddenLatencyMs = 0.0;
+  // Network dispatches the hidden fetch(es) spent, retries included.
+  std::int64_t hiddenAttempts = 0;
 
   // FORCUM counter transitions for the host.
   std::int64_t viewsTotal = 0;

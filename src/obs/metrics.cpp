@@ -29,6 +29,16 @@ constexpr const char* kCounterNames[kCounterCount] = {
     "verdicts_vetoed",
     "cookies_marked_useful",
     "hosts_enforced",
+    "fault_server_errors",
+    "fault_connection_drops",
+    "fault_timeouts",
+    "fault_truncated_bodies",
+    "fault_corrupted_set_cookies",
+    "fault_slow_drips",
+    "hidden_fetch_retries",
+    "hidden_fetch_exhausted",
+    "hidden_retry_budget_exhausted",
+    "forcum_steps_skipped",
 };
 
 constexpr const char* kGaugeNames[kGaugeCount] = {
@@ -165,8 +175,16 @@ void MetricsSnapshot::merge(const MetricsSnapshot& other) {
 
 std::string MetricsSnapshot::deterministicJson() const {
   std::string out = "{\"counters\":{";
-  for (std::size_t i = 0; i < kCounterCount; ++i) {
+  for (std::size_t i = 0; i < kFirstFaultCounter; ++i) {
     if (i != 0) out += ',';
+    out += '"';
+    out += kCounterNames[i];
+    out += "\":";
+    appendUint(out, counters[i]);
+  }
+  out += "},\"faults\":{";
+  for (std::size_t i = kFirstFaultCounter; i < kCounterCount; ++i) {
+    if (i != kFirstFaultCounter) out += ',';
     out += '"';
     out += kCounterNames[i];
     out += "\":";

@@ -50,8 +50,25 @@ enum class Counter : std::uint8_t {
   VerdictVetoed,           // markings vetoed by the consistency re-probe
   CookiesMarkedUseful,     // cookies newly marked useful
   HostsEnforced,           // hosts put under enforcement
+  // --- fault injection & resilience (reported under "faults" in
+  // deterministicJson; keep kFirstFaultCounter below in sync) ---
+  FaultServerErrors,           // injected synthetic 5xx responses
+  FaultConnectionDrops,        // injected connection drops (status 0)
+  FaultTimeouts,               // injected timeouts (status 0 + deadline)
+  FaultTruncatedBodies,        // bodies actually cut short mid-transfer
+  FaultCorruptedSetCookies,    // Set-Cookie headers actually mangled
+  FaultSlowDrips,              // responses delayed by slow-drip latency
+  HiddenFetchRetries,          // hidden-fetch attempts beyond the first
+  HiddenFetchExhausted,        // hidden fetches that failed every attempt
+  HiddenRetryBudgetExhausted,  // retries forgone: session budget empty
+  ForcumStepsSkipped,          // FORCUM steps degraded to a skip verdict
   kCount,
 };
+
+// First counter of the fault/resilience block — deterministicJson splits the
+// counter array here into the "counters" and "faults" sections.
+inline constexpr std::size_t kFirstFaultCounter =
+    static_cast<std::size_t>(Counter::FaultServerErrors);
 
 // Gauges: set-style registers. Merge policy is per gauge (see gaugeMerge).
 enum class Gauge : std::uint8_t {

@@ -12,9 +12,11 @@
 
 #include "browser/browser.h"
 #include "core/cookie_picker.h"
+#include "faults/fault_plan.h"
 #include "fleet/fleet.h"
 #include "net/network.h"
 #include "server/generator.h"
+#include "test_support.h"
 #include "util/clock.h"
 
 namespace cookiepicker {
@@ -23,18 +25,11 @@ namespace {
 fleet::FleetReport runFleet(const std::vector<server::SiteSpec>& roster,
                             int workers, int views,
                             std::uint64_t seed = 1234) {
-  // Fresh network + registration per run: runs must not share latency-RNG
-  // or server-side state, or the comparison would be meaningless.
-  util::SimClock serverClock;
-  net::Network network(seed);
-  server::registerRoster(network, serverClock, roster);
-  fleet::FleetConfig config;
-  config.workers = workers;
-  config.viewsPerHost = views;
-  config.seed = seed;
-  config.picker.autoEnforce = true;
-  fleet::TrainingFleet trainingFleet(network, config);
-  return trainingFleet.run(roster);
+  testsupport::FleetRunOptions options;
+  options.workers = workers;
+  options.viewsPerHost = views;
+  options.seed = seed;
+  return testsupport::runMeasurementFleet(roster, options);
 }
 
 TEST(FleetDeterminism, SerializedStateIdenticalForOneVsEightWorkers) {
@@ -177,7 +172,8 @@ TEST(FleetStress, ConcurrentSessionsShareOneNetwork) {
   util::SimClock serverClock;
   net::Network network(9);
   server::registerRoster(network, serverClock, roster);
-  network.setFailureProbability(0.1);  // exercise the 503 path too
+  // Exercise the 503 path too, via the plan API the legacy knob sugars to.
+  network.setFaultPlan(faults::FaultPlan::uniformFailure(0.1));
 
   std::vector<std::thread> pool;
   for (int t = 0; t < 4; ++t) {
@@ -211,7 +207,7 @@ TEST(FleetStress, NetworkCounterResetDuringRun) {
   util::SimClock serverClock;
   net::Network network(41);
   server::registerRoster(network, serverClock, roster);
-  network.setFailureProbability(0.2);
+  network.setFaultPlan(faults::FaultPlan::uniformFailure(0.2));
 
   std::atomic<bool> done{false};
   std::uint64_t peakFailures = 0;

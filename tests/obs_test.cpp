@@ -23,6 +23,7 @@
 #include "obs/metrics.h"
 #include "obs/recorder.h"
 #include "server/generator.h"
+#include "test_support.h"
 #include "util/clock.h"
 
 // --- allocation accounting ----------------------------------------------------
@@ -205,12 +206,14 @@ obs::AuditRecord sampleRecord() {
   record.level = 5;
   record.mode = "both";
   record.branch = obs::figure5Branch(true, true);
+  record.skippedReason = "hidden-degraded:connection dropped";
   record.causedByCookies = true;
   record.reprobeRan = true;
   record.reprobeVetoed = false;
   record.reprobeTreeSim = 0.99;
   record.reprobeTextSim = 1.0;
   record.hiddenLatencyMs = 2123.003163775879;
+  record.hiddenAttempts = 3;
   record.viewsTotal = 3;
   record.hiddenRequests = 2;
   record.quietBefore = 1;
@@ -241,6 +244,8 @@ TEST(ObsAudit, JsonLineRoundTripsByteForByte) {
   EXPECT_EQ(parsed->testedGroup, record.testedGroup);
   EXPECT_EQ(parsed->treeSim, record.treeSim);  // exact, not approximate
   EXPECT_EQ(parsed->hiddenLatencyMs, record.hiddenLatencyMs);
+  EXPECT_EQ(parsed->hiddenAttempts, record.hiddenAttempts);
+  EXPECT_EQ(parsed->skippedReason, record.skippedReason);
   EXPECT_EQ(parsed->evidenceTextHidden, record.evidenceTextHidden);
   EXPECT_EQ(parsed->marked, record.marked);
 }
@@ -289,17 +294,12 @@ TEST(ObsAudit, Figure5HelpersMatchDecisionTable) {
 
 fleet::FleetReport runObservedFleet(
     const std::vector<server::SiteSpec>& roster, int workers, int views) {
-  util::SimClock serverClock;
-  net::Network network(4242);
-  server::registerRoster(network, serverClock, roster);
-  fleet::FleetConfig config;
-  config.workers = workers;
-  config.viewsPerHost = views;
-  config.seed = 4242;
-  config.picker.autoEnforce = true;
-  config.collectObservability = true;
-  fleet::TrainingFleet trainingFleet(network, config);
-  return trainingFleet.run(roster);
+  testsupport::FleetRunOptions options;
+  options.workers = workers;
+  options.viewsPerHost = views;
+  options.seed = 4242;
+  options.collectObservability = true;
+  return testsupport::runMeasurementFleet(roster, options);
 }
 
 TEST(ObsFleetDeterminism, MetricsAndAuditIdenticalForOneVsEightWorkers) {

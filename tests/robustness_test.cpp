@@ -6,6 +6,7 @@
 #include "core/cookie_picker.h"
 #include "core/cvce.h"
 #include "core/rstm.h"
+#include "faults/fault_plan.h"
 #include "html/parser.h"
 #include "server/generator.h"
 #include "test_support.h"
@@ -21,7 +22,11 @@ using testsupport::SimWorld;
 TEST(FailureInjection, InjectsConfiguredFraction) {
   SimWorld world;
   const auto spec = world.addGenericSite("flaky.example");
-  world.network.setFailureProbability(0.3);
+  // The plan-text form of what setFailureProbability(0.3) compiles to.
+  const auto plan = faults::FaultPlan::parse("rule action=server-error p=0.3");
+  ASSERT_TRUE(plan.has_value());
+  world.network.setFaultPlan(
+      std::make_shared<const faults::FaultPlan>(*plan));
   int failures = 0;
   for (int i = 0; i < 200; ++i) {
     net::HttpRequest request;
@@ -37,6 +42,7 @@ TEST(FailureInjection, InjectsConfiguredFraction) {
 TEST(FailureInjection, BrowserSurvives503Container) {
   SimWorld world;
   const auto spec = world.addGenericSite("flaky.example");
+  // Deliberately the legacy knob: doubles as sugar-compatibility coverage.
   world.network.setFailureProbability(1.0);
   const browser::PageView view = world.browser.visit(world.urlFor(spec));
   EXPECT_EQ(view.status, 503);
@@ -90,16 +96,19 @@ TEST(FailureInjection, ErrorPagesNeverMarkCookies) {
   core::CookiePicker picker(world.browser);
   picker.browse("http://t.example/");  // seed cookies, no failures
 
-  world.network.setFailureProbability(1.0);
+  world.network.setFaultPlan(faults::FaultPlan::uniformFailure(1.0));
   // The regular visit fails too here, but the hidden request path is what
   // we care about: run the FORCUM hook against the last good view.
-  world.network.setFailureProbability(0.0);
+  world.network.setFaultPlan(nullptr);
   const auto goodView = world.browser.visit("http://t.example/");
-  world.network.setFailureProbability(1.0);
+  world.network.setFaultPlan(faults::FaultPlan::uniformFailure(1.0));
   const auto report = picker.onPageLoaded(goodView);
   EXPECT_TRUE(report.hiddenRequestSent);
   EXPECT_TRUE(report.newlyMarked.empty());
   EXPECT_FALSE(report.decision.causedByCookies);
+  // The new resilience layer reports the degradation explicitly.
+  EXPECT_TRUE(report.skipped);
+  EXPECT_EQ(report.skipReason, "hidden-degraded:http-503");
 }
 
 // --- UTF-8 content ---------------------------------------------------------

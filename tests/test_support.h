@@ -3,8 +3,11 @@
 
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "browser/browser.h"
+#include "faults/fault_plan.h"
+#include "fleet/fleet.h"
 #include "net/network.h"
 #include "server/generator.h"
 #include "server/site.h"
@@ -40,5 +43,36 @@ struct SimWorld {
     return "http://" + spec.domain + path;
   }
 };
+
+// One fleet training run over a measurement roster — the recipe the
+// fleet/obs/fault determinism tests all share. Every call builds a fresh
+// server clock + network (runs must not share latency-RNG or server-side
+// state, or comparing two runs would be meaningless), registers the roster
+// before workers spawn, and installs the fault plan (if any) up front.
+struct FleetRunOptions {
+  int workers = 1;
+  int viewsPerHost = 8;
+  std::uint64_t seed = 1234;
+  bool collectObservability = false;
+  bool autoEnforce = true;
+  std::shared_ptr<const faults::FaultPlan> faultPlan;
+};
+
+inline fleet::FleetReport runMeasurementFleet(
+    const std::vector<server::SiteSpec>& roster,
+    const FleetRunOptions& options) {
+  util::SimClock serverClock;
+  net::Network network(options.seed);
+  server::registerRoster(network, serverClock, roster);
+  if (options.faultPlan != nullptr) network.setFaultPlan(options.faultPlan);
+  fleet::FleetConfig config;
+  config.workers = options.workers;
+  config.viewsPerHost = options.viewsPerHost;
+  config.seed = options.seed;
+  config.picker.autoEnforce = options.autoEnforce;
+  config.collectObservability = options.collectObservability;
+  fleet::TrainingFleet trainingFleet(network, config);
+  return trainingFleet.run(roster);
+}
 
 }  // namespace cookiepicker::testsupport

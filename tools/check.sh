@@ -6,31 +6,38 @@
 # contract), the TSan tree again with the flight recorder's process-global
 # metrics registry enabled (COOKIEPICKER_OBS=1, so every obs::count / span
 # in every test records concurrently into one shared registry), under
-# AddressSanitizer+UBSan (-DCOOKIEPICKER_SANITIZE=address), and a Debug
+# AddressSanitizer+UBSan (-DCOOKIEPICKER_SANITIZE=address), a Debug
 # build of the fast-path differential suite (the bit-identical checks must
-# hold without optimizer-dependent FP behaviour). Each configuration gets
-# its own build tree so caches never mix (thread-metrics reuses the thread
-# tree — same binaries, different environment).
+# hold without optimizer-dependent FP behaviour), and the chaos soaks: the
+# ChaosSoak fleet test re-run in the TSan and ASan trees with
+# COOKIEPICKER_CHAOS=1, which scales it up to 64 hosts / 8 workers under
+# an aggressive mixed fault plan. Each configuration gets its own build
+# tree so caches never mix (thread-metrics and the chaos soaks reuse the
+# sanitizer trees — same binaries, different environment).
 #
-#   tools/check.sh                 # all five configurations
+#   tools/check.sh                 # all seven configurations
 #   tools/check.sh thread          # just the TSan pass
 #   tools/check.sh thread-metrics  # TSan with the global recorder enabled
 #   tools/check.sh address         # just the ASan/UBSan pass
 #   tools/check.sh plain           # just the unsanitized pass
 #   tools/check.sh debug           # just the Debug differential pass
+#   tools/check.sh chaos-thread    # scaled-up chaos soak in the TSan tree
+#   tools/check.sh chaos-address   # scaled-up chaos soak in the ASan tree
 set -euo pipefail
 
 ROOT="$(cd "$(dirname "$0")/.." && pwd)"
 JOBS="${JOBS:-$(nproc)}"
 CONFIGS=("${@:-plain}")
 if [[ $# -eq 0 ]]; then
-  CONFIGS=(plain thread thread-metrics address debug)
+  CONFIGS=(plain thread thread-metrics address debug chaos-thread chaos-address)
 fi
 
 for config in "${CONFIGS[@]}"; do
   sanitize=""
   build_type=""
   obs_env=""
+  chaos_env=""
+  test_filter=""
   build_dir="$ROOT/build-check-$config"
   case "$config" in
     plain)   ;;
@@ -45,8 +52,27 @@ for config in "${CONFIGS[@]}"; do
       ;;
     address) sanitize="address" ;;
     debug)   build_type="Debug" ;;
+    chaos-thread)
+      # The chaos soak at full scale (64 hosts, 8 workers, aggressive
+      # fault plan) in the TSan tree: retries, degradations, and fault
+      # bookkeeping must stay race-free while every worker hits them.
+      sanitize="thread"
+      chaos_env="1"
+      test_filter="ChaosSoak"
+      build_dir="$ROOT/build-check-thread"
+      ;;
+    chaos-address)
+      # The same soak under ASan/UBSan: truncated bodies, corrupted
+      # Set-Cookie headers, and short-circuited exchanges must not leak
+      # or read out of bounds anywhere downstream.
+      sanitize="address"
+      chaos_env="1"
+      test_filter="ChaosSoak"
+      build_dir="$ROOT/build-check-address"
+      ;;
     *) echo "unknown configuration: $config" \
-            "(want plain|thread|thread-metrics|address|debug)" >&2
+            "(want plain|thread|thread-metrics|address|debug|" \
+            "chaos-thread|chaos-address)" >&2
        exit 2 ;;
   esac
   echo "=== [$config] configuring $build_dir ==="
@@ -59,6 +85,12 @@ for config in "${CONFIGS[@]}"; do
     echo "=== [$config] running differential suite ==="
     (cd "$build_dir" && ctest --output-on-failure -j "$JOBS" \
         -R 'FastPathDifferential|Interner')
+  elif [[ -n "$test_filter" ]]; then
+    echo "=== [$config] building resilience suite ==="
+    cmake --build "$build_dir" -j "$JOBS" --target resilience_test
+    echo "=== [$config] running chaos soak ==="
+    (cd "$build_dir" && COOKIEPICKER_CHAOS="$chaos_env" \
+        ctest --output-on-failure -j "$JOBS" -R "$test_filter")
   else
     echo "=== [$config] building ==="
     cmake --build "$build_dir" -j "$JOBS"

@@ -25,6 +25,7 @@
 
 #include "browser/browser.h"
 #include "core/cookie_picker.h"
+#include "faults/fault_plan.h"
 #include "fleet/fleet.h"
 #include "measure/census.h"
 #include "net/network.h"
@@ -49,6 +50,7 @@ struct Options {
   std::string outFile;
   std::string metricsOut;  // metrics snapshot JSON destination
   std::string auditOut;    // audit-trail JSONL destination
+  std::string faultPlanFile;  // fault schedule injected into the network
   bool strict = false;     // replay: exit non-zero on drift
 };
 
@@ -75,6 +77,8 @@ Options parseOptions(int argc, char** argv, int firstFlag) {
       options.metricsOut = next();
     } else if (flag == "--audit-out") {
       options.auditOut = next();
+    } else if (flag == "--fault-plan") {
+      options.faultPlanFile = next();
     } else if (flag == "--strict") {
       options.strict = true;
     } else {
@@ -108,6 +112,29 @@ bool writeObsOutputs(const Options& options,
     ok = writeFileOrComplain(options.auditOut, auditJsonl) && ok;
   }
   return ok;
+}
+
+// Loads and parses --fault-plan into `plan`. Returns false (after
+// complaining) on I/O or parse failure; leaves `plan` null when no plan
+// file was requested.
+bool loadFaultPlan(const Options& options,
+                   std::shared_ptr<const faults::FaultPlan>& plan) {
+  if (options.faultPlanFile.empty()) return true;
+  std::ifstream in(options.faultPlanFile, std::ios::binary);
+  if (!in) {
+    std::fprintf(stderr, "cannot read %s\n", options.faultPlanFile.c_str());
+    return false;
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  auto parsed = faults::FaultPlan::parse(buffer.str());
+  if (!parsed.has_value()) {
+    std::fprintf(stderr, "malformed fault plan: %s\n",
+                 options.faultPlanFile.c_str());
+    return false;
+  }
+  plan = std::make_shared<const faults::FaultPlan>(std::move(*parsed));
+  return true;
 }
 
 int runDemo() {
@@ -155,6 +182,9 @@ int runFleetAudit(const Options& options) {
   net::Network network(options.seed);
   const auto roster = server::measurementRoster(options.sites, options.seed);
   server::registerRoster(network, serverClock, roster);
+  std::shared_ptr<const faults::FaultPlan> faultPlan;
+  if (!loadFaultPlan(options, faultPlan)) return 2;
+  if (faultPlan != nullptr) network.setFaultPlan(faultPlan);
 
   fleet::FleetConfig config;
   config.workers = options.workers;
@@ -183,6 +213,10 @@ int runFleetAudit(const Options& options) {
               report.hiddenRequestsPerSecond);
   std::printf("worker utilization   : %.0f%%\n",
               100.0 * report.workerUtilization);
+  if (faultPlan != nullptr) {
+    std::printf("faults injected      : %llu\n",
+                static_cast<unsigned long long>(network.injectedFailures()));
+  }
   if (config.collectObservability &&
       !writeObsOutputs(options, report.mergedMetrics(),
                        report.auditJsonl())) {
@@ -201,6 +235,9 @@ int runAudit(const Options& options) {
   core::CookiePicker picker(browser, config);
   const auto roster = server::measurementRoster(options.sites, options.seed);
   server::registerRoster(network, clock, roster);
+  std::shared_ptr<const faults::FaultPlan> faultPlan;
+  if (!loadFaultPlan(options, faultPlan)) return 2;
+  if (faultPlan != nullptr) network.setFaultPlan(faultPlan);
 
   // Single-session flight recorder: one registry + trail for the whole run,
   // installed for the duration of the browsing loop.
@@ -228,6 +265,10 @@ int runAudit(const Options& options) {
   std::printf("trackers removed     : %d\n", removed);
   std::printf("user interruptions   : %d\n",
               picker.recovery().recoveryCount());
+  if (faultPlan != nullptr) {
+    std::printf("faults injected      : %llu\n",
+                static_cast<unsigned long long>(network.injectedFailures()));
+  }
   if (collectObs) {
     obsScope.reset();
     if (!writeObsOutputs(options, metrics.snapshot(), audit.jsonl())) {
@@ -397,10 +438,12 @@ int usage() {
       "usage: cookiepicker <demo|audit|census|stats|record|replay> [flags]\n"
       "  demo                              one-site walkthrough\n"
       "  audit  [--sites N] [--views V] [--seed S] [--workers W]\n"
-      "         [--metrics-out FILE] [--audit-out FILE]\n"
+      "         [--metrics-out FILE] [--audit-out FILE] [--fault-plan FILE]\n"
       "         (--workers fans per-host sessions out over W threads;\n"
       "          results are identical for any W; the out files dump the\n"
-      "          flight recorder: metrics JSON and per-verdict JSONL)\n"
+      "          flight recorder: metrics JSON and per-verdict JSONL;\n"
+      "          --fault-plan injects a deterministic fault schedule —\n"
+      "          see DESIGN.md section 9 for the plan format)\n"
       "  census [--sites N] [--seed S]\n"
       "  stats  [--sites N] [--views V] [--seed S] [--workers W]\n"
       "         [--metrics-out FILE] [--audit-out FILE]\n"
