@@ -1,12 +1,43 @@
 #include "cookies/jar.h"
 
 #include <algorithm>
-#include <sstream>
 
 #include "obs/recorder.h"
 #include "util/strings.h"
 
 namespace cookiepicker::cookies {
+
+namespace {
+
+// One serialized jar line (no trailing newline). Shared by serialize() and
+// the durability emitters, so a line replayed from the WAL is byte-identical
+// to the same cookie's line in a serialize() blob.
+void appendCookieLine(std::string& out, const CookieKey& key,
+                      const CookieRecord& record) {
+  util::appendParts(
+      out, {key.name, "\t", record.value, "\t", key.domain, "\t", key.path,
+            "\t", record.hostOnly ? "1" : "0", "\t",
+            record.secure ? "1" : "0", "\t", record.httpOnly ? "1" : "0",
+            "\t", record.persistent ? "1" : "0", "\t",
+            std::to_string(record.expiryMs), "\t",
+            std::to_string(record.creationMs), "\t",
+            record.firstParty ? "1" : "0", "\t",
+            record.useful ? "1" : "0"});
+}
+
+// Escaped "name|domain|path" — the WAL's jar record key, matching the
+// FORCUM state format's cookie-key rendering.
+std::string cookieStateKey(const CookieKey& key) {
+  std::string out;
+  util::appendEscapedStateField(out, key.name);
+  out += '|';
+  util::appendEscapedStateField(out, key.domain);
+  out += '|';
+  util::appendEscapedStateField(out, key.path);
+  return out;
+}
+
+}  // namespace
 
 std::string defaultCookiePath(const net::Url& url) {
   const std::string& path = url.path();
@@ -31,6 +62,7 @@ CookieJar::CookieJar(const CookieJar& other) {
   cookies_ = other.cookies_;
   limits_ = other.limits_;
   evictions_ = other.evictions_;
+  // sink_ stays null: a copy is a new session's jar, not the emitter.
 }
 
 CookieJar& CookieJar::operator=(const CookieJar& other) {
@@ -39,7 +71,24 @@ CookieJar& CookieJar::operator=(const CookieJar& other) {
   cookies_ = other.cookies_;
   limits_ = other.limits_;
   evictions_ = other.evictions_;
+  // sink_ deliberately kept: loadState replaces a live jar's contents via
+  // assignment, and the session's durability wiring must survive that.
   return *this;
+}
+
+void CookieJar::emitUpsertLocked(const CookieKey& key,
+                                 const CookieRecord& record,
+                                 store::RecordType type) {
+  if (sink_ == nullptr) return;
+  std::string body = cookieStateKey(key);
+  body.push_back('\t');
+  appendCookieLine(body, key, record);
+  sink_->append(type, body);
+}
+
+void CookieJar::emitRemoveLocked(const CookieKey& key) {
+  if (sink_ == nullptr) return;
+  sink_->append(store::RecordType::JarRemove, cookieStateKey(key));
 }
 
 SetCookieOutcome CookieJar::store(const net::SetCookie& parsed,
@@ -86,6 +135,7 @@ SetCookieOutcome CookieJar::store(const net::SetCookie& parsed,
   if (record.persistent && record.expiryMs <= nowMs) {
     if (existing != cookies_.end()) {
       cookies_.erase(existing);
+      emitRemoveLocked(record.key);
       obs::gaugeSet(obs::Gauge::JarCookies,
                     static_cast<std::int64_t>(cookies_.size()));
       return SetCookieOutcome::Deleted;
@@ -98,9 +148,11 @@ SetCookieOutcome CookieJar::store(const net::SetCookie& parsed,
     record.creationMs = existing->second.creationMs;
     record.useful = existing->second.useful;
     existing->second = record;
+    emitUpsertLocked(record.key, record, store::RecordType::JarUpsert);
     return SetCookieOutcome::Updated;
   }
   cookies_.emplace(record.key, record);
+  emitUpsertLocked(record.key, record, store::RecordType::JarUpsert);
   enforceLimits(record.key.domain);
   obs::gaugeSet(obs::Gauge::JarCookies,
                 static_cast<std::int64_t>(cookies_.size()));
@@ -124,7 +176,9 @@ void CookieJar::enforceLimits(const std::string& domain) {
       }
     }
     if (victim != nullptr) {
-      cookies_.erase(victim->key);
+      const CookieKey evictedKey = victim->key;
+      cookies_.erase(evictedKey);
+      emitRemoveLocked(evictedKey);
       ++evictions_;
       obs::count(obs::Counter::JarEvictions);
     }
@@ -235,6 +289,7 @@ bool CookieJar::markUseful(const CookieKey& key) {
   const auto it = cookies_.find(key);
   if (it == cookies_.end()) return false;
   it->second.useful = true;
+  emitUpsertLocked(key, it->second, store::RecordType::CookieMarked);
   return true;
 }
 
@@ -243,7 +298,9 @@ std::size_t CookieJar::removeIfLocked(
   std::size_t removed = 0;
   for (auto it = cookies_.begin(); it != cookies_.end();) {
     if (predicate(it->second)) {
+      const CookieKey removedKey = it->first;
       it = cookies_.erase(it);
+      emitRemoveLocked(removedKey);
       ++removed;
     } else {
       ++it;
@@ -277,15 +334,12 @@ std::string CookieJar::serialize() const {
   // name value domain path hostOnly secure httpOnly persistent expiry
   // creation firstParty useful
   std::lock_guard lock(mutex_);
-  std::ostringstream out;
+  std::string out;
   for (const auto& [key, record] : cookies_) {
-    out << key.name << '\t' << record.value << '\t' << key.domain << '\t'
-        << key.path << '\t' << record.hostOnly << '\t' << record.secure
-        << '\t' << record.httpOnly << '\t' << record.persistent << '\t'
-        << record.expiryMs << '\t' << record.creationMs << '\t'
-        << record.firstParty << '\t' << record.useful << '\n';
+    appendCookieLine(out, key, record);
+    out.push_back('\n');
   }
-  return out.str();
+  return out;
 }
 
 CookieJar CookieJar::deserialize(const std::string& text) {

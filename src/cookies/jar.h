@@ -26,6 +26,7 @@
 #include "cookies/record.h"
 #include "net/cookie_parse.h"
 #include "net/url.h"
+#include "store/state_sink.h"
 #include "util/clock.h"
 
 namespace cookiepicker::cookies {
@@ -126,6 +127,19 @@ class CookieJar {
   std::string serialize() const;
   static CookieJar deserialize(const std::string& text);
 
+  // --- durability ---
+  // Installs the sink every subsequent jar mutation is described to: each
+  // store/update emits a JarUpsert carrying the cookie's full serialized
+  // line, each mark a CookieMarked, each removal (explicit, expiry, or
+  // capacity eviction) a JarRemove. Null (the default) emits nothing and
+  // costs one pointer test per mutation. The sink is per session and is
+  // deliberately NOT copied with the jar: a fleet merge or a loadState
+  // replacement must not silently re-route another session's durability.
+  void setStateSink(store::StateSink* sink) {
+    std::lock_guard lock(mutex_);
+    sink_ = sink;
+  }
+
  private:
   // Evicts until the per-domain count of `domain` and the total count are
   // within limits. Eviction order: unmarked before useful, then least
@@ -137,11 +151,17 @@ class CookieJar {
                                                     const SendOptions& options);
   std::size_t removeIfLocked(
       const std::function<bool(const CookieRecord&)>& predicate);
+  // Durability emitters; no-ops when no sink is installed. Caller holds
+  // mutex_. `type` is JarUpsert or CookieMarked (both carry key + line).
+  void emitUpsertLocked(const CookieKey& key, const CookieRecord& record,
+                        store::RecordType type);
+  void emitRemoveLocked(const CookieKey& key);
 
   mutable std::mutex mutex_;
   std::map<CookieKey, CookieRecord> cookies_;
   JarLimits limits_;
   std::size_t evictions_ = 0;
+  store::StateSink* sink_ = nullptr;
 };
 
 // Default path when a Set-Cookie has no Path attribute: the request path up

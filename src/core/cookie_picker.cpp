@@ -67,6 +67,9 @@ void CookiePicker::enforceForHost(const std::string& host) {
 void CookiePicker::enforceForHostLocked(const std::string& host) {
   if (enforcedHosts_->insert(host).second) {
     obs::count(obs::Counter::HostsEnforced);
+    if (sink_ != nullptr) {
+      sink_->append(store::RecordType::HostEnforced, host);
+    }
   }
   if (config_.deleteUselessOnEnforce) {
     browser_.jar().removeIf([&host](const cookies::CookieRecord& record) {
@@ -130,23 +133,72 @@ std::string CookiePicker::saveState() const {
   return out;
 }
 
-void CookiePicker::loadState(const std::string& text) {
+bool CookiePicker::loadState(const std::string& text, std::string* error) {
   std::lock_guard lock(mutex_);
+  const auto fail = [error](std::string message) {
+    if (error != nullptr) *error = std::move(message);
+    return false;
+  };
+  // Parse into locals first; the live state is only replaced once the blob
+  // has proven structurally sound — a truncated or spliced state file must
+  // not half-apply.
   enum class Section { None, Jar, Forcum, Enforced };
+  const std::vector<std::string> lines = util::split(text, '\n');
+  // Presence and multiplicity first, so an erased marker reports as
+  // "missing" rather than making its successor look out of order.
+  int jarMarkers = 0;
+  int forcumMarkers = 0;
+  int enforcedMarkers = 0;
+  for (const std::string& line : lines) {
+    if (line == kJarMarker) ++jarMarkers;
+    if (line == kForcumMarker) ++forcumMarkers;
+    if (line == kEnforcedMarker) ++enforcedMarkers;
+  }
+  if (jarMarkers == 0) {
+    return fail("loadState: missing '== jar ==' section marker");
+  }
+  if (forcumMarkers == 0) {
+    return fail("loadState: missing '== forcum ==' section marker");
+  }
+  if (enforcedMarkers == 0) {
+    return fail("loadState: missing '== enforced ==' section marker");
+  }
+  if (jarMarkers > 1) {
+    return fail("loadState: duplicated '== jar ==' section marker");
+  }
+  if (forcumMarkers > 1) {
+    return fail("loadState: duplicated '== forcum ==' section marker");
+  }
+  if (enforcedMarkers > 1) {
+    return fail("loadState: duplicated '== enforced ==' section marker");
+  }
   std::string jarText;
   std::string forcumText;
+  std::set<std::string> enforced;
   Section section = Section::None;
-  enforcedHosts_->clear();
-  for (const std::string& line : util::split(text, '\n')) {
+  for (const std::string& line : lines) {
     if (line == kJarMarker) {
+      if (section != Section::None) {
+        return fail("loadState: '== jar ==' section marker out of order");
+      }
       section = Section::Jar;
       continue;
     }
     if (line == kForcumMarker) {
+      if (section != Section::Jar) {
+        return fail(
+            "loadState: '== forcum ==' section marker out of order "
+            "(expected after '== jar ==')");
+      }
       section = Section::Forcum;
       continue;
     }
     if (line == kEnforcedMarker) {
+      if (section != Section::Forcum) {
+        return fail(
+            "loadState: '== enforced ==' section marker out of order "
+            "(expected after '== forcum ==')");
+      }
       section = Section::Enforced;
       continue;
     }
@@ -158,7 +210,7 @@ void CookiePicker::loadState(const std::string& text) {
         util::appendParts(forcumText, {line, "\n"});
         break;
       case Section::Enforced:
-        if (!line.empty()) enforcedHosts_->insert(line);
+        if (!line.empty()) enforced.insert(line);
         break;
       case Section::None:
         break;  // preamble: ignored
@@ -166,6 +218,15 @@ void CookiePicker::loadState(const std::string& text) {
   }
   browser_.jar() = cookies::CookieJar::deserialize(jarText);
   forcum_.restoreState(forcumText);
+  *enforcedHosts_ = std::move(enforced);
+  return true;
+}
+
+void CookiePicker::attachStateSink(store::StateSink* sink) {
+  std::lock_guard lock(mutex_);
+  sink_ = sink;
+  browser_.jar().setStateSink(sink);
+  forcum_.setStateSink(sink);
 }
 
 HostReport CookiePicker::report(const std::string& host) const {

@@ -32,6 +32,7 @@
 #include "browser/browser.h"
 #include "core/forcum.h"
 #include "core/recovery.h"
+#include "store/state_sink.h"
 
 namespace cookiepicker::core {
 
@@ -88,7 +89,20 @@ class CookiePicker {
   // state, enforced hosts — as one text blob, so a browser restart can pick
   // up exactly where training left off.
   std::string saveState() const;
-  void loadState(const std::string& text);
+  // Replaces the extension state from a saveState() blob. The blob must
+  // carry each of the three section markers ("== jar ==", "== forcum ==",
+  // "== enforced ==") exactly once, in that order; on any violation the
+  // call returns false with a diagnostic in `error` and the live state is
+  // left untouched. (Anything before the jar marker is tolerated preamble.)
+  bool loadState(const std::string& text, std::string* error = nullptr);
+
+  // Wires the durable state store into every mutating component: the jar,
+  // the FORCUM engine, and this facade's enforcement bookkeeping all emit
+  // through `sink` from here on. Null detaches. When resuming from
+  // recovered state, call loadState first, then attach — the sink's mirror
+  // already holds the recovered records, so replaying the load itself
+  // would only write duplicates.
+  void attachStateSink(store::StateSink* sink);
 
   browser::Browser& browser() { return browser_; }
   ForcumEngine& forcum() { return forcum_; }
@@ -111,6 +125,9 @@ class CookiePicker {
   RecoveryManager recovery_;
   // Hosts under enforcement; shared with the browser's send filter.
   std::shared_ptr<std::set<std::string>> enforcedHosts_;
+  // Durable-state sink for enforcement transitions (jar/FORCUM hold their
+  // own pointers); guarded by mutex_ like everything else here.
+  store::StateSink* sink_ = nullptr;
 };
 
 }  // namespace cookiepicker::core

@@ -16,50 +16,6 @@ using cookies::CookieRecord;
 
 namespace {
 
-// The state format uses '\t', ';', '|' and '\n' as structural separators.
-// Cookie names/domains/paths are attacker-influenced (a server picks them),
-// so fields are percent-escaped on the way out and decoded on the way in —
-// a cookie literally named "a|b;c" must survive a save/load round trip
-// instead of corrupting neighbouring fields.
-void appendEscapedField(std::string& out, std::string_view field) {
-  for (const char c : field) {
-    switch (c) {
-      case '%': out += "%25"; break;
-      case '|': out += "%7C"; break;
-      case ';': out += "%3B"; break;
-      case '\t': out += "%09"; break;
-      case '\n': out += "%0A"; break;
-      case '\r': out += "%0D"; break;
-      default: out += c; break;
-    }
-  }
-}
-
-int hexValue(char c) {
-  if (c >= '0' && c <= '9') return c - '0';
-  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
-  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
-  return -1;
-}
-
-std::string unescapeField(std::string_view field) {
-  std::string out;
-  out.reserve(field.size());
-  for (std::size_t i = 0; i < field.size(); ++i) {
-    if (field[i] == '%' && i + 2 < field.size()) {
-      const int hi = hexValue(field[i + 1]);
-      const int lo = hexValue(field[i + 2]);
-      if (hi >= 0 && lo >= 0) {
-        out += static_cast<char>(hi * 16 + lo);
-        i += 2;
-        continue;
-      }
-    }
-    out += field[i];
-  }
-  return out;
-}
-
 // Parses a non-negative decimal counter; false on garbage, overflow, or
 // trailing junk (std::stoi would have accepted "12abc" and thrown on
 // overflow — from_chars reports both without exceptions).
@@ -75,15 +31,39 @@ bool parseCount(std::string_view text, int& value) {
 }
 
 // The audit-trail rendering of a cookie key; matches the serialized-state
-// escaping so group entries in the two formats compare equal.
+// escaping (util::escapeStateField) so group entries in the two formats
+// compare equal.
 std::string renderCookieKey(const CookieKey& key) {
   std::string out;
-  appendEscapedField(out, key.name);
+  util::appendEscapedStateField(out, key.name);
   out += '|';
-  appendEscapedField(out, key.domain);
+  util::appendEscapedStateField(out, key.domain);
   out += '|';
-  appendEscapedField(out, key.path);
+  util::appendEscapedStateField(out, key.path);
   return out;
+}
+
+// One serialized site-state line (no trailing newline):
+//   host \t active \t totalViews \t hiddenRequests \t quietViews \t
+//   name|domain|path ; name|domain|path ; ...
+// Shared by serializeState() and the durability emitter, so a line replayed
+// from the WAL is byte-identical to the same site's line in a state blob.
+void appendSiteLine(std::string& out, const std::string& host,
+                    const ForcumEngine::SiteState& state) {
+  util::appendParts(out, {host, "\t", state.trainingActive ? "1" : "0", "\t",
+                          std::to_string(state.totalViews), "\t",
+                          std::to_string(state.hiddenRequests), "\t",
+                          std::to_string(state.consecutiveQuietViews), "\t"});
+  bool first = true;
+  for (const CookieKey& key : state.knownPersistent) {
+    if (!first) out += ';';
+    util::appendEscapedStateField(out, key.name);
+    out += '|';
+    util::appendEscapedStateField(out, key.domain);
+    out += '|';
+    util::appendEscapedStateField(out, key.path);
+    first = false;
+  }
 }
 
 // Human-readable cause of a failed hidden fetch for skip reasons.
@@ -130,6 +110,7 @@ void ForcumEngine::resumeTraining(const std::string& host) {
   SiteState& state = stateFor(host);
   state.trainingActive = true;
   state.consecutiveQuietViews = 0;
+  emitSiteState(host, state);
 }
 
 ForcumStepReport ForcumEngine::onPageView(const browser::PageView& view) {
@@ -157,6 +138,9 @@ ForcumStepReport ForcumEngine::onPageView(const browser::PageView& view) {
   if (!state.trainingActive) {
     ForcumStepReport report;
     report.trainingActive = false;
+    // The view still advanced totalViews (and possibly knownPersistent):
+    // a crash here must not replay the host into a younger state.
+    emitSiteState(host, state);
     return report;
   }
 
@@ -185,33 +169,27 @@ ForcumStepReport ForcumEngine::onPageView(const browser::PageView& view) {
     }
     pendingAudit_.reset();
   }
+  // One durable counter transition per page view, carrying the site's full
+  // post-step state (absolute, so replay is idempotent).
+  emitSiteState(host, state);
   return report;
 }
 
 std::string ForcumEngine::serializeState() const {
-  // One line per site:
-  //   host \t active \t totalViews \t hiddenRequests \t quietViews \t
-  //   name|domain|path ; name|domain|path ; ...
   std::string out;
   for (const auto& [host, state] : sites_) {
-    util::appendParts(out, {host, "\t", state.trainingActive ? "1" : "0",
-                            "\t", std::to_string(state.totalViews), "\t",
-                            std::to_string(state.hiddenRequests), "\t",
-                            std::to_string(state.consecutiveQuietViews),
-                            "\t"});
-    bool first = true;
-    for (const CookieKey& key : state.knownPersistent) {
-      if (!first) out += ';';
-      appendEscapedField(out, key.name);
-      out += '|';
-      appendEscapedField(out, key.domain);
-      out += '|';
-      appendEscapedField(out, key.path);
-      first = false;
-    }
+    appendSiteLine(out, host, state);
     out += '\n';
   }
   return out;
+}
+
+void ForcumEngine::emitSiteState(const std::string& host,
+                                 const SiteState& state) {
+  if (sink_ == nullptr) return;
+  std::string line;
+  appendSiteLine(line, host, state);
+  sink_->append(store::RecordType::CounterTransition, line);
 }
 
 void ForcumEngine::restoreState(const std::string& text) {
@@ -231,9 +209,9 @@ void ForcumEngine::restoreState(const std::string& text) {
       if (keyText.empty()) continue;
       const std::vector<std::string> parts = util::split(keyText, '|');
       if (parts.size() != 3) continue;
-      state.knownPersistent.insert({unescapeField(parts[0]),
-                                    unescapeField(parts[1]),
-                                    unescapeField(parts[2])});
+      state.knownPersistent.insert({util::unescapeStateField(parts[0]),
+                                    util::unescapeStateField(parts[1]),
+                                    util::unescapeStateField(parts[2])});
     }
     sites_[fields[0]] = std::move(state);
   }
@@ -473,6 +451,18 @@ ForcumStepReport ForcumEngine::runStep(const browser::PageView& view,
   if (!report.newlyMarked.empty()) {
     obs::count(obs::Counter::CookiesMarkedUseful,
                static_cast<std::int64_t>(report.newlyMarked.size()));
+  }
+
+  if (sink_ != nullptr) {
+    // Informational verdict record: the jar/mark records above already
+    // carry the state, but fsck and post-mortems want the decision story.
+    std::string body = view.url.host();
+    util::appendParts(
+        body, {"\t", std::to_string(state.totalViews), "\t",
+               report.decision.causedByCookies ? "cookie-caused"
+                                               : "no-difference",
+               "\t", std::to_string(report.newlyMarked.size())});
+    sink_->append(store::RecordType::VerdictApplied, body);
   }
 
   if (obs::activeAudit() != nullptr) {

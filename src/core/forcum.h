@@ -22,6 +22,7 @@
 #include "cookies/record.h"
 #include "core/decision.h"
 #include "obs/audit.h"
+#include "store/state_sink.h"
 #include "util/stats.h"
 
 namespace cookiepicker::core {
@@ -123,9 +124,19 @@ class ForcumEngine {
   // are skipped.
   void restoreState(const std::string& text);
 
+  // --- durability ----------------------------------------------------------
+  // Installs the sink training transitions are described to: one
+  // CounterTransition per page view / training resume (the site's full
+  // serialized line — absolute state, idempotent replay) plus an
+  // informational VerdictApplied per Figure-5 decision. Null (the default)
+  // emits nothing.
+  void setStateSink(store::StateSink* sink) { sink_ = sink; }
+
  private:
   SiteState& stateFor(const std::string& host);
   ForcumStepReport runStep(const browser::PageView& view, SiteState& state);
+  // Emits the site's serialized line to the state sink (no-op when null).
+  void emitSiteState(const std::string& host, const SiteState& state);
 
   // Chooses the cookie group the hidden request strips on this view.
   std::set<cookies::CookieKey> selectGroup(
@@ -152,6 +163,9 @@ class ForcumEngine {
   // finalizes and appends it. Engines are serialized per session, so one
   // pending slot suffices.
   std::optional<obs::AuditRecord> pendingAudit_;
+  // Durable-state sink; engines are serialized by the CookiePicker facade
+  // lock, so plain pointer access is safe.
+  store::StateSink* sink_ = nullptr;
 };
 
 // The audit-trail rendering of a DecisionMode ("both", "tree-only",

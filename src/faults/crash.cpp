@@ -1,0 +1,51 @@
+#include "faults/crash.h"
+
+#include "util/rng.h"
+
+namespace cookiepicker::faults {
+
+const char* crashModeName(CrashMode mode) {
+  switch (mode) {
+    case CrashMode::None:
+      return "none";
+    case CrashMode::TornAppend:
+      return "torn-append";
+    case CrashMode::KillAfterAppend:
+      return "kill-after-append";
+    case CrashMode::KillMidRename:
+      return "kill-mid-rename";
+  }
+  return "none";
+}
+
+const CrashPoint* CrashSchedule::pointFor(std::string_view host) const {
+  for (const CrashPoint& point : points) {
+    if (point.host == host) return &point;
+  }
+  return nullptr;
+}
+
+CrashSchedule CrashSchedule::fromSeed(std::uint64_t seed,
+                                      const std::vector<std::string>& hosts,
+                                      std::uint64_t maxAppends) {
+  CrashSchedule schedule;
+  if (hosts.empty()) return schedule;
+  util::Pcg32 master(seed, 0xc4a5c4a5c4a5c4a5ULL);
+  const std::string& host =
+      hosts[master.uniform(0, static_cast<std::uint32_t>(hosts.size() - 1))];
+  util::Pcg32 stream = util::Pcg32(seed).fork(host);
+  CrashPoint point;
+  point.host = host;
+  point.mode = static_cast<CrashMode>(1 + stream.uniform(0, 2));
+  if (point.mode == CrashMode::KillMidRename) {
+    // Snapshot ordinal: early compactions are the interesting ones.
+    point.at = 1 + stream.uniform(0, 2);
+  } else {
+    const std::uint64_t bound = maxAppends == 0 ? 1 : maxAppends;
+    point.at = 1 + stream.uniform(0, static_cast<std::uint32_t>(bound - 1));
+  }
+  schedule.points.push_back(std::move(point));
+  return schedule;
+}
+
+}  // namespace cookiepicker::faults

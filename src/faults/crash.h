@@ -1,0 +1,63 @@
+// Deterministic crash points for the durable state store.
+//
+// A CrashSchedule extends the fault engine's philosophy — every failure is a
+// pure function of (seed, host) — from the network to the disk: it names the
+// exact store operation at which the "process" dies. The store simulates the
+// death by freezing the on-disk artifact exactly as a SIGKILL would leave it
+// (a torn half-written record, a fsynced-but-unrenamed snapshot temp file,
+// or simply nothing after the Nth append) and then dropping every later
+// write across all shards. What recovery sees on disk is therefore a
+// deterministic function of the schedule, which is what lets the
+// crash-recovery property test replay hundreds of distinct crash points and
+// demand byte-identical recovered results for every one of them.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace cookiepicker::faults {
+
+enum class CrashMode : std::uint8_t {
+  None = 0,
+  // The Nth append writes only a prefix of its frame (a torn write), then
+  // the process dies.
+  TornAppend,
+  // The Nth append completes durably, then the process dies before the
+  // next write.
+  KillAfterAppend,
+  // The Nth snapshot compaction writes and fsyncs its temp file, then the
+  // process dies before the atomic rename publishes it.
+  KillMidRename,
+};
+
+const char* crashModeName(CrashMode mode);
+
+// One crash point: die at operation number `at` (1-based) on `host`'s
+// shard. For the append modes `at` counts appends since the shard was
+// opened/reset; for KillMidRename it counts snapshot compactions.
+struct CrashPoint {
+  std::string host;
+  CrashMode mode = CrashMode::None;
+  std::uint64_t at = 0;
+};
+
+struct CrashSchedule {
+  std::vector<CrashPoint> points;
+
+  // First point for `host`, or nullptr.
+  const CrashPoint* pointFor(std::string_view host) const;
+
+  // Derives one crash point from `seed`: the dying shard is drawn from the
+  // master stream, its mode and operation index from the host's forked
+  // stream — the same per-host RNG idiom the network's fault engine uses,
+  // so a crash schedule is reproducible from its seed alone. `maxAppends`
+  // bounds the append index draw (use a value near the shard's expected
+  // append count so crash points land mid-session, not past its end).
+  static CrashSchedule fromSeed(std::uint64_t seed,
+                                const std::vector<std::string>& hosts,
+                                std::uint64_t maxAppends);
+};
+
+}  // namespace cookiepicker::faults

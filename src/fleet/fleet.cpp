@@ -12,6 +12,7 @@
 #include "util/clock.h"
 #include "util/log.h"
 #include "util/rng.h"
+#include "util/strings.h"
 
 namespace cookiepicker::fleet {
 
@@ -57,10 +58,57 @@ std::string FleetReport::auditJsonl() const {
 TrainingFleet::TrainingFleet(net::Network& network, FleetConfig config)
     : network_(network), config_(std::move(config)) {}
 
+std::string TrainingFleet::configFingerprint() const {
+  std::string out = "v1:";
+  util::appendParts(
+      out, {std::to_string(config_.seed), ":",
+            std::to_string(config_.viewsPerHost), ":",
+            config_.collectObservability ? "1" : "0", ":",
+            config_.enforceStableAfterRun ? "1" : "0", ":",
+            std::to_string(
+                static_cast<int>(config_.picker.forcum.groupMode)),
+            ":", config_.picker.forcum.consistencyReprobe ? "1" : "0"});
+  return out;
+}
+
 HostResult TrainingFleet::runHostSession(const server::SiteSpec& spec) const {
   HostResult result;
   result.label = spec.label;
   result.host = spec.domain;
+
+  // Durable store: open this host's shard first. A shard that finished a
+  // session under the same config fingerprint short-circuits — the result is
+  // rebuilt from the stored bytes and the session never runs. Anything else
+  // (empty, torn, crashed mid-session, stale fingerprint) is reset and rerun
+  // from scratch: sessions are pure functions of (seed, host), so the rerun
+  // reproduces the uninterrupted bytes exactly. All recovery-path bookkeeping
+  // happens before the session obs scope opens so the per-session metrics
+  // stay identical between recovered and uninterrupted runs.
+  store::HostStore* shard = nullptr;
+  if (config_.stateStore != nullptr) {
+    const std::string fingerprint = configFingerprint();
+    shard = config_.stateStore->openHost(spec.domain);
+    const store::ReplayedState& rec = shard->recovered();
+    if (rec.meta.complete && rec.meta.fingerprint == fingerprint) {
+      result.recovered = true;
+      result.state = rec.stateBlob;
+      result.jarState = rec.jarBlob;
+      result.pagesVisited = rec.meta.pagesVisited;
+      result.report.host = spec.domain;
+      result.report.persistentCookies = rec.meta.persistentCookies;
+      result.report.markedUseful = rec.meta.markedUseful;
+      result.report.pageViews = rec.meta.pageViews;
+      result.report.hiddenRequests = rec.meta.hiddenRequests;
+      result.report.trainingActive = rec.meta.trainingActive;
+      result.report.enforced = rec.meta.enforced;
+      if (config_.collectObservability) {
+        result.metrics = store::decodeMetricsSnapshot(rec.metricsText);
+        result.auditJsonl = rec.auditJsonl;
+      }
+      return result;
+    }
+    shard->beginSession(fingerprint);
+  }
 
   // Everything below is session-local: its own clock, jar, and an RNG stream
   // keyed by the host name — a pure function of (seed, host, views).
@@ -68,6 +116,9 @@ HostResult TrainingFleet::runHostSession(const server::SiteSpec& spec) const {
   browser::Browser browser(network_, clock, config_.policy,
                            config_.seed ^ util::fnv1a64(spec.domain));
   core::CookiePicker picker(browser, config_.picker);
+  if (shard != nullptr) {
+    picker.attachStateSink(shard);
+  }
 
   // Session-scoped flight recorder: every obs::count / span / audit append
   // on this thread lands in these sinks until the scope ends, so metrics
@@ -96,6 +147,24 @@ HostResult TrainingFleet::runHostSession(const server::SiteSpec& spec) const {
     result.metrics = sessionMetrics.snapshot();
     result.auditJsonl = sessionAudit.jsonl();
   }
+  if (shard != nullptr) {
+    // Seal outside the obs scope: finalize's own compaction counters must
+    // not land in the session snapshot (a recovered host never reruns
+    // finalize, so they could not be reproduced on recovery).
+    store::SessionMeta meta;
+    meta.complete = true;
+    meta.pagesVisited = result.pagesVisited;
+    meta.persistentCookies = result.report.persistentCookies;
+    meta.markedUseful = result.report.markedUseful;
+    meta.pageViews = result.report.pageViews;
+    meta.hiddenRequests = result.report.hiddenRequests;
+    meta.trainingActive = result.report.trainingActive;
+    meta.enforced = result.report.enforced;
+    meta.fingerprint = configFingerprint();
+    shard->finalize(meta, result.state, result.jarState,
+                    store::encodeMetricsSnapshot(result.metrics),
+                    result.auditJsonl);
+  }
   return result;
 }
 
@@ -118,6 +187,11 @@ FleetReport TrainingFleet::run(const std::vector<server::SiteSpec>& roster) {
   auto workerLoop = [&](int workerIndex) {
     util::Logger::setThreadWorkerIndex(workerIndex);
     while (true) {
+      // A declared crash stops the whole fleet from scheduling further
+      // hosts — the process is "dead"; only what reached disk survives.
+      if (config_.stateStore != nullptr && config_.stateStore->crashed()) {
+        break;
+      }
       const std::size_t task =
           nextTask.fetch_add(1, std::memory_order_relaxed);
       if (task >= roster.size()) break;

@@ -28,6 +28,7 @@
 #include "net/network.h"
 #include "obs/metrics.h"
 #include "server/generator.h"
+#include "store/store.h"
 
 namespace cookiepicker::fleet {
 
@@ -46,6 +47,16 @@ struct FleetConfig {
   // HostResult. Deterministic metrics and audit bytes are part of the
   // fleet's determinism invariant; timing histograms are not.
   bool collectObservability = false;
+  // Durable state store (optional). When set, every host session opens its
+  // shard before running: a shard whose recovered state is complete under
+  // the current config fingerprint is *not rerun* — its HostResult is
+  // rebuilt from the stored bytes — and every other host runs from scratch
+  // with the session's picker/jar/FORCUM emitting through the shard. Since
+  // rerun hosts get pristine per-host RNG and latency streams (sessions are
+  // pure functions of (seed, host)), a crashed-and-recovered run is
+  // byte-identical to one that never crashed. Null = no durability, no
+  // overhead, byte-identical results.
+  store::StateStore* stateStore = nullptr;
 };
 
 // Outcome of one host's training session.
@@ -69,6 +80,11 @@ struct HostResult {
   // only: excluded from serializeState() so timing never breaks determinism.
   double wallMs = 0.0;
   int workerIndex = -1;
+  // True when this result was rebuilt from the state store instead of
+  // rerunning the session. Recovered results carry every deterministic
+  // field byte-identically; the host-clock timing averages in `report` are
+  // zero (they are not persisted — they never determine anything).
+  bool recovered = false;
 };
 
 struct FleetReport {
@@ -114,6 +130,11 @@ class TrainingFleet {
   FleetReport run(const std::vector<server::SiteSpec>& roster);
 
   const FleetConfig& config() const { return config_; }
+
+  // The config fingerprint stored with every session — recovery reruns any
+  // shard whose fingerprint differs, so stale state can never masquerade
+  // as a result of the current configuration.
+  std::string configFingerprint() const;
 
  private:
   HostResult runHostSession(const server::SiteSpec& spec) const;

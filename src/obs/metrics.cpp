@@ -39,6 +39,14 @@ constexpr const char* kCounterNames[kCounterCount] = {
     "hidden_fetch_exhausted",
     "hidden_retry_budget_exhausted",
     "forcum_steps_skipped",
+    "store_appends",
+    "store_append_bytes",
+    "store_compactions",
+    "store_snapshot_bytes",
+    "store_snapshots_loaded",
+    "store_records_recovered",
+    "store_records_discarded",
+    "store_shards_reset",
 };
 
 constexpr const char* kGaugeNames[kGaugeCount] = {
@@ -183,8 +191,16 @@ std::string MetricsSnapshot::deterministicJson() const {
     appendUint(out, counters[i]);
   }
   out += "},\"faults\":{";
-  for (std::size_t i = kFirstFaultCounter; i < kCounterCount; ++i) {
+  for (std::size_t i = kFirstFaultCounter; i < kFirstStoreCounter; ++i) {
     if (i != kFirstFaultCounter) out += ',';
+    out += '"';
+    out += kCounterNames[i];
+    out += "\":";
+    appendUint(out, counters[i]);
+  }
+  out += "},\"store\":{";
+  for (std::size_t i = kFirstStoreCounter; i < kCounterCount; ++i) {
+    if (i != kFirstStoreCounter) out += ',';
     out += '"';
     out += kCounterNames[i];
     out += "\":";

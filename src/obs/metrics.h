@@ -62,6 +62,16 @@ enum class Counter : std::uint8_t {
   HiddenFetchExhausted,        // hidden fetches that failed every attempt
   HiddenRetryBudgetExhausted,  // retries forgone: session budget empty
   ForcumStepsSkipped,          // FORCUM steps degraded to a skip verdict
+  // --- durable state store (reported under "store" in deterministicJson;
+  // keep kFirstStoreCounter below in sync) ---
+  StoreAppends,            // WAL records appended
+  StoreAppendBytes,        // framed WAL bytes written
+  StoreCompactions,        // snapshots compacted (periodic + finalize)
+  StoreSnapshotBytes,      // snapshot bytes published
+  StoreSnapshotsLoaded,    // valid snapshots read during recovery
+  StoreRecordsRecovered,   // records applied during recovery replay
+  StoreRecordsDiscarded,   // records lost to torn tails / checksum failures
+  StoreShardsReset,        // shards wiped for a from-scratch session rerun
   kCount,
 };
 
@@ -69,6 +79,9 @@ enum class Counter : std::uint8_t {
 // counter array here into the "counters" and "faults" sections.
 inline constexpr std::size_t kFirstFaultCounter =
     static_cast<std::size_t>(Counter::FaultServerErrors);
+// First counter of the durable-store block (the "store" section).
+inline constexpr std::size_t kFirstStoreCounter =
+    static_cast<std::size_t>(Counter::StoreAppends);
 
 // Gauges: set-style registers. Merge policy is per gauge (see gaugeMerge).
 enum class Gauge : std::uint8_t {

@@ -3,7 +3,7 @@
 namespace cookiepicker::obs {
 
 namespace detail {
-thread_local ObsSinks t_sinks;
+thread_local constinit ObsSinks t_sinks;
 }  // namespace detail
 
 ScopedObsSession::ScopedObsSession(MetricsRegistry* metrics,

@@ -31,8 +31,10 @@ struct ObsSinks {
 
 namespace detail {
 // One slot per thread; read on every instrumentation hit, so kept as raw
-// pointers with no indirection.
-extern thread_local ObsSinks t_sinks;
+// pointers with no indirection. constinit: guarantees constant
+// initialization, which lets the compiler drop the TLS init wrapper — the
+// wrapper both costs a call per hit and trips UBSan's null-member checks.
+extern thread_local constinit ObsSinks t_sinks;
 }  // namespace detail
 
 // The metrics sink the current thread should record into; nullptr when
@@ -53,6 +55,15 @@ inline void count(Counter counter, std::uint64_t delta = 1) {
   if (MetricsRegistry* metrics = activeMetrics()) {
     metrics->add(counter, delta);
   }
+}
+
+// Records against the process-global registry only, bypassing any session
+// scope on this thread. For plumbing whose activity must not enter session
+// metrics (the store: a recovered session performs zero appends, so its
+// counters can never be part of the per-session determinism contract).
+inline void countGlobal(Counter counter, std::uint64_t delta = 1) {
+  MetricsRegistry& global = MetricsRegistry::global();
+  if (global.enabled()) global.add(counter, delta);
 }
 
 inline void gaugeSet(Gauge gauge, std::int64_t value) {

@@ -1,0 +1,52 @@
+// StateSink — the one-way door between the live pipeline and durability.
+//
+// Mutating components (the cookie jar, the FORCUM engine, the picker facade)
+// describe every state transition as a typed record and hand it to a
+// StateSink. The default sink is null: no store configured means no virtual
+// call is ever made (emitters check the pointer first), so fault-free runs
+// without a --state-dir are byte-identical to builds that predate the store.
+//
+// Records carry *absolute* values, never deltas: a jar upsert carries the
+// cookie's full serialized line, a counter transition carries the site's
+// full serialized state. That is what makes replay idempotent — applying a
+// record twice (a duplicate produced by a crash between the WAL append and
+// the snapshot watermark) lands on the same state as applying it once.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace cookiepicker::store {
+
+// Typed WAL records. Wire names live in recordTypeName (wal.cpp); an
+// unknown name read back from disk is skipped and counted, never fatal, so
+// old readers survive new record types.
+enum class RecordType : std::uint8_t {
+  JarUpsert,          // "jar-set"   key '\t' full jar line
+  JarRemove,          // "jar-del"   key
+  CookieMarked,       // "mark"      key '\t' full jar line (marked useful)
+  CounterTransition,  // "counters"  full FORCUM site line (host is field 0)
+  HostEnforced,       // "enforce"   host
+  VerdictApplied,     // "verdict"   host '\t' view '\t' verdict '\t' marked
+  SessionBegin,       // "begin"     config fingerprint
+  SessionMeta,        // "meta"      completion summary (see store.h)
+  StateBlob,          // "state-blob"  exact CookiePicker::saveState bytes
+  JarBlob,            // "jar-blob"    exact CookieJar::serialize bytes
+  MetricsBlock,       // "metrics"     per-session metrics text
+  AuditBlock,         // "audit"       per-session audit JSONL
+  SnapshotMark,       // "snap-mark"   watermark seq covered by a snapshot
+  kCount,
+};
+
+const char* recordTypeName(RecordType type);
+
+// Single-method so implementations stay trivially mockable and the emit
+// sites stay one line. Implementations are responsible for their own
+// locking; emitters may call from any thread that owns the component.
+class StateSink {
+ public:
+  virtual ~StateSink() = default;
+  virtual void append(RecordType type, std::string_view body) = 0;
+};
+
+}  // namespace cookiepicker::store

@@ -1,0 +1,148 @@
+#include "store/wal.h"
+
+#include <charconv>
+
+#include "util/rng.h"
+
+namespace cookiepicker::store {
+
+namespace {
+
+void appendU32le(std::string& out, std::uint32_t value) {
+  out.push_back(static_cast<char>(value & 0xFF));
+  out.push_back(static_cast<char>((value >> 8) & 0xFF));
+  out.push_back(static_cast<char>((value >> 16) & 0xFF));
+  out.push_back(static_cast<char>((value >> 24) & 0xFF));
+}
+
+void appendU64le(std::string& out, std::uint64_t value) {
+  for (int shift = 0; shift < 64; shift += 8) {
+    out.push_back(static_cast<char>((value >> shift) & 0xFF));
+  }
+}
+
+std::uint32_t readU32le(const char* bytes) {
+  std::uint32_t value = 0;
+  for (int i = 3; i >= 0; --i) {
+    value = (value << 8) | static_cast<unsigned char>(bytes[i]);
+  }
+  return value;
+}
+
+std::uint64_t readU64le(const char* bytes) {
+  std::uint64_t value = 0;
+  for (int i = 7; i >= 0; --i) {
+    value = (value << 8) | static_cast<unsigned char>(bytes[i]);
+  }
+  return value;
+}
+
+// Parses "<seq>\t<typeName>\t<body>". Returns false on a payload that is
+// structurally not a record (missing tabs, non-numeric seq).
+bool parsePayload(std::string_view payload, ParsedRecord& out) {
+  const std::size_t firstTab = payload.find('\t');
+  if (firstTab == std::string_view::npos) return false;
+  const std::size_t secondTab = payload.find('\t', firstTab + 1);
+  if (secondTab == std::string_view::npos) return false;
+  const std::string_view seqText = payload.substr(0, firstTab);
+  if (seqText.empty()) return false;
+  std::uint64_t seq = 0;
+  const auto [ptr, ec] =
+      std::from_chars(seqText.data(), seqText.data() + seqText.size(), seq);
+  if (ec != std::errc() || ptr != seqText.data() + seqText.size()) {
+    return false;
+  }
+  out.seq = seq;
+  out.type.assign(payload.substr(firstTab + 1, secondTab - firstTab - 1));
+  out.body.assign(payload.substr(secondTab + 1));
+  return true;
+}
+
+}  // namespace
+
+void appendFrame(std::string& out, std::string_view payload) {
+  appendU32le(out, static_cast<std::uint32_t>(payload.size()));
+  appendU64le(out, util::fnv1a64(payload));
+  out.append(payload);
+}
+
+std::string encodeRecordPayload(std::uint64_t seq, std::string_view typeName,
+                                std::string_view body) {
+  std::string payload = std::to_string(seq);
+  payload.push_back('\t');
+  payload.append(typeName);
+  payload.push_back('\t');
+  payload.append(body);
+  return payload;
+}
+
+void appendRecordFrame(std::string& out, std::uint64_t seq,
+                       std::string_view typeName, std::string_view body) {
+  const std::size_t headerAt = out.size();
+  out.append(kFrameHeaderBytes, '\0');
+  const std::size_t payloadAt = out.size();
+  char seqText[20];
+  const auto [end, ec] = std::to_chars(seqText, seqText + sizeof(seqText), seq);
+  out.append(seqText, end);
+  out.push_back('\t');
+  out.append(typeName);
+  out.push_back('\t');
+  out.append(body);
+  const std::string_view payload(out.data() + payloadAt,
+                                 out.size() - payloadAt);
+  const std::uint32_t length = static_cast<std::uint32_t>(payload.size());
+  const std::uint64_t checksum = util::fnv1a64(payload);
+  char* header = out.data() + headerAt;
+  for (int i = 0; i < 4; ++i) {
+    header[i] = static_cast<char>((length >> (8 * i)) & 0xFF);
+  }
+  for (int i = 0; i < 8; ++i) {
+    header[4 + i] = static_cast<char>((checksum >> (8 * i)) & 0xFF);
+  }
+}
+
+ScanResult scanLog(std::string_view bytes, std::string_view magic) {
+  ScanResult result;
+  if (bytes.size() < magic.size() ||
+      bytes.substr(0, magic.size()) != magic) {
+    result.discardedBytes = bytes.size();
+    return result;
+  }
+  result.magicOk = true;
+  std::size_t offset = magic.size();
+  result.validBytes = offset;
+  while (offset < bytes.size()) {
+    if (bytes.size() - offset < kFrameHeaderBytes) {
+      result.tornTail = true;
+      break;
+    }
+    const std::uint32_t payloadLen = readU32le(bytes.data() + offset);
+    if (payloadLen > kMaxFramePayload) {
+      result.corrupt = true;
+      break;
+    }
+    if (bytes.size() - offset - kFrameHeaderBytes < payloadLen) {
+      result.tornTail = true;
+      break;
+    }
+    const std::uint64_t expected = readU64le(bytes.data() + offset + 4);
+    const std::string_view payload =
+        bytes.substr(offset + kFrameHeaderBytes, payloadLen);
+    if (util::fnv1a64(payload) != expected) {
+      result.corrupt = true;
+      break;
+    }
+    ParsedRecord record;
+    if (parsePayload(payload, record)) {
+      result.records.push_back(std::move(record));
+    } else {
+      ++result.malformedPayloads;
+    }
+    offset += kFrameHeaderBytes + payloadLen;
+    result.validBytes = offset;
+  }
+  result.discardedBytes = bytes.size() - result.validBytes;
+  return result;
+}
+
+}  // namespace cookiepicker::store

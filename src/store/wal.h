@@ -1,0 +1,83 @@
+// WAL/snapshot framing — the byte format both store files share.
+//
+// A log file is a one-line ASCII magic (version-bearing, so a format bump
+// is detected before any binary parsing) followed by frames:
+//
+//   u32le payloadLen | u64le fnv1a64(payload) | payload
+//
+// The payload is text: "<seq>\t<typeName>\t<body>". Bodies may contain any
+// bytes including newlines — the framing is length-prefixed, so the text
+// inside never needs escaping. Snapshots reuse the identical frame format
+// under a different magic; a snapshot is just a compacted log.
+//
+// The reader's contract is the crash model: it trusts a frame only if the
+// full declared length is present AND the checksum matches, and it stops at
+// the first frame that fails either test. An incomplete trailing frame is a
+// *torn tail* (the expected residue of a crash mid-append) — benign, the
+// valid prefix is authoritative. A full-length frame with a bad checksum is
+// *corruption* (bit flip) — also stops the scan, also leaves the valid
+// prefix authoritative, but is reported distinctly so fsck can tell an
+// unlucky power cut from a sick disk. `validBytes` is the exact offset a
+// writer must truncate to before resuming appends, otherwise the next
+// append would be glued onto torn garbage and poison the whole suffix.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace cookiepicker::store {
+
+inline constexpr std::string_view kWalMagic = "cookiepicker-wal-v1\n";
+inline constexpr std::string_view kSnapMagic = "cookiepicker-snap-v1\n";
+
+// Frames declaring a payload larger than this are treated as corruption —
+// no legitimate record approaches it, and it stops a flipped length byte
+// from turning into a 4 GiB read.
+inline constexpr std::uint32_t kMaxFramePayload = 1u << 28;
+
+// Fixed frame header size: u32 length + u64 checksum.
+inline constexpr std::size_t kFrameHeaderBytes = 12;
+
+// Appends one framed payload to `out`.
+void appendFrame(std::string& out, std::string_view payload);
+
+// Builds the record payload "<seq>\t<typeName>\t<body>".
+std::string encodeRecordPayload(std::uint64_t seq, std::string_view typeName,
+                                std::string_view body);
+
+// Frames "<seq>\t<typeName>\t<body>" directly into `out` — the hot-path
+// spelling: the payload is composed in place after a reserved header that
+// is patched once its length and checksum are known, so a caller reusing
+// `out` as scratch appends with zero allocations at steady state.
+void appendRecordFrame(std::string& out, std::uint64_t seq,
+                       std::string_view typeName, std::string_view body);
+
+// One successfully framed and parsed record. `type` is the wire name —
+// deliberately a string, so records from a newer writer survive the trip
+// through an older reader (skip + count, never fail).
+struct ParsedRecord {
+  std::uint64_t seq = 0;
+  std::string type;
+  std::string body;
+};
+
+struct ScanResult {
+  std::vector<ParsedRecord> records;
+  // Offset one past the last good frame (magic included). The resume
+  // truncation point.
+  std::size_t validBytes = 0;
+  bool magicOk = false;
+  bool tornTail = false;   // trailing bytes form an incomplete frame
+  bool corrupt = false;    // a full-length frame failed its checksum
+  std::size_t discardedBytes = 0;    // bytes past validBytes
+  std::size_t malformedPayloads = 0; // intact frames with unparsable payloads
+};
+
+// Scans a whole log image. `magic` selects kWalMagic or kSnapMagic; a
+// missing/wrong magic yields magicOk=false, validBytes=0 and no records.
+ScanResult scanLog(std::string_view bytes, std::string_view magic);
+
+}  // namespace cookiepicker::store

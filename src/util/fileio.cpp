@@ -1,0 +1,87 @@
+#include "util/fileio.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <system_error>
+
+namespace cookiepicker::util {
+
+namespace {
+
+void setError(std::string* error, const std::string& what) {
+  if (error != nullptr) *error = what + ": " + std::strerror(errno);
+}
+
+}  // namespace
+
+bool readFile(const std::string& path, std::string& out, std::string* error) {
+  std::FILE* file = std::fopen(path.c_str(), "rb");
+  if (file == nullptr) {
+    setError(error, "cannot open " + path);
+    return false;
+  }
+  out.clear();
+  char buffer[1 << 16];
+  std::size_t got = 0;
+  while ((got = std::fread(buffer, 1, sizeof(buffer), file)) > 0) {
+    out.append(buffer, got);
+  }
+  const bool ok = std::ferror(file) == 0;
+  if (!ok) setError(error, "read error on " + path);
+  std::fclose(file);
+  return ok;
+}
+
+bool writeFileSync(const std::string& path, std::string_view bytes,
+                   std::string* error) {
+  const int fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) {
+    setError(error, "cannot create " + path);
+    return false;
+  }
+  std::size_t written = 0;
+  while (written < bytes.size()) {
+    const ssize_t n =
+        ::write(fd, bytes.data() + written, bytes.size() - written);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      setError(error, "write error on " + path);
+      ::close(fd);
+      return false;
+    }
+    written += static_cast<std::size_t>(n);
+  }
+  if (::fsync(fd) != 0) {
+    setError(error, "fsync error on " + path);
+    ::close(fd);
+    return false;
+  }
+  if (::close(fd) != 0) {
+    setError(error, "close error on " + path);
+    return false;
+  }
+  return true;
+}
+
+bool atomicWriteFile(const std::string& path, std::string_view bytes,
+                     std::string* error) {
+  const std::string tmp = path + ".tmp";
+  if (!writeFileSync(tmp, bytes, error)) return false;
+  std::error_code ec;
+  std::filesystem::rename(tmp, path, ec);
+  if (ec) {
+    if (error != nullptr) {
+      *error = "cannot rename " + tmp + " over " + path + ": " + ec.message();
+    }
+    std::filesystem::remove(tmp, ec);
+    return false;
+  }
+  return true;
+}
+
+}  // namespace cookiepicker::util

@@ -1,0 +1,35 @@
+// Durable file I/O primitives.
+//
+// Every artifact this repository writes to disk — CLI metrics/audit dumps,
+// recorded traces, store snapshots — goes through these helpers so a crash
+// mid-write never leaves a half-written file at the destination path:
+// `atomicWriteFile` writes a sibling temp file, fsyncs it, and publishes it
+// with a single atomic rename. `writeFileSync` is the lower half (write +
+// fsync, no rename) for callers that manage publication themselves (the
+// store's crash-injection hooks simulate dying between the two halves).
+#pragma once
+
+#include <string>
+#include <string_view>
+
+namespace cookiepicker::util {
+
+// Reads a whole file into `out`. On failure returns false and, when `error`
+// is non-null, stores a human-readable reason.
+bool readFile(const std::string& path, std::string& out,
+              std::string* error = nullptr);
+
+// Writes `bytes` to `path` (truncating) and fsyncs the file before closing.
+// The destination is NOT atomically replaced — a crash mid-call can leave a
+// partial file at `path`. Building block for atomicWriteFile.
+bool writeFileSync(const std::string& path, std::string_view bytes,
+                   std::string* error = nullptr);
+
+// Crash-safe publish: writes `path + ".tmp"`, fsyncs it, then atomically
+// renames it over `path`. After a crash the destination holds either the
+// old content or the new content, never a mixture; a stale ".tmp" sibling
+// may remain and is safe to delete.
+bool atomicWriteFile(const std::string& path, std::string_view bytes,
+                     std::string* error = nullptr);
+
+}  // namespace cookiepicker::util

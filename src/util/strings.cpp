@@ -231,6 +231,54 @@ bool hasAdSignalToken(std::string_view value) {
   return false;
 }
 
+void appendEscapedStateField(std::string& out, std::string_view field) {
+  for (const char c : field) {
+    switch (c) {
+      case '%': out += "%25"; break;
+      case '|': out += "%7C"; break;
+      case ';': out += "%3B"; break;
+      case '\t': out += "%09"; break;
+      case '\n': out += "%0A"; break;
+      case '\r': out += "%0D"; break;
+      default: out += c; break;
+    }
+  }
+}
+
+std::string escapeStateField(std::string_view field) {
+  std::string out;
+  out.reserve(field.size());
+  appendEscapedStateField(out, field);
+  return out;
+}
+
+namespace {
+int hexValue(char c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+  return -1;
+}
+}  // namespace
+
+std::string unescapeStateField(std::string_view field) {
+  std::string out;
+  out.reserve(field.size());
+  for (std::size_t i = 0; i < field.size(); ++i) {
+    if (field[i] == '%' && i + 2 < field.size()) {
+      const int hi = hexValue(field[i + 1]);
+      const int lo = hexValue(field[i + 2]);
+      if (hi >= 0 && lo >= 0) {
+        out += static_cast<char>(hi * 16 + lo);
+        i += 2;
+        continue;
+      }
+    }
+    out += field[i];
+  }
+  return out;
+}
+
 std::string collapseWhitespace(std::string_view text) {
   std::string result;
   bool pendingSpace = false;

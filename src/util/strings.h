@@ -52,6 +52,16 @@ std::string collapseWhitespace(std::string_view text);
 void appendParts(std::string& out,
                  std::initializer_list<std::string_view> parts);
 
+// Serialized-state field escaping. The persistence formats (FORCUM site
+// lines, jar records, store WAL payloads) use '\t', ';', '|' and '\n' as
+// structural separators, while cookie names/domains/paths are
+// attacker-influenced — a cookie literally named "a|b;c" must survive a
+// save/load round trip instead of corrupting neighbouring fields. Fields
+// are percent-escaped on the way out and decoded on the way in.
+void appendEscapedStateField(std::string& out, std::string_view field);
+std::string escapeStateField(std::string_view field);
+std::string unescapeStateField(std::string_view field);
+
 // True if any token of `value` — split on ' ', '-', '_', compared
 // ASCII-case-insensitively — is an advertisement marker ("ad", "ads",
 // "adslot", "advert", "advertisement", "sponsor", "sponsored", "banner",

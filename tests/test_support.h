@@ -11,6 +11,7 @@
 #include "net/network.h"
 #include "server/generator.h"
 #include "server/site.h"
+#include "store/store.h"
 #include "util/clock.h"
 
 namespace cookiepicker::testsupport {
@@ -56,6 +57,10 @@ struct FleetRunOptions {
   bool collectObservability = false;
   bool autoEnforce = true;
   std::shared_ptr<const faults::FaultPlan> faultPlan;
+  // Durable state store the fleet should write through / recover from
+  // (null = no durability). Owned by the caller, who also owns any crash
+  // schedule installed on it.
+  store::StateStore* stateStore = nullptr;
 };
 
 inline fleet::FleetReport runMeasurementFleet(
@@ -71,6 +76,7 @@ inline fleet::FleetReport runMeasurementFleet(
   config.seed = options.seed;
   config.picker.autoEnforce = options.autoEnforce;
   config.collectObservability = options.collectObservability;
+  config.stateStore = options.stateStore;
   fleet::TrainingFleet trainingFleet(network, config);
   return trainingFleet.run(roster);
 }

@@ -5,9 +5,11 @@
 # (which rewrites BENCH_hotpath.json at the repo root — commit it when the
 # numbers move) and the fleet scaling bench, and gates on (a) the hot path
 # achieving at least MIN_SPEEDUP (default 3) over the reference
-# implementation on the Table 1 roster, and (b) the flight-recorder
+# implementation on the Table 1 roster, (b) the flight-recorder
 # instrumentation costing at most 10% of fast-path throughput
-# (instrumented_ratio >= MIN_INSTRUMENTED_RATIO, default 0.9).
+# (instrumented_ratio >= MIN_INSTRUMENTED_RATIO, default 0.9), and (c) the
+# durable-store WAL appends costing at most 5% of instrumented throughput
+# (store_ratio >= MIN_STORE_RATIO, default 0.95).
 #
 #   tools/bench.sh            # hot path + fleet scaling
 #   MIN_SPEEDUP=5 tools/bench.sh
@@ -17,6 +19,7 @@ ROOT="$(cd "$(dirname "$0")/.." && pwd)"
 JOBS="${JOBS:-$(nproc)}"
 MIN_SPEEDUP="${MIN_SPEEDUP:-3}"
 MIN_INSTRUMENTED_RATIO="${MIN_INSTRUMENTED_RATIO:-0.9}"
+MIN_STORE_RATIO="${MIN_STORE_RATIO:-0.95}"
 BUILD_DIR="$ROOT/build-bench"
 
 echo "=== configuring $BUILD_DIR (Release) ==="
@@ -54,6 +57,20 @@ if ! awk -v r="$ratio" -v min="$MIN_INSTRUMENTED_RATIO" \
   exit 1
 fi
 echo "OK: table1 instrumented ratio ${ratio}"
+
+echo "=== store overhead gate (ratio >= ${MIN_STORE_RATIO} on table1) ==="
+store_ratio="$(sed -n 's/.*"store_ratio": \([0-9.]*\),.*/\1/p' \
+               "$ROOT/BENCH_hotpath.json" | head -1)"
+if [[ -z "$store_ratio" ]]; then
+  echo "FAIL: could not read store_ratio from BENCH_hotpath.json" >&2
+  exit 1
+fi
+if ! awk -v r="$store_ratio" -v min="$MIN_STORE_RATIO" \
+     'BEGIN { exit !(r >= min) }'; then
+  echo "FAIL: table1 store ratio ${store_ratio} below required ${MIN_STORE_RATIO}" >&2
+  exit 1
+fi
+echo "OK: table1 store ratio ${store_ratio}"
 
 echo "=== fleet scaling ==="
 "$BUILD_DIR/bench/bench_fleet_scaling"

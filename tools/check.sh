@@ -13,9 +13,12 @@
 # COOKIEPICKER_CHAOS=1, which scales it up to 64 hosts / 8 workers under
 # an aggressive mixed fault plan. Each configuration gets its own build
 # tree so caches never mix (thread-metrics and the chaos soaks reuse the
-# sanitizer trees — same binaries, different environment).
+# sanitizer trees — same binaries, different environment). The crash-soak
+# config re-runs the CrashRecovery property suite in the ASan tree with
+# COOKIEPICKER_CHAOS=1, which scales the crash-point fuzzing from 24 to 200
+# seeded kill/recover cycles.
 #
-#   tools/check.sh                 # all seven configurations
+#   tools/check.sh                 # all eight configurations
 #   tools/check.sh thread          # just the TSan pass
 #   tools/check.sh thread-metrics  # TSan with the global recorder enabled
 #   tools/check.sh address         # just the ASan/UBSan pass
@@ -23,13 +26,15 @@
 #   tools/check.sh debug           # just the Debug differential pass
 #   tools/check.sh chaos-thread    # scaled-up chaos soak in the TSan tree
 #   tools/check.sh chaos-address   # scaled-up chaos soak in the ASan tree
+#   tools/check.sh crash-soak      # 200-seed crash-recovery fuzz, ASan tree
 set -euo pipefail
 
 ROOT="$(cd "$(dirname "$0")/.." && pwd)"
 JOBS="${JOBS:-$(nproc)}"
 CONFIGS=("${@:-plain}")
 if [[ $# -eq 0 ]]; then
-  CONFIGS=(plain thread thread-metrics address debug chaos-thread chaos-address)
+  CONFIGS=(plain thread thread-metrics address debug chaos-thread
+           chaos-address crash-soak)
 fi
 
 for config in "${CONFIGS[@]}"; do
@@ -38,6 +43,7 @@ for config in "${CONFIGS[@]}"; do
   obs_env=""
   chaos_env=""
   test_filter=""
+  soak_target="resilience_test"
   build_dir="$ROOT/build-check-$config"
   case "$config" in
     plain)   ;;
@@ -70,9 +76,19 @@ for config in "${CONFIGS[@]}"; do
       test_filter="ChaosSoak"
       build_dir="$ROOT/build-check-address"
       ;;
+    crash-soak)
+      # Crash-point fuzzing of the durable store in the ASan tree: 200
+      # seeded kill-at-random-point / recover / compare-bytes cycles
+      # (torn appends, kills after fsync, kills mid-snapshot-rename).
+      sanitize="address"
+      chaos_env="1"
+      test_filter="CrashRecovery"
+      soak_target="crash_recovery_test"
+      build_dir="$ROOT/build-check-address"
+      ;;
     *) echo "unknown configuration: $config" \
             "(want plain|thread|thread-metrics|address|debug|" \
-            "chaos-thread|chaos-address)" >&2
+            "chaos-thread|chaos-address|crash-soak)" >&2
        exit 2 ;;
   esac
   echo "=== [$config] configuring $build_dir ==="
@@ -86,9 +102,9 @@ for config in "${CONFIGS[@]}"; do
     (cd "$build_dir" && ctest --output-on-failure -j "$JOBS" \
         -R 'FastPathDifferential|Interner')
   elif [[ -n "$test_filter" ]]; then
-    echo "=== [$config] building resilience suite ==="
-    cmake --build "$build_dir" -j "$JOBS" --target resilience_test
-    echo "=== [$config] running chaos soak ==="
+    echo "=== [$config] building $soak_target ==="
+    cmake --build "$build_dir" -j "$JOBS" --target "$soak_target"
+    echo "=== [$config] running $test_filter soak ==="
     (cd "$build_dir" && COOKIEPICKER_CHAOS="$chaos_env" \
         ctest --output-on-failure -j "$JOBS" -R "$test_filter")
   else

@@ -11,10 +11,18 @@
 //                       [--strict]             (non-zero exit on drift)
 //   cookiepicker stats  [--sites N] ...        instrumented run: counters +
 //                                              per-phase latency shares
+//   cookiepicker fsck --state-dir DIR          offline store integrity scan
+//                                              (exit 1 on data loss)
 //
 // Flight-recorder outputs (audit + stats): --metrics-out FILE writes the
 // metrics snapshot as JSON, --audit-out FILE writes the per-verdict JSONL
 // audit trail.
+//
+// Durability: --state-dir DIR opens a durable state store there. The fleet
+// audit path resumes host-by-host (finished hosts are not rerun; interrupted
+// ones rerun from scratch to the identical bytes); the single-session audit
+// path reloads the saved extension state and continues training across
+// invocations, like a browser restart.
 #include <algorithm>
 #include <cstdio>
 #include <cstring>
@@ -34,7 +42,9 @@
 #include "obs/metrics.h"
 #include "obs/recorder.h"
 #include "server/generator.h"
+#include "store/store.h"
 #include "util/clock.h"
+#include "util/fileio.h"
 #include "util/stats.h"
 
 namespace {
@@ -51,6 +61,7 @@ struct Options {
   std::string metricsOut;  // metrics snapshot JSON destination
   std::string auditOut;    // audit-trail JSONL destination
   std::string faultPlanFile;  // fault schedule injected into the network
+  std::string stateDir;    // durable state store directory (empty = off)
   bool strict = false;     // replay: exit non-zero on drift
 };
 
@@ -79,6 +90,8 @@ Options parseOptions(int argc, char** argv, int firstFlag) {
       options.auditOut = next();
     } else if (flag == "--fault-plan") {
       options.faultPlanFile = next();
+    } else if (flag == "--state-dir") {
+      options.stateDir = next();
     } else if (flag == "--strict") {
       options.strict = true;
     } else {
@@ -89,12 +102,14 @@ Options parseOptions(int argc, char** argv, int firstFlag) {
 }
 
 bool writeFileOrComplain(const std::string& path, const std::string& bytes) {
-  std::ofstream out(path, std::ios::binary);
-  if (!out) {
-    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+  // Crash-safe publish: the destination always holds either the previous
+  // content or the complete new content, never a torn mixture.
+  std::string error;
+  if (!util::atomicWriteFile(path, bytes, &error)) {
+    std::fprintf(stderr, "cannot write %s: %s\n", path.c_str(),
+                 error.c_str());
     return false;
   }
-  out << bytes;
   return true;
 }
 
@@ -193,6 +208,13 @@ int runFleetAudit(const Options& options) {
   config.picker.autoEnforce = true;
   config.collectObservability =
       !options.metricsOut.empty() || !options.auditOut.empty();
+  std::optional<store::StateStore> stateStore;
+  if (!options.stateDir.empty()) {
+    store::StoreConfig storeConfig;
+    storeConfig.directory = options.stateDir;
+    stateStore.emplace(std::move(storeConfig));
+    config.stateStore = &*stateStore;
+  }
   fleet::TrainingFleet fleet(network, config);
   const fleet::FleetReport report = fleet.run(roster);
 
@@ -217,6 +239,15 @@ int runFleetAudit(const Options& options) {
     std::printf("faults injected      : %llu\n",
                 static_cast<unsigned long long>(network.injectedFailures()));
   }
+  if (stateStore.has_value()) {
+    int recoveredHosts = 0;
+    for (const fleet::HostResult& host : report.hosts) {
+      if (host.recovered) ++recoveredHosts;
+    }
+    std::printf("hosts from store     : %d of %zu (state dir %s)\n",
+                recoveredHosts, report.hosts.size(),
+                options.stateDir.c_str());
+  }
   if (config.collectObservability &&
       !writeObsOutputs(options, report.mergedMetrics(),
                        report.auditJsonl())) {
@@ -238,6 +269,44 @@ int runAudit(const Options& options) {
   std::shared_ptr<const faults::FaultPlan> faultPlan;
   if (!loadFaultPlan(options, faultPlan)) return 2;
   if (faultPlan != nullptr) network.setFaultPlan(faultPlan);
+
+  // Durable state: the whole single-session audit lives in one shard.
+  // A prior invocation's state (complete or crash-interrupted) is reloaded
+  // into the picker and training continues — the "browser restart" flow —
+  // as long as the stored fingerprint matches this run's parameters.
+  // Opened before the obs scope so recovery accounting stays out of the
+  // run's metrics snapshot.
+  std::optional<store::StateStore> stateStore;
+  store::HostStore* shard = nullptr;
+  const std::string fingerprint =
+      "cli-v1:" + std::to_string(options.seed) + ":" +
+      std::to_string(options.sites) + ":" + std::to_string(options.views);
+  if (!options.stateDir.empty()) {
+    store::StoreConfig storeConfig;
+    storeConfig.directory = options.stateDir;
+    stateStore.emplace(std::move(storeConfig));
+    shard = stateStore->openHost("session");
+    const store::ReplayedState& rec = shard->recovered();
+    bool resumed = false;
+    if (!rec.empty() && rec.meta.fingerprint == fingerprint) {
+      // A sealed session carries the exact saveState bytes; an interrupted
+      // one is reconstructed from its replayed records.
+      const std::string blob = rec.meta.complete && !rec.stateBlob.empty()
+                                   ? rec.stateBlob
+                                   : rec.synthesizeStateBlob();
+      std::string error;
+      if (picker.loadState(blob, &error)) {
+        shard->resumeSession(fingerprint);
+        resumed = true;
+        std::printf("state resumed from   : %s\n", options.stateDir.c_str());
+      } else {
+        std::fprintf(stderr, "state-dir resume rejected: %s\n",
+                     error.c_str());
+      }
+    }
+    if (!resumed) shard->beginSession(fingerprint);
+    picker.attachStateSink(shard);
+  }
 
   // Single-session flight recorder: one registry + trail for the whole run,
   // installed for the duration of the browsing loop.
@@ -269,11 +338,22 @@ int runAudit(const Options& options) {
     std::printf("faults injected      : %llu\n",
                 static_cast<unsigned long long>(network.injectedFailures()));
   }
-  if (collectObs) {
-    obsScope.reset();
-    if (!writeObsOutputs(options, metrics.snapshot(), audit.jsonl())) {
-      return 2;
-    }
+  if (collectObs) obsScope.reset();
+  if (shard != nullptr) {
+    store::SessionMeta meta;
+    meta.complete = true;
+    meta.pagesVisited = options.sites * options.views;
+    meta.markedUseful = usefulKept;
+    meta.fingerprint = fingerprint;
+    shard->finalize(
+        meta, picker.saveState(), browser.jar().serialize(),
+        collectObs ? store::encodeMetricsSnapshot(metrics.snapshot())
+                   : std::string(),
+        collectObs ? audit.jsonl() : std::string());
+  }
+  if (collectObs &&
+      !writeObsOutputs(options, metrics.snapshot(), audit.jsonl())) {
+    return 2;
   }
   return 0;
 }
@@ -315,8 +395,7 @@ int runRecord(const Options& options) {
             [recorder]() { return recorder->serialize(); });
       },
       &traceText);
-  std::ofstream out(options.outFile, std::ios::binary);
-  out << traceText;
+  if (!writeFileOrComplain(options.outFile, traceText)) return 2;
   std::printf("recorded trace to %s\njar state:\n%s", options.outFile.c_str(),
               jar.c_str());
   return 0;
@@ -432,25 +511,62 @@ int runStats(const Options& options) {
   return 0;
 }
 
+// Offline integrity scan of a --state-dir. Read-only: reports, per shard,
+// what a recovery would find — never repairs. Torn tails and orphan temp
+// files are benign crash residue; only actual data loss (checksum failures,
+// invalid snapshots) fails the scan.
+int runFsck(const Options& options) {
+  if (options.stateDir.empty()) {
+    std::fprintf(stderr, "fsck requires --state-dir DIR\n");
+    return 2;
+  }
+  const store::FsckReport report = store::StateStore::fsck(options.stateDir);
+  if (report.shards.empty()) {
+    std::printf("no shards in %s\n", options.stateDir.c_str());
+    return 0;
+  }
+  std::printf("%-24s %8s %8s %6s %5s %5s %7s  %s\n", "shard", "snap-rec",
+              "wal-rec", "seq", "seal", "torn", "corrupt", "status");
+  for (const store::ShardFsck& shard : report.shards) {
+    std::string status = shard.ok ? "ok" : "DATA LOSS";
+    if (shard.ok && shard.tornTail) status = "ok (torn tail)";
+    if (shard.ok && shard.orphanTmp) status += " (orphan tmp)";
+    std::printf("%-24s %8zu %8zu %6llu %5s %5s %7s  %s\n",
+                shard.shard.c_str(), shard.snapshotRecords, shard.walRecords,
+                static_cast<unsigned long long>(shard.lastSeq),
+                shard.complete ? "yes" : "no", shard.tornTail ? "yes" : "no",
+                shard.corrupt ? "yes" : "no", status.c_str());
+  }
+  std::printf("%zu shard(s): %s\n", report.shards.size(),
+              report.ok ? "all ok" : "DATA LOSS detected");
+  return report.ok ? 0 : 1;
+}
+
 int usage() {
   std::fprintf(
       stderr,
-      "usage: cookiepicker <demo|audit|census|stats|record|replay> [flags]\n"
+      "usage: cookiepicker <demo|audit|census|stats|record|replay|fsck>"
+      " [flags]\n"
       "  demo                              one-site walkthrough\n"
       "  audit  [--sites N] [--views V] [--seed S] [--workers W]\n"
       "         [--metrics-out FILE] [--audit-out FILE] [--fault-plan FILE]\n"
+      "         [--state-dir DIR]\n"
       "         (--workers fans per-host sessions out over W threads;\n"
       "          results are identical for any W; the out files dump the\n"
       "          flight recorder: metrics JSON and per-verdict JSONL;\n"
       "          --fault-plan injects a deterministic fault schedule —\n"
-      "          see DESIGN.md section 9 for the plan format)\n"
+      "          see DESIGN.md section 9 for the plan format;\n"
+      "          --state-dir persists training durably: an interrupted\n"
+      "          run resumes from it — see DESIGN.md section 10)\n"
       "  census [--sites N] [--seed S]\n"
       "  stats  [--sites N] [--views V] [--seed S] [--workers W]\n"
       "         [--metrics-out FILE] [--audit-out FILE]\n"
       "         (instrumented run: counter table + per-phase latency)\n"
       "  record --out FILE [--views V] [--seed S]\n"
       "  replay --in FILE  [--views V] [--seed S] [--strict]\n"
-      "         (prints a drift summary; --strict exits 1 on any miss)\n");
+      "         (prints a drift summary; --strict exits 1 on any miss)\n"
+      "  fsck   --state-dir DIR\n"
+      "         (read-only shard integrity scan; exit 1 on data loss)\n");
   return 2;
 }
 
@@ -466,5 +582,6 @@ int main(int argc, char** argv) {
   if (command == "stats") return runStats(options);
   if (command == "record") return runRecord(options);
   if (command == "replay") return runReplay(options);
+  if (command == "fsck") return runFsck(options);
   return usage();
 }
