@@ -10,6 +10,7 @@
 #include "browser/browser.h"
 #include "core/cookie_picker.h"
 #include "core/explain.h"
+#include "html/parser.h"
 #include "net/network.h"
 #include "server/generator.h"
 #include "util/clock.h"
@@ -59,8 +60,12 @@ int main() {
     const auto hidden = browser.hiddenFetch(
         view,
         [](const cookies::CookieRecord& record) { return record.persistent; });
+    // The browser's streaming pipeline keeps only flattened snapshots;
+    // explanations want real node trees, so re-parse the retained HTML.
+    const auto regularTree = html::parseHtml(view.containerHtml);
+    const auto hiddenTree = html::parseHtml(hidden.html);
     std::printf("\nwhy: %s",
-                core::explainDifference(*view.document, *hidden.document)
+                core::explainDifference(*regularTree, *hiddenTree)
                     .summary()
                     .c_str());
   }

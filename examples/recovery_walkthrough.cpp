@@ -68,7 +68,7 @@ int main() {
   std::printf("=== The user visits /account and sees a degraded page ===\n");
   auto view = browser.visit("http://portal.example/account/settings");
   const bool personalized =
-      view.document->textContent().find("Welcome back") != std::string::npos;
+      view.containerHtml.find("Welcome back") != std::string::npos;
   std::printf("personalized content present: %s\n\n",
               personalized ? "yes" : "no  <-- malfunction the user notices");
 
@@ -82,7 +82,7 @@ int main() {
   std::printf("=== The next visit works again ===\n");
   view = browser.visit("http://portal.example/account/settings");
   const bool fixed =
-      view.document->textContent().find("Welcome back") != std::string::npos;
+      view.containerHtml.find("Welcome back") != std::string::npos;
   std::printf("personalized content present: %s\n", fixed ? "yes" : "no");
   return 0;
 }

@@ -72,7 +72,7 @@ int main() {
   std::printf("personalization check: the page greets returning users\n");
   auto view = browser.visit("http://www.bigshop.example/");
   const bool personalized =
-      view.document->textContent().find("Welcome back") != std::string::npos;
+      view.containerHtml.find("Welcome back") != std::string::npos;
   std::printf("  personalized content present: %s\n\n",
               personalized ? "yes" : "no");
 
@@ -88,7 +88,7 @@ int main() {
   clock.advanceDays(29.0);
   view = browser.visit("http://www.bigshop.example/");
   const bool stillPersonalized =
-      view.document->textContent().find("Welcome back") != std::string::npos;
+      view.containerHtml.find("Welcome back") != std::string::npos;
   std::printf("  personalization survived restart + 29 days: %s\n",
               stillPersonalized ? "yes" : "NO (bug!)");
   const std::string cookieHeader =

@@ -23,12 +23,28 @@ void Doppelganger::onPageView(const browser::PageView& view) {
       [](const cookies::CookieRecord& record) { return record.persistent; });
   stats_.mirrorLatencyMs += fork.latencyMs;
 
+  // Doppelganger diffs serialized node trees, so it needs real documents.
+  // Streaming-mode fetches carry only snapshots; re-parse the retained HTML
+  // the same way the reference pipeline would have.
+  std::unique_ptr<dom::Node> forkParsed;
+  const dom::Node* forkDocument = fork.document.get();
+  if (forkDocument == nullptr) {
+    forkParsed = html::parseHtml(fork.html);
+    forkDocument = forkParsed.get();
+  }
+  std::unique_ptr<dom::Node> viewParsed;
+  const dom::Node* viewDocument = view.document.get();
+  if (viewDocument == nullptr) {
+    viewParsed = html::parseHtml(view.containerHtml);
+    viewDocument = viewParsed.get();
+  }
+
   // ...plus, unlike CookiePicker, every embedded object of the fork copy.
-  if (fork.document != nullptr) {
+  if (forkDocument != nullptr) {
     double batchMs = 0.0;
     int inBatch = 0;
     double totalMs = 0.0;
-    dom::preorder(*fork.document, [&](const dom::Node& node, std::size_t) {
+    dom::preorder(*forkDocument, [&](const dom::Node& node, std::size_t) {
       if (!node.isElement()) return true;
       std::optional<std::string> reference;
       if (node.name() == "img" || node.name() == "script") {
@@ -58,9 +74,9 @@ void Doppelganger::onPageView(const browser::PageView& view) {
   stats_.mirroredBytes += network_.totalBytesTransferred() - bytesBefore;
 
   // Any difference between the serialized windows triggers a user prompt.
-  const std::string mainHtml = dom::toHtml(*view.document);
+  const std::string mainHtml = dom::toHtml(*viewDocument);
   const std::string forkHtml =
-      fork.document != nullptr ? dom::toHtml(*fork.document) : std::string();
+      forkDocument != nullptr ? dom::toHtml(*forkDocument) : std::string();
   if (mainHtml != forkHtml) {
     ++stats_.userPrompts;
     if (oracle_(mainHtml, forkHtml)) {

@@ -108,6 +108,22 @@ void Browser::storeResponseCookies(const net::HttpResponse& response,
   }
 }
 
+// Streaming twin of collectSubresources: the builder already walked the
+// document in preorder and recorded the raw references plus the first
+// <base href>; only URL resolution is left.
+std::vector<net::Url> Browser::resolveSubresources(
+    const html::StreamPageInfo& page, const net::Url& documentUrl) const {
+  const net::Url baseUrl = page.baseHref.empty()
+                               ? documentUrl
+                               : documentUrl.resolve(page.baseHref);
+  std::vector<net::Url> resources;
+  resources.reserve(page.subresourceRefs.size());
+  for (const std::string& reference : page.subresourceRefs) {
+    resources.push_back(baseUrl.resolve(reference));
+  }
+  return resources;
+}
+
 std::vector<net::Url> Browser::collectSubresources(
     const dom::Node& document, const net::Url& documentUrl) const {
   // <base href> (first one wins) changes the URL all relative references
@@ -147,8 +163,13 @@ PageView Browser::visit(const std::string& url) {
   if (!parsed.has_value()) {
     PageView view;
     view.status = 0;
-    view.document = html::parseHtml("");
-    view.snapshot = std::make_shared<const dom::TreeSnapshot>(*view.document);
+    if (domMode_ == DomMode::Streaming) {
+      view.snapshot = streamBuilder_.build("").snapshot;
+    } else {
+      view.document = html::parseHtml("");
+      view.snapshot =
+          std::make_shared<const dom::TreeSnapshot>(*view.document);
+    }
     return view;
   }
   return visit(*parsed);
@@ -182,19 +203,29 @@ PageView Browser::visit(const net::Url& url) {
   view.containerRequest = request;
   view.status = exchange.response.status;
   view.containerHtml = exchange.response.body;
-  {
-    obs::ScopedTimer parseSpan(obs::Timer::HtmlParse);
-    view.document = html::parseHtml(view.containerHtml);
-  }
-  // Flatten once at parse time; every detection step over this view reads
-  // the cached snapshot instead of re-walking the node tree.
-  {
-    obs::ScopedTimer snapshotSpan(obs::Timer::SnapshotBuild);
-    view.snapshot = std::make_shared<const dom::TreeSnapshot>(*view.document);
+  if (domMode_ == DomMode::Streaming) {
+    // One pass: tokens flow straight into the snapshot arrays, and the
+    // subresource references fall out of the same walk. No node tree.
+    obs::ScopedTimer streamSpan(obs::Timer::StreamBuild);
+    html::StreamParseResult streamed = streamBuilder_.build(view.containerHtml);
+    view.snapshot = std::move(streamed.snapshot);
+    view.subresources = resolveSubresources(streamed.page, view.url);
+  } else {
+    {
+      obs::ScopedTimer parseSpan(obs::Timer::HtmlParse);
+      view.document = html::parseHtml(view.containerHtml);
+    }
+    // Flatten once at parse time; every detection step over this view reads
+    // the cached snapshot instead of re-walking the node tree.
+    {
+      obs::ScopedTimer snapshotSpan(obs::Timer::SnapshotBuild);
+      view.snapshot =
+          std::make_shared<const dom::TreeSnapshot>(*view.document);
+    }
+    view.subresources = collectSubresources(*view.document, view.url);
   }
 
   // Object requests (stylesheets, images, scripts).
-  view.subresources = collectSubresources(*view.document, view.url);
   double maxBatchMs = 0.0;
   double batchMs = 0.0;
   int inBatch = 0;
@@ -309,13 +340,17 @@ HiddenFetchResult Browser::hiddenFetch(
   result.truncated = bodyTruncated(exchange.response);
   result.status = exchange.response.status;
   result.html = exchange.response.body;
-  // Parsed with the same shared HTML parser as the regular copy, per
-  // Section 3.2 step three — and flattened by the same snapshot builder.
-  {
-    obs::ScopedTimer parseSpan(obs::Timer::HtmlParse);
-    result.document = html::parseHtml(result.html);
-  }
-  {
+  // Flattened by the same pipeline as the regular copy, per Section 3.2
+  // step three (the hidden copy fetches no objects, so its page info is
+  // discarded).
+  if (domMode_ == DomMode::Streaming) {
+    obs::ScopedTimer streamSpan(obs::Timer::StreamBuild);
+    result.snapshot = streamBuilder_.build(result.html).snapshot;
+  } else {
+    {
+      obs::ScopedTimer parseSpan(obs::Timer::HtmlParse);
+      result.document = html::parseHtml(result.html);
+    }
     obs::ScopedTimer snapshotSpan(obs::Timer::SnapshotBuild);
     result.snapshot =
         std::make_shared<const dom::TreeSnapshot>(*result.document);

@@ -14,12 +14,30 @@
 
 #include "cookies/jar.h"
 #include "cookies/policy.h"
+#include "html/stream_snapshot.h"
 #include "net/network.h"
 #include "browser/page.h"
 #include "util/clock.h"
 #include "util/rng.h"
 
 namespace cookiepicker::browser {
+
+// How page bodies become detection snapshots.
+//
+//  * Streaming (the default): the tokenizer feeds html::StreamingSnapshot-
+//    Builder directly — one pass, no dom::Node tree is ever built, and
+//    PageView::document / HiddenFetchResult::document stay null. Consumers
+//    that genuinely need a node tree (the DecisionConfig::useSnapshotFastPath
+//    escape hatch, audit evidence collection, the Doppelganger baseline)
+//    re-parse the retained HTML lazily.
+//  * Reference: the original parseHtml + TreeSnapshot(Node) pipeline. Kept
+//    as the differential-testing and A/B-measurement twin; both modes
+//    produce byte-identical snapshots and subresource lists (pinned by
+//    tests/snapshot_differential_test.cpp and the browser tests).
+enum class DomMode {
+  Streaming,
+  Reference,
+};
 
 // User think time between page views. Mah's empirical HTTP traffic model
 // [12] gives heavy-tailed think times with means above 10 seconds; we use a
@@ -55,9 +73,11 @@ struct RetryPolicy {
 };
 
 struct HiddenFetchResult {
+  // Reference-mode only: the parsed node tree. Null in streaming mode —
+  // callers needing a tree re-parse `html` lazily.
   std::unique_ptr<dom::Node> document;
-  // Flattened detection view of `document`, built at parse time like
-  // PageView::snapshot; null when the fetch failed to produce a document.
+  // Flattened detection view of the response body, built at parse time like
+  // PageView::snapshot.
   std::shared_ptr<const dom::TreeSnapshot> snapshot;
   std::string html;
   // Total virtual time spent: every attempt's round trip plus backoffs.
@@ -116,6 +136,9 @@ class Browser {
   // Simulates the user pausing between page views; advances the clock.
   double think();
 
+  DomMode domMode() const { return domMode_; }
+  void setDomMode(DomMode mode) { domMode_ = mode; }
+
   void setHiddenRetryPolicy(RetryPolicy policy) {
     hiddenRetryPolicy_ = policy;
   }
@@ -147,6 +170,8 @@ class Browser {
                             const net::Url& documentUrl);
   std::vector<net::Url> collectSubresources(const dom::Node& document,
                                             const net::Url& baseUrl) const;
+  std::vector<net::Url> resolveSubresources(const html::StreamPageInfo& page,
+                                            const net::Url& documentUrl) const;
 
   net::Network& network_;
   util::SimClock& clock_;
@@ -155,6 +180,10 @@ class Browser {
   util::Pcg32 rng_;
   ThinkTimeModel thinkTime_;
   std::function<bool(const cookies::CookieRecord&)> persistentSendFilter_;
+  DomMode domMode_ = DomMode::Streaming;
+  // Retained across page loads: its scratch (token buffers, open stack,
+  // per-tag info cache) makes steady-state builds allocation-light.
+  html::StreamingSnapshotBuilder streamBuilder_;
   std::uint64_t objectRequests_ = 0;
   RetryPolicy hiddenRetryPolicy_;
   std::uint64_t hiddenRetriesUsed_ = 0;

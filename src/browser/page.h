@@ -27,11 +27,13 @@ struct PageView {
   // The container request exactly as sent (URI and header information saved
   // for replay as the hidden request).
   net::HttpRequest containerRequest;
-  // The regular DOM tree, parsed by the shared HTML parser.
+  // The regular DOM tree. Only populated in DomMode::Reference; the
+  // streaming pipeline (the default) never builds it, and consumers that
+  // need a node tree re-parse `containerHtml` lazily.
   std::unique_ptr<dom::Node> document;
-  // Flattened detection view of `document`, built once at parse time and
-  // reused by every FORCUM step over this view (shared so reports and
-  // copies of the view alias one snapshot).
+  // Flattened detection view of the container page, built once at parse
+  // time and reused by every FORCUM step over this view (shared so reports
+  // and copies of the view alias one snapshot).
   std::shared_ptr<const dom::TreeSnapshot> snapshot;
   // Raw container HTML (kept for baselines that diff serialized text).
   std::string containerHtml;

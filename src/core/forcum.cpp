@@ -4,6 +4,7 @@
 #include <charconv>
 
 #include "core/explain.h"
+#include "html/parser.h"
 #include "obs/recorder.h"
 #include "util/clock.h"
 #include "util/strings.h"
@@ -288,8 +289,11 @@ ForcumStepReport ForcumEngine::runStep(const browser::PageView& view,
 
   // Only real container documents are trained on: an error page (5xx/4xx
   // from a transient failure) compared against a healthy hidden copy would
-  // mark every cookie in sight. Degrade to a counter-neutral skip.
-  if (view.status != 200 || view.document == nullptr) {
+  // mark every cookie in sight. Degrade to a counter-neutral skip. A view
+  // carries a snapshot (streaming mode) or a document (reference mode);
+  // either proves the container parsed.
+  if (view.status != 200 ||
+      (view.document == nullptr && view.snapshot == nullptr)) {
     report.skipped = true;
     report.skipReason = "container-error";
     obs::count(obs::Counter::ForcumStepsSkipped);
@@ -331,7 +335,8 @@ ForcumStepReport ForcumEngine::runStep(const browser::PageView& view,
   report.hiddenAttempts = hidden.attempts;
   report.testedGroup.assign(group.begin(), group.end());
 
-  if (!hidden.usable() || hidden.document == nullptr) {
+  if (!hidden.usable() ||
+      (hidden.document == nullptr && hidden.snapshot == nullptr)) {
     // The hidden copy never usably arrived (retries exhausted, error
     // status, truncated body): no decision this round. The state counters
     // stay untouched — only usable hidden rounds count — and the skip
@@ -369,12 +374,29 @@ ForcumStepReport ForcumEngine::runStep(const browser::PageView& view,
   // runs over snapshot arrays with this engine's reusable scratch. The
   // reference dom::Node path stays reachable via the config escape hatch
   // (and as the fallback when a caller hands in views without snapshots).
+  // Streaming-mode views carry no node tree at all, so the reference path
+  // — the escape hatch and the audit evidence diff below — re-parses the
+  // retained HTML lazily, at most once per copy per step.
+  std::unique_ptr<dom::Node> lazyRegular;
+  std::unique_ptr<dom::Node> lazyHidden;
+  const auto regularDocument = [&]() -> const dom::Node& {
+    if (view.document != nullptr) return *view.document;
+    if (lazyRegular == nullptr) {
+      lazyRegular = html::parseHtml(view.containerHtml);
+    }
+    return *lazyRegular;
+  };
+  const auto hiddenDocument = [&]() -> const dom::Node& {
+    if (hidden.document != nullptr) return *hidden.document;
+    if (lazyHidden == nullptr) lazyHidden = html::parseHtml(hidden.html);
+    return *lazyHidden;
+  };
   const bool fastPath = config_.decision.useSnapshotFastPath &&
                         view.snapshot != nullptr && hidden.snapshot != nullptr;
   report.decision =
       fastPath ? decideCookieUsefulness(*view.snapshot, *hidden.snapshot,
                                         scratch_, config_.decision)
-               : decideCookieUsefulness(*view.document, *hidden.document,
+               : decideCookieUsefulness(regularDocument(), hiddenDocument(),
                                         config_.decision);
   // The raw Figure-5 verdict, before any veto overwrites it — the audit
   // trail records this (its rederivation invariant depends on it).
@@ -389,7 +411,8 @@ ForcumStepReport ForcumEngine::runStep(const browser::PageView& view,
         });
     report.hiddenLatencyMs += reprobe.latencyMs;
     report.hiddenAttempts += reprobe.attempts;
-    if (!reprobe.usable() || reprobe.document == nullptr) {
+    if (!reprobe.usable() ||
+        (reprobe.document == nullptr && reprobe.snapshot == nullptr)) {
       // The confirming copy never arrived. Marking on an unconfirmed
       // verdict would defeat the re-probe's purpose, so the marking is
       // vetoed and the step degrades (the audit record keeps the real
@@ -407,12 +430,18 @@ ForcumStepReport ForcumEngine::runStep(const browser::PageView& view,
       DecisionConfig agreementConfig = config_.decision;
       agreementConfig.mode = DecisionMode::Either;
       agreementConfig.sameContextCredit = false;
+      std::unique_ptr<dom::Node> lazyReprobe;
+      const auto reprobeDocument = [&]() -> const dom::Node& {
+        if (reprobe.document != nullptr) return *reprobe.document;
+        if (lazyReprobe == nullptr) lazyReprobe = html::parseHtml(reprobe.html);
+        return *lazyReprobe;
+      };
       const DecisionResult agreement =
           (agreementConfig.useSnapshotFastPath &&
            hidden.snapshot != nullptr && reprobe.snapshot != nullptr)
               ? decideCookieUsefulness(*hidden.snapshot, *reprobe.snapshot,
                                        scratch_, agreementConfig)
-              : decideCookieUsefulness(*hidden.document, *reprobe.document,
+              : decideCookieUsefulness(hiddenDocument(), reprobeDocument(),
                                        agreementConfig);
       report.reprobeRan = true;
       report.reprobeAgreement = agreement;
@@ -513,7 +542,7 @@ ForcumStepReport ForcumEngine::runStep(const browser::PageView& view,
       explainOptions.decision = config_.decision;
       DifferenceExplanation evidence;
       evidence.decision = report.decision;
-      collectDifferenceEvidence(*view.document, *hidden.document,
+      collectDifferenceEvidence(regularDocument(), hiddenDocument(),
                                 explainOptions, evidence);
       record.evidenceStructureRegular =
           std::move(evidence.structureOnlyInRegular);

@@ -27,7 +27,10 @@ TreeSnapshot::TreeSnapshot(const Node& root) {
   textHashes_.reserve(count);
 
   flatten(root, 0);
+  finish();
+}
 
+void TreeSnapshot::finish() {
   // Child spans: one linear pass over the preorder arrays. Children of i
   // start at i + 1 and hop subtree to subtree; grouping the index lists in
   // node order keeps the offsets monotone.

@@ -11,6 +11,13 @@
 // every detection step over that document with integer compares and zero
 // further allocation.
 //
+// Two producers fill the arrays: the reference constructor below, which
+// flattens an existing dom::Node tree, and html::StreamingSnapshotBuilder,
+// which emits the same rows directly from the token stream without ever
+// materializing nodes. Both funnel through finish() so the derived child
+// spans and comparison root are computed by one shared pass; the
+// differential fuzz suite asserts the raw arrays are byte-identical.
+//
 // The snapshot is immutable after construction and safe to share across
 // threads; the interners it writes through are globally synchronized.
 #pragma once
@@ -20,6 +27,10 @@
 
 #include "dom/interner.h"
 #include "dom/node.h"
+
+namespace cookiepicker::html {
+class StreamingSnapshotBuilder;
+}  // namespace cookiepicker::html
 
 namespace cookiepicker::dom {
 
@@ -76,10 +87,14 @@ class TreeSnapshot {
   // FNV-1a 64 of the collapsed text (0 for non-text nodes).
   std::uint64_t textHash(std::uint32_t i) const { return textHashes_[i]; }
 
+  // The raw flag word for node i — exposed so the differential tests can
+  // compare the streaming and reference builds bit for bit rather than
+  // predicate by predicate.
+  std::uint16_t rawFlags(std::uint32_t i) const { return flags_[i]; }
+
   // Rough heap footprint, for the benchmark's bytes accounting.
   std::size_t memoryBytes() const;
 
- private:
   enum Flag : std::uint16_t {
     kElement = 1U << 0,
     kText = 1U << 1,
@@ -93,11 +108,23 @@ class TreeSnapshot {
     kTextDateLike = 1U << 9,
   };
 
+ private:
+  friend class ::cookiepicker::html::StreamingSnapshotBuilder;
+
+  // Empty snapshot for the streaming builder to fill row by row.
+  TreeSnapshot() = default;
+
   bool flag(std::uint32_t i, Flag bit) const {
     return (flags_[i] & bit) != 0;
   }
 
   std::uint32_t flatten(const Node& node, std::int32_t level);
+
+  // Derives child spans and the comparison root from the preorder rows.
+  // Shared by both producers — any row-level divergence between them shows
+  // up verbatim in the derived arrays instead of being masked by a second
+  // implementation of this pass.
+  void finish();
 
   std::vector<SymbolId> symbols_;
   std::vector<std::uint32_t> subtreeEnd_;

@@ -171,7 +171,9 @@ HostResult TrainingFleet::runHostSession(const server::SiteSpec& spec) const {
 FleetReport TrainingFleet::run(const std::vector<server::SiteSpec>& roster) {
   // Pre-intern common tag names so the worker threads mostly hit the
   // interner's shared-lock fast path instead of racing on first-touch
-  // inserts during the opening page views.
+  // inserts during the opening page views. The streaming snapshot builders
+  // inside each worker's Browser key their per-tag info caches by these
+  // same symbol IDs, so this warms them too.
   dom::warmGlobalInterners();
   FleetReport report;
   const int workers = std::clamp(

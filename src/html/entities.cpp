@@ -4,6 +4,8 @@
 #include <cctype>
 #include <cstdlib>
 
+#include "util/scan.h"
+
 namespace cookiepicker::html {
 
 namespace {
@@ -133,17 +135,15 @@ void appendUtf8(std::string& output, unsigned long codePoint) {
   }
 }
 
-std::string decodeEntities(std::string_view text) {
-  std::string output;
-  output.reserve(text.size());
+void decodeEntitiesInto(std::string_view text, std::string& output) {
   std::size_t i = 0;
   while (i < text.size()) {
+    // Bulk-copy the reference-free run up to the next '&'.
+    const std::size_t amp = util::findByte(text, i, '&');
+    output.append(text.data() + i, amp - i);
+    i = amp;
+    if (i >= text.size()) break;
     const char ch = text[i];
-    if (ch != '&') {
-      output.push_back(ch);
-      ++i;
-      continue;
-    }
     // Find the candidate reference: up to the next ';' within a short window.
     const std::size_t semicolon = text.find(';', i + 1);
     constexpr std::size_t kMaxEntityLength = 10;  // longest names: 7 chars
@@ -202,6 +202,12 @@ std::string decodeEntities(std::string_view text) {
     output.push_back(ch);
     ++i;
   }
+}
+
+std::string decodeEntities(std::string_view text) {
+  std::string output;
+  output.reserve(text.size());
+  decodeEntitiesInto(text, output);
   return output;
 }
 

@@ -12,6 +12,12 @@ namespace cookiepicker::html {
 // encoded as UTF-8.
 std::string decodeEntities(std::string_view text);
 
+// Appends the decoded form of `text` to `output` without clearing it —
+// the allocation-free variant the tokenizer's reuse API feeds. Ampersands
+// are located with memchr and the entity-free spans between them are copied
+// in bulk, so text with no references costs one scan plus one append.
+void decodeEntitiesInto(std::string_view text, std::string& output);
+
 // Appends the UTF-8 encoding of a Unicode code point to `output`. Invalid
 // code points (surrogates, > U+10FFFF) become U+FFFD.
 void appendUtf8(std::string& output, unsigned long codePoint);

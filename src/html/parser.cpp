@@ -20,22 +20,6 @@ bool isWhitespaceOnly(std::string_view text) {
   });
 }
 
-// Elements whose start tag belongs in <head> when seen before <body>.
-bool isHeadContentTag(const std::string& tag) {
-  return tag == "title" || tag == "meta" || tag == "link" || tag == "base" ||
-         tag == "style";
-}
-
-bool isBlockLevelTag(const std::string& tag) {
-  static const std::array<const char*, 24> kBlocks = {
-      "address", "article", "aside",      "blockquote", "div",    "dl",
-      "fieldset", "footer", "form",       "h1",         "h2",     "h3",
-      "h4",       "h5",     "h6",         "header",     "hr",     "nav",
-      "ol",       "p",      "pre",        "section",    "table",  "ul"};
-  return std::any_of(kBlocks.begin(), kBlocks.end(),
-                     [&](const char* block) { return tag == block; });
-}
-
 // Should an open element `openTag` be implicitly closed when a start tag
 // `incoming` arrives? This encodes the common HTML optional-end-tag rules.
 bool impliesEndOf(const std::string& incoming, const std::string& openTag) {
@@ -147,7 +131,14 @@ class TreeBuilder {
       return;
     }
 
-    if (body_ == nullptr && (isHeadContentTag(tag) || tag == "script")) {
+    // Head-content placement applies only at head level: if some element is
+    // still open (e.g. a <title> left open by a junk end tag), falling
+    // through to the generic path keeps tree order equal to emission order,
+    // which the streaming snapshot builder (html/stream_snapshot.h) relies
+    // on — a head_ append here would insert *before* the open element's
+    // pending children.
+    if (body_ == nullptr && openElements_.empty() &&
+        (isHeadContentTag(tag) || tag == "script")) {
       ensureHead();
       Node& element = head_->appendChild(Node::makeElement(tag));
       adoptAttributes(element, token.attributes);
@@ -270,6 +261,21 @@ bool isVoidElement(std::string_view tagName) {
       "area",  "base",  "br",   "col",    "embed",  "hr",   "img",
       "input", "link",  "meta", "param",  "source", "track", "wbr"};
   return std::any_of(kVoidTags.begin(), kVoidTags.end(),
+                     [&](const char* tag) { return tagName == tag; });
+}
+
+bool isHeadContentTag(std::string_view tagName) {
+  return tagName == "title" || tagName == "meta" || tagName == "link" ||
+         tagName == "base" || tagName == "style";
+}
+
+bool isBlockLevelTag(std::string_view tagName) {
+  static const std::array<const char*, 24> kBlocks = {
+      "address", "article", "aside",      "blockquote", "div",    "dl",
+      "fieldset", "footer", "form",       "h1",         "h2",     "h3",
+      "h4",       "h5",     "h6",         "header",     "hr",     "nav",
+      "ol",       "p",      "pre",        "section",    "table",  "ul"};
+  return std::any_of(kBlocks.begin(), kBlocks.end(),
                      [&](const char* tag) { return tagName == tag; });
 }
 

@@ -30,4 +30,12 @@ std::unique_ptr<dom::Node> parseHtml(std::string_view input,
 // True for elements that cannot have children (<br>, <img>, ...).
 bool isVoidElement(std::string_view tagName);
 
+// Elements whose start tag belongs in <head> when seen before <body>.
+// Shared with the streaming snapshot builder so both placement rules can
+// only diverge if this one function changes.
+bool isHeadContentTag(std::string_view tagName);
+
+// Block-level elements; an open <p> is implicitly closed when one arrives.
+bool isBlockLevelTag(std::string_view tagName);
+
 }  // namespace cookiepicker::html

@@ -1,0 +1,535 @@
+#include "html/stream_snapshot.h"
+
+#include <algorithm>
+
+#include "util/rng.h"
+#include "util/strings.h"
+
+namespace cookiepicker::html {
+
+namespace {
+
+using dom::TreeSnapshot;
+
+// The tree builder's whitespace-only test (parser.cpp) — '\v' excluded.
+bool isWhitespaceOnlyText(std::string_view text) {
+  return std::all_of(text.begin(), text.end(), [](char ch) {
+    return ch == ' ' || ch == '\t' || ch == '\r' || ch == '\n' || ch == '\f';
+  });
+}
+
+}  // namespace
+
+StreamingSnapshotBuilder::StreamingSnapshotBuilder() {
+  dom::SymbolInterner& interner = dom::globalSymbolInterner();
+  documentSymbol_ = interner.intern("#document");
+  textSymbol_ = interner.intern("#text");
+  commentSymbol_ = interner.intern("#comment");
+  htmlSymbol_ = interner.intern("html");
+  headSymbol_ = interner.intern("head");
+  bodySymbol_ = interner.intern("body");
+}
+
+dom::SymbolId StreamingSnapshotBuilder::localSymbol(const std::string& name) {
+  // Cheap slot hash: mixing length with the first and last byte separates
+  // the real-world tag vocabulary (div/span/td/tr/li/a/p/...) with almost
+  // no collisions; a wrong guess only costs one global intern.
+  std::size_t slot = name.size() * 131;
+  if (!name.empty()) {
+    slot += static_cast<unsigned char>(name.front()) * 31 +
+            static_cast<unsigned char>(name.back());
+  }
+  slot &= kSymbolCacheSize - 1;
+  SymbolSlot& entry = symbolCache_[slot];
+  if (entry.used && entry.name == name) return entry.symbol;
+  const dom::SymbolId symbol = dom::globalSymbolInterner().intern(name);
+  entry.used = true;
+  entry.name = name;
+  entry.symbol = symbol;
+  return symbol;
+}
+
+const StreamingSnapshotBuilder::TagInfo& StreamingSnapshotBuilder::tagInfo(
+    dom::SymbolId symbol, const std::string& name) {
+  if (symbol >= infoBySymbol_.size()) {
+    infoBySymbol_.resize(static_cast<std::size_t>(symbol) + 1);
+  }
+  TagInfo& info = infoBySymbol_[symbol];
+  if (info.known) return info;
+  info.known = true;
+  info.isVoid = isVoidElement(name);
+  info.headPlacement = isHeadContentTag(name) || name == "script";
+  info.headRawText = name == "title" || name == "style" || name == "script";
+  info.rawTextTag = isRawTextTag(name);
+  info.preformatted = name == "pre" || name == "textarea";
+  info.scriptish = name == "script" || name == "style" || name == "noscript";
+  info.isOption = name == "option";
+  info.nonVisual = dom::isNonVisualTag(name);
+  if (name == "html") {
+    info.structural = 1;
+  } else if (name == "head") {
+    info.structural = 2;
+  } else if (name == "body") {
+    info.structural = 3;
+  }
+  if (name == "img" || name == "script" || name == "iframe" ||
+      name == "embed") {
+    info.resource = 1;
+  } else if (name == "link") {
+    info.resource = 2;
+  } else if (name == "base") {
+    info.resource = 3;
+  }
+  if (name == "p") {
+    info.openClass = kClassP;
+  } else if (name == "li") {
+    info.openClass = kClassLi;
+  } else if (name == "dt" || name == "dd") {
+    info.openClass = kClassDtDd;
+  } else if (name == "option") {
+    info.openClass = kClassOption;
+  } else if (name == "td" || name == "th") {
+    info.openClass = kClassCell;
+  } else if (name == "tr") {
+    info.openClass = kClassRow;
+  } else if (name == "thead" || name == "tbody" || name == "tfoot") {
+    info.openClass = kClassSection;
+  }
+  if (isBlockLevelTag(name)) info.closeMask |= kClassP;
+  if (name == "li") info.closeMask |= kClassLi;
+  if (name == "dt" || name == "dd") info.closeMask |= kClassDtDd;
+  if (name == "option" || name == "optgroup") info.closeMask |= kClassOption;
+  if (name == "td" || name == "th") info.closeMask |= kClassCell;
+  if (name == "tr") info.closeMask |= kClassCell | kClassRow;
+  if (name == "tbody" || name == "thead" || name == "tfoot") {
+    info.closeMask |= kClassCell | kClassRow | kClassSection;
+  }
+  return info;
+}
+
+std::uint32_t StreamingSnapshotBuilder::rowCount() const {
+  return static_cast<std::uint32_t>(snap_->symbols_.size());
+}
+
+std::uint32_t StreamingSnapshotBuilder::emitRow(dom::SymbolId symbol,
+                                                std::int32_t level,
+                                                std::uint16_t flags) {
+  const std::uint32_t row = rowCount();
+  snap_->symbols_.push_back(symbol);
+  // Leaf extent; rows that acquire children (open elements, the structural
+  // skeleton) are re-patched when they close.
+  snap_->subtreeEnd_.push_back(row + 1);
+  snap_->levels_.push_back(level);
+  snap_->flags_.push_back(flags);
+  snap_->textHashes_.push_back(0);
+  return row;
+}
+
+void StreamingSnapshotBuilder::resetFrame(Frame& frame) {
+  frame.row = -1;
+  frame.lastTextSlot = -1;
+  frame.hasClass = false;
+  frame.hasId = false;
+  frame.classValue.clear();
+  frame.idValue.clear();
+}
+
+StreamParseResult StreamingSnapshotBuilder::build(std::string_view htmlText,
+                                                  const ParseOptions& options) {
+  StreamParseResult result;
+  auto snapshot = std::shared_ptr<TreeSnapshot>(new TreeSnapshot());
+  snap_ = snapshot.get();
+  page_ = &result.page;
+  options_ = &options;
+  resetFrame(document_);
+  resetFrame(html_);
+  resetFrame(head_);
+  resetFrame(body_);
+  open_.clear();
+  preformattedDepth_ = 0;
+  sawBase_ = false;
+  textRowCount_ = 0;
+
+  // Dense markup runs a few bytes per node; a light reserve skips the first
+  // few geometric regrowths without overcommitting on text-heavy pages.
+  const std::size_t rowGuess = htmlText.size() / 16 + 8;
+  snap_->symbols_.reserve(rowGuess);
+  snap_->subtreeEnd_.reserve(rowGuess);
+  snap_->levels_.reserve(rowGuess);
+  snap_->flags_.reserve(rowGuess);
+  snap_->textHashes_.reserve(rowGuess);
+
+  document_.row =
+      emitRow(documentSymbol_, 0, TreeSnapshot::kVisibleStructural);
+
+  Tokenizer tokenizer(htmlText);
+  while (tokenizer.next(token_)) {
+    switch (token_.type) {
+      case TokenType::Doctype:
+        processDoctype();
+        break;
+      case TokenType::Comment:
+        processComment();
+        break;
+      case TokenType::Text:
+        processText();
+        break;
+      case TokenType::StartTag:
+        processStartTag();
+        break;
+      case TokenType::EndTag:
+        processEndTag();
+        break;
+      case TokenType::EndOfFile:
+        break;
+    }
+  }
+
+  // Mirror TreeBuilder::build's trailing ensureBody (the skeleton exists
+  // even for empty input); anything still open extends to the last row.
+  ensureBody();
+  while (!open_.empty()) popOpen();
+  const std::uint32_t n = rowCount();
+  snap_->subtreeEnd_[static_cast<std::size_t>(document_.row)] = n;
+  snap_->subtreeEnd_[static_cast<std::size_t>(html_.row)] = n;
+  snap_->subtreeEnd_[static_cast<std::size_t>(body_.row)] = n;
+  // head's extent was fixed when body was created.
+
+  finalizeTextRows();
+  finalizeStructuralFlags(html_);
+  finalizeStructuralFlags(head_);
+  finalizeStructuralFlags(body_);
+  snap_->finish();
+
+  result.snapshot = std::move(snapshot);
+  snap_ = nullptr;
+  page_ = nullptr;
+  options_ = nullptr;
+  return result;
+}
+
+void StreamingSnapshotBuilder::processDoctype() {
+  if (html_.row != -1) return;  // doctype after <html>: dropped
+  document_.lastTextSlot = -1;
+  emitRow(localSymbol(token_.name), 1, 0);
+}
+
+void StreamingSnapshotBuilder::processComment() {
+  // TreeBuilder's insertionPoint chain: open stack top, else body, else
+  // head, else html, else the document.
+  std::int32_t level = 0;
+  if (!open_.empty()) {
+    Open& top = open_.back();
+    top.lastTextSlot = -1;
+    level = top.level + 1;
+  } else if (body_.row != -1) {
+    body_.lastTextSlot = -1;
+    level = 3;
+  } else if (head_.row != -1) {
+    head_.lastTextSlot = -1;
+    level = 3;
+  } else if (html_.row != -1) {
+    html_.lastTextSlot = -1;
+    level = 2;
+  } else {
+    document_.lastTextSlot = -1;
+    level = 1;
+  }
+  emitRow(commentSymbol_, level, TreeSnapshot::kComment);
+}
+
+void StreamingSnapshotBuilder::processText() {
+  const std::string& text = token_.text;
+  if (text.empty()) return;
+  if (isWhitespaceOnlyText(text)) {
+    if (body_.row == -1) return;  // whitespace before body: always dropped
+    const bool insideRaw = !open_.empty() && open_.back().rawTextTag;
+    if (options_->dropInterElementWhitespace && !insideRaw &&
+        preformattedDepth_ == 0) {
+      return;
+    }
+  }
+  const bool insideHeadRaw = !open_.empty() && open_.back().headRawText;
+  if (body_.row == -1 && !insideHeadRaw) ensureBody();
+  if (!open_.empty()) {
+    Open& top = open_.back();
+    appendTextTo(top.lastTextSlot, top.level);
+  } else {
+    appendTextTo(body_.lastTextSlot, 2);
+  }
+}
+
+void StreamingSnapshotBuilder::appendTextTo(std::int64_t& lastTextSlot,
+                                            std::int32_t parentLevel) {
+  if (lastTextSlot >= 0) {
+    // Adjacent text tokens merge into one DOM text node; the row already
+    // exists, only its pending content grows.
+    textRows_[static_cast<std::size_t>(lastTextSlot)].second.append(
+        token_.text);
+    return;
+  }
+  const std::uint32_t row =
+      emitRow(textSymbol_, parentLevel + 1, TreeSnapshot::kText);
+  if (textRowCount_ < textRows_.size()) {
+    auto& slot = textRows_[textRowCount_];
+    slot.first = row;
+    slot.second.assign(token_.text);
+  } else {
+    textRows_.emplace_back(row, token_.text);
+  }
+  lastTextSlot = static_cast<std::int64_t>(textRowCount_++);
+}
+
+void StreamingSnapshotBuilder::processStartTag() {
+  const dom::SymbolId symbol = localSymbol(token_.name);
+  const TagInfo& info = tagInfo(symbol, token_.name);
+
+  if (info.structural == 1) {
+    ensureHtml();
+    mergeStructuralAttributes(html_);
+    return;
+  }
+  if (info.structural == 2) {
+    ensureHead();
+    mergeStructuralAttributes(head_);
+    return;
+  }
+  if (info.structural == 3) {
+    ensureBody();
+    mergeStructuralAttributes(body_);
+    return;
+  }
+
+  std::uint16_t flags = TreeSnapshot::kElement;
+  if (info.scriptish) flags |= TreeSnapshot::kScriptish;
+  if (info.isOption) flags |= TreeSnapshot::kOption;
+  if (!info.nonVisual) flags |= TreeSnapshot::kVisibleStructural;
+  for (const dom::Attribute& attribute : token_.attributes) {
+    if ((attribute.name == "class" || attribute.name == "id") &&
+        util::hasAdSignalToken(attribute.value)) {
+      flags |= TreeSnapshot::kAdContainer;
+      break;
+    }
+  }
+
+  if (body_.row == -1 && open_.empty() && info.headPlacement) {
+    ensureHead();
+    head_.lastTextSlot = -1;
+    const std::uint32_t row = emitRow(symbol, 3, flags);
+    recordReferences(info);
+    if (!info.isVoid && !token_.selfClosing) {
+      pushOpen(row, symbol, info, 3);
+    }
+    return;
+  }
+
+  ensureBody();
+  while (!open_.empty() && (info.closeMask & open_.back().openClass) != 0) {
+    popOpen();
+  }
+  std::int32_t level;
+  if (!open_.empty()) {
+    open_.back().lastTextSlot = -1;
+    level = open_.back().level + 1;
+  } else {
+    body_.lastTextSlot = -1;
+    level = 3;
+  }
+  const std::uint32_t row = emitRow(symbol, level, flags);
+  recordReferences(info);
+  if (!info.isVoid && !token_.selfClosing) {
+    pushOpen(row, symbol, info, level);
+  }
+}
+
+void StreamingSnapshotBuilder::processEndTag() {
+  const dom::SymbolId symbol = localSymbol(token_.name);
+  if (symbol == htmlSymbol_ || symbol == bodySymbol_) return;
+  if (symbol == headSymbol_) {
+    // head_/body_ never sit on the open stack, so "pop down to them" pops
+    // everything — exactly TreeBuilder's </head> handling.
+    while (!open_.empty()) popOpen();
+    return;
+  }
+  for (std::size_t i = open_.size(); i > 0; --i) {
+    if (open_[i - 1].symbol == symbol) {
+      while (open_.size() >= i) popOpen();
+      return;
+    }
+  }
+  // No match: stray end tag, ignored.
+}
+
+void StreamingSnapshotBuilder::recordReferences(const TagInfo& info) {
+  if (info.resource == 0) return;
+  if (info.resource == 3) {  // <base>: only the first element counts
+    if (sawBase_) return;
+    sawBase_ = true;
+    for (const dom::Attribute& attribute : token_.attributes) {
+      if (attribute.name == "href") {
+        if (!attribute.value.empty()) page_->baseHref = attribute.value;
+        return;
+      }
+    }
+    return;
+  }
+  if (info.resource == 1) {  // img/script/iframe/embed
+    for (const dom::Attribute& attribute : token_.attributes) {
+      if (attribute.name == "src") {
+        if (!attribute.value.empty()) {
+          page_->subresourceRefs.push_back(attribute.value);
+        }
+        return;
+      }
+    }
+    return;
+  }
+  // <link rel~=stylesheet href=...>
+  const std::string* rel = nullptr;
+  const std::string* href = nullptr;
+  for (const dom::Attribute& attribute : token_.attributes) {
+    if (attribute.name == "rel") {
+      rel = &attribute.value;
+    } else if (attribute.name == "href") {
+      href = &attribute.value;
+    }
+  }
+  if (rel != nullptr && util::containsIgnoreCase(*rel, "stylesheet") &&
+      href != nullptr && !href->empty()) {
+    page_->subresourceRefs.push_back(*href);
+  }
+}
+
+void StreamingSnapshotBuilder::mergeStructuralAttributes(Frame& frame) {
+  // mergeAttributes semantics: across repeated <html>/<head>/<body> tags
+  // the first occurrence of each attribute wins. Only class/id feed the
+  // ad-container flag, so only they are tracked.
+  for (const dom::Attribute& attribute : token_.attributes) {
+    if (attribute.name == "class") {
+      if (!frame.hasClass) {
+        frame.hasClass = true;
+        frame.classValue = attribute.value;
+      }
+    } else if (attribute.name == "id") {
+      if (!frame.hasId) {
+        frame.hasId = true;
+        frame.idValue = attribute.value;
+      }
+    }
+  }
+}
+
+void StreamingSnapshotBuilder::finalizeStructuralFlags(const Frame& frame) {
+  if (frame.row == -1) return;
+  if ((frame.hasClass && util::hasAdSignalToken(frame.classValue)) ||
+      (frame.hasId && util::hasAdSignalToken(frame.idValue))) {
+    snap_->flags_[static_cast<std::size_t>(frame.row)] |=
+        TreeSnapshot::kAdContainer;
+  }
+}
+
+void StreamingSnapshotBuilder::finalizeTextRows() {
+  for (std::size_t slot = 0; slot < textRowCount_; ++slot) {
+    const std::uint32_t row = textRows_[slot].first;
+    util::collapseWhitespaceInto(textRows_[slot].second, collapseScratch_);
+    if (collapseScratch_.empty()) continue;
+    std::uint16_t flags = snap_->flags_[row] | TreeSnapshot::kTextNonEmpty;
+    if (util::hasAlphanumeric(collapseScratch_)) {
+      flags |= TreeSnapshot::kTextHasAlnum;
+    }
+    if (util::looksLikeDateOrTime(collapseScratch_)) {
+      flags |= TreeSnapshot::kTextDateLike;
+    }
+    snap_->flags_[row] = flags;
+    snap_->textHashes_[row] = util::fnv1a64(collapseScratch_);
+  }
+}
+
+void StreamingSnapshotBuilder::ensureHtml() {
+  if (html_.row != -1) return;
+  document_.lastTextSlot = -1;
+  html_.row = emitRow(
+      htmlSymbol_, 1,
+      TreeSnapshot::kElement | TreeSnapshot::kVisibleStructural);
+}
+
+void StreamingSnapshotBuilder::ensureHead() {
+  ensureHtml();
+  if (head_.row != -1) return;
+  html_.lastTextSlot = -1;
+  // <head> is a non-visual tag: kElement only.
+  head_.row = emitRow(headSymbol_, 2, TreeSnapshot::kElement);
+}
+
+void StreamingSnapshotBuilder::ensureBody() {
+  ensureHead();
+  if (body_.row != -1) return;
+  // Anything still open belonged to head content; it closes here, before
+  // the body row exists, so head's extent ends exactly at the body row.
+  while (!open_.empty()) popOpen();
+  snap_->subtreeEnd_[static_cast<std::size_t>(head_.row)] = rowCount();
+  html_.lastTextSlot = -1;
+  body_.row = emitRow(
+      bodySymbol_, 2,
+      TreeSnapshot::kElement | TreeSnapshot::kVisibleStructural);
+}
+
+void StreamingSnapshotBuilder::pushOpen(std::uint32_t row,
+                                        dom::SymbolId symbol,
+                                        const TagInfo& info,
+                                        std::int32_t level) {
+  if (info.preformatted) ++preformattedDepth_;
+  Open open;
+  open.row = row;
+  open.symbol = symbol;
+  open.level = level;
+  open.openClass = info.openClass;
+  open.rawTextTag = info.rawTextTag;
+  open.headRawText = info.headRawText;
+  open.preformatted = info.preformatted;
+  open_.push_back(open);
+}
+
+void StreamingSnapshotBuilder::popOpen() {
+  Open& top = open_.back();
+  snap_->subtreeEnd_[top.row] = rowCount();
+  if (top.preformatted) --preformattedDepth_;
+  open_.pop_back();
+}
+
+StreamPageInfo collectPageInfo(const dom::Node& document) {
+  StreamPageInfo info;
+  if (const dom::Node* base = document.findFirst("base")) {
+    if (const auto href = base->attribute("href");
+        href.has_value() && !href->empty()) {
+      info.baseHref = *href;
+    }
+  }
+  dom::preorder(document, [&](const dom::Node& node, std::size_t) {
+    if (!node.isElement()) return true;
+    const std::string& tag = node.name();
+    std::optional<std::string> reference;
+    if (tag == "img" || tag == "script" || tag == "iframe" ||
+        tag == "embed") {
+      reference = node.attribute("src");
+    } else if (tag == "link") {
+      const auto rel = node.attribute("rel");
+      if (rel.has_value() && util::containsIgnoreCase(*rel, "stylesheet")) {
+        reference = node.attribute("href");
+      }
+    }
+    if (reference.has_value() && !reference->empty()) {
+      info.subresourceRefs.push_back(std::move(*reference));
+    }
+    return true;
+  });
+  return info;
+}
+
+StreamParseResult buildSnapshotStreaming(std::string_view htmlText,
+                                         const ParseOptions& options) {
+  StreamingSnapshotBuilder builder;
+  return builder.build(htmlText, options);
+}
+
+}  // namespace cookiepicker::html

@@ -1,0 +1,208 @@
+// Streaming tokenizer→snapshot pipeline.
+//
+// StreamingSnapshotBuilder produces the exact dom::TreeSnapshot that
+// `parseHtml` + `TreeSnapshot(const Node&)` would, directly from the token
+// stream, never materializing a dom::Node. The open-tag stack mirrors the
+// TreeBuilder's placement rules (implicit html/head/body skeleton, head
+// content before <body>, optional-end-tag closing, whitespace dropping,
+// adjacent text merging) and emits preorder rows inline: because the
+// builder only ever appends to the rightmost spine of the growing tree,
+// emission order *is* preorder order, so each row's index is final the
+// moment its start tag (or text/comment token) arrives. Three things cannot
+// be known at emission time and are patched later, by index:
+//
+//  * subtree extents — finalized to the current row count when an element
+//    is popped (implicitly, by end tag, or at EOF);
+//  * merged text content — adjacent text tokens append to the row's pending
+//    buffer until a sibling arrives; flags and the FNV-1a-64 hash are
+//    computed from the full merged value in one EOF pass;
+//  * html/head/body ad-container flags — duplicated structural tags merge
+//    attributes first-wins, so class/id are accumulated and flagged at EOF.
+//
+// Child spans and the comparison root come from the same
+// TreeSnapshot::finish() pass the reference constructor uses. The
+// differential fuzz suite (tests/snapshot_differential_test.cpp) asserts
+// the two producers' arrays are byte-identical across seeded random and
+// mutated documents; the dom::Node path stays available behind
+// DecisionConfig::useSnapshotFastPath as the testing reference.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "dom/interner.h"
+#include "dom/snapshot.h"
+#include "html/parser.h"
+#include "html/tokenizer.h"
+
+namespace cookiepicker::html {
+
+// What the browser needs from a page besides the snapshot, collected during
+// the same streaming pass: the effective <base href> and the raw subresource
+// references (img/script/iframe/embed src, stylesheet link href) in preorder.
+// References are unresolved strings — URL resolution needs the document URL,
+// which is the browser's business.
+struct StreamPageInfo {
+  // First <base> element's non-empty href; empty when the document URL is
+  // the base (no <base>, or its href is missing/empty).
+  std::string baseHref;
+  std::vector<std::string> subresourceRefs;
+};
+
+struct StreamParseResult {
+  std::shared_ptr<const dom::TreeSnapshot> snapshot;
+  StreamPageInfo page;
+};
+
+class StreamingSnapshotBuilder {
+ public:
+  StreamingSnapshotBuilder();
+
+  // Tokenizes `htmlText` and builds snapshot + page info in one pass.
+  // Scratch state (token buffers, open stack, text accumulators, per-tag
+  // info cache) lives on the builder and is reused across calls, so a
+  // retained builder's steady-state allocations are the snapshot arrays
+  // themselves plus interner misses.
+  StreamParseResult build(std::string_view htmlText,
+                          const ParseOptions& options = {});
+
+ private:
+  // Optional-end-tag rules as bit tests: an open element is implicitly
+  // closed when (incoming.closeMask & open.openClass) != 0. Encodes
+  // parser.cpp's impliesEndOf; the differential suite pins the equivalence.
+  enum ClassBit : std::uint8_t {
+    kClassP = 1U << 0,
+    kClassLi = 1U << 1,
+    kClassDtDd = 1U << 2,
+    kClassOption = 1U << 3,
+    kClassCell = 1U << 4,     // td/th
+    kClassRow = 1U << 5,      // tr
+    kClassSection = 1U << 6,  // thead/tbody/tfoot
+  };
+
+  // Everything the builder needs to know about a tag, computed once per
+  // distinct tag name and cached by symbol ID.
+  struct TagInfo {
+    bool known = false;
+    bool isVoid = false;
+    bool headPlacement = false;  // head-content tags + script
+    bool headRawText = false;    // title/style/script (parser's head check)
+    bool rawTextTag = false;     // + textarea
+    bool preformatted = false;   // pre/textarea
+    bool scriptish = false;      // script/style/noscript
+    bool isOption = false;
+    bool nonVisual = false;
+    std::uint8_t structural = 0;  // 1 html, 2 head, 3 body
+    std::uint8_t resource = 0;    // 1 src carrier, 2 link, 3 base
+    std::uint8_t openClass = 0;
+    std::uint8_t closeMask = 0;
+  };
+
+  // An element on the open stack. Copies the TagInfo bits it needs —
+  // infoBySymbol_ may reallocate when a new tag is interned mid-document,
+  // so holding a TagInfo pointer across pushes would dangle.
+  struct Open {
+    std::uint32_t row = 0;
+    dom::SymbolId symbol = 0;
+    std::int32_t level = 0;
+    std::int64_t lastTextSlot = -1;  // textRows_ slot, -1: last child not text
+    std::uint8_t openClass = 0;
+    bool rawTextTag = false;
+    bool headRawText = false;
+    bool preformatted = false;
+  };
+
+  // One of the implicit structural elements (document/html/head/body).
+  struct Frame {
+    std::int64_t row = -1;
+    std::int64_t lastTextSlot = -1;
+    bool hasClass = false;
+    bool hasId = false;
+    std::string classValue;
+    std::string idValue;
+  };
+
+  const TagInfo& tagInfo(dom::SymbolId symbol, const std::string& name);
+
+  // Direct-mapped cache in front of the global symbol interner. The global
+  // interner is thread-safe (shared_mutex + string hash) and every start and
+  // end tag used to pay that cost; a page uses a couple dozen distinct tag
+  // names, so a tiny per-builder cache keyed by a two-byte-and-length hash
+  // turns almost every intern into one index plus one short string compare,
+  // no lock. Collisions simply fall through to the global interner (and
+  // take over the slot), so the returned IDs are always the global ones.
+  dom::SymbolId localSymbol(const std::string& name);
+
+  std::uint32_t rowCount() const;
+  std::uint32_t emitRow(dom::SymbolId symbol, std::int32_t level,
+                        std::uint16_t flags);
+  void processStartTag();
+  void processEndTag();
+  void processText();
+  void processComment();
+  void processDoctype();
+  void appendTextTo(std::int64_t& lastTextSlot, std::int32_t parentLevel);
+  void recordReferences(const TagInfo& info);
+  void mergeStructuralAttributes(Frame& frame);
+  void finalizeStructuralFlags(const Frame& frame);
+  void finalizeTextRows();
+  void resetFrame(Frame& frame);
+  void ensureHtml();
+  void ensureHead();
+  void ensureBody();
+  void pushOpen(std::uint32_t row, dom::SymbolId symbol, const TagInfo& info,
+                std::int32_t level);
+  void popOpen();
+
+  // Cached symbols for the rows every document emits.
+  dom::SymbolId documentSymbol_;
+  dom::SymbolId textSymbol_;
+  dom::SymbolId commentSymbol_;
+  dom::SymbolId htmlSymbol_;
+  dom::SymbolId headSymbol_;
+  dom::SymbolId bodySymbol_;
+
+  std::vector<TagInfo> infoBySymbol_;
+
+  struct SymbolSlot {
+    std::string name;
+    dom::SymbolId symbol = 0;
+    bool used = false;
+  };
+  static constexpr std::size_t kSymbolCacheSize = 256;
+  // Direct-mapped; persists across builds like infoBySymbol_.
+  std::vector<SymbolSlot> symbolCache_ =
+      std::vector<SymbolSlot>(kSymbolCacheSize);
+
+  // --- per-build state, reset by build() ---
+  dom::TreeSnapshot* snap_ = nullptr;
+  StreamPageInfo* page_ = nullptr;
+  const ParseOptions* options_ = nullptr;
+  Token token_;
+  Frame document_;
+  Frame html_;
+  Frame head_;
+  Frame body_;
+  std::vector<Open> open_;
+  int preformattedDepth_ = 0;
+  bool sawBase_ = false;
+  // Text rows with their accumulated raw (entity-decoded) content. Slots
+  // [0, textRowCount_) are live this build; strings keep their capacity.
+  std::vector<std::pair<std::uint32_t, std::string>> textRows_;
+  std::size_t textRowCount_ = 0;
+  std::string collapseScratch_;
+};
+
+// Reference twin of the streaming page-info collection, over a parsed tree.
+// Used by the reference (dom::Node) browser mode and by the differential
+// tests to pin StreamPageInfo against the tree-walking implementation.
+StreamPageInfo collectPageInfo(const dom::Node& document);
+
+// One-shot convenience for tests and tools (constructs a fresh builder).
+StreamParseResult buildSnapshotStreaming(std::string_view htmlText,
+                                         const ParseOptions& options = {});
+
+}  // namespace cookiepicker::html

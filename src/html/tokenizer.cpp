@@ -3,11 +3,10 @@
 #include <cctype>
 
 #include "html/entities.h"
+#include "util/scan.h"
 #include "util/strings.h"
 
 namespace cookiepicker::html {
-
-using util::toLowerAscii;
 
 namespace {
 
@@ -17,6 +16,21 @@ bool isTagNameStart(char ch) {
 
 bool isWhitespace(char ch) {
   return ch == ' ' || ch == '\t' || ch == '\r' || ch == '\n' || ch == '\f';
+}
+
+void appendLowerAscii(std::string& output, std::string_view text) {
+  // Source markup is almost always lowercase already; bulk-append the
+  // lowercase runs and only transcode the occasional uppercase stretch.
+  std::size_t i = 0;
+  while (i < text.size()) {
+    const std::size_t runStart = i;
+    while (i < text.size() && !(text[i] >= 'A' && text[i] <= 'Z')) ++i;
+    output.append(text.data() + runStart, i - runStart);
+    while (i < text.size() && text[i] >= 'A' && text[i] <= 'Z') {
+      output.push_back(static_cast<char>(text[i] - 'A' + 'a'));
+      ++i;
+    }
+  }
 }
 
 }  // namespace
@@ -38,13 +52,25 @@ std::vector<Token> Tokenizer::tokenizeAll(std::string_view input) {
 }
 
 Token Tokenizer::next() {
+  Token token;
+  next(token);
+  return token;
+}
+
+bool Tokenizer::next(Token& out) {
+  out.type = TokenType::EndOfFile;
+  out.name.clear();
+  out.text.clear();
+  out.attributes.clear();
+  out.selfClosing = false;
+
   if (!rawTextEndTag_.empty()) {
-    const std::string tagName = rawTextEndTag_;
+    rawText(rawTextEndTag_, out);
     rawTextEndTag_.clear();
-    return rawText(tagName);
+    return true;
   }
   if (position_ >= input_.size()) {
-    return Token{};  // EndOfFile
+    return false;  // EndOfFile
   }
   if (input_[position_] == '<') {
     // '<' not followed by tag-like syntax is literal text.
@@ -52,94 +78,90 @@ Token Tokenizer::next() {
       const char following = input_[position_ + 1];
       if (isTagNameStart(following) || following == '/' || following == '!' ||
           following == '?') {
-        return scanMarkup();
+        scanMarkup(out);
+        return true;
       }
     }
     // Lone '<' at end of input or before a non-tag character: treat as text.
     const std::size_t start = position_;
-    ++position_;
-    while (position_ < input_.size() && input_[position_] != '<') {
-      ++position_;
-    }
-    return textToken(start, position_);
+    position_ = util::findByte(input_, position_ + 1, '<');
+    textToken(start, position_, out);
+    return true;
   }
   const std::size_t start = position_;
-  while (position_ < input_.size() && input_[position_] != '<') {
-    ++position_;
-  }
-  return textToken(start, position_);
+  position_ = util::findByte(input_, position_, '<');
+  textToken(start, position_, out);
+  return true;
 }
 
-Token Tokenizer::textToken(std::size_t start, std::size_t end) {
-  Token token;
-  token.type = TokenType::Text;
-  token.text = decodeEntities(input_.substr(start, end - start));
-  return token;
+void Tokenizer::textToken(std::size_t start, std::size_t end, Token& out) {
+  out.type = TokenType::Text;
+  decodeEntitiesInto(input_.substr(start, end - start), out.text);
 }
 
-Token Tokenizer::scanMarkup() {
+void Tokenizer::scanMarkup(Token& out) {
   // position_ is at '<'.
   const char following = input_[position_ + 1];
   if (following == '!') {
     if (input_.compare(position_, 4, "<!--") == 0) {
       position_ += 4;
-      return scanComment();
+      scanComment(out);
+      return;
     }
     // "<!DOCTYPE" (any case)?
     if (input_.size() - position_ >= 9) {
       const std::string_view candidate = input_.substr(position_ + 2, 7);
       if (util::equalsIgnoreCase(candidate, "doctype")) {
         position_ += 9;
-        return scanDoctype();
+        scanDoctype(out);
+        return;
       }
     }
     position_ += 2;
-    return scanBogusComment();
+    scanBogusComment(out);
+    return;
   }
   if (following == '?') {
     // Processing instruction — browsers treat it as a bogus comment.
     position_ += 2;
-    return scanBogusComment();
+    scanBogusComment(out);
+    return;
   }
   if (following == '/') {
     position_ += 2;
-    return scanTag(/*isEndTag=*/true);
+    scanTag(/*isEndTag=*/true, out);
+    return;
   }
   position_ += 1;
-  return scanTag(/*isEndTag=*/false);
+  scanTag(/*isEndTag=*/false, out);
 }
 
-Token Tokenizer::scanComment() {
-  Token token;
-  token.type = TokenType::Comment;
+void Tokenizer::scanComment(Token& out) {
+  out.type = TokenType::Comment;
   const std::size_t closing = input_.find("-->", position_);
   if (closing == std::string_view::npos) {
-    token.text = std::string(input_.substr(position_));
+    out.text.assign(input_.substr(position_));
     position_ = input_.size();
   } else {
-    token.text = std::string(input_.substr(position_, closing - position_));
+    out.text.assign(input_.substr(position_, closing - position_));
     position_ = closing + 3;
   }
-  return token;
 }
 
-Token Tokenizer::scanBogusComment() {
-  Token token;
-  token.type = TokenType::Comment;
-  const std::size_t closing = input_.find('>', position_);
-  if (closing == std::string_view::npos) {
-    token.text = std::string(input_.substr(position_));
+void Tokenizer::scanBogusComment(Token& out) {
+  out.type = TokenType::Comment;
+  const std::size_t closing = util::findByte(input_, position_, '>');
+  if (closing >= input_.size()) {
+    out.text.assign(input_.substr(position_));
     position_ = input_.size();
   } else {
-    token.text = std::string(input_.substr(position_, closing - position_));
+    out.text.assign(input_.substr(position_, closing - position_));
     position_ = closing + 1;
   }
-  return token;
 }
 
-Token Tokenizer::scanDoctype() {
-  Token token;
-  token.type = TokenType::Doctype;
+void Tokenizer::scanDoctype(Token& out) {
+  out.type = TokenType::Doctype;
   while (position_ < input_.size() && isWhitespace(input_[position_])) {
     ++position_;
   }
@@ -148,43 +170,38 @@ Token Tokenizer::scanDoctype() {
          !isWhitespace(input_[position_])) {
     ++position_;
   }
-  token.name = toLowerAscii(input_.substr(start, position_ - start));
-  const std::size_t closing = input_.find('>', position_);
-  position_ = closing == std::string_view::npos ? input_.size() : closing + 1;
-  return token;
+  appendLowerAscii(out.name, input_.substr(start, position_ - start));
+  const std::size_t closing = util::findByte(input_, position_, '>');
+  position_ = closing >= input_.size() ? input_.size() : closing + 1;
 }
 
-Token Tokenizer::scanTag(bool isEndTag) {
-  Token token;
+void Tokenizer::scanTag(bool isEndTag, Token& token) {
   token.type = isEndTag ? TokenType::EndTag : TokenType::StartTag;
 
   const std::size_t nameStart = position_;
-  while (position_ < input_.size()) {
-    const char ch = input_[position_];
-    if (isWhitespace(ch) || ch == '>' || ch == '/') break;
-    ++position_;
-  }
-  token.name = toLowerAscii(input_.substr(nameStart, position_ - nameStart));
+  position_ = util::TagNameScanner::find(input_, position_);
+  appendLowerAscii(token.name,
+                   input_.substr(nameStart, position_ - nameStart));
 
   if (!isEndTag) {
     scanAttributes(token);
   }
 
-  // Skip to the closing '>' (end tags may carry junk we ignore).
-  while (position_ < input_.size() && input_[position_] != '>') {
-    if (!isEndTag && input_[position_] == '/' &&
-        position_ + 1 < input_.size() && input_[position_ + 1] == '>') {
-      token.selfClosing = true;
-    }
-    ++position_;
+  // Skip to the closing '>' (end tags may carry junk we ignore). A '/'
+  // immediately before it marks the tag self-closing, matching the scalar
+  // skip loop this scan replaced: the first '>' is at `closing`, so the only
+  // place "/>" can occur before it is closing - 1.
+  const std::size_t closing = util::findByte(input_, position_, '>');
+  if (!isEndTag && closing < input_.size() && closing > position_ &&
+      input_[closing - 1] == '/') {
+    token.selfClosing = true;
   }
-  if (position_ < input_.size()) ++position_;  // consume '>'
+  position_ = closing >= input_.size() ? input_.size() : closing + 1;
 
   if (token.type == TokenType::StartTag && !token.selfClosing &&
       isRawTextTag(token.name)) {
     rawTextEndTag_ = token.name;
   }
-  return token;
 }
 
 void Tokenizer::scanAttributes(Token& token) {
@@ -205,19 +222,17 @@ void Tokenizer::scanAttributes(Token& token) {
       continue;
     }
 
-    // Attribute name.
+    // Attribute name — built in place in the token's vector so the hot
+    // path never moves strings; a bad or duplicate attribute just pops the
+    // slot again.
     const std::size_t nameStart = position_;
-    while (position_ < input_.size()) {
-      const char nameChar = input_[position_];
-      if (isWhitespace(nameChar) || nameChar == '=' || nameChar == '>' ||
-          nameChar == '/') {
-        break;
-      }
-      ++position_;
-    }
-    std::string name =
-        toLowerAscii(input_.substr(nameStart, position_ - nameStart));
-    if (name.empty()) {
+    position_ = util::AttrNameScanner::find(input_, position_);
+    token.attributes.emplace_back();
+    dom::Attribute& attribute = token.attributes.back();
+    appendLowerAscii(attribute.name,
+                     input_.substr(nameStart, position_ - nameStart));
+    if (attribute.name.empty()) {
+      token.attributes.pop_back();
       ++position_;  // defensive: avoid infinite loop on weird input
       continue;
     }
@@ -225,7 +240,6 @@ void Tokenizer::scanAttributes(Token& token) {
     while (position_ < input_.size() && isWhitespace(input_[position_])) {
       ++position_;
     }
-    std::string value;
     if (position_ < input_.size() && input_[position_] == '=') {
       ++position_;
       while (position_ < input_.size() && isWhitespace(input_[position_])) {
@@ -236,66 +250,58 @@ void Tokenizer::scanAttributes(Token& token) {
         const char quote = input_[position_];
         ++position_;
         const std::size_t valueStart = position_;
-        while (position_ < input_.size() && input_[position_] != quote) {
-          ++position_;
-        }
-        value = decodeEntities(
-            input_.substr(valueStart, position_ - valueStart));
+        position_ = util::findByte(input_, position_, quote);
+        decodeEntitiesInto(
+            input_.substr(valueStart, position_ - valueStart),
+            attribute.value);
         if (position_ < input_.size()) ++position_;  // closing quote
       } else {
         const std::size_t valueStart = position_;
-        while (position_ < input_.size()) {
-          const char valueChar = input_[position_];
-          if (isWhitespace(valueChar) || valueChar == '>') break;
-          ++position_;
-        }
-        value = decodeEntities(
-            input_.substr(valueStart, position_ - valueStart));
+        position_ = util::UnquotedValueScanner::find(input_, position_);
+        decodeEntitiesInto(
+            input_.substr(valueStart, position_ - valueStart),
+            attribute.value);
       }
     }
     // First occurrence wins, as in browsers.
-    bool duplicate = false;
-    for (const dom::Attribute& existing : token.attributes) {
-      if (existing.name == name) {
-        duplicate = true;
+    const std::size_t earlier = token.attributes.size() - 1;
+    for (std::size_t k = 0; k < earlier; ++k) {
+      if (token.attributes[k].name == attribute.name) {
+        token.attributes.pop_back();
         break;
       }
-    }
-    if (!duplicate) {
-      token.attributes.push_back({std::move(name), std::move(value)});
     }
   }
 }
 
-Token Tokenizer::rawText(const std::string& tagName) {
+void Tokenizer::rawText(std::string_view tagName, Token& token) {
   // Consume everything up to "</tagName" (case-insensitive).
-  const std::string closingPrefix = "</" + tagName;
+  closingPrefix_.assign("</");
+  closingPrefix_.append(tagName);
   std::size_t search = position_;
   std::size_t contentEnd = input_.size();
   while (search < input_.size()) {
-    const std::size_t lt = input_.find('<', search);
-    if (lt == std::string_view::npos) break;
-    if (lt + closingPrefix.size() <= input_.size() &&
-        util::equalsIgnoreCase(input_.substr(lt, closingPrefix.size()),
-                               closingPrefix)) {
+    const std::size_t lt = util::findByte(input_, search, '<');
+    if (lt >= input_.size()) break;
+    if (lt + closingPrefix_.size() <= input_.size() &&
+        util::equalsIgnoreCase(input_.substr(lt, closingPrefix_.size()),
+                               closingPrefix_)) {
       contentEnd = lt;
       break;
     }
     search = lt + 1;
   }
 
-  Token token;
   token.type = TokenType::Text;
   const std::string_view content =
       input_.substr(position_, contentEnd - position_);
   // textarea/title content gets entity decoding; script/style does not.
   if (tagName == "textarea" || tagName == "title") {
-    token.text = decodeEntities(content);
+    decodeEntitiesInto(content, token.text);
   } else {
-    token.text = std::string(content);
+    token.text.assign(content);
   }
   position_ = contentEnd;
-  return token;
 }
 
 }  // namespace cookiepicker::html

@@ -5,6 +5,14 @@
 // consumes. Robust against malformed markup — unterminated tags, bare '<',
 // stray '>', bogus comments — because the paper's pipeline depends on both
 // page versions being tokenized by the *same* forgiving code path.
+//
+// Two token APIs share one scanner:
+//  * `Token next()` — value-returning, allocates fresh strings per token;
+//  * `bool next(Token&)` — the streaming hot path: the caller owns one Token
+//    whose name/text/attribute buffers are cleared and refilled each call, so
+//    steady-state tokenization performs no per-token allocations.
+// Inner loops (text runs, tag/attribute names, attribute values) advance via
+// the memchr/SWAR scanners in util/scan.h instead of byte-at-a-time walks.
 #pragma once
 
 #include <string>
@@ -32,24 +40,30 @@ class Tokenizer {
   // Returns the next token; TokenType::EndOfFile once exhausted.
   Token next();
 
+  // Refills `out` with the next token, reusing its string and attribute
+  // capacity. Returns false (and sets type to EndOfFile) once exhausted.
+  bool next(Token& out);
+
   // Tokenizes the whole input (excluding the EndOfFile token).
   static std::vector<Token> tokenizeAll(std::string_view input);
 
  private:
-  Token textToken(std::size_t start, std::size_t end);
-  Token scanMarkup();         // called at '<'
-  Token scanComment();        // called after "<!--"
-  Token scanBogusComment();   // "<!foo", "<?xml" etc.
-  Token scanDoctype();        // after "<!DOCTYPE"
-  Token scanTag(bool isEndTag);
+  void textToken(std::size_t start, std::size_t end, Token& out);
+  void scanMarkup(Token& out);        // called at '<'
+  void scanComment(Token& out);       // called after "<!--"
+  void scanBogusComment(Token& out);  // "<!foo", "<?xml" etc.
+  void scanDoctype(Token& out);       // after "<!DOCTYPE"
+  void scanTag(bool isEndTag, Token& out);
   void scanAttributes(Token& token);
-  Token rawText(const std::string& tagName);
+  void rawText(std::string_view tagName, Token& out);
 
   std::string_view input_;
   std::size_t position_ = 0;
   // When a <script>/<style>/<textarea>/<title> start tag is emitted, the
   // tokenizer switches to raw-text mode until the matching end tag.
   std::string rawTextEndTag_;
+  // Scratch for rawText's "</tagname" needle, retained across tokens.
+  std::string closingPrefix_;
 };
 
 // Tags whose content is raw text (no nested markup, no entity decoding for

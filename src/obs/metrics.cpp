@@ -62,6 +62,7 @@ constexpr GaugeMerge kGaugeMerges[kGaugeCount] = {
 constexpr const char* kTimerNames[kTimerCount] = {
     "html_parse",
     "snapshot_build",
+    "stream_build",
     "rstm_dp",
     "cvce_extract",
     "cvce_merge",

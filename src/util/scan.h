@@ -1,0 +1,175 @@
+// Branch-light byte scanning primitives for the HTML tokenizer's inner
+// loops.
+//
+// The tokenizer spends almost all of its time finding the *next interesting
+// byte*: the '<' that ends a text run, the quote that ends an attribute
+// value, the '&' that starts a character reference, the whitespace/'>'/'/'
+// that ends a tag or attribute name. Two tools cover those loops:
+//
+//  * findByte — a thin memchr wrapper (libc memchr is already SIMD on every
+//    platform we build on) for the single-needle scans;
+//  * SwarScanner — a SWAR (SIMD-within-a-register) multi-needle scan that
+//    tests eight bytes per 64-bit word with the classic
+//    haszero(word ^ broadcast(needle)) trick, for the stop sets a single
+//    memchr cannot express ({whitespace, '>', '/', '='} and friends).
+//
+// All scanners return the index of the first matching byte at or after
+// `from`, or text.size() when no byte matches — the form every tokenizer
+// loop wants ("advance to the boundary, then look at it").
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <string_view>
+
+namespace cookiepicker::util {
+
+// First occurrence of `needle` at or after `from`; text.size() if absent.
+inline std::size_t findByte(std::string_view text, std::size_t from,
+                            char needle) {
+  if (from >= text.size()) return text.size();
+  const void* hit = std::memchr(text.data() + from, needle,
+                                text.size() - from);
+  if (hit == nullptr) return text.size();
+  return static_cast<std::size_t>(static_cast<const char*>(hit) -
+                                  text.data());
+}
+
+namespace swar {
+
+inline constexpr std::uint64_t kOnes = 0x0101010101010101ULL;
+inline constexpr std::uint64_t kHighBits = 0x8080808080808080ULL;
+
+// High bit of each byte lane set iff that lane is zero.
+inline constexpr std::uint64_t hasZeroByte(std::uint64_t word) {
+  return (word - kOnes) & ~word & kHighBits;
+}
+
+inline constexpr std::uint64_t broadcast(char needle) {
+  return kOnes * static_cast<unsigned char>(needle);
+}
+
+// High bit of each lane set iff that lane equals `needle`.
+inline constexpr std::uint64_t matchByte(std::uint64_t word, char needle) {
+  return hasZeroByte(word ^ broadcast(needle));
+}
+
+inline std::uint64_t loadWord(const char* data) {
+  std::uint64_t word;
+  std::memcpy(&word, data, sizeof(word));  // alignment-safe, endian-agnostic
+  return word;
+}
+
+// Index (0-7) of the lowest lane whose high bit is set in a nonzero mask.
+// Little-endian byte order: the lowest-addressed byte is the lowest lane,
+// which is what every build target of this project uses.
+inline int firstMarkedLane(std::uint64_t mask) {
+  return __builtin_ctzll(mask) >> 3;
+}
+
+}  // namespace swar
+
+// Multi-needle SWAR scanner over a fixed stop set of up to four bytes plus
+// an optional "HTML whitespace" class ({' ', '\t', '\r', '\n', '\f'} —
+// deliberately *excluding* '\v', which the tokenizer treats as an ordinary
+// character). Whitespace is matched as a candidate range 0x09..0x0D plus
+// 0x20 and verified exactly, so a stray '\v' costs one scalar re-check but
+// never a wrong answer.
+template <bool MatchWhitespace, char N1, char N2 = N1, char N3 = N1>
+struct SwarScanner {
+  static constexpr bool isStop(char ch) {
+    if (MatchWhitespace && (ch == ' ' || ch == '\t' || ch == '\r' ||
+                            ch == '\n' || ch == '\f')) {
+      return true;
+    }
+    return ch == N1 || ch == N2 || ch == N3;
+  }
+
+  // First index >= from with isStop(text[i]); text.size() if none.
+  static std::size_t find(std::string_view text, std::size_t from) {
+    const char* data = text.data();
+    std::size_t i = from;
+    const std::size_t n = text.size();
+    while (i + 8 <= n) {
+      const std::uint64_t word = swar::loadWord(data + i);
+      std::uint64_t candidates = swar::matchByte(word, N1);
+      if constexpr (N2 != N1) candidates |= swar::matchByte(word, N2);
+      if constexpr (N3 != N1 && N3 != N2) {
+        candidates |= swar::matchByte(word, N3);
+      }
+      if constexpr (MatchWhitespace) {
+        candidates |= swar::matchByte(word, ' ');
+        // Range candidate 0x09..0x0D: subtracting 0x09 from each lane maps
+        // the range onto 0x00..0x04; lanes < 5 are then exactly the lanes
+        // whose (borrow-free) difference has a zero high nibble and value
+        // below 5. Cheapest correct form: three equality tests would cost
+        // the same as this subtract trick for a 5-wide range, but the range
+        // includes '\v' (0x0B) as a false positive either way, so candidates
+        // are verified scalar below.
+        const std::uint64_t shifted = word ^ swar::broadcast('\t');
+        // After XOR with 0x09: '\t'→0, '\n'→3, '\v'→2, '\f'→5, '\r'→4.
+        // All five land in 0..5; test "< 8" via zero high-pentad:
+        const std::uint64_t inLowRange =
+            swar::hasZeroByte(shifted & ~swar::kOnes * 0x07ULL);
+        candidates |= inLowRange;
+      }
+      while (candidates != 0) {
+        const int lane = swar::firstMarkedLane(candidates);
+        const char ch = data[i + static_cast<std::size_t>(lane)];
+        if (isStop(ch)) return i + static_cast<std::size_t>(lane);
+        candidates &= candidates - 1;  // false positive (e.g. '\v'): next
+      }
+      i += 8;
+    }
+    for (; i < n; ++i) {
+      if (isStop(data[i])) return i;
+    }
+    return n;
+  }
+};
+
+// The tokenizer's three multi-needle boundaries.
+//  Tag name:        whitespace | '>' | '/'
+//  Attribute name:  whitespace | '=' | '>' | '/'
+//  Unquoted value:  whitespace | '>'
+using TagNameScanner = SwarScanner<true, '>', '/'>;
+using AttrNameScanner = SwarScanner<true, '=', '>', '/'>;
+using UnquotedValueScanner = SwarScanner<true, '>'>;
+
+// The text-collapse whitespace class is the tokenizer class *plus* '\v'
+// (isspace semantics, not HTML inter-element semantics). Adding '\v' as the
+// explicit needle makes SwarScanner's verify step accept it, so this finds
+// the first byte of {' ', '\t', '\r', '\n', '\f', '\v'}.
+using AsciiSpaceScanner = SwarScanner<true, '\v'>;
+
+// First index >= from whose byte is NOT collapse-class whitespace;
+// text.size() if the rest is all whitespace. The per-lane mask is built
+// from exact equality tests (no range trick), because a false positive
+// here would silently skip a content byte instead of costing a re-check.
+inline std::size_t skipAsciiSpace(std::string_view text, std::size_t from) {
+  const char* data = text.data();
+  std::size_t i = from;
+  const std::size_t n = text.size();
+  while (i + 8 <= n) {
+    const std::uint64_t word = swar::loadWord(data + i);
+    const std::uint64_t space = swar::matchByte(word, ' ') |
+                                swar::matchByte(word, '\t') |
+                                swar::matchByte(word, '\n') |
+                                swar::matchByte(word, '\r') |
+                                swar::matchByte(word, '\f') |
+                                swar::matchByte(word, '\v');
+    const std::uint64_t nonSpace = ~space & swar::kHighBits;
+    if (nonSpace != 0) {
+      return i + static_cast<std::size_t>(swar::firstMarkedLane(nonSpace));
+    }
+    i += 8;
+  }
+  for (; i < n; ++i) {
+    const char ch = data[i];
+    if (!AsciiSpaceScanner::isStop(ch)) return i;
+  }
+  return n;
+}
+
+}  // namespace cookiepicker::util

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cctype>
 
+#include "util/scan.h"
+
 namespace cookiepicker::util {
 
 namespace {
@@ -279,20 +281,81 @@ std::string unescapeStateField(std::string_view field) {
   return out;
 }
 
+namespace {
+
+// True iff `text` contains no hard whitespace (anything but ' ') and no
+// adjacent spaces — i.e. collapsing it is the identity. SWAR over eight
+// bytes per probe; this is the overwhelmingly common shape of a text node
+// once its indentation has been trimmed (words separated by single spaces).
+bool isAlreadyCollapsed(std::string_view text) {
+  namespace swar = cookiepicker::util::swar;
+  const char* data = text.data();
+  const std::size_t n = text.size();
+  std::size_t i = 0;
+  bool prevSpace = false;
+  while (i + 8 <= n) {
+    const std::uint64_t word = swar::loadWord(data + i);
+    const std::uint64_t hardWs = swar::matchByte(word, '\t') |
+                                 swar::matchByte(word, '\n') |
+                                 swar::matchByte(word, '\r') |
+                                 swar::matchByte(word, '\f') |
+                                 swar::matchByte(word, '\v');
+    if (hardWs != 0) return false;
+    const std::uint64_t space = swar::matchByte(word, ' ');
+    // (space >> 8) aligns lane k+1 onto lane k, so the AND marks every
+    // lane followed by another space; the lane-0 check catches a pair that
+    // straddles the previous word.
+    if ((space & (space >> 8)) != 0) return false;
+    if (prevSpace && (space & 0x80ULL) != 0) return false;
+    prevSpace = (space & (0x80ULL << 56)) != 0;
+    i += 8;
+  }
+  for (; i < n; ++i) {
+    const char ch = data[i];
+    if (ch == '\t' || ch == '\n' || ch == '\r' || ch == '\f' || ch == '\v') {
+      return false;
+    }
+    const bool isSpace = ch == ' ';
+    if (isSpace && prevSpace) return false;
+    prevSpace = isSpace;
+  }
+  return true;
+}
+
+}  // namespace
+
+void collapseWhitespaceInto(std::string_view text, std::string& out) {
+  // This is the hottest text-path function (once per text node in both
+  // snapshot producers), and the dominant input shape is indentation around
+  // already-collapsed words ("\n      Welcome to the shop\n    "). Trim the
+  // edges, verify the middle is collapse-clean with a SWAR scan, and bulk
+  // copy it; only genuinely messy text takes the run-splitting loop.
+  // Semantics are unchanged from the classic scalar loop: words joined by
+  // single spaces, leading/trailing whitespace dropped.
+  out.clear();
+  std::size_t begin = 0;
+  std::size_t end = text.size();
+  while (begin < end && isAsciiSpace(text[begin])) ++begin;
+  while (end > begin && isAsciiSpace(text[end - 1])) --end;
+  const std::string_view mid = text.substr(begin, end - begin);
+  if (mid.empty()) return;
+  if (isAlreadyCollapsed(mid)) {
+    out.append(mid.data(), mid.size());
+    return;
+  }
+  const std::size_t n = mid.size();
+  std::size_t i = 0;
+  while (i < n) {
+    const std::size_t wordEnd = AsciiSpaceScanner::find(mid, i);
+    if (!out.empty()) out.push_back(' ');
+    out.append(mid.data() + i, wordEnd - i);
+    i = skipAsciiSpace(mid, wordEnd);
+  }
+}
+
 std::string collapseWhitespace(std::string_view text) {
   std::string result;
-  bool pendingSpace = false;
-  for (const char ch : text) {
-    if (isAsciiSpace(ch)) {
-      pendingSpace = !result.empty();
-      continue;
-    }
-    if (pendingSpace) {
-      result.push_back(' ');
-      pendingSpace = false;
-    }
-    result.push_back(ch);
-  }
+  collapseWhitespaceInto(text, result);
   return result;
 }
 

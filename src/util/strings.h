@@ -47,6 +47,10 @@ std::string replaceAll(std::string_view text, std::string_view from,
 // canonicalize text-node content before comparison.
 std::string collapseWhitespace(std::string_view text);
 
+// Same, writing into a caller-owned buffer (cleared first) so hot loops can
+// reuse one scratch string instead of allocating per call.
+void collapseWhitespaceInto(std::string_view text, std::string& out);
+
 // Appends every part to `out` after a single reserve — the building block
 // for serializers that would otherwise chain `a + b + c` temporaries.
 void appendParts(std::string& out,

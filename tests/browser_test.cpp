@@ -10,14 +10,53 @@ namespace {
 
 using testsupport::SimWorld;
 
-TEST(Browser, VisitParsesContainerIntoDom) {
+TEST(Browser, VisitBuildsStreamingSnapshot) {
   SimWorld world;
+  const auto spec = world.addGenericSite("shop.example");
+  const PageView view = world.browser.visit(world.urlFor(spec));
+  EXPECT_EQ(view.status, 200);
+  // Streaming mode (the default): snapshot only, no node tree.
+  EXPECT_EQ(view.document, nullptr);
+  ASSERT_NE(view.snapshot, nullptr);
+  EXPECT_GT(view.snapshot->nodeCount(), 0u);
+  EXPECT_GT(view.snapshot->comparisonRootIndex(), 0u);  // found <body>
+  EXPECT_EQ(view.url.host(), "shop.example");
+}
+
+TEST(Browser, ReferenceModeParsesContainerIntoDom) {
+  SimWorld world;
+  world.browser.setDomMode(DomMode::Reference);
   const auto spec = world.addGenericSite("shop.example");
   const PageView view = world.browser.visit(world.urlFor(spec));
   EXPECT_EQ(view.status, 200);
   ASSERT_NE(view.document, nullptr);
   EXPECT_NE(view.document->findFirst("body"), nullptr);
   EXPECT_EQ(view.url.host(), "shop.example");
+}
+
+TEST(Browser, StreamingAndReferenceModesAgree) {
+  SimWorld streaming;
+  SimWorld reference;
+  reference.browser.setDomMode(DomMode::Reference);
+  const auto specA = streaming.addGenericSite("shop.example");
+  const auto specB = reference.addGenericSite("shop.example");
+  const PageView a = streaming.browser.visit(streaming.urlFor(specA));
+  const PageView b = reference.browser.visit(reference.urlFor(specB));
+  ASSERT_NE(a.snapshot, nullptr);
+  ASSERT_NE(b.snapshot, nullptr);
+  // Identical snapshot arrays and identical resolved subresource lists.
+  ASSERT_EQ(a.snapshot->nodeCount(), b.snapshot->nodeCount());
+  for (std::uint32_t i = 0; i < a.snapshot->nodeCount(); ++i) {
+    EXPECT_EQ(a.snapshot->symbol(i), b.snapshot->symbol(i));
+    EXPECT_EQ(a.snapshot->subtreeEnd(i), b.snapshot->subtreeEnd(i));
+    EXPECT_EQ(a.snapshot->level(i), b.snapshot->level(i));
+    EXPECT_EQ(a.snapshot->rawFlags(i), b.snapshot->rawFlags(i));
+    EXPECT_EQ(a.snapshot->textHash(i), b.snapshot->textHash(i));
+  }
+  ASSERT_EQ(a.subresources.size(), b.subresources.size());
+  for (std::size_t i = 0; i < a.subresources.size(); ++i) {
+    EXPECT_EQ(a.subresources[i].toString(), b.subresources[i].toString());
+  }
 }
 
 TEST(Browser, VisitFetchesSubresources) {
@@ -80,7 +119,7 @@ TEST(Browser, UnparseableUrlYieldsEmptyView) {
   SimWorld world;
   const PageView view = world.browser.visit("not a url");
   EXPECT_EQ(view.status, 0);
-  ASSERT_NE(view.document, nullptr);
+  ASSERT_NE(view.snapshot, nullptr);  // empty-document skeleton, flattened
 }
 
 TEST(Browser, ThirdPartyCookiesBlockedByDefaultPolicy) {
@@ -109,12 +148,14 @@ TEST(Browser, HiddenFetchStripsSelectedPersistentCookies) {
       view,
       [](const cookies::CookieRecord& record) { return record.persistent; });
   EXPECT_EQ(hidden.status, 200);
-  ASSERT_NE(hidden.document, nullptr);
+  ASSERT_NE(hidden.snapshot, nullptr);
   EXPECT_EQ(hidden.strippedCookies.size(), 3u);
 }
 
 TEST(Browser, HiddenFetchKeepsSessionCookies) {
   SimWorld world;
+  // Reference mode: this test reads text out of the hidden node tree.
+  world.browser.setDomMode(DomMode::Reference);
   auto spec = server::makeGenericSpec("C", "cart.example", 6);
   spec.sessionCart = true;
   world.addSite(spec);

@@ -4,11 +4,15 @@
 // properties that matter more than spec-exact trees.
 #include <gtest/gtest.h>
 
+#include <cstdint>
 #include <string>
+#include <vector>
 
 #include "dom/serialize.h"
+#include "dom/snapshot.h"
 #include "html/entities.h"
 #include "html/parser.h"
+#include "html/stream_snapshot.h"
 #include "html/tokenizer.h"
 
 namespace cookiepicker::html {
@@ -180,6 +184,122 @@ INSTANTIATE_TEST_SUITE_P(
         "<script>", "<style>unclosed", "<title>t", "<textarea><p>x",
         "<li><li></ul><li>", "<b><p></b></p>", "&#;", "&#x;", "a&b;c",
         "<img src=x<p>", "<div =\"x\">", "<div ==>", "<DIV CLASS=UPPER>"));
+
+// --- hostile corpus, both pipelines ----------------------------------------
+//
+// Corpus format: each entry is {label, payload}. The label names the attack
+// class and shows up in failure messages; the payload is fed VERBATIM to
+// both producers — the reference pipeline (parseHtml → TreeSnapshot(Node) →
+// collectPageInfo) and the streaming pipeline (StreamingSnapshotBuilder) —
+// which must (a) not crash, hang, or trip a sanitizer, and (b) produce
+// byte-identical snapshots and page info. Entries that need runtime
+// construction (null bytes, megabyte payloads, generated nesting) are built
+// in hostileCorpus() below; keep one entry per distinct hostile *shape*
+// rather than piling on variants — the differential fuzz suite
+// (snapshot_differential_test.cpp) covers random variation.
+struct HostileDoc {
+  std::string label;
+  std::string payload;
+};
+
+std::vector<HostileDoc> hostileCorpus() {
+  std::vector<HostileDoc> corpus;
+  // Unclosed / misnested tags.
+  corpus.push_back({"unclosed-cascade", "<div><span><b><i><table><tr><td>x"});
+  corpus.push_back({"misnested-inline", "<b><i><u>x</b>y</i>z</u>"});
+  corpus.push_back(
+      {"close-wrong-order", "<div><p><ul><li>a</div></ul></p></li>"});
+  corpus.push_back({"head-left-open", "<title>never closed<p>body?"});
+  // Null bytes mid-token: inside text, a tag name, and an attribute value.
+  {
+    std::string nullText = "<p>a";
+    nullText.push_back('\0');
+    nullText += "b</p>";
+    corpus.push_back({"null-in-text", nullText});
+    std::string nullTag = "<di";
+    nullTag.push_back('\0');
+    nullTag += "v>x</div>";
+    corpus.push_back({"null-in-tag-name", nullTag});
+    std::string nullAttr = "<div class=\"a";
+    nullAttr.push_back('\0');
+    nullAttr += "b\">x</div>";
+    corpus.push_back({"null-in-attribute", nullAttr});
+  }
+  // Megabyte attribute value (exercises the quoted-value memchr scan and
+  // entity bulk copy on a single token).
+  {
+    std::string big(1 << 20, 'x');
+    big[big.size() / 2] = '&';  // one entity candidate in the middle
+    corpus.push_back(
+        {"megabyte-attribute", "<div data-blob=\"" + big + "\">y</div>"});
+  }
+  // Pathological entity runs: thousands of adjacent candidates, complete,
+  // bogus, and cut off at the end of input.
+  {
+    std::string entities = "<p>";
+    for (int i = 0; i < 4000; ++i) entities += "&amp;&bogus;&#6";
+    corpus.push_back({"entity-run", entities});
+  }
+  // Comment / CDATA-ish edge forms.
+  corpus.push_back({"comment-unclosed", "<div><!-- never closed <p>x"});
+  corpus.push_back({"comment-dashes", "<!-- a -- b --- c --><p>x</p>"});
+  corpus.push_back({"comment-instant-close", "<!--><p>x</p>"});
+  corpus.push_back({"cdata-form", "<![CDATA[ <p>not parsed</p> ]]><div>x"});
+  corpus.push_back({"processing-instruction", "<?php echo '<p>'; ?><div>x"});
+  corpus.push_back({"doctype-junk", "<!DOCTYPE html PUBLIC \"-//junk<p>\">x"});
+  // Deeply nested tables (the optional-end-tag mask under depth stress).
+  {
+    std::string tables;
+    for (int i = 0; i < 64; ++i) tables += "<table><tr><td>";
+    tables += "bottom";
+    corpus.push_back({"nested-tables", tables});
+  }
+  // Raw-text end-tag confusion at EOF.
+  corpus.push_back({"script-eof-teaser", "<script>if (a </scrip"});
+  corpus.push_back({"textarea-markup", "<textarea><div>&amp;</textarea><p>x"});
+  // Structural tags repeated with conflicting attributes.
+  corpus.push_back({"duplicate-structurals",
+                    "<html class=a><body id=b><html class=c><body id=d>x"});
+  // Whitespace-only soup around the skeleton.
+  corpus.push_back({"whitespace-soup", "  \n\t  <html>  \f  <body>  \r\n "});
+  return corpus;
+}
+
+// Byte-equality of the two producers over one payload.
+void expectPipelinesAgree(const HostileDoc& doc) {
+  SCOPED_TRACE(doc.label);
+  const auto document = parseHtml(doc.payload);
+  const dom::TreeSnapshot reference(*document);
+  const StreamPageInfo referencePage = collectPageInfo(*document);
+  const StreamParseResult streamed = buildSnapshotStreaming(doc.payload);
+  ASSERT_NE(streamed.snapshot, nullptr);
+  const dom::TreeSnapshot& streaming = *streamed.snapshot;
+  ASSERT_EQ(reference.nodeCount(), streaming.nodeCount());
+  for (std::uint32_t i = 0; i < reference.nodeCount(); ++i) {
+    ASSERT_EQ(reference.symbol(i), streaming.symbol(i)) << "row " << i;
+    ASSERT_EQ(reference.subtreeEnd(i), streaming.subtreeEnd(i)) << "row " << i;
+    ASSERT_EQ(reference.level(i), streaming.level(i)) << "row " << i;
+    ASSERT_EQ(reference.rawFlags(i), streaming.rawFlags(i)) << "row " << i;
+    ASSERT_EQ(reference.textHash(i), streaming.textHash(i)) << "row " << i;
+    ASSERT_EQ(reference.childCount(i), streaming.childCount(i)) << "row " << i;
+  }
+  EXPECT_EQ(reference.comparisonRootIndex(), streaming.comparisonRootIndex());
+  EXPECT_EQ(referencePage.baseHref, streamed.page.baseHref);
+  EXPECT_EQ(referencePage.subresourceRefs, streamed.page.subresourceRefs);
+}
+
+TEST(Torture, HostileCorpusBothPipelinesAgree) {
+  for (const HostileDoc& doc : hostileCorpus()) {
+    expectPipelinesAgree(doc);
+    if (::testing::Test::HasFailure()) return;
+  }
+}
+
+// The broken fragments above, through both pipelines too — the determinism
+// sweep doubles as a streaming-equivalence sweep.
+TEST_P(BrokenFragment, StreamingSnapshotMatchesReference) {
+  expectPipelinesAgree({GetParam(), GetParam()});
+}
 
 }  // namespace
 }  // namespace cookiepicker::html

@@ -46,7 +46,7 @@ TEST(FailureInjection, BrowserSurvives503Container) {
   world.network.setFailureProbability(1.0);
   const browser::PageView view = world.browser.visit(world.urlFor(spec));
   EXPECT_EQ(view.status, 503);
-  ASSERT_NE(view.document, nullptr);  // error page still parsed
+  ASSERT_NE(view.snapshot, nullptr);  // error page still parsed + flattened
 }
 
 TEST(FailureInjection, TrainingConvergesDespiteFlakiness) {

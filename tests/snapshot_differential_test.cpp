@@ -1,0 +1,420 @@
+// Differential fuzz harness for the streaming tokenizer→snapshot pipeline.
+//
+// The streaming builder (html/stream_snapshot.h) must produce *byte-identical*
+// output to the reference pipeline — parseHtml into a dom::Node tree, then
+// TreeSnapshot(root) — for any input whatsoever: every preorder row (symbol,
+// subtree extent, level, flags, text hash), the CSR child spans, the
+// comparison root, the collected page info, and every downstream RSTM/CVCE
+// similarity computed from the snapshots, with exact double equality.
+//
+// Inputs are seeded random documents pushed through mutation operators that
+// deliberately break well-formedness: tag deletion, truncation at arbitrary
+// byte offsets (mid-tag, mid-entity, mid-attribute), attribute-quote flips,
+// entity splicing, and nesting shuffles. Every failure message carries the
+// parameter seed, so any divergence reproduces offline with a one-line
+// filter. COOKIEPICKER_FUZZ scales the per-seed trial count for soak runs
+// (tools/check.sh wires it into the sanitizer matrix as `fuzz-soak`).
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/decision.h"
+#include "dom/interner.h"
+#include "dom/node.h"
+#include "dom/snapshot.h"
+#include "html/parser.h"
+#include "html/stream_snapshot.h"
+#include "util/rng.h"
+
+namespace cookiepicker {
+namespace {
+
+// Trial multiplier for soak runs. 1 keeps the default suite fast (~1000
+// generated documents across the seed axis); fuzz-soak sets 10+.
+int fuzzScale() {
+  const char* env = std::getenv("COOKIEPICKER_FUZZ");
+  if (env == nullptr) return 1;
+  const int value = std::atoi(env);
+  return value > 0 ? value : 1;
+}
+
+// --- seeded document generator ----------------------------------------------
+
+// Tag pool spanning every placement rule the builder implements: structural
+// tags, head content, raw text, voids, optional-end-tag families,
+// preformatted, scriptish, and plain containers.
+constexpr const char* kContainers[] = {"div",  "span", "p",    "ul",
+                                       "li",   "table", "tr",  "td",
+                                       "th",   "tbody", "dl",  "dt",
+                                       "dd",   "select", "option", "form",
+                                       "h1",   "a",    "b",    "pre",
+                                       "textarea", "script", "style",
+                                       "noscript", "optgroup", "thead"};
+
+constexpr const char* kVoids[] = {"br", "img", "hr", "input", "meta", "link",
+                                  "base", "embed"};
+
+constexpr const char* kClassValues[] = {"content", "header", "ad",
+                                        "ads banner", "sidebar promo",
+                                        "main", "download", "top-ad",
+                                        "shadow"};
+
+constexpr const char* kTexts[] = {
+    "breaking news", "hello &amp; goodbye", "2007-01-17", "12:30:05",
+    "***", "   ", "a  b\t c", "Weather: sunny &#65;", "x", "- - -",
+    "cart total: 3 items", "&lt;tag&gt; soup", "today 12:30:05",
+};
+
+constexpr const char* kUrls[] = {"/a.css", "style.css", "img/banner.gif",
+                                 "http://cdn.example/lib.js", "s.js",
+                                 "../up.png", ""};
+
+void appendRandomAttributes(util::Pcg32& rng, std::string& out) {
+  const int count = static_cast<int>(rng.uniform(0, 2));
+  for (int i = 0; i < count; ++i) {
+    switch (rng.uniform(0, 3)) {
+      case 0:
+        out += " class=\"";
+        out += kClassValues[rng.uniform(0, std::size(kClassValues) - 1)];
+        out += '"';
+        break;
+      case 1:
+        out += " id='";
+        out += kClassValues[rng.uniform(0, std::size(kClassValues) - 1)];
+        out += '\'';
+        break;
+      case 2:
+        out += " data-x=unquoted";
+        break;
+      default:
+        out += " title=\"a &amp; b\"";
+        break;
+    }
+  }
+}
+
+void appendRandomMarkup(util::Pcg32& rng, int depth, std::string& out) {
+  switch (rng.uniform(0, 9)) {
+    case 0:
+      out += kTexts[rng.uniform(0, std::size(kTexts) - 1)];
+      break;
+    case 1:
+      out += "<!-- comment <p>ghost</p> -->";
+      break;
+    case 2: {
+      const char* tag = kVoids[rng.uniform(0, std::size(kVoids) - 1)];
+      out += '<';
+      out += tag;
+      if (rng.uniform(0, 1) == 0) {
+        out += " src=\"";
+        out += kUrls[rng.uniform(0, std::size(kUrls) - 1)];
+        out += "\" href=";
+        out += kUrls[rng.uniform(0, std::size(kUrls) - 2)];
+        if (rng.uniform(0, 1) == 0) out += " rel=stylesheet";
+      }
+      out += rng.uniform(0, 3) == 0 ? "/>" : ">";
+      break;
+    }
+    case 3:  // stray end tag, sometimes matching nothing
+      out += "</";
+      out += kContainers[rng.uniform(0, std::size(kContainers) - 1)];
+      out += '>';
+      break;
+    default: {
+      const char* tag =
+          kContainers[rng.uniform(0, std::size(kContainers) - 1)];
+      out += '<';
+      out += tag;
+      appendRandomAttributes(rng, out);
+      out += '>';
+      if (depth > 0) {
+        const int children = static_cast<int>(rng.uniform(0, 3));
+        for (int i = 0; i < children; ++i) {
+          appendRandomMarkup(rng, depth - 1, out);
+        }
+      }
+      // Half the time the element is left unclosed (tag soup).
+      if (rng.uniform(0, 1) == 0) {
+        out += "</";
+        out += tag;
+        out += '>';
+      }
+      break;
+    }
+  }
+}
+
+std::string randomDocument(util::Pcg32& rng) {
+  std::string html;
+  if (rng.uniform(0, 2) == 0) html += "<!DOCTYPE html>";
+  if (rng.uniform(0, 1) == 0) {
+    html += "<html";
+    appendRandomAttributes(rng, html);
+    html += ">";
+  }
+  if (rng.uniform(0, 1) == 0) {
+    html += "<head><title>t &amp; u</title>";
+    if (rng.uniform(0, 1) == 0) html += "<base href=\"/deep/\">";
+    html += "<link rel=\"stylesheet\" href=\"main.css\"><meta charset=utf-8>";
+    if (rng.uniform(0, 2) == 0) html += "<style>div { color: red }</style>";
+    if (rng.uniform(0, 2) == 0) html += "</head>";
+  }
+  if (rng.uniform(0, 1) == 0) html += "<body class=\"page\">";
+  const int pieces = 3 + static_cast<int>(rng.uniform(0, 8));
+  for (int i = 0; i < pieces; ++i) {
+    appendRandomMarkup(rng, 3, html);
+  }
+  if (rng.uniform(0, 2) == 0) html += "</body></html>";
+  return html;
+}
+
+// --- mutation operators ------------------------------------------------------
+
+std::size_t randomOffset(util::Pcg32& rng, const std::string& text) {
+  if (text.empty()) return 0;
+  return rng.uniform(0, static_cast<std::uint32_t>(text.size() - 1));
+}
+
+// Delete one complete <...> span, wherever it sits.
+void mutateDeleteTag(util::Pcg32& rng, std::string& html) {
+  const std::size_t start = html.find('<', randomOffset(rng, html));
+  if (start == std::string::npos) return;
+  const std::size_t end = html.find('>', start);
+  if (end == std::string::npos) {
+    html.erase(start);
+  } else {
+    html.erase(start, end - start + 1);
+  }
+}
+
+// Chop the document at an arbitrary byte — mid-tag, mid-entity, mid-quote.
+void mutateTruncate(util::Pcg32& rng, std::string& html) {
+  html.resize(randomOffset(rng, html));
+}
+
+// Flip or drop an attribute quote, unbalancing the tokenizer's value scan.
+void mutateQuoteFlip(util::Pcg32& rng, std::string& html) {
+  const char needle = rng.uniform(0, 1) == 0 ? '"' : '\'';
+  const std::size_t at = html.find(needle, randomOffset(rng, html));
+  if (at == std::string::npos) return;
+  switch (rng.uniform(0, 2)) {
+    case 0: html[at] = needle == '"' ? '\'' : '"'; break;
+    case 1: html.erase(at, 1); break;
+    default: html[at] = ' '; break;
+  }
+}
+
+// Splice an entity (complete, bogus, or cut short) at a random offset.
+void mutateEntitySplice(util::Pcg32& rng, std::string& html) {
+  static const char* kEntities[] = {"&amp;", "&#65;",  "&bogus;", "&#x3C;",
+                                    "&",     "&#",     "&#x;",    "&gt"};
+  html.insert(randomOffset(rng, html),
+              kEntities[rng.uniform(0, std::size(kEntities) - 1)]);
+}
+
+// Swap two complete <...> spans — misnests open/close pairs.
+void mutateNestingShuffle(util::Pcg32& rng, std::string& html) {
+  std::vector<std::pair<std::size_t, std::size_t>> spans;
+  std::size_t at = 0;
+  while ((at = html.find('<', at)) != std::string::npos) {
+    const std::size_t end = html.find('>', at);
+    if (end == std::string::npos) break;
+    spans.emplace_back(at, end - at + 1);
+    at = end + 1;
+  }
+  if (spans.size() < 2) return;
+  const auto a = spans[rng.uniform(0, static_cast<std::uint32_t>(
+                                          spans.size() - 1))];
+  const auto b = spans[rng.uniform(0, static_cast<std::uint32_t>(
+                                          spans.size() - 1))];
+  if (a.first == b.first) return;
+  const auto& first = a.first < b.first ? a : b;
+  const auto& second = a.first < b.first ? b : a;
+  const std::string firstText = html.substr(first.first, first.second);
+  const std::string secondText = html.substr(second.first, second.second);
+  // Replace back-to-front so offsets stay valid.
+  html.replace(second.first, second.second, firstText);
+  html.replace(first.first, first.second, secondText);
+}
+
+void mutate(util::Pcg32& rng, std::string& html) {
+  switch (rng.uniform(0, 4)) {
+    case 0: mutateDeleteTag(rng, html); break;
+    case 1: mutateTruncate(rng, html); break;
+    case 2: mutateQuoteFlip(rng, html); break;
+    case 3: mutateEntitySplice(rng, html); break;
+    default: mutateNestingShuffle(rng, html); break;
+  }
+}
+
+// --- the differential --------------------------------------------------------
+
+struct ReferenceParse {
+  std::unique_ptr<dom::Node> document;
+  std::shared_ptr<const dom::TreeSnapshot> snapshot;
+  html::StreamPageInfo page;
+};
+
+ReferenceParse referenceParse(const std::string& htmlText) {
+  ReferenceParse result;
+  result.document = html::parseHtml(htmlText);
+  result.snapshot = std::make_shared<const dom::TreeSnapshot>(*result.document);
+  result.page = html::collectPageInfo(*result.document);
+  return result;
+}
+
+// Asserts the streaming snapshot is byte-identical to the reference one:
+// every parallel array, the child CSR, and the comparison root.
+void expectSnapshotsIdentical(const dom::TreeSnapshot& reference,
+                              const dom::TreeSnapshot& streaming,
+                              const std::string& htmlText) {
+  ASSERT_EQ(reference.nodeCount(), streaming.nodeCount())
+      << "row count diverged on input:\n" << htmlText;
+  for (std::uint32_t i = 0; i < reference.nodeCount(); ++i) {
+    ASSERT_EQ(reference.symbol(i), streaming.symbol(i)) << "row " << i;
+    ASSERT_EQ(reference.subtreeEnd(i), streaming.subtreeEnd(i)) << "row " << i;
+    ASSERT_EQ(reference.level(i), streaming.level(i)) << "row " << i;
+    ASSERT_EQ(reference.rawFlags(i), streaming.rawFlags(i)) << "row " << i;
+    ASSERT_EQ(reference.textHash(i), streaming.textHash(i)) << "row " << i;
+    ASSERT_EQ(reference.childCount(i), streaming.childCount(i)) << "row " << i;
+    for (std::uint32_t k = 0; k < reference.childCount(i); ++k) {
+      ASSERT_EQ(reference.child(i, k), streaming.child(i, k))
+          << "row " << i << " child " << k;
+    }
+  }
+  ASSERT_EQ(reference.comparisonRootIndex(), streaming.comparisonRootIndex());
+}
+
+void expectPageInfoIdentical(const html::StreamPageInfo& reference,
+                             const html::StreamPageInfo& streaming) {
+  EXPECT_EQ(reference.baseHref, streaming.baseHref);
+  ASSERT_EQ(reference.subresourceRefs.size(), streaming.subresourceRefs.size());
+  for (std::size_t i = 0; i < reference.subresourceRefs.size(); ++i) {
+    EXPECT_EQ(reference.subresourceRefs[i], streaming.subresourceRefs[i]);
+  }
+}
+
+class SnapshotDifferential : public ::testing::TestWithParam<std::uint64_t> {};
+
+// 40 documents per seed x 25 seeds = 1000 generated documents per default
+// run, each checked pristine and after every mutation operator — well over
+// 5000 distinct inputs through both pipelines. COOKIEPICKER_FUZZ multiplies
+// the per-seed count.
+TEST_P(SnapshotDifferential, StreamingMatchesReferenceByteForByte) {
+  util::Pcg32 rng(GetParam(), 31);
+  html::StreamingSnapshotBuilder builder;  // reused: exercises scratch reuse
+  const int trials = 40 * fuzzScale();
+  for (int trial = 0; trial < trials; ++trial) {
+    std::string htmlText = randomDocument(rng);
+    for (int round = 0; round < 6; ++round) {
+      SCOPED_TRACE("seed=" + std::to_string(GetParam()) + " trial=" +
+                   std::to_string(trial) + " round=" + std::to_string(round));
+      const ReferenceParse reference = referenceParse(htmlText);
+      const html::StreamParseResult streamed = builder.build(htmlText);
+      ASSERT_NE(streamed.snapshot, nullptr);
+      expectSnapshotsIdentical(*reference.snapshot, *streamed.snapshot,
+                               htmlText);
+      expectPageInfoIdentical(reference.page, streamed.page);
+      if (::testing::Test::HasFailure()) return;  // first divergence suffices
+      mutate(rng, htmlText);  // next round: a progressively nastier document
+    }
+  }
+}
+
+// Downstream equality, the property FORCUM actually relies on: decisions
+// computed from streaming snapshots equal the dom::Node reference decisions
+// exactly (bitwise-equal doubles), across all decision modes.
+TEST_P(SnapshotDifferential, DecisionsOverStreamingSnapshotsExact) {
+  util::Pcg32 rng(GetParam(), 32);
+  core::DetectionScratch scratch;
+  const int trials = 5 * fuzzScale();
+  for (int trial = 0; trial < trials; ++trial) {
+    const std::string htmlA = randomDocument(rng);
+    std::string htmlB = htmlA;
+    if (rng.uniform(0, 1) == 0) mutate(rng, htmlB);
+    const auto docA = html::parseHtml(htmlA);
+    const auto docB = html::parseHtml(htmlB);
+    const auto streamA = html::buildSnapshotStreaming(htmlA);
+    const auto streamB = html::buildSnapshotStreaming(htmlB);
+    for (const core::DecisionMode mode :
+         {core::DecisionMode::Both, core::DecisionMode::TreeOnly,
+          core::DecisionMode::TextOnly, core::DecisionMode::Either}) {
+      core::DecisionConfig config;
+      config.mode = mode;
+      const core::DecisionResult reference =
+          core::decideCookieUsefulness(*docA, *docB, config);
+      const core::DecisionResult fast = core::decideCookieUsefulness(
+          *streamA.snapshot, *streamB.snapshot, scratch, config);
+      EXPECT_EQ(reference.treeSim, fast.treeSim) << "seed " << GetParam();
+      EXPECT_EQ(reference.textSim, fast.textSim) << "seed " << GetParam();
+      EXPECT_EQ(reference.causedByCookies, fast.causedByCookies);
+    }
+  }
+}
+
+// Structural invariants of any snapshot the streaming builder emits, checked
+// without reference to the dom::Node path (catches bugs the differential
+// could only see if the reference had them too).
+TEST_P(SnapshotDifferential, StreamingSnapshotStructurallySound) {
+  util::Pcg32 rng(GetParam(), 33);
+  const int trials = 10 * fuzzScale();
+  for (int trial = 0; trial < trials; ++trial) {
+    std::string htmlText = randomDocument(rng);
+    if (rng.uniform(0, 1) == 0) mutate(rng, htmlText);
+    const auto first = html::buildSnapshotStreaming(htmlText);
+    const dom::TreeSnapshot& snap = *first.snapshot;
+    const std::uint32_t n = snap.nodeCount();
+    ASSERT_GT(n, 0u);
+
+    // Preorder extents are properly nested: walking rows with a stack of
+    // open extents, every row fits strictly inside its enclosing extent.
+    std::vector<std::uint32_t> extents;  // stack of subtreeEnd values
+    for (std::uint32_t i = 0; i < n; ++i) {
+      const std::uint32_t end = snap.subtreeEnd(i);
+      ASSERT_GT(end, i) << "empty extent at row " << i;
+      ASSERT_LE(end, n) << "extent past the end at row " << i;
+      while (!extents.empty() && extents.back() <= i) extents.pop_back();
+      if (!extents.empty()) {
+        ASSERT_LE(end, extents.back())
+            << "extent of row " << i << " crosses its parent's";
+      }
+      extents.push_back(end);
+
+      // Interner IDs in bounds.
+      ASSERT_LT(static_cast<std::size_t>(snap.symbol(i)),
+                dom::globalSymbolInterner().size());
+
+      // Child spans partition the extent: consecutive children tile
+      // [i+1, subtreeEnd(i)) with no gaps or overlap.
+      std::uint32_t cursor = i + 1;
+      for (std::uint32_t k = 0; k < snap.childCount(i); ++k) {
+        const std::uint32_t childRow = snap.child(i, k);
+        ASSERT_EQ(childRow, cursor)
+            << "row " << i << ": child " << k << " does not tile the extent";
+        cursor = snap.subtreeEnd(childRow);
+      }
+      ASSERT_EQ(cursor, end) << "row " << i << ": children under-cover extent";
+    }
+
+    // Re-parse stability: the same bytes produce the same snapshot,
+    // including text hashes (hashing is content-deterministic, no pointers).
+    const auto second = html::buildSnapshotStreaming(htmlText);
+    ASSERT_EQ(second.snapshot->nodeCount(), n);
+    for (std::uint32_t i = 0; i < n; ++i) {
+      ASSERT_EQ(second.snapshot->textHash(i), snap.textHash(i));
+      ASSERT_EQ(second.snapshot->symbol(i), snap.symbol(i));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SnapshotDifferential,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34, 55, 89,
+                                           144, 233, 377, 610, 987, 1597,
+                                           2584, 4181, 6765, 10946, 17711,
+                                           28657, 46368, 75025, 121393));
+
+}  // namespace
+}  // namespace cookiepicker

@@ -16,9 +16,13 @@
 # sanitizer trees — same binaries, different environment). The crash-soak
 # config re-runs the CrashRecovery property suite in the ASan tree with
 # COOKIEPICKER_CHAOS=1, which scales the crash-point fuzzing from 24 to 200
-# seeded kill/recover cycles.
+# seeded kill/recover cycles. The fuzz-soak configs re-run the streaming
+# snapshot differential fuzz suite in the TSan and ASan trees with
+# COOKIEPICKER_FUZZ=8, which scales the generated-document corpus eightfold
+# (every document byte-compared across the streaming and reference
+# pipelines, with mutation rounds).
 #
-#   tools/check.sh                 # all eight configurations
+#   tools/check.sh                 # all ten configurations
 #   tools/check.sh thread          # just the TSan pass
 #   tools/check.sh thread-metrics  # TSan with the global recorder enabled
 #   tools/check.sh address         # just the ASan/UBSan pass
@@ -27,6 +31,8 @@
 #   tools/check.sh chaos-thread    # scaled-up chaos soak in the TSan tree
 #   tools/check.sh chaos-address   # scaled-up chaos soak in the ASan tree
 #   tools/check.sh crash-soak      # 200-seed crash-recovery fuzz, ASan tree
+#   tools/check.sh fuzz-thread     # scaled snapshot diff fuzz, TSan tree
+#   tools/check.sh fuzz-address    # scaled snapshot diff fuzz, ASan tree
 set -euo pipefail
 
 ROOT="$(cd "$(dirname "$0")/.." && pwd)"
@@ -34,7 +40,7 @@ JOBS="${JOBS:-$(nproc)}"
 CONFIGS=("${@:-plain}")
 if [[ $# -eq 0 ]]; then
   CONFIGS=(plain thread thread-metrics address debug chaos-thread
-           chaos-address crash-soak)
+           chaos-address crash-soak fuzz-thread fuzz-address)
 fi
 
 for config in "${CONFIGS[@]}"; do
@@ -42,6 +48,7 @@ for config in "${CONFIGS[@]}"; do
   build_type=""
   obs_env=""
   chaos_env=""
+  fuzz_env=""
   test_filter=""
   soak_target="resilience_test"
   build_dir="$ROOT/build-check-$config"
@@ -86,9 +93,31 @@ for config in "${CONFIGS[@]}"; do
       soak_target="crash_recovery_test"
       build_dir="$ROOT/build-check-address"
       ;;
+    fuzz-thread)
+      # The snapshot differential fuzz suite scaled eightfold in the TSan
+      # tree: thousands of seeded/mutated documents through the streaming
+      # and reference snapshot producers, byte-compared, while TSan watches
+      # the shared interners.
+      sanitize="thread"
+      fuzz_env="8"
+      test_filter="SnapshotDifferential"
+      soak_target="snapshot_differential_test"
+      build_dir="$ROOT/build-check-thread"
+      ;;
+    fuzz-address)
+      # The same scaled fuzz under ASan/UBSan: the builder's index patching
+      # (subtree extents, merged text rows, structural flags) must never
+      # write out of bounds on hostile shapes.
+      sanitize="address"
+      fuzz_env="8"
+      test_filter="SnapshotDifferential"
+      soak_target="snapshot_differential_test"
+      build_dir="$ROOT/build-check-address"
+      ;;
     *) echo "unknown configuration: $config" \
             "(want plain|thread|thread-metrics|address|debug|" \
-            "chaos-thread|chaos-address|crash-soak)" >&2
+            "chaos-thread|chaos-address|crash-soak|fuzz-thread|" \
+            "fuzz-address)" >&2
        exit 2 ;;
   esac
   echo "=== [$config] configuring $build_dir ==="
@@ -106,6 +135,7 @@ for config in "${CONFIGS[@]}"; do
     cmake --build "$build_dir" -j "$JOBS" --target "$soak_target"
     echo "=== [$config] running $test_filter soak ==="
     (cd "$build_dir" && COOKIEPICKER_CHAOS="$chaos_env" \
+        COOKIEPICKER_FUZZ="$fuzz_env" \
         ctest --output-on-failure -j "$JOBS" -R "$test_filter")
   else
     echo "=== [$config] building ==="

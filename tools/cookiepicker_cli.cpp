@@ -475,7 +475,8 @@ int runStats(const Options& options) {
   }
 
   const obs::Timer leafPhases[] = {
-      obs::Timer::HtmlParse, obs::Timer::SnapshotBuild, obs::Timer::RstmDp,
+      obs::Timer::HtmlParse,   obs::Timer::SnapshotBuild,
+      obs::Timer::StreamBuild, obs::Timer::RstmDp,
       obs::Timer::CvceExtract, obs::Timer::CvceMerge};
   double leafTotalMs = 0.0;
   for (const obs::Timer timer : leafPhases) {
