@@ -14,6 +14,7 @@
 #include <string>
 
 #include "browser/browser.h"
+#include "net/network.h"
 
 namespace cookiepicker::baseline {
 

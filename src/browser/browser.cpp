@@ -22,44 +22,12 @@ double ThinkTimeModel::sampleMs(util::Pcg32& rng) const {
   return std::max(floorMs_, rng.logNormal(mu_, sigma_));
 }
 
-Browser::Browser(net::Network& network, util::SimClock& clock,
+Browser::Browser(net::Transport& transport, util::SimClock& clock,
                  cookies::CookiePolicy policy, std::uint64_t seed)
-    : network_(network),
+    : transport_(transport),
       clock_(clock),
       policy_(policy),
       rng_(seed, /*sequence=*/0x62726f77UL) {}
-
-namespace {
-
-// A body shorter than its declared Content-Length — the signature a
-// mid-transfer truncation leaves behind (our handlers never set the header
-// themselves; only the fault layer does, preserving the original size).
-bool bodyTruncated(const net::HttpResponse& response) {
-  const auto contentLength = response.headers.get("Content-Length");
-  if (!contentLength.has_value()) return false;
-  char* end = nullptr;
-  const unsigned long long declared =
-      std::strtoull(contentLength->c_str(), &end, 10);
-  if (end == contentLength->c_str()) return false;
-  return declared > response.body.size();
-}
-
-// Why a hidden-fetch attempt cannot be used, or empty if it can.
-std::string hiddenFailureReason(const net::Exchange& exchange) {
-  if (exchange.response.status == 0) {
-    // Transport failure: the injected fault names itself via statusText.
-    return exchange.response.statusText.empty()
-               ? std::string("transport-error")
-               : exchange.response.statusText;
-  }
-  if (exchange.response.status >= 500) {
-    return "http-" + std::to_string(exchange.response.status);
-  }
-  if (bodyTruncated(exchange.response)) return "truncated-body";
-  return {};
-}
-
-}  // namespace
 
 net::HttpRequest Browser::buildRequest(const net::Url& url,
                                        const net::Url& documentUrl,
@@ -187,7 +155,7 @@ PageView Browser::visit(const net::Url& url) {
   // the real container document, saving the final request.
   for (int redirect = 0; redirect <= kMaxRedirects; ++redirect) {
     request = buildRequest(current, current);
-    exchange = network_.dispatch(request);
+    exchange = transport_.dispatch(request);
     view.timing.containerLatencyMs += exchange.latencyMs;
     clock_.advanceMs(static_cast<util::SimTimeMs>(exchange.latencyMs));
     storeResponseCookies(exchange.response, current, current);
@@ -232,7 +200,7 @@ PageView Browser::visit(const net::Url& url) {
   for (const net::Url& resource : view.subresources) {
     net::HttpRequest subRequest =
         buildRequest(resource, view.url, net::RequestKind::Subresource);
-    const net::Exchange subExchange = network_.dispatch(subRequest);
+    const net::Exchange subExchange = transport_.dispatch(subRequest);
     ++objectRequests_;
     obs::count(obs::Counter::SubresourceFetches);
     storeResponseCookies(subExchange.response, resource, view.url);
@@ -253,13 +221,11 @@ PageView Browser::visit(const net::Url& url) {
   return view;
 }
 
-HiddenFetchResult Browser::hiddenFetch(
+HiddenFetchPlan Browser::planHiddenFetch(
     const PageView& view,
     const std::function<bool(const cookies::CookieRecord&)>&
         excludePersistent) {
-  obs::ScopedTimer hiddenSpan(obs::Timer::HiddenFetch);
-  obs::count(obs::Counter::HiddenFetches);
-  HiddenFetchResult result;
+  HiddenFetchPlan plan;
 
   // Section 3.2, step two: the hidden request "uses the same URI as the
   // saved [request]. It only modifies the Cookie field of the request
@@ -267,7 +233,7 @@ HiddenFetchResult Browser::hiddenFetch(
   // header (not the live jar) matters: cookies that arrived with this very
   // response must not leak into the hidden copy, or the comparison would
   // invert.
-  net::HttpRequest request = view.containerRequest;
+  plan.request = view.containerRequest;
 
   // Resolve the tested group to names: jar records matching this URL for
   // which the exclusion predicate holds.
@@ -277,7 +243,7 @@ HiddenFetchResult Browser::hiddenFetch(
          jar_.cookiesFor(view.url, clock_.nowMs())) {
       if (record->persistent && excludePersistent(*record)) {
         strippedNames.insert(record->key.name);
-        result.strippedCookies.push_back(record->key);
+        plan.strippedCookies.push_back(record->key);
       }
     }
   }
@@ -291,55 +257,27 @@ HiddenFetchResult Browser::hiddenFetch(
   }
   const std::string cookieHeader = net::formatCookieHeader(kept);
   if (cookieHeader.empty()) {
-    request.headers.remove("Cookie");
+    plan.request.headers.remove("Cookie");
   } else {
-    request.headers.set("Cookie", cookieHeader);
+    plan.request.headers.set("Cookie", cookieHeader);
   }
+  plan.request.kind = net::RequestKind::Hidden;
+  plan.request.attempt = 0;
+  return plan;
+}
 
-  // Dispatch with bounded retry. Failed attempts advance the clock by
-  // their own round trip plus an exponential jittered backoff; the final
-  // attempt's latency is applied after parsing, exactly where the
-  // pre-retry code advanced it, so a clean fetch replays byte-identically.
-  request.kind = net::RequestKind::Hidden;
-  net::Exchange exchange;
-  std::string failureReason;
-  for (int attempt = 0;; ++attempt) {
-    request.attempt = attempt;
-    exchange = network_.dispatch(request);
-    result.latencyMs += exchange.latencyMs;
-    ++result.attempts;
-    failureReason = hiddenFailureReason(exchange);
-    if (failureReason.empty()) break;
-    if (attempt + 1 >= hiddenRetryPolicy_.maxAttempts) {
-      result.degraded = true;
-      obs::count(obs::Counter::HiddenFetchExhausted);
-      break;
-    }
-    if (hiddenRetriesUsed_ >= hiddenRetryPolicy_.sessionRetryBudget) {
-      result.degraded = true;
-      obs::count(obs::Counter::HiddenRetryBudgetExhausted);
-      obs::count(obs::Counter::HiddenFetchExhausted);
-      break;
-    }
-    clock_.advanceMs(static_cast<util::SimTimeMs>(exchange.latencyMs));
-    double backoff =
-        std::min(hiddenRetryPolicy_.initialBackoffMs *
-                     std::pow(hiddenRetryPolicy_.backoffMultiplier,
-                              static_cast<double>(attempt)),
-                 hiddenRetryPolicy_.maxBackoffMs);
-    // Jitter is drawn from the session RNG only when a retry actually
-    // happens, so fault-free runs consume no extra draws.
-    backoff += backoff * hiddenRetryPolicy_.jitterFraction *
-               (2.0 * rng_.uniform01() - 1.0);
-    clock_.advanceMs(static_cast<util::SimTimeMs>(backoff));
-    result.latencyMs += backoff;
-    ++hiddenRetriesUsed_;
-    obs::count(obs::Counter::HiddenFetchRetries);
-  }
-  result.degradedReason = failureReason;
-  result.truncated = bodyTruncated(exchange.response);
-  result.status = exchange.response.status;
-  result.html = exchange.response.body;
+HiddenFetchResult Browser::completeHiddenFetch(
+    HiddenFetchPlan plan, const net::Exchange& finalExchange, int attempts,
+    double latencySoFarMs, bool degraded, std::string degradedReason) {
+  HiddenFetchResult result;
+  result.strippedCookies = std::move(plan.strippedCookies);
+  result.attempts = attempts;
+  result.latencyMs = latencySoFarMs + finalExchange.latencyMs;
+  result.degraded = degraded;
+  result.degradedReason = std::move(degradedReason);
+  result.truncated = net::bodyTruncated(finalExchange.response);
+  result.status = finalExchange.response.status;
+  result.html = finalExchange.response.body;
   // Flattened by the same pipeline as the regular copy, per Section 3.2
   // step three (the hidden copy fetches no objects, so its page info is
   // discarded).
@@ -357,8 +295,98 @@ HiddenFetchResult Browser::hiddenFetch(
   }
   // The hidden response triggers no object loads and its Set-Cookie headers
   // are deliberately ignored.
-  clock_.advanceMs(static_cast<util::SimTimeMs>(exchange.latencyMs));
+  clock_.advanceMs(static_cast<util::SimTimeMs>(finalExchange.latencyMs));
   return result;
+}
+
+HiddenFetchResult Browser::hiddenFetch(
+    const PageView& view,
+    const std::function<bool(const cookies::CookieRecord&)>&
+        excludePersistent) {
+  obs::ScopedTimer hiddenSpan(obs::Timer::HiddenFetch);
+  obs::count(obs::Counter::HiddenFetches);
+  HiddenFetchPlan plan = planHiddenFetch(view, excludePersistent);
+
+  if (transport_.ownsRetryTiming()) {
+    // Socket mode: attempts and backoffs run on the transport's event-loop
+    // timer wheel, in real time. The virtual clock still records the
+    // measured wait so session timing stays coherent.
+    net::RetrySpec spec;
+    spec.maxAttempts = hiddenRetryPolicy_.maxAttempts;
+    spec.initialBackoffMs = hiddenRetryPolicy_.initialBackoffMs;
+    spec.backoffMultiplier = hiddenRetryPolicy_.backoffMultiplier;
+    spec.maxBackoffMs = hiddenRetryPolicy_.maxBackoffMs;
+    spec.jitterFraction = hiddenRetryPolicy_.jitterFraction;
+    spec.retryBudget =
+        hiddenRetriesUsed_ >= hiddenRetryPolicy_.sessionRetryBudget
+            ? 0
+            : hiddenRetryPolicy_.sessionRetryBudget - hiddenRetriesUsed_;
+    net::FetchOutcome outcome =
+        transport_.dispatchWithRetry(plan.request, spec);
+    hiddenRetriesUsed_ += static_cast<std::uint64_t>(outcome.retriesUsed);
+    obs::count(obs::Counter::HiddenFetchRetries,
+               static_cast<std::uint64_t>(outcome.retriesUsed));
+    if (outcome.degraded) {
+      if (outcome.budgetExhausted) {
+        obs::count(obs::Counter::HiddenRetryBudgetExhausted);
+      }
+      obs::count(obs::Counter::HiddenFetchExhausted);
+    }
+    const double earlierMs =
+        outcome.totalLatencyMs - outcome.exchange.latencyMs;
+    clock_.advanceMs(static_cast<util::SimTimeMs>(earlierMs));
+    return completeHiddenFetch(std::move(plan), outcome.exchange,
+                               outcome.attempts, earlierMs, outcome.degraded,
+                               std::move(outcome.failureReason));
+  }
+
+  // Sim mode: dispatch with bounded retry on the virtual clock. Failed
+  // attempts advance the clock by their own round trip plus an exponential
+  // jittered backoff; the final attempt's latency is applied after parsing,
+  // exactly where the pre-retry code advanced it, so a clean fetch replays
+  // byte-identically.
+  net::HttpRequest& request = plan.request;
+  net::Exchange exchange;
+  std::string failureReason;
+  int attempts = 0;
+  double latencySoFarMs = 0.0;
+  bool degraded = false;
+  for (int attempt = 0;; ++attempt) {
+    request.attempt = attempt;
+    exchange = transport_.dispatch(request);
+    ++attempts;
+    failureReason = net::fetchFailureReason(exchange.response);
+    if (failureReason.empty()) break;
+    if (attempt + 1 >= hiddenRetryPolicy_.maxAttempts) {
+      degraded = true;
+      obs::count(obs::Counter::HiddenFetchExhausted);
+      break;
+    }
+    if (hiddenRetriesUsed_ >= hiddenRetryPolicy_.sessionRetryBudget) {
+      degraded = true;
+      obs::count(obs::Counter::HiddenRetryBudgetExhausted);
+      obs::count(obs::Counter::HiddenFetchExhausted);
+      break;
+    }
+    latencySoFarMs += exchange.latencyMs;
+    clock_.advanceMs(static_cast<util::SimTimeMs>(exchange.latencyMs));
+    double backoff =
+        std::min(hiddenRetryPolicy_.initialBackoffMs *
+                     std::pow(hiddenRetryPolicy_.backoffMultiplier,
+                              static_cast<double>(attempt)),
+                 hiddenRetryPolicy_.maxBackoffMs);
+    // Jitter is drawn from the session RNG only when a retry actually
+    // happens, so fault-free runs consume no extra draws.
+    backoff += backoff * hiddenRetryPolicy_.jitterFraction *
+               (2.0 * rng_.uniform01() - 1.0);
+    clock_.advanceMs(static_cast<util::SimTimeMs>(backoff));
+    latencySoFarMs += backoff;
+    ++hiddenRetriesUsed_;
+    obs::count(obs::Counter::HiddenFetchRetries);
+  }
+  return completeHiddenFetch(std::move(plan), exchange, attempts,
+                             latencySoFarMs, degraded,
+                             std::move(failureReason));
 }
 
 double Browser::think() {

@@ -15,7 +15,7 @@
 #include "cookies/jar.h"
 #include "cookies/policy.h"
 #include "html/stream_snapshot.h"
-#include "net/network.h"
+#include "net/transport.h"
 #include "browser/page.h"
 #include "util/clock.h"
 #include "util/rng.h"
@@ -100,9 +100,19 @@ struct HiddenFetchResult {
   bool usable() const { return status == 200 && !degraded; }
 };
 
+// The issue half of a hidden fetch: the request with the tested cookie
+// group stripped, ready to dispatch, plus the group's resolved keys. Split
+// out so callers (the socket service tier, the load bench) can issue many
+// hidden requests asynchronously and complete each one as its response
+// arrives; Browser::hiddenFetch composes the two halves synchronously.
+struct HiddenFetchPlan {
+  net::HttpRequest request;
+  std::vector<cookies::CookieKey> strippedCookies;
+};
+
 class Browser {
  public:
-  Browser(net::Network& network, util::SimClock& clock,
+  Browser(net::Transport& transport, util::SimClock& clock,
           cookies::CookiePolicy policy = cookies::CookiePolicy::recommended(),
           std::uint64_t seed = 11);
 
@@ -123,6 +133,24 @@ class Browser {
       const PageView& view,
       const std::function<bool(const cookies::CookieRecord&)>&
           excludePersistent);
+
+  // Issue half of hiddenFetch: builds the cookie-stripped request without
+  // dispatching it. Resolves the tested group against the live jar, so call
+  // it at the clock time the fetch should see.
+  HiddenFetchPlan planHiddenFetch(
+      const PageView& view,
+      const std::function<bool(const cookies::CookieRecord&)>&
+          excludePersistent);
+
+  // Completion half: parses the final attempt's response into a
+  // HiddenFetchResult and advances the clock by that attempt's round trip
+  // (earlier attempts and backoffs must already be accounted —
+  // `latencySoFarMs` carries them into the result's total).
+  HiddenFetchResult completeHiddenFetch(HiddenFetchPlan plan,
+                                        const net::Exchange& finalExchange,
+                                        int attempts, double latencySoFarMs,
+                                        bool degraded,
+                                        std::string degradedReason);
 
   // Installed by CookiePicker once training ends: persistent cookies for
   // which the filter returns true are withheld from regular requests
@@ -173,7 +201,7 @@ class Browser {
   std::vector<net::Url> resolveSubresources(const html::StreamPageInfo& page,
                                             const net::Url& documentUrl) const;
 
-  net::Network& network_;
+  net::Transport& transport_;
   util::SimClock& clock_;
   cookies::CookiePolicy policy_;
   cookies::CookieJar jar_;

@@ -55,7 +55,7 @@ std::string FleetReport::auditJsonl() const {
   return out;
 }
 
-TrainingFleet::TrainingFleet(net::Network& network, FleetConfig config)
+TrainingFleet::TrainingFleet(net::Transport& network, FleetConfig config)
     : network_(network), config_(std::move(config)) {}
 
 std::string TrainingFleet::configFingerprint() const {

@@ -25,7 +25,7 @@
 #include "cookies/jar.h"
 #include "cookies/policy.h"
 #include "core/cookie_picker.h"
-#include "net/network.h"
+#include "net/transport.h"
 #include "obs/metrics.h"
 #include "server/generator.h"
 #include "store/store.h"
@@ -121,12 +121,15 @@ struct FleetReport {
 
 class TrainingFleet {
  public:
-  TrainingFleet(net::Network& network, FleetConfig config = {});
+  // Any transport works: the seeded-latency sim (byte-identical results for
+  // any worker count) or a socket transport whose hidden fetches flow
+  // through shared per-host connection pools.
+  TrainingFleet(net::Transport& network, FleetConfig config = {});
 
   // Trains every site in the roster, fanning the hosts out over
   // `config.workers` threads. The roster must already be registered on the
-  // network (see server::registerRoster). `workers <= 1` runs inline on the
-  // calling thread.
+  // transport's backing tier (see server::registerRoster for the sim).
+  // `workers <= 1` runs inline on the calling thread.
   FleetReport run(const std::vector<server::SiteSpec>& roster);
 
   const FleetConfig& config() const { return config_; }
@@ -139,7 +142,7 @@ class TrainingFleet {
  private:
   HostResult runHostSession(const server::SiteSpec& spec) const;
 
-  net::Network& network_;
+  net::Transport& network_;
   FleetConfig config_;
 };
 

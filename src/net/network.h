@@ -29,6 +29,7 @@
 #include "faults/fault_engine.h"
 #include "faults/fault_plan.h"
 #include "net/http.h"
+#include "net/transport.h"
 #include "util/rng.h"
 
 namespace cookiepicker::net {
@@ -52,25 +53,7 @@ struct LatencyProfile {
   double sampleMs(util::Pcg32& rng, std::size_t responseBytes) const;
 };
 
-// Anything that can answer HTTP requests (the server module implements it).
-class HttpHandler {
- public:
-  virtual ~HttpHandler() = default;
-  virtual HttpResponse handle(const HttpRequest& request) = 0;
-};
-
-struct Exchange {
-  HttpResponse response;
-  double latencyMs = 0.0;
-  std::size_t requestBytes = 0;
-  std::size_t responseBytes = 0;
-  // Name of the fault action the plan injected into this exchange (the
-  // faults::actionName string), or nullptr for a clean exchange. Transport
-  // failures (connection-drop, timeout) additionally report status 0.
-  const char* injectedFault = nullptr;
-};
-
-class Network {
+class Network : public Transport {
  public:
   explicit Network(std::uint64_t seed = 7) : seed_(seed) {}
 
@@ -84,7 +67,7 @@ class Network {
   // synthetic 404 with fast latency (a resolver failure would be faster
   // still; indistinguishable for our purposes). Safe to call concurrently;
   // requests to the same host serialize on that host's lock.
-  Exchange dispatch(const HttpRequest& request);
+  Exchange dispatch(const HttpRequest& request) override;
 
   // Fault injection: installs a schedule of faults evaluated per request to
   // *known* hosts (unknown hosts already fail with their synthetic 404).
@@ -192,5 +175,9 @@ class Network {
   std::uint64_t faultPlanGeneration_ = 0;
   mutable std::mutex faultPlanMutex_;
 };
+
+// The seeded-latency simulation is one transport among others; the name the
+// transport seam documentation uses for it.
+using SimTransport = Network;
 
 }  // namespace cookiepicker::net

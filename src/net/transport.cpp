@@ -1,0 +1,30 @@
+#include "net/transport.h"
+
+#include <cstdlib>
+
+namespace cookiepicker::net {
+
+bool bodyTruncated(const HttpResponse& response) {
+  const auto contentLength = response.headers.get("Content-Length");
+  if (!contentLength.has_value()) return false;
+  char* end = nullptr;
+  const unsigned long long declared =
+      std::strtoull(contentLength->c_str(), &end, 10);
+  if (end == contentLength->c_str()) return false;
+  return declared > response.body.size();
+}
+
+std::string fetchFailureReason(const HttpResponse& response) {
+  if (response.status == 0) {
+    // Transport failure: the injected fault names itself via statusText.
+    return response.statusText.empty() ? std::string("transport-error")
+                                       : response.statusText;
+  }
+  if (response.status >= 500) {
+    return "http-" + std::to_string(response.status);
+  }
+  if (bodyTruncated(response)) return "truncated-body";
+  return {};
+}
+
+}  // namespace cookiepicker::net

@@ -47,6 +47,13 @@ constexpr const char* kCounterNames[kCounterCount] = {
     "store_records_recovered",
     "store_records_discarded",
     "store_shards_reset",
+    "serve_dispatches",
+    "serve_connections_opened",
+    "serve_reused_dispatches",
+    "serve_retries_scheduled",
+    "serve_requests_served",
+    "serve_faults_injected",
+    "serve_parse_errors",
 };
 
 constexpr const char* kGaugeNames[kGaugeCount] = {
@@ -70,6 +77,7 @@ constexpr const char* kTimerNames[kTimerCount] = {
     "hidden_fetch",
     "page_visit",
     "forcum_step",
+    "serve_dispatch",
 };
 
 // Shard choice: a stable per-thread index. Hashing the thread id once per
@@ -200,8 +208,16 @@ std::string MetricsSnapshot::deterministicJson() const {
     appendUint(out, counters[i]);
   }
   out += "},\"store\":{";
-  for (std::size_t i = kFirstStoreCounter; i < kCounterCount; ++i) {
+  for (std::size_t i = kFirstStoreCounter; i < kFirstServeCounter; ++i) {
     if (i != kFirstStoreCounter) out += ',';
+    out += '"';
+    out += kCounterNames[i];
+    out += "\":";
+    appendUint(out, counters[i]);
+  }
+  out += "},\"serve\":{";
+  for (std::size_t i = kFirstServeCounter; i < kCounterCount; ++i) {
+    if (i != kFirstServeCounter) out += ',';
     out += '"';
     out += kCounterNames[i];
     out += "\":";

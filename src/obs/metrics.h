@@ -72,6 +72,18 @@ enum class Counter : std::uint8_t {
   StoreRecordsRecovered,   // records applied during recovery replay
   StoreRecordsDiscarded,   // records lost to torn tails / checksum failures
   StoreShardsReset,        // shards wiped for a from-scratch session rerun
+  // --- serve tier (reported under "serve" in deterministicJson; keep
+  // kFirstServeCounter below in sync). Recorded against the global
+  // registry only: serve activity is real-socket plumbing, never part of
+  // the per-session determinism contract (sim determinism suites do not
+  // enter the serve tier, so these stay zero there). ---
+  ServeDispatches,         // async-client requests issued
+  ServeConnectionsOpened,  // TCP connections the client pool opened
+  ServeReusedDispatches,   // dispatches on an already-used connection
+  ServeRetriesScheduled,   // wheel-timer retries the client scheduled
+  ServeRequestsServed,     // requests the origin tier answered
+  ServeFaultsInjected,     // socket-layer faults the origin injected
+  ServeParseErrors,        // malformed/oversized requests rejected
   kCount,
 };
 
@@ -82,6 +94,9 @@ inline constexpr std::size_t kFirstFaultCounter =
 // First counter of the durable-store block (the "store" section).
 inline constexpr std::size_t kFirstStoreCounter =
     static_cast<std::size_t>(Counter::StoreAppends);
+// First counter of the serve-tier block (the "serve" section).
+inline constexpr std::size_t kFirstServeCounter =
+    static_cast<std::size_t>(Counter::ServeDispatches);
 
 // Gauges: set-style registers. Merge policy is per gauge (see gaugeMerge).
 enum class Gauge : std::uint8_t {
@@ -104,6 +119,7 @@ enum class Timer : std::uint8_t {
   HiddenFetch,    // Browser::hiddenFetch round trip (host time)
   PageVisit,      // Browser::visit end to end (host time)
   ForcumStep,     // ForcumEngine::runStep end to end (host time)
+  ServeDispatch,  // async-client request round trip over real sockets
   kCount,
 };
 

@@ -1,0 +1,92 @@
+#include "serve/timer_wheel.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace cookiepicker::serve {
+
+namespace {
+std::uint64_t tickFor(double ms) {
+  if (ms <= 0.0) return 0;
+  return static_cast<std::uint64_t>(std::ceil(ms / TimerWheel::kTickMs));
+}
+}  // namespace
+
+TimerWheel::TimerWheel(double nowMs)
+    : nowMs_(nowMs), currentTick_(tickFor(nowMs)) {}
+
+TimerId TimerWheel::schedule(double delayMs, std::function<void()> callback) {
+  const double delay = std::max(0.0, delayMs);
+  std::uint64_t deadlineTick = tickFor(nowMs_ + delay);
+  // Never due "now": advanceTo() has already swept the current tick.
+  deadlineTick = std::max(deadlineTick, currentTick_ + 1);
+  const TimerId id = nextId_++;
+  slots_[deadlineTick & (kSlots - 1)].push_back(
+      Entry{id, deadlineTick, std::move(callback)});
+  ++live_;
+  return id;
+}
+
+bool TimerWheel::cancel(TimerId id) {
+  if (id == kInvalidTimer) return false;
+  for (auto& slot : slots_) {
+    for (auto it = slot.begin(); it != slot.end(); ++it) {
+      if (it->id == id) {
+        slot.erase(it);
+        --live_;
+        return true;
+      }
+    }
+  }
+  return false;
+}
+
+int TimerWheel::advanceTo(double nowMs) {
+  if (nowMs < nowMs_) {
+    nowMs_ = nowMs;  // monotonic clock hiccup; never rewind ticks
+    return 0;
+  }
+  nowMs_ = nowMs;
+  const std::uint64_t targetTick = tickFor(nowMs);
+  int fired = 0;
+  std::vector<Entry> due;
+  while (currentTick_ < targetTick) {
+    if (live_ == 0) {
+      // Nothing can fire; skip the idle gap in one step.
+      currentTick_ = targetTick;
+      break;
+    }
+    ++currentTick_;
+    auto& slot = slots_[currentTick_ & (kSlots - 1)];
+    if (slot.empty()) continue;
+    due.clear();
+    for (std::size_t i = 0; i < slot.size();) {
+      if (slot[i].deadlineTick <= currentTick_) {
+        due.push_back(std::move(slot[i]));
+        slot.erase(slot.begin() + static_cast<std::ptrdiff_t>(i));
+        --live_;
+      } else {
+        ++i;
+      }
+    }
+    for (Entry& entry : due) {
+      ++fired;
+      entry.callback();
+    }
+  }
+  return fired;
+}
+
+double TimerWheel::msUntilNext(double nowMs) const {
+  if (live_ == 0) return -1.0;
+  std::uint64_t minTick = ~0ull;
+  for (const auto& slot : slots_) {
+    for (const Entry& entry : slot) {
+      minTick = std::min(minTick, entry.deadlineTick);
+    }
+  }
+  const double deadlineMs = static_cast<double>(minTick) * kTickMs;
+  return std::max(0.0, deadlineMs - nowMs);
+}
+
+}  // namespace cookiepicker::serve

@@ -1,0 +1,181 @@
+#include "serve/verdict_service.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+#include "browser/browser.h"
+#include "cookies/jar.h"
+#include "util/clock.h"
+#include "util/strings.h"
+
+namespace cookiepicker::serve {
+
+namespace {
+
+// Minimal query-string lookup ("a=1&b=2").
+std::string queryParam(const std::string& query, const std::string& key) {
+  std::size_t pos = 0;
+  while (pos <= query.size()) {
+    std::size_t amp = query.find('&', pos);
+    if (amp == std::string::npos) amp = query.size();
+    const std::string_view pair(query.data() + pos, amp - pos);
+    const std::size_t eq = pair.find('=');
+    if (eq != std::string_view::npos && pair.substr(0, eq) == key) {
+      return std::string(pair.substr(eq + 1));
+    }
+    pos = amp + 1;
+  }
+  return std::string();
+}
+
+std::string jsonEscape(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  for (char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+void appendNameArray(std::string& json, const char* field,
+                     const std::vector<std::string>& names) {
+  json += "\"";
+  json += field;
+  json += "\":[";
+  for (std::size_t i = 0; i < names.size(); ++i) {
+    if (i > 0) json += ',';
+    json += '"';
+    json += jsonEscape(names[i]);
+    json += '"';
+  }
+  json += "]";
+}
+
+net::HttpResponse jsonResponse(int status, std::string body) {
+  net::HttpResponse response;
+  response.status = status;
+  response.statusText = status == 200 ? "OK" : "Bad Request";
+  response.headers.set("Content-Type", "application/json");
+  response.body = std::move(body);
+  return response;
+}
+
+}  // namespace
+
+VerdictService::VerdictService(net::Transport& transport,
+                               VerdictServiceConfig config)
+    : transport_(transport), config_(std::move(config)) {}
+
+void VerdictService::addHost(const std::string& host, int pageCount) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  hostPages_[util::toLowerAscii(host)] = std::max(1, pageCount);
+}
+
+std::uint64_t VerdictService::sessionsRun() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return sessionsRun_;
+}
+
+std::string VerdictService::runVerdict(const std::string& host, int views) {
+  int pages = 1;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = hostPages_.find(host);
+    if (it == hostPages_.end()) return std::string();
+    pages = it->second;
+    ++sessionsRun_;
+  }
+
+  // The fleet's session recipe: everything session-local, RNG keyed by the
+  // host name, so the deterministic half of the verdict is a pure function
+  // of (seed, host, views) — whatever transport carries the bytes.
+  util::SimClock clock;
+  browser::Browser browser(transport_, clock, config_.policy,
+                           config_.seed ^ util::fnv1a64(host));
+  core::CookiePicker picker(browser, config_.picker);
+  const int viewCount = std::max(1, views);
+  for (int view = 0; view < viewCount; ++view) {
+    picker.browse("http://" + host + "/page" + std::to_string(view % pages));
+  }
+  if (config_.enforceStableAfterRun) picker.enforceStableHosts();
+  const core::HostReport report = picker.report(host);
+
+  std::vector<std::string> useful;
+  std::vector<std::string> blocked;
+  for (const cookies::CookieRecord* record :
+       browser.jar().persistentCookiesForHost(host)) {
+    (record->useful ? useful : blocked).push_back(record->key.name);
+  }
+  // Enforcement may have purged blocked cookies from the jar already; the
+  // report's counts stay authoritative, the name lists are best-effort.
+  std::sort(useful.begin(), useful.end());
+  std::sort(blocked.begin(), blocked.end());
+
+  std::string json = "{";
+  json += "\"host\":\"" + jsonEscape(host) + "\",";
+  json += "\"views\":" + std::to_string(viewCount) + ",";
+  json += "\"persistentCookies\":" + std::to_string(report.persistentCookies) +
+          ",";
+  json += "\"markedUseful\":" + std::to_string(report.markedUseful) + ",";
+  json += "\"pageViews\":" + std::to_string(report.pageViews) + ",";
+  json += "\"hiddenRequests\":" + std::to_string(report.hiddenRequests) + ",";
+  json += std::string("\"trainingActive\":") +
+          (report.trainingActive ? "true" : "false") + ",";
+  json += std::string("\"enforced\":") + (report.enforced ? "true" : "false") +
+          ",";
+  appendNameArray(json, "usefulCookies", useful);
+  json += ",";
+  appendNameArray(json, "blockedCookies", blocked);
+  json += "}";
+  return json;
+}
+
+net::HttpResponse VerdictService::handle(const net::HttpRequest& request) {
+  const std::string& path = request.url.path();
+  if (path == "/healthz") {
+    net::HttpResponse response;
+    response.headers.set("Content-Type", "text/plain");
+    response.body = "ok";
+    return response;
+  }
+  if (path == "/stats") {
+    return jsonResponse(
+        200, "{\"sessionsRun\":" + std::to_string(sessionsRun()) + "}");
+  }
+  if (path == "/verdict") {
+    const std::string host =
+        util::toLowerAscii(queryParam(request.url.query(), "host"));
+    if (host.empty()) {
+      return jsonResponse(400, "{\"error\":\"missing host parameter\"}");
+    }
+    const std::string viewsText = queryParam(request.url.query(), "views");
+    const int views =
+        viewsText.empty() ? config_.defaultViews : std::atoi(viewsText.c_str());
+    std::string verdict = runVerdict(host, views);
+    if (verdict.empty()) {
+      return jsonResponse(400, "{\"error\":\"unknown host\"}");
+    }
+    return jsonResponse(200, std::move(verdict));
+  }
+  net::HttpResponse response = net::HttpResponse::notFound(path);
+  response.status = 404;
+  return response;
+}
+
+}  // namespace cookiepicker::serve

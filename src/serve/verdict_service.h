@@ -1,0 +1,64 @@
+// The CookiePicker verdict service.
+//
+// An HttpHandler exposing cookie-usefulness verdicts over HTTP — the
+// service half of `cookiepicker serve`. A request names a host from the
+// roster; the service runs a full CookiePicker training session for it
+// (fresh Browser + jar + SimClock, RNG keyed by host name, exactly the
+// fleet's session recipe) with every fetch flowing through the injected
+// net::Transport — the sim for reference runs, the SocketTransport for the
+// real service tier, where hidden requests become batched pipelined
+// fetches against the origin tier.
+//
+// Routes:
+//   GET /healthz               → 200 "ok"
+//   GET /verdict?host=H[&views=N] → verdict JSON: session report plus the
+//       sorted useful/blocked persistent-cookie names. Deterministic
+//       fields only — no timing — so two runs (or sim vs. socket) can be
+//       compared byte-for-byte; the soak harness does exactly that.
+//   GET /stats                 → service counters JSON
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+
+#include "cookies/policy.h"
+#include "core/cookie_picker.h"
+#include "net/transport.h"
+
+namespace cookiepicker::serve {
+
+struct VerdictServiceConfig {
+  int defaultViews = 12;
+  std::uint64_t seed = 2007;
+  core::CookiePickerConfig picker;
+  cookies::CookiePolicy policy = cookies::CookiePolicy::recommended();
+  bool enforceStableAfterRun = true;
+};
+
+class VerdictService : public net::HttpHandler {
+ public:
+  VerdictService(net::Transport& transport, VerdictServiceConfig config = {});
+
+  // Hosts the service will run sessions for, with their page counts
+  // (sessions cycle /page0../page{count-1} like the fleet does).
+  void addHost(const std::string& host, int pageCount);
+
+  net::HttpResponse handle(const net::HttpRequest& request) override;
+
+  // The verdict body for `host` without the HTTP shell (used directly by
+  // the soak harness and the CLI's --once mode).
+  std::string runVerdict(const std::string& host, int views);
+
+  std::uint64_t sessionsRun() const;
+
+ private:
+  net::Transport& transport_;
+  VerdictServiceConfig config_;
+  std::map<std::string, int> hostPages_;
+  mutable std::mutex mutex_;
+  std::uint64_t sessionsRun_ = 0;
+};
+
+}  // namespace cookiepicker::serve

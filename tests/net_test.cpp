@@ -310,6 +310,36 @@ TEST(Network, UnknownHostGets404) {
   EXPECT_EQ(exchange.response.status, 404);
 }
 
+// The Transport seam's batching contract: a batch through the sim is the
+// same draws and side effects as a caller-side sequential loop, and the
+// sim leaves retry timing to the browser's virtual-clock loop.
+TEST(Network, DispatchBatchEqualsSequentialDispatch) {
+  Network batched(7);
+  Network sequential(7);
+  batched.registerHost("a.com", std::make_shared<EchoHandler>());
+  sequential.registerHost("a.com", std::make_shared<EchoHandler>());
+
+  std::vector<HttpRequest> requests;
+  for (int i = 0; i < 6; ++i) {
+    HttpRequest request;
+    request.url = *Url::parse("http://a.com/x" + std::to_string(i));
+    requests.push_back(request);
+  }
+
+  Transport& transport = batched;
+  EXPECT_FALSE(transport.ownsRetryTiming());
+  const std::vector<Exchange> batch = transport.dispatchBatch(requests);
+  ASSERT_EQ(batch.size(), requests.size());
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    const Exchange reference = sequential.dispatch(requests[i]);
+    EXPECT_EQ(batch[i].response.status, reference.response.status);
+    EXPECT_EQ(batch[i].response.body, reference.response.body);
+    EXPECT_EQ(batch[i].latencyMs, reference.latencyMs);
+    EXPECT_EQ(batch[i].responseBytes, reference.responseBytes);
+  }
+  EXPECT_EQ(batched.totalRequests(), sequential.totalRequests());
+}
+
 TEST(Network, CountsRequestsAndBytes) {
   Network network(1);
   network.registerHost("a.com", std::make_shared<EchoHandler>());

@@ -1,0 +1,317 @@
+// HTTP/1.1 framing torture: the incremental parsers against every split
+// position, chunked bodies, pipelined messages, premature closes, lying
+// Content-Lengths, and oversized heads.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "net/http.h"
+#include "net/transport.h"
+#include "net/url.h"
+#include "serve/http1.h"
+
+namespace cookiepicker::serve {
+namespace {
+
+net::HttpRequest makeRequest(const std::string& url) {
+  net::HttpRequest request;
+  request.url = *net::Url::parse(url);
+  request.headers.add("User-Agent", "CookiePicker-Test/1.0");
+  request.headers.add("Cookie", "sid=abc; theme=dark");
+  request.kind = net::RequestKind::Hidden;
+  request.attempt = 2;
+  return request;
+}
+
+net::HttpResponse makeResponse(const std::string& body) {
+  net::HttpResponse response;
+  response.headers.add("Content-Type", "text/html");
+  response.headers.add("Set-Cookie", "sid=abc; Path=/");
+  response.headers.add("Set-Cookie", "theme=dark; Path=/; Max-Age=86400");
+  response.body = body;
+  return response;
+}
+
+TEST(Http1Request, RoundTripCarriesKindAndAttempt) {
+  const net::HttpRequest request =
+      makeRequest("http://shop.example.com/page3?tab=1");
+  const std::string wire = serializeRequest(request);
+
+  RequestParser parser;
+  parser.feed(wire);
+  ParsedRequest parsed;
+  ASSERT_EQ(parser.poll(&parsed), ParseStatus::Ready);
+  EXPECT_EQ(parsed.method, "GET");
+  EXPECT_EQ(parsed.target, "/page3?tab=1");
+  EXPECT_EQ(parsed.headers.get("Host").value_or(""), "shop.example.com");
+  EXPECT_TRUE(parsed.keepAlive);
+
+  const net::HttpRequest rebuilt = toHttpRequest(parsed, "shop.example.com");
+  EXPECT_EQ(rebuilt.url.toString(), request.url.toString());
+  EXPECT_EQ(rebuilt.kind, net::RequestKind::Hidden);
+  EXPECT_EQ(rebuilt.attempt, 2);
+  EXPECT_EQ(rebuilt.cookieHeader(), "sid=abc; theme=dark");
+  // The metadata headers themselves are stripped before the handler sees
+  // the request — content parity with the sim dispatch path.
+  EXPECT_FALSE(rebuilt.headers.has(kKindHeader));
+  EXPECT_FALSE(rebuilt.headers.has(kAttemptHeader));
+  EXPECT_FALSE(rebuilt.headers.has("Host"));
+}
+
+TEST(Http1Request, EverySplitPosition) {
+  net::HttpRequest request = makeRequest("http://a.example.com/x");
+  request.method = "POST";
+  request.body = "payload-bytes";
+  const std::string wire = serializeRequest(request);
+  for (std::size_t split = 0; split <= wire.size(); ++split) {
+    RequestParser parser;
+    parser.feed(std::string_view(wire).substr(0, split));
+    ParsedRequest parsed;
+    const ParseStatus first = parser.poll(&parsed);
+    if (split < wire.size()) {
+      ASSERT_EQ(first, ParseStatus::NeedMore) << "split=" << split;
+      parser.feed(std::string_view(wire).substr(split));
+      ASSERT_EQ(parser.poll(&parsed), ParseStatus::Ready) << "split=" << split;
+    } else {
+      ASSERT_EQ(first, ParseStatus::Ready);
+    }
+    EXPECT_EQ(parsed.body, "payload-bytes");
+    EXPECT_EQ(parser.buffered(), 0u);
+  }
+}
+
+TEST(Http1Request, PipelinedRequestsInOneFeed) {
+  std::string wire;
+  for (int i = 0; i < 5; ++i) {
+    wire += serializeRequest(
+        makeRequest("http://h.example.com/page" + std::to_string(i)));
+  }
+  RequestParser parser;
+  parser.feed(wire);
+  for (int i = 0; i < 5; ++i) {
+    ParsedRequest parsed;
+    ASSERT_EQ(parser.poll(&parsed), ParseStatus::Ready) << i;
+    EXPECT_EQ(parsed.target, "/page" + std::to_string(i));
+  }
+  ParsedRequest extra;
+  EXPECT_EQ(parser.poll(&extra), ParseStatus::NeedMore);
+}
+
+TEST(Http1Request, OversizedHeadersRejected) {
+  Http1Limits limits;
+  limits.maxHeaderBytes = 512;
+  RequestParser parser(limits);
+  std::string wire = "GET / HTTP/1.1\r\nHost: h\r\nX-Big: ";
+  wire.append(2000, 'a');
+  parser.feed(wire);
+  ParsedRequest parsed;
+  EXPECT_EQ(parser.poll(&parsed), ParseStatus::Error);
+  EXPECT_EQ(parser.error(), "oversized-headers");
+}
+
+TEST(Http1Request, MalformedRequestLineRejected) {
+  RequestParser parser;
+  parser.feed("NONSENSE\r\nHost: h\r\n\r\n");
+  ParsedRequest parsed;
+  EXPECT_EQ(parser.poll(&parsed), ParseStatus::Error);
+}
+
+TEST(Http1Request, ConnectionCloseRespected) {
+  RequestParser parser;
+  parser.feed("GET / HTTP/1.1\r\nHost: h\r\nConnection: close\r\n\r\n");
+  ParsedRequest parsed;
+  ASSERT_EQ(parser.poll(&parsed), ParseStatus::Ready);
+  EXPECT_FALSE(parsed.keepAlive);
+}
+
+TEST(Http1Response, ContentLengthEverySplitPosition) {
+  const net::HttpResponse response = makeResponse("<html><body>hi</body></html>");
+  const std::string wire = serializeResponse(response);
+  for (std::size_t split = 0; split <= wire.size(); ++split) {
+    ResponseParser parser;
+    parser.feed(std::string_view(wire).substr(0, split));
+    ParsedResponse parsed;
+    const ParseStatus first = parser.poll(&parsed);
+    if (split < wire.size()) {
+      ASSERT_EQ(first, ParseStatus::NeedMore) << "split=" << split;
+      parser.feed(std::string_view(wire).substr(split));
+      ASSERT_EQ(parser.poll(&parsed), ParseStatus::Ready) << "split=" << split;
+    } else {
+      ASSERT_EQ(first, ParseStatus::Ready);
+    }
+    EXPECT_EQ(parsed.status, 200);
+    EXPECT_EQ(parsed.body, response.body);
+    EXPECT_EQ(parsed.headers.getAll("Set-Cookie").size(), 2u);
+    EXPECT_FALSE(parsed.prematureClose);
+  }
+}
+
+TEST(Http1Response, ChunkedEverySplitPosition) {
+  const net::HttpResponse response =
+      makeResponse("chunked body with a reasonable amount of content");
+  ResponseWireOptions options;
+  options.chunked = true;
+  const std::string wire = serializeResponse(response, options);
+  ASSERT_NE(wire.find("Transfer-Encoding: chunked"), std::string::npos);
+  for (std::size_t split = 0; split <= wire.size(); ++split) {
+    ResponseParser parser;
+    parser.feed(std::string_view(wire).substr(0, split));
+    ParsedResponse parsed;
+    const ParseStatus first = parser.poll(&parsed);
+    if (split < wire.size()) {
+      ASSERT_EQ(first, ParseStatus::NeedMore) << "split=" << split;
+      parser.feed(std::string_view(wire).substr(split));
+      ASSERT_EQ(parser.poll(&parsed), ParseStatus::Ready) << "split=" << split;
+    } else {
+      ASSERT_EQ(first, ParseStatus::Ready);
+    }
+    EXPECT_EQ(parsed.body, response.body);
+    // The framing artifact does not leak into the bridged response.
+    EXPECT_FALSE(toHttpResponse(parsed).headers.has("Transfer-Encoding"));
+  }
+}
+
+TEST(Http1Response, MultiChunkDripReassembles) {
+  const net::HttpResponse response = makeResponse(std::string(1000, 'x'));
+  std::string wire = serializeChunkedHead(response, /*keepAlive=*/true);
+  for (std::size_t at = 0; at < response.body.size(); at += 256) {
+    wire += encodeChunk(std::string_view(response.body).substr(at, 256));
+  }
+  wire += encodeLastChunk();
+  ResponseParser parser;
+  parser.feed(wire);
+  ParsedResponse parsed;
+  ASSERT_EQ(parser.poll(&parsed), ParseStatus::Ready);
+  EXPECT_EQ(parsed.body, response.body);
+}
+
+TEST(Http1Response, ChunkedWithTrailersAndExtensions) {
+  ResponseParser parser;
+  parser.feed(
+      "HTTP/1.1 200 OK\r\nTransfer-Encoding: chunked\r\n\r\n"
+      "5;ext=1\r\nhello\r\n6\r\n world\r\n0\r\n"
+      "X-Trailer: dropped\r\n\r\n");
+  ParsedResponse parsed;
+  ASSERT_EQ(parser.poll(&parsed), ParseStatus::Ready);
+  EXPECT_EQ(parsed.body, "hello world");
+}
+
+TEST(Http1Response, PipelinedResponsesInOneRead) {
+  std::string wire;
+  for (int i = 0; i < 4; ++i) {
+    ResponseWireOptions options;
+    options.chunked = (i % 2 == 1);  // alternate framings back to back
+    wire += serializeResponse(makeResponse("body-" + std::to_string(i)),
+                              options);
+  }
+  ResponseParser parser;
+  parser.feed(wire);
+  for (int i = 0; i < 4; ++i) {
+    ParsedResponse parsed;
+    ASSERT_EQ(parser.poll(&parsed), ParseStatus::Ready) << i;
+    EXPECT_EQ(parsed.body, "body-" + std::to_string(i));
+  }
+}
+
+TEST(Http1Response, PrematureCloseDeliversTruncationSignature) {
+  // A response that declares 1000 bytes but dies after 100 — the wire shape
+  // the TruncateBody fault produces.
+  net::HttpResponse response = makeResponse(std::string(1000, 'y'));
+  ResponseWireOptions options;
+  options.declaredContentLength = 1000;
+  response.body.resize(100);
+  const std::string wire = serializeResponse(response, options);
+
+  ResponseParser parser;
+  parser.feed(wire);
+  ParsedResponse parsed;
+  ASSERT_EQ(parser.poll(&parsed), ParseStatus::NeedMore);
+  ASSERT_EQ(parser.finishAtEof(&parsed), ParseStatus::Ready);
+  EXPECT_TRUE(parsed.prematureClose);
+  EXPECT_EQ(parsed.body.size(), 100u);
+  // Bridged, the short body plus intact Content-Length trips the shared
+  // truncation detector every retry loop classifies with.
+  const net::HttpResponse bridged = toHttpResponse(parsed);
+  EXPECT_TRUE(net::bodyTruncated(bridged));
+  EXPECT_EQ(net::fetchFailureReason(bridged), "truncated-body");
+}
+
+TEST(Http1Response, PrematureCloseMidChunk) {
+  ResponseParser parser;
+  parser.feed(
+      "HTTP/1.1 200 OK\r\nTransfer-Encoding: chunked\r\n\r\n"
+      "100\r\nonly a few bytes");
+  ParsedResponse parsed;
+  ASSERT_EQ(parser.poll(&parsed), ParseStatus::NeedMore);
+  ASSERT_EQ(parser.finishAtEof(&parsed), ParseStatus::Ready);
+  EXPECT_TRUE(parsed.prematureClose);
+  EXPECT_EQ(parsed.body, "only a few bytes");
+}
+
+TEST(Http1Response, EofBeforeAnyBytesIsNotAMessage) {
+  ResponseParser parser;
+  ParsedResponse parsed;
+  EXPECT_EQ(parser.finishAtEof(&parsed), ParseStatus::NeedMore);
+}
+
+TEST(Http1Response, EofMidHeadersIsAnError) {
+  ResponseParser parser;
+  parser.feed("HTTP/1.1 200 OK\r\nContent-Ty");
+  ParsedResponse parsed;
+  ASSERT_EQ(parser.poll(&parsed), ParseStatus::NeedMore);
+  EXPECT_EQ(parser.finishAtEof(&parsed), ParseStatus::Error);
+}
+
+TEST(Http1Response, EofFramedBodyCompletesAtClose) {
+  ResponseParser parser;
+  parser.feed("HTTP/1.1 200 OK\r\nContent-Type: text/plain\r\n\r\nraw until close");
+  ParsedResponse parsed;
+  ASSERT_EQ(parser.poll(&parsed), ParseStatus::NeedMore);
+  ASSERT_EQ(parser.finishAtEof(&parsed), ParseStatus::Ready);
+  EXPECT_EQ(parsed.body, "raw until close");
+  EXPECT_FALSE(parsed.prematureClose);
+  EXPECT_FALSE(parsed.keepAlive);
+}
+
+TEST(Http1Response, OversizedHeadersRejected) {
+  Http1Limits limits;
+  limits.maxHeaderBytes = 256;
+  ResponseParser parser(limits);
+  std::string wire = "HTTP/1.1 200 OK\r\nX-Big: ";
+  wire.append(1000, 'b');
+  parser.feed(wire);
+  ParsedResponse parsed;
+  EXPECT_EQ(parser.poll(&parsed), ParseStatus::Error);
+  EXPECT_EQ(parser.error(), "oversized-headers");
+}
+
+TEST(Http1Response, MalformedChunkSizeRejected) {
+  ResponseParser parser;
+  parser.feed(
+      "HTTP/1.1 200 OK\r\nTransfer-Encoding: chunked\r\n\r\nzz\r\n");
+  ParsedResponse parsed;
+  EXPECT_EQ(parser.poll(&parsed), ParseStatus::Error);
+}
+
+TEST(Http1Response, StatusTextWithSpacesSurvives) {
+  ResponseParser parser;
+  parser.feed(
+      "HTTP/1.1 503 Service Unavailable\r\nContent-Length: 0\r\n\r\n");
+  ParsedResponse parsed;
+  ASSERT_EQ(parser.poll(&parsed), ParseStatus::Ready);
+  EXPECT_EQ(parsed.status, 503);
+  EXPECT_EQ(parsed.statusText, "Service Unavailable");
+}
+
+TEST(Http1Kind, NamesRoundTrip) {
+  for (net::RequestKind kind :
+       {net::RequestKind::Container, net::RequestKind::Subresource,
+        net::RequestKind::Hidden}) {
+    EXPECT_EQ(parseRequestKind(requestKindName(kind)), kind);
+  }
+  EXPECT_FALSE(parseRequestKind("bogus").has_value());
+}
+
+}  // namespace
+}  // namespace cookiepicker::serve

@@ -1,0 +1,204 @@
+// Serve-tier soak: verdicts through real sockets under socket-layer
+// faults must match a fault-free sim-transport reference byte-for-byte.
+//
+// This is the serve module's end-to-end determinism claim. The reference
+// runs every Table-2 session over the sim Network with no faults. The
+// run under test pushes the same sessions through the full socket stack
+// — SocketTransport → AsyncHttpClient → loopback TCP → OriginTier — with
+// a flapping fault plan dropping and 5xx-ing hidden fetches. Because
+// those faults short-circuit before the site handler runs, and because
+// the browser's wheel-driven retries heal every flap (fail=1 against
+// maxAttempts=3), each logical request ultimately sees exactly the bytes
+// the fault-free run saw — so the verdict JSON, cookie names included,
+// must agree to the byte.
+//
+// Run by tools/check.sh's serve-soak configuration with
+// COOKIEPICKER_CHAOS=1, which doubles the session length.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "faults/fault_plan.h"
+#include "net/network.h"
+#include "net/url.h"
+#include "serve/async_client.h"
+#include "serve/event_loop.h"
+#include "serve/http_server.h"
+#include "serve/origin_tier.h"
+#include "serve/socket_transport.h"
+#include "serve/verdict_service.h"
+#include "server/generator.h"
+#include "util/clock.h"
+
+namespace cookiepicker {
+namespace {
+
+constexpr std::uint64_t kSeed = 2007;
+
+int soakViews() {
+  const char* env = std::getenv("COOKIEPICKER_CHAOS");
+  const bool chaos = env != nullptr && std::string_view(env) != "0";
+  return chaos ? 24 : 12;
+}
+
+std::shared_ptr<const faults::FaultPlan> flappingPlan() {
+  // Sparse flaps so the default retry policy (3 attempts) always recovers:
+  // at most two consecutive faulted attempts even when both rules align.
+  auto plan = faults::FaultPlan::parse(
+      "rule scope=hidden action=connection-drop fail=1 recover=7\n"
+      "rule scope=hidden action=server-error status=503 fail=1 recover=9\n");
+  EXPECT_TRUE(plan.has_value());
+  return std::make_shared<const faults::FaultPlan>(*plan);
+}
+
+TEST(ServeSoak, FaultySocketVerdictsMatchFaultFreeSimReference) {
+  const std::vector<server::SiteSpec> roster = server::table2Roster();
+  const int views = soakViews();
+
+  // Reference: the same sessions over the sim, no faults anywhere.
+  std::map<std::string, std::string> reference;
+  {
+    util::SimClock siteClock;
+    net::Network network(kSeed);
+    serve::VerdictService service(network, {});
+    for (const auto& spec : roster) {
+      network.registerHost(spec.domain, server::buildSite(spec, siteClock),
+                           spec.latencyProfile());
+      service.addHost(spec.domain, spec.pageCount);
+    }
+    for (const auto& spec : roster) {
+      reference[spec.domain] = service.runVerdict(spec.domain, views);
+      ASSERT_FALSE(reference[spec.domain].empty());
+    }
+  }
+
+  // Under test: real sockets, flapping socket-layer faults, wheel retries.
+  util::SimClock siteClock;
+  serve::OriginTierConfig tierConfig;
+  tierConfig.seed = kSeed;
+  tierConfig.threads = 2;
+  tierConfig.faultPlan = flappingPlan();
+  serve::OriginTier tier(tierConfig);
+  serve::VerdictServiceConfig serviceConfig;
+  for (const auto& spec : roster) {
+    tier.addHost(spec.domain, server::buildSite(spec, siteClock));
+  }
+  tier.start();
+  {
+    serve::LoopThread loopThread;
+    serve::AsyncClientConfig clientConfig;
+    clientConfig.resolve = tier.resolver();
+    clientConfig.maxPipelineDepth = 4;
+    serve::AsyncHttpClient client(loopThread.loop(), clientConfig);
+    serve::SocketTransport transport(client);
+    serve::VerdictService service(transport, serviceConfig);
+    for (const auto& spec : roster) {
+      service.addHost(spec.domain, spec.pageCount);
+    }
+
+    for (const auto& spec : roster) {
+      EXPECT_EQ(service.runVerdict(spec.domain, views),
+                reference[spec.domain])
+          << spec.label << " diverged under socket faults";
+    }
+    // The plan really was firing: this agreement was earned, not vacuous.
+    EXPECT_GE(client.stats().drops + client.stats().retriesScheduled, 1u);
+  }
+  tier.stop();
+  EXPECT_GE(tier.stats().faultsInjected, 1u);
+}
+
+// The verdict service behind its own HTTP listener: the full
+// `cookiepicker serve` shape, queried over the wire.
+TEST(ServeSoak, VerdictEndpointServesOverTheWire) {
+  const std::vector<server::SiteSpec> roster = server::table2Roster();
+  const int views = 4;  // parity is parity; keep the wire test quick
+  const std::string target = roster.front().domain;
+
+  // Sim reference for the same (seed, host, views) session.
+  std::string expected;
+  {
+    util::SimClock siteClock;
+    net::Network network(kSeed);
+    serve::VerdictService service(network, {});
+    for (const auto& spec : roster) {
+      network.registerHost(spec.domain, server::buildSite(spec, siteClock),
+                           spec.latencyProfile());
+      service.addHost(spec.domain, spec.pageCount);
+    }
+    expected = service.runVerdict(target, views);
+    ASSERT_FALSE(expected.empty());
+  }
+
+  // Origin tier + socket transport feeding the verdict service...
+  util::SimClock siteClock;
+  serve::OriginTierConfig tierConfig;
+  tierConfig.seed = kSeed;
+  serve::OriginTier tier(tierConfig);
+  for (const auto& spec : roster) {
+    tier.addHost(spec.domain, server::buildSite(spec, siteClock));
+  }
+  tier.start();
+  {
+    serve::LoopThread originClientLoop;
+    serve::AsyncClientConfig originClientConfig;
+    originClientConfig.resolve = tier.resolver();
+    serve::AsyncHttpClient originClient(originClientLoop.loop(),
+                                        originClientConfig);
+    serve::SocketTransport transport(originClient);
+    auto service = std::make_shared<serve::VerdictService>(
+        transport, serve::VerdictServiceConfig{});
+    for (const auto& spec : roster) {
+      service->addHost(spec.domain, spec.pageCount);
+    }
+
+    // ...itself listening on its own loop, like the CLI's serve mode.
+    serve::EventLoop serviceLoop;
+    serve::HttpServer frontend(
+        serviceLoop, [&service](const std::string&) { return service.get(); },
+        kSeed);
+    const std::uint16_t port = frontend.listen(0);
+    std::thread serviceThread([&serviceLoop]() { serviceLoop.run(); });
+
+    serve::LoopThread probeLoop;
+    serve::AsyncClientConfig probeConfig;
+    probeConfig.resolve = [port](const std::string&) {
+      return std::optional<std::uint16_t>(port);
+    };
+    probeConfig.requestDeadlineMs = 120000.0;  // a verdict session is slow
+    serve::AsyncHttpClient probe(probeLoop.loop(), probeConfig);
+    serve::SocketTransport probeTransport(probe);
+
+    net::HttpRequest health;
+    health.url = net::Url::parse("http://verdicts.local/healthz").value();
+    EXPECT_EQ(probeTransport.dispatch(health).response.body, "ok");
+
+    net::HttpRequest ask;
+    ask.url = net::Url::parse("http://verdicts.local/verdict?host=" + target +
+                              "&views=" + std::to_string(views))
+                  .value();
+    const net::Exchange answer = probeTransport.dispatch(ask);
+    EXPECT_EQ(answer.response.status, 200);
+    EXPECT_EQ(answer.response.headers.get("Content-Type"),
+              std::optional<std::string>("application/json"));
+    EXPECT_EQ(answer.response.body, expected);
+
+    net::HttpRequest missing;
+    missing.url =
+        net::Url::parse("http://verdicts.local/verdict?host=unknown.example")
+            .value();
+    EXPECT_EQ(probeTransport.dispatch(missing).response.status, 400);
+
+    serviceLoop.stop();
+    serviceThread.join();
+  }
+  tier.stop();
+}
+
+}  // namespace
+}  // namespace cookiepicker

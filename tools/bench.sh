@@ -17,7 +17,15 @@
 # All three ratios are medians of paired adjacent timing rounds inside the
 # bench, so ambient machine noise perturbs single rounds, not the gate.
 #
-#   tools/bench.sh            # hot path + fleet scaling
+# The serve bench (BENCH_serve.json) gates the socket service tier: closed-
+# loop hidden-fetch throughput over real loopback sockets must reach at
+# least MIN_SERVE_QPS (default 10000) req/s with p99 latency at most
+# MAX_SERVE_P99_MS (default 50) and keep-alive connection reuse at least
+# MIN_SERVE_REUSE (default 0.9). The gated round serves minimal origins so
+# the number measures the epoll tier itself; the site-generator round is
+# reported alongside as generator_qps.
+#
+#   tools/bench.sh            # hot path + fleet scaling + serve tier
 #   MIN_SPEEDUP=5 tools/bench.sh
 set -euo pipefail
 
@@ -27,13 +35,16 @@ MIN_SPEEDUP="${MIN_SPEEDUP:-3}"
 MIN_INSTRUMENTED_RATIO="${MIN_INSTRUMENTED_RATIO:-0.9}"
 MIN_STORE_RATIO="${MIN_STORE_RATIO:-0.9}"
 MIN_STREAM_RATIO="${MIN_STREAM_RATIO:-3.0}"
+MIN_SERVE_QPS="${MIN_SERVE_QPS:-10000}"
+MAX_SERVE_P99_MS="${MAX_SERVE_P99_MS:-50}"
+MIN_SERVE_REUSE="${MIN_SERVE_REUSE:-0.9}"
 BUILD_DIR="$ROOT/build-bench"
 
 echo "=== configuring $BUILD_DIR (Release) ==="
 cmake -B "$BUILD_DIR" -S "$ROOT" -DCMAKE_BUILD_TYPE=Release >/dev/null
 echo "=== building benches ==="
 cmake --build "$BUILD_DIR" -j "$JOBS" \
-      --target bench_detection_hotpath bench_fleet_scaling
+      --target bench_detection_hotpath bench_fleet_scaling bench_serve
 
 echo "=== detection hot path ==="
 "$BUILD_DIR/bench/bench_detection_hotpath" "$ROOT/BENCH_hotpath.json"
@@ -98,4 +109,49 @@ echo "OK: stream ratios ${stream_ratios//$'\n'/ }x"
 echo "=== fleet scaling ==="
 "$BUILD_DIR/bench/bench_fleet_scaling"
 
-echo "all benches done; BENCH_hotpath.json updated"
+echo "=== serve tier (loopback sockets) ==="
+"$BUILD_DIR/bench/bench_serve" "$ROOT/BENCH_serve.json"
+
+echo "=== serve throughput gate (>= ${MIN_SERVE_QPS} req/s) ==="
+serve_qps="$(sed -n 's/.*"qps": \([0-9.]*\),.*/\1/p' \
+             "$ROOT/BENCH_serve.json" | head -1)"
+if [[ -z "$serve_qps" ]]; then
+  echo "FAIL: could not read qps from BENCH_serve.json" >&2
+  exit 1
+fi
+if ! awk -v q="$serve_qps" -v min="$MIN_SERVE_QPS" \
+     'BEGIN { exit !(q >= min) }'; then
+  echo "FAIL: serve qps ${serve_qps} below required ${MIN_SERVE_QPS}" >&2
+  exit 1
+fi
+echo "OK: serve qps ${serve_qps}"
+
+echo "=== serve p99 gate (<= ${MAX_SERVE_P99_MS} ms) ==="
+serve_p99="$(sed -n 's/.*"p99_ms": \([0-9.]*\),.*/\1/p' \
+             "$ROOT/BENCH_serve.json" | head -1)"
+if [[ -z "$serve_p99" ]]; then
+  echo "FAIL: could not read p99_ms from BENCH_serve.json" >&2
+  exit 1
+fi
+if ! awk -v p="$serve_p99" -v max="$MAX_SERVE_P99_MS" \
+     'BEGIN { exit !(p <= max) }'; then
+  echo "FAIL: serve p99 ${serve_p99} ms above allowed ${MAX_SERVE_P99_MS} ms" >&2
+  exit 1
+fi
+echo "OK: serve p99 ${serve_p99} ms"
+
+echo "=== serve connection-reuse gate (>= ${MIN_SERVE_REUSE}) ==="
+serve_reuse="$(sed -n 's/.*"reuse_ratio": \([0-9.]*\),.*/\1/p' \
+               "$ROOT/BENCH_serve.json" | head -1)"
+if [[ -z "$serve_reuse" ]]; then
+  echo "FAIL: could not read reuse_ratio from BENCH_serve.json" >&2
+  exit 1
+fi
+if ! awk -v r="$serve_reuse" -v min="$MIN_SERVE_REUSE" \
+     'BEGIN { exit !(r >= min) }'; then
+  echo "FAIL: serve reuse ${serve_reuse} below required ${MIN_SERVE_REUSE}" >&2
+  exit 1
+fi
+echo "OK: serve reuse ${serve_reuse}"
+
+echo "all benches done; BENCH_hotpath.json and BENCH_serve.json updated"

@@ -20,9 +20,14 @@
 # snapshot differential fuzz suite in the TSan and ASan trees with
 # COOKIEPICKER_FUZZ=8, which scales the generated-document corpus eightfold
 # (every document byte-compared across the streaming and reference
-# pipelines, with mutation rounds).
+# pipelines, with mutation rounds). The serve-soak configs re-run the
+# service-tier suites (event loop, real-socket e2e parity, and the
+# flapping-origin verdict soak) in the TSan and ASan trees with
+# COOKIEPICKER_CHAOS=1, which doubles the soak's training views — epoll
+# loops, connection pools, and the origin shards all run real threads, so
+# TSan watches the cross-thread handoffs and ASan the parser buffers.
 #
-#   tools/check.sh                 # all ten configurations
+#   tools/check.sh                 # all twelve configurations
 #   tools/check.sh thread          # just the TSan pass
 #   tools/check.sh thread-metrics  # TSan with the global recorder enabled
 #   tools/check.sh address         # just the ASan/UBSan pass
@@ -33,6 +38,8 @@
 #   tools/check.sh crash-soak      # 200-seed crash-recovery fuzz, ASan tree
 #   tools/check.sh fuzz-thread     # scaled snapshot diff fuzz, TSan tree
 #   tools/check.sh fuzz-address    # scaled snapshot diff fuzz, ASan tree
+#   tools/check.sh serve-thread    # scaled service-tier soak, TSan tree
+#   tools/check.sh serve-address   # scaled service-tier soak, ASan tree
 set -euo pipefail
 
 ROOT="$(cd "$(dirname "$0")/.." && pwd)"
@@ -40,7 +47,8 @@ JOBS="${JOBS:-$(nproc)}"
 CONFIGS=("${@:-plain}")
 if [[ $# -eq 0 ]]; then
   CONFIGS=(plain thread thread-metrics address debug chaos-thread
-           chaos-address crash-soak fuzz-thread fuzz-address)
+           chaos-address crash-soak fuzz-thread fuzz-address
+           serve-thread serve-address)
 fi
 
 for config in "${CONFIGS[@]}"; do
@@ -114,10 +122,33 @@ for config in "${CONFIGS[@]}"; do
       soak_target="snapshot_differential_test"
       build_dir="$ROOT/build-check-address"
       ;;
+    serve-thread)
+      # The service tier under TSan with the soak scaled up: epoll loops,
+      # timer wheels, per-host pools, and origin shards exchange requests
+      # across real threads while a flapping fault plan forces retries and
+      # requeues; verdicts must still match the fault-free sim reference.
+      sanitize="thread"
+      chaos_env="1"
+      test_filter="Http1|TimerWheel|EventLoop|ServeE2E|ServeSoak"
+      soak_target="serve_http1_test serve_loop_test serve_e2e_test
+                   serve_soak_test"
+      build_dir="$ROOT/build-check-thread"
+      ;;
+    serve-address)
+      # The same scaled soak under ASan/UBSan: HTTP/1.1 parser buffers,
+      # truncated and corrupted wire bytes, and connection teardown paths
+      # must never read or write out of bounds.
+      sanitize="address"
+      chaos_env="1"
+      test_filter="Http1|TimerWheel|EventLoop|ServeE2E|ServeSoak"
+      soak_target="serve_http1_test serve_loop_test serve_e2e_test
+                   serve_soak_test"
+      build_dir="$ROOT/build-check-address"
+      ;;
     *) echo "unknown configuration: $config" \
             "(want plain|thread|thread-metrics|address|debug|" \
             "chaos-thread|chaos-address|crash-soak|fuzz-thread|" \
-            "fuzz-address)" >&2
+            "fuzz-address|serve-thread|serve-address)" >&2
        exit 2 ;;
   esac
   echo "=== [$config] configuring $build_dir ==="
@@ -132,7 +163,8 @@ for config in "${CONFIGS[@]}"; do
         -R 'FastPathDifferential|Interner')
   elif [[ -n "$test_filter" ]]; then
     echo "=== [$config] building $soak_target ==="
-    cmake --build "$build_dir" -j "$JOBS" --target "$soak_target"
+    # shellcheck disable=SC2086 — soak_target may name several targets
+    cmake --build "$build_dir" -j "$JOBS" --target $soak_target
     echo "=== [$config] running $test_filter soak ==="
     (cd "$build_dir" && COOKIEPICKER_CHAOS="$chaos_env" \
         COOKIEPICKER_FUZZ="$fuzz_env" \

@@ -13,6 +13,9 @@
 //                                              per-phase latency shares
 //   cookiepicker fsck --state-dir DIR          offline store integrity scan
 //                                              (exit 1 on data loss)
+//   cookiepicker serve [--port P] [--once H]   verdict service over real
+//                                              sockets (epoll origin tier +
+//                                              pipelined hidden fetches)
 //
 // Flight-recorder outputs (audit + stats): --metrics-out FILE writes the
 // metrics snapshot as JSON, --audit-out FILE writes the per-verdict JSONL
@@ -24,9 +27,11 @@
 // path reloads the saved extension state and continues training across
 // invocations, like a browser restart.
 #include <algorithm>
+#include <csignal>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <memory>
 #include <optional>
 #include <sstream>
 #include <string>
@@ -41,6 +46,12 @@
 #include "obs/audit.h"
 #include "obs/metrics.h"
 #include "obs/recorder.h"
+#include "serve/async_client.h"
+#include "serve/event_loop.h"
+#include "serve/http_server.h"
+#include "serve/origin_tier.h"
+#include "serve/socket_transport.h"
+#include "serve/verdict_service.h"
 #include "server/generator.h"
 #include "store/store.h"
 #include "util/clock.h"
@@ -63,6 +74,9 @@ struct Options {
   std::string faultPlanFile;  // fault schedule injected into the network
   std::string stateDir;    // durable state store directory (empty = off)
   bool strict = false;     // replay: exit non-zero on drift
+  int port = 0;            // serve: verdict listener port (0 = ephemeral)
+  int originThreads = 2;   // serve: origin-tier event-loop threads
+  std::string onceHost;    // serve: run one verdict and exit ("-" = first)
 };
 
 Options parseOptions(int argc, char** argv, int firstFlag) {
@@ -94,6 +108,13 @@ Options parseOptions(int argc, char** argv, int firstFlag) {
       options.stateDir = next();
     } else if (flag == "--strict") {
       options.strict = true;
+    } else if (flag == "--port") {
+      options.port = std::atoi(next().c_str());
+    } else if (flag == "--origin-threads") {
+      options.originThreads = std::max(1, std::atoi(next().c_str()));
+    } else if (flag == "--once") {
+      options.onceHost = next();
+      if (options.onceHost.empty()) options.onceHost = "-";
     } else {
       std::fprintf(stderr, "unknown flag: %s\n", flag.c_str());
     }
@@ -543,11 +564,115 @@ int runFsck(const Options& options) {
   return report.ok ? 0 : 1;
 }
 
+// The loop the serve frontend runs on, reachable from the signal handler.
+serve::EventLoop* g_serveLoop = nullptr;
+
+void stopServeLoop(int) {
+  if (g_serveLoop != nullptr) g_serveLoop->stop();  // atomic flag + eventfd
+}
+
+// `cookiepicker serve`: the verdict service tier over real sockets. The
+// synthetic origins listen on loopback behind an epoll OriginTier; hidden
+// fetches travel as batched pipelined HTTP/1.1 through the AsyncHttpClient;
+// the verdict service itself answers on --port. --once HOST runs a single
+// verdict to stdout instead of serving (HOST "-" means the first roster
+// site) — the shape tools/check.sh and quick smoke tests drive.
+int runServe(const Options& options) {
+  std::shared_ptr<const faults::FaultPlan> faultPlan;
+  if (!loadFaultPlan(options, faultPlan)) return 2;
+  obs::MetricsRegistry& metrics = obs::MetricsRegistry::global();
+  metrics.setEnabled(true);
+
+  util::SimClock siteClock;
+  const auto roster = server::measurementRoster(options.sites, options.seed);
+
+  serve::OriginTierConfig tierConfig;
+  tierConfig.seed = options.seed;
+  tierConfig.threads = options.originThreads;
+  tierConfig.faultPlan = faultPlan;
+  serve::OriginTier tier(tierConfig);
+  for (const auto& spec : roster) {
+    tier.addHost(spec.domain, server::buildSite(spec, siteClock));
+  }
+  tier.start();
+
+  int exitCode = 0;
+  {
+    serve::LoopThread clientLoop;
+    serve::AsyncClientConfig clientConfig;
+    clientConfig.resolve = tier.resolver();
+    clientConfig.maxPipelineDepth = 4;
+    clientConfig.seed = options.seed;
+    serve::AsyncHttpClient client(clientLoop.loop(), clientConfig);
+    serve::SocketTransport transport(client);
+
+    serve::VerdictServiceConfig serviceConfig;
+    serviceConfig.defaultViews = options.views;
+    serviceConfig.seed = options.seed;
+    serve::VerdictService service(transport, serviceConfig);
+    for (const auto& spec : roster) {
+      service.addHost(spec.domain, spec.pageCount);
+    }
+
+    if (!options.onceHost.empty()) {
+      const std::string host =
+          options.onceHost == "-" ? roster.front().domain : options.onceHost;
+      const std::string verdict = service.runVerdict(host, options.views);
+      if (verdict.empty()) {
+        std::fprintf(stderr, "unknown host: %s\n", host.c_str());
+        exitCode = 2;
+      } else {
+        std::printf("%s\n", verdict.c_str());
+        const serve::AsyncClientStats stats = client.stats();
+        std::fprintf(stderr,
+                     "serve: %llu dispatches, %.0f%% connection reuse, "
+                     "%llu retries\n",
+                     static_cast<unsigned long long>(stats.dispatches),
+                     stats.reuseRatio() * 100.0,
+                     static_cast<unsigned long long>(stats.retriesScheduled));
+      }
+    } else {
+      serve::EventLoop frontLoop;
+      serve::HttpServer frontend(
+          frontLoop, [&service](const std::string&) { return &service; },
+          options.seed);
+      const std::uint16_t port = frontend.listen(
+          static_cast<std::uint16_t>(std::max(0, options.port)));
+      std::printf("cookiepicker serve: %zu sites on %d origin thread(s), "
+                  "verdicts at http://127.0.0.1:%u\n",
+                  roster.size(), tier.threads(),
+                  static_cast<unsigned>(port));
+      std::printf("  GET /verdict?host=%s[&views=N]\n",
+                  roster.front().domain.c_str());
+      std::printf("  GET /healthz | GET /stats    (Ctrl-C stops)\n");
+      std::fflush(stdout);
+      g_serveLoop = &frontLoop;
+      std::signal(SIGINT, stopServeLoop);
+      std::signal(SIGTERM, stopServeLoop);
+      frontLoop.run();
+      std::signal(SIGINT, SIG_DFL);
+      std::signal(SIGTERM, SIG_DFL);
+      g_serveLoop = nullptr;
+      std::printf("serve: %llu sessions run\n",
+                  static_cast<unsigned long long>(service.sessionsRun()));
+    }
+  }
+  tier.stop();
+
+  if (!options.metricsOut.empty()) {
+    if (!writeFileOrComplain(options.metricsOut,
+                             metrics.snapshot().toJson() + "\n")) {
+      exitCode = exitCode == 0 ? 1 : exitCode;
+    }
+  }
+  return exitCode;
+}
+
 int usage() {
   std::fprintf(
       stderr,
-      "usage: cookiepicker <demo|audit|census|stats|record|replay|fsck>"
-      " [flags]\n"
+      "usage: cookiepicker"
+      " <demo|audit|census|stats|record|replay|fsck|serve> [flags]\n"
       "  demo                              one-site walkthrough\n"
       "  audit  [--sites N] [--views V] [--seed S] [--workers W]\n"
       "         [--metrics-out FILE] [--audit-out FILE] [--fault-plan FILE]\n"
@@ -567,7 +692,15 @@ int usage() {
       "  replay --in FILE  [--views V] [--seed S] [--strict]\n"
       "         (prints a drift summary; --strict exits 1 on any miss)\n"
       "  fsck   --state-dir DIR\n"
-      "         (read-only shard integrity scan; exit 1 on data loss)\n");
+      "         (read-only shard integrity scan; exit 1 on data loss)\n"
+      "  serve  [--port P] [--sites N] [--views V] [--seed S]\n"
+      "         [--origin-threads T] [--fault-plan FILE]\n"
+      "         [--metrics-out FILE] [--once HOST]\n"
+      "         (verdict service over real sockets: synthetic origins on\n"
+      "          an epoll tier, hidden fetches batched + pipelined with\n"
+      "          keep-alive; GET /verdict?host=H[&views=N] on port P;\n"
+      "          --once runs one verdict to stdout and exits, HOST '-'\n"
+      "          means the first roster site — see DESIGN.md section 12)\n");
   return 2;
 }
 
@@ -584,5 +717,6 @@ int main(int argc, char** argv) {
   if (command == "record") return runRecord(options);
   if (command == "replay") return runReplay(options);
   if (command == "fsck") return runFsck(options);
+  if (command == "serve") return runServe(options);
   return usage();
 }
