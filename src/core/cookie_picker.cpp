@@ -52,11 +52,143 @@ ForcumStepReport CookiePicker::onPageLoaded(const browser::PageView& view) {
 
 ForcumStepReport CookiePicker::onPageLoadedLocked(
     const browser::PageView& view) {
+  if (config_.sharedKnowledge != nullptr) {
+    // Consult (or keep warming) the crowd knowledge BEFORE the FORCUM step,
+    // so a warm site's training is already off when onPageView runs and no
+    // hidden request is ever sent for it.
+    consultKnowledgeLocked(view.url.host());
+    applyKnowledgeMarksLocked(view.url.host());
+  }
   ForcumStepReport report = forcum_.onPageView(view);
   if (config_.autoEnforce && !report.trainingActive) {
     enforceForHostLocked(view.url.host());
   }
   return report;
+}
+
+void CookiePicker::consultKnowledgeLocked(const std::string& host) {
+  if (knowledgeOutcomes_.contains(host)) return;  // one-shot per session
+  // What this session has actually observed so far. Before any persistent
+  // cookie lands there is nothing to compare the entry against — wait for
+  // the next view rather than warm a host we know nothing about.
+  std::set<cookies::CookieKey> observed;
+  for (const cookies::CookieRecord* record :
+       browser_.jar().persistentCookiesForHost(host)) {
+    observed.insert(record->key);
+  }
+  if (observed.empty()) return;
+
+  const std::optional<knowledge::SiteKnowledge> entry =
+      config_.sharedKnowledge->lookup(host);
+  if (!entry.has_value()) {
+    knowledgeOutcomes_[host] = KnowledgeOutcome::Cold;
+    knowledgeEpochs_[host] = 0;
+    obs::count(obs::Counter::KnowledgeMisses);
+    return;
+  }
+  knowledgeEpochs_[host] = entry->epoch;
+  // Novel cookies invalidate the entry: the crowd's knowledge describes a
+  // site that no longer matches what this session observes, so re-probate
+  // it (epoch bump) and train honestly. Partial observation the other way
+  // (entry knows MORE keys than the first views carried) is expected and
+  // fine — pages set their cookies over time.
+  bool novel = false;
+  for (const cookies::CookieKey& key : observed) {
+    if (!entry->cookies.contains(key)) {
+      novel = true;
+      break;
+    }
+  }
+  if (novel) {
+    knowledgeEpochs_[host] = config_.sharedKnowledge->demote(host, observed);
+    knowledgeOutcomes_[host] = KnowledgeOutcome::Demoted;
+    obs::count(obs::Counter::KnowledgeDemotions);
+    obs::count(obs::Counter::KnowledgeMisses);
+    return;
+  }
+  if (!entry->stable) {
+    knowledgeOutcomes_[host] = KnowledgeOutcome::Cold;
+    obs::count(obs::Counter::KnowledgeMisses);
+    return;
+  }
+
+  // Warm: adopt the crowd verdict. Remember the useful keys (marks can only
+  // be applied once their cookies exist in the jar — applyKnowledgeMarks
+  // catches the late arrivals), seed FORCUM with the entry's counters and
+  // full key set so training stays off unless a truly novel cookie appears,
+  // and go straight to enforcement.
+  std::set<cookies::CookieKey> usefulKeys;
+  std::set<cookies::CookieKey> allKeys;
+  for (const auto& [key, useful] : entry->cookies) {
+    allKeys.insert(key);
+    if (useful) usefulKeys.insert(key);
+  }
+  knowledgeUsefulKeys_[host] = std::move(usefulKeys);
+  knowledgeOutcomes_[host] = KnowledgeOutcome::Warm;
+  obs::count(obs::Counter::KnowledgeHits);
+  applyKnowledgeMarksLocked(host);
+  forcum_.importSharedSite(host, entry->totalViews, entry->hiddenRequests,
+                           entry->quietViews, allKeys);
+  enforceForHostLocked(host);
+}
+
+void CookiePicker::applyKnowledgeMarksLocked(const std::string& host) {
+  const auto it = knowledgeUsefulKeys_.find(host);
+  if (it == knowledgeUsefulKeys_.end()) return;
+  for (const cookies::CookieKey& key : it->second) {
+    const cookies::CookieRecord* record = browser_.jar().find(key);
+    if (record != nullptr && !record->useful) {
+      browser_.jar().markUseful(key);
+      obs::count(obs::Counter::KnowledgeMarksImported);
+    }
+  }
+}
+
+KnowledgeOutcome CookiePicker::knowledgeOutcome(const std::string& host) const {
+  std::lock_guard lock(mutex_);
+  const auto it = knowledgeOutcomes_.find(host);
+  return it == knowledgeOutcomes_.end() ? KnowledgeOutcome::Unconsulted
+                                        : it->second;
+}
+
+knowledge::SiteKnowledge CookiePicker::exportKnowledgeLocked(
+    const std::string& host) const {
+  knowledge::SiteKnowledge entry;
+  const auto epochIt = knowledgeEpochs_.find(host);
+  if (epochIt != knowledgeEpochs_.end()) entry.epoch = epochIt->second;
+  if (const ForcumEngine::SiteState* state = forcum_.siteState(host)) {
+    entry.stable = !state->trainingActive;
+    entry.totalViews = state->totalViews;
+    entry.hiddenRequests = state->hiddenRequests;
+    entry.quietViews = state->consecutiveQuietViews;
+    for (const cookies::CookieKey& key : state->knownPersistent) {
+      entry.cookies[key] = false;
+    }
+  }
+  // Jar marks win over the knownPersistent default; a purged (enforced)
+  // cookie simply keeps its unmarked entry — blocked is knowledge too.
+  for (const cookies::CookieRecord* record :
+       browser_.jar().persistentCookiesForHost(host)) {
+    entry.cookies[record->key] = record->useful;
+  }
+  return entry;
+}
+
+knowledge::SiteKnowledge CookiePicker::exportKnowledge(
+    const std::string& host) const {
+  std::lock_guard lock(mutex_);
+  return exportKnowledgeLocked(host);
+}
+
+std::size_t CookiePicker::publishKnowledge() {
+  std::lock_guard lock(mutex_);
+  if (config_.sharedKnowledge == nullptr) return 0;
+  std::size_t published = 0;
+  for (const std::string& host : forcum_.knownHosts()) {
+    config_.sharedKnowledge->mergeSite(host, exportKnowledgeLocked(host));
+    ++published;
+  }
+  return published;
 }
 
 void CookiePicker::enforceForHost(const std::string& host) {

@@ -23,6 +23,7 @@
 // single-threaded with respect to that Browser.
 #pragma once
 
+#include <cstdint>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -32,6 +33,7 @@
 #include "browser/browser.h"
 #include "core/forcum.h"
 #include "core/recovery.h"
+#include "knowledge/knowledge_base.h"
 #include "store/state_sink.h"
 
 namespace cookiepicker::core {
@@ -44,6 +46,22 @@ struct CookiePickerConfig {
   bool deleteUselessOnEnforce = true;
   // Automatically enforce a host as soon as its training turns stable.
   bool autoEnforce = false;
+  // Crowd-shared site knowledge (not owned; null = the per-user paper
+  // path only). When set, each host is consulted once per session, as soon
+  // as the session has observed at least one of its persistent cookies: a
+  // warm (stable, covering) entry imports the crowd's marks and skips
+  // straight to enforce — ~0 hidden requests; anything else (cold, still
+  // in probation, or demoted because this session saw a cookie the entry
+  // does not know) falls back to honest FORCUM training.
+  knowledge::KnowledgeBase* sharedKnowledge = nullptr;
+};
+
+// How a session's one-shot shared-knowledge consult for a host resolved.
+enum class KnowledgeOutcome {
+  Unconsulted,  // no shared base, or no persistent cookies observed yet
+  Warm,         // stable entry imported; session skipped to enforce
+  Cold,         // entry absent or still in probation; trained honestly
+  Demoted,      // novel cookie observed: entry re-probated (epoch bump)
 };
 
 // Per-host summary used by experiments and the privacy-audit example.
@@ -85,6 +103,20 @@ class CookiePicker {
 
   HostReport report(const std::string& host) const;
 
+  // --- shared knowledge ----------------------------------------------------
+  // How this session's consult for `host` resolved (Unconsulted when no
+  // shared base is configured or the host was never consulted).
+  KnowledgeOutcome knowledgeOutcome(const std::string& host) const;
+  // This session's knowledge contribution for `host`: epoch = the consult
+  // epoch (0 if never consulted), stable = training finished, counters from
+  // the FORCUM site state, cookies = the known-persistent keys with their
+  // current jar marks (a key whose cookie enforcement purged stays,
+  // unmarked — union-merging keeps knowledge of blocked cookies alive).
+  knowledge::SiteKnowledge exportKnowledge(const std::string& host) const;
+  // Exports every trained host into the shared base (no-op without one).
+  // Returns the number of sites published.
+  std::size_t publishKnowledge();
+
   // Full extension state — cookie jar (with useful marks), FORCUM training
   // state, enforced hosts — as one text blob, so a browser restart can pick
   // up exactly where training left off.
@@ -115,6 +147,15 @@ class CookiePicker {
   // Unlocked bodies shared by the public, locking entry points.
   ForcumStepReport onPageLoadedLocked(const browser::PageView& view);
   void enforceForHostLocked(const std::string& host);
+  // One-shot shared-knowledge consult for the host (no-op once resolved);
+  // runs before the FORCUM step so a warm site never sends a hidden request.
+  void consultKnowledgeLocked(const std::string& host);
+  // Re-applies a warm host's imported useful marks to cookies that appeared
+  // after the consult (marks only exist on jar records, and later pages may
+  // set crowd-known cookies the first view did not carry).
+  void applyKnowledgeMarksLocked(const std::string& host);
+  knowledge::SiteKnowledge exportKnowledgeLocked(const std::string& host)
+      const;
 
   // Serializes all public operations; recursive calls go through the
   // *Locked helpers instead of re-entering.
@@ -128,6 +169,13 @@ class CookiePicker {
   // Durable-state sink for enforcement transitions (jar/FORCUM hold their
   // own pointers); guarded by mutex_ like everything else here.
   store::StateSink* sink_ = nullptr;
+  // Shared-knowledge consult state, all guarded by mutex_: how each host
+  // resolved, the epoch it was consulted at (exports stamp it so merges
+  // discard contributions trained against a demoted epoch), and the useful
+  // keys a warm import still needs to mark as their cookies appear.
+  std::map<std::string, KnowledgeOutcome> knowledgeOutcomes_;
+  std::map<std::string, std::uint64_t> knowledgeEpochs_;
+  std::map<std::string, std::set<cookies::CookieKey>> knowledgeUsefulKeys_;
 };
 
 }  // namespace cookiepicker::core

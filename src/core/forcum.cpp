@@ -107,6 +107,26 @@ bool ForcumEngine::isTrainingActive(const std::string& host) const {
   return state == nullptr ? true : state->trainingActive;
 }
 
+std::vector<std::string> ForcumEngine::knownHosts() const {
+  std::vector<std::string> hosts;
+  hosts.reserve(sites_.size());
+  for (const auto& [host, state] : sites_) hosts.push_back(host);
+  return hosts;
+}
+
+void ForcumEngine::importSharedSite(
+    const std::string& host, int totalViews, int hiddenRequests,
+    int quietViews, const std::set<CookieKey>& knownPersistent) {
+  SiteState& state = stateFor(host);
+  state.trainingActive = false;
+  state.totalViews = std::max(state.totalViews, totalViews);
+  state.hiddenRequests = std::max(state.hiddenRequests, hiddenRequests);
+  state.consecutiveQuietViews =
+      std::max(state.consecutiveQuietViews, quietViews);
+  state.knownPersistent.insert(knownPersistent.begin(), knownPersistent.end());
+  emitSiteState(host, state);
+}
+
 void ForcumEngine::resumeTraining(const std::string& host) {
   SiteState& state = stateFor(host);
   state.trainingActive = true;

@@ -111,6 +111,20 @@ class ForcumEngine {
   };
   // Null if the host has never been visited.
   const SiteState* siteState(const std::string& host) const;
+  // Every host with training state, in map (sorted) order.
+  std::vector<std::string> knownHosts() const;
+
+  // --- shared-knowledge seam -----------------------------------------------
+  // Adopts a crowd verdict for `host`: training turns off with the merged
+  // counters (max-joined into whatever this session already saw) and the
+  // shared cookie keys become the known-persistent baseline — so a cookie
+  // the crowd already knows does NOT resume training when it appears on a
+  // later page, while a genuinely novel one still does (the honest paper
+  // path stays the fallback). Emits the site line to the state sink like
+  // every other transition.
+  void importSharedSite(const std::string& host, int totalViews,
+                        int hiddenRequests, int quietViews,
+                        const std::set<cookies::CookieKey>& knownPersistent);
 
   const ForcumConfig& config() const { return config_; }
   browser::Browser& browser() { return browser_; }

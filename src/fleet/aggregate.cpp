@@ -1,0 +1,112 @@
+#include "fleet/aggregate.h"
+
+#include "net/network.h"
+#include "server/site.h"
+#include "util/rng.h"
+#include "util/strings.h"
+
+namespace cookiepicker::fleet {
+
+namespace {
+
+// Per-(fleet, round) seed: every round is a fresh user population, every
+// fleet an independent user, but the whole schedule is a pure function of
+// the base seed.
+std::uint64_t fleetSeed(std::uint64_t base, int fleet, int round) {
+  std::string key = "fleet-";
+  util::appendParts(key, {std::to_string(fleet), "-round-",
+                          std::to_string(round)});
+  return base ^ util::fnv1a64(key);
+}
+
+}  // namespace
+
+KnowledgeFleetReport runKnowledgeFleets(
+    const std::vector<server::SiteSpec>& roster,
+    const KnowledgeFleetConfig& config,
+    knowledge::KnowledgeBase* sharedBase) {
+  KnowledgeFleetReport report;
+  const int fleets = std::max(1, config.fleets);
+  const int rounds = std::max(1, config.rounds);
+
+  // One replica per fleet (noncopyable: each owns shard mutexes).
+  std::vector<std::unique_ptr<knowledge::KnowledgeBase>> replicas;
+  replicas.reserve(static_cast<std::size_t>(fleets));
+  for (int fleet = 0; fleet < fleets; ++fleet) {
+    replicas.push_back(std::make_unique<knowledge::KnowledgeBase>());
+  }
+
+  for (int round = 0; round < rounds; ++round) {
+    // Train fleets sequentially (index order): each gets a fresh sim
+    // network so fleets never share server-side state, and workers
+    // parallelize inside the fleet only. Replica updates are joins, so the
+    // worker scheduling inside a fleet cannot change the replica's value.
+    for (int fleet = 0; fleet < fleets; ++fleet) {
+      FleetConfig fleetConfig = config.base;
+      fleetConfig.seed = fleetSeed(config.base.seed, fleet, round);
+      fleetConfig.knowledge = replicas[static_cast<std::size_t>(fleet)].get();
+      util::SimClock serverClock;
+      net::Network network(fleetConfig.seed);
+      server::registerRoster(network, serverClock, roster);
+      if (config.faultPlan != nullptr) network.setFaultPlan(config.faultPlan);
+      TrainingFleet trainingFleet(network, fleetConfig);
+      const FleetReport fleetReport = trainingFleet.run(roster);
+
+      FleetRoundStats stats;
+      stats.round = round;
+      stats.fleet = fleet;
+      stats.pagesVisited = fleetReport.pagesVisited;
+      stats.hiddenRequests = fleetReport.hiddenRequests;
+      if (fleetConfig.collectObservability) {
+        const obs::MetricsSnapshot merged = fleetReport.mergedMetrics();
+        // The report's hiddenRequests echoes imported crowd counters for
+        // warm hosts (importSharedSite max-joins them into the site state);
+        // the session-scoped fetch counter is the honest wire count, and
+        // the whole point here is watching it decay as knowledge spreads.
+        stats.hiddenRequests = merged.counter(obs::Counter::HiddenFetches);
+        stats.knowledgeHits = merged.counter(obs::Counter::KnowledgeHits);
+        stats.knowledgeMisses = merged.counter(obs::Counter::KnowledgeMisses);
+      }
+      report.totalHiddenRequests += stats.hiddenRequests;
+      report.totalPagesVisited += stats.pagesVisited;
+      report.rounds.push_back(stats);
+    }
+
+    // Gossip: joins along the topology, in a fixed documented order.
+    switch (config.topology) {
+      case GossipTopology::None:
+        break;
+      case GossipTopology::Ring:
+        for (int fleet = 0; fleet < fleets; ++fleet) {
+          replicas[static_cast<std::size_t>(fleet)]->mergeFrom(
+              *replicas[static_cast<std::size_t>((fleet + 1) % fleets)]);
+        }
+        break;
+      case GossipTopology::Star:
+        for (int fleet = 1; fleet < fleets; ++fleet) {
+          replicas[0]->mergeFrom(*replicas[static_cast<std::size_t>(fleet)]);
+        }
+        for (int fleet = 1; fleet < fleets; ++fleet) {
+          replicas[static_cast<std::size_t>(fleet)]->mergeFrom(*replicas[0]);
+        }
+        break;
+      case GossipTopology::AllToAll: {
+        knowledge::KnowledgeBase join;
+        for (const auto& replica : replicas) join.mergeFrom(*replica);
+        for (const auto& replica : replicas) replica->mergeFrom(join);
+        break;
+      }
+    }
+  }
+
+  knowledge::KnowledgeBase merged;
+  for (const auto& replica : replicas) {
+    report.replicaKnowledge.push_back(replica->serialize());
+    merged.mergeFrom(*replica);
+  }
+  report.mergedKnowledge = merged.serialize();
+  if (sharedBase != nullptr) sharedBase->mergeFrom(merged);
+  return report;
+}
+
+}  // namespace cookiepicker::fleet

@@ -1,0 +1,89 @@
+// Multi-fleet knowledge aggregation — N independent "users" gossiping what
+// their training learned.
+//
+// Models the crowd half of the shared-knowledge tier: each fleet is one
+// simulated user population with its OWN KnowledgeBase replica (users do not
+// share memory; they exchange knowledge explicitly), trained in
+// deterministic rounds. A round trains every fleet in index order (workers
+// parallelize inside a fleet; fleets themselves are sequential, so round
+// results are scheduling-independent), then delivers gossip along the
+// configured topology in a fixed order. Replicas only ever change by
+// SiteKnowledge joins, so *which* schedule ran affects how fast hidden
+// requests decay (the convergence curve bench_knowledge plots), while the
+// full join of a fixed set of contributions is schedule-independent — the
+// lattice-law suite pins that.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "faults/fault_plan.h"
+#include "fleet/fleet.h"
+#include "knowledge/knowledge_base.h"
+#include "server/generator.h"
+
+namespace cookiepicker::fleet {
+
+// Gossip delivery pattern for one round. Deliveries are joins, applied in
+// the documented fixed order — deterministic by construction.
+enum class GossipTopology {
+  None,      // no exchange: every fleet trains in isolation
+  Ring,      // fleet i joins from fleet (i+1) % N, i ascending
+  Star,      // all join into fleet 0, then fleet 0 joins back into all
+  AllToAll,  // full join of all replicas, adopted by every fleet
+};
+
+struct KnowledgeFleetConfig {
+  int fleets = 4;
+  int rounds = 2;
+  GossipTopology topology = GossipTopology::Ring;
+  // Per-fleet template: seed is re-keyed per (fleet, round) so every round
+  // models a fresh user population; `knowledge` is overwritten with the
+  // fleet's replica.
+  FleetConfig base;
+  // Fault plan installed on every fleet's network (null = fault-free).
+  // Degraded FORCUM steps mark nothing and are quiet-neutral, so faults
+  // slow convergence but never poison the shared knowledge — the
+  // differential suite pins that.
+  std::shared_ptr<const faults::FaultPlan> faultPlan;
+};
+
+// Per-(round, fleet) training outcome.
+struct FleetRoundStats {
+  int round = 0;
+  int fleet = 0;
+  std::uint64_t pagesVisited = 0;
+  // Hidden fetches actually sent on the wire this round. With
+  // collectObservability on this comes from the per-session HiddenFetches
+  // counter (the fleet report's hiddenRequests echoes imported crowd
+  // counters for warm hosts, which would hide the decay being measured).
+  std::uint64_t hiddenRequests = 0;
+  std::uint64_t knowledgeHits = 0;
+  std::uint64_t knowledgeMisses = 0;
+};
+
+struct KnowledgeFleetReport {
+  std::vector<FleetRoundStats> rounds;
+  // Each replica's final serialized knowledge, fleet order.
+  std::vector<std::string> replicaKnowledge;
+  // The full join of every replica, serialized — byte-identical for any
+  // fleet count ordering of the final fold (join order cannot matter).
+  std::string mergedKnowledge;
+  std::uint64_t totalHiddenRequests = 0;
+  std::uint64_t totalPagesVisited = 0;
+};
+
+// Trains `config.fleets` independent fleets over `roster` for
+// `config.rounds` rounds, gossiping replicas between rounds, and returns
+// the per-round stats plus the final merged knowledge. When `sharedBase` is
+// non-null the final join is also applied to it (the serve tier's way of
+// adopting a gossip run). A fresh sim Network is built per (fleet, round)
+// so fleets never share server-side state or latency streams.
+KnowledgeFleetReport runKnowledgeFleets(
+    const std::vector<server::SiteSpec>& roster,
+    const KnowledgeFleetConfig& config,
+    knowledge::KnowledgeBase* sharedBase = nullptr);
+
+}  // namespace cookiepicker::fleet

@@ -67,7 +67,8 @@ std::string TrainingFleet::configFingerprint() const {
             config_.enforceStableAfterRun ? "1" : "0", ":",
             std::to_string(
                 static_cast<int>(config_.picker.forcum.groupMode)),
-            ":", config_.picker.forcum.consistencyReprobe ? "1" : "0"});
+            ":", config_.picker.forcum.consistencyReprobe ? "1" : "0", ":",
+            config_.knowledge != nullptr ? "k1" : "k0"});
   return out;
 }
 
@@ -115,7 +116,9 @@ HostResult TrainingFleet::runHostSession(const server::SiteSpec& spec) const {
   util::SimClock clock;
   browser::Browser browser(network_, clock, config_.policy,
                            config_.seed ^ util::fnv1a64(spec.domain));
-  core::CookiePicker picker(browser, config_.picker);
+  core::CookiePickerConfig pickerConfig = config_.picker;
+  pickerConfig.sharedKnowledge = config_.knowledge;
+  core::CookiePicker picker(browser, pickerConfig);
   if (shard != nullptr) {
     picker.attachStateSink(shard);
   }
@@ -142,6 +145,12 @@ HostResult TrainingFleet::runHostSession(const server::SiteSpec& spec) const {
   result.report = picker.report(spec.domain);
   result.state = picker.saveState();
   result.jarState = browser.jar().serialize();
+  if (config_.knowledge != nullptr) {
+    // Publish inside the session obs scope so the merge counters land in
+    // the per-session snapshot — sessions touch only their own host's
+    // entry, so the counts stay deterministic for any worker count.
+    picker.publishKnowledge();
+  }
   if (config_.collectObservability) {
     obsScope.reset();  // detach before snapshotting
     result.metrics = sessionMetrics.snapshot();

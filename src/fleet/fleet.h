@@ -25,6 +25,7 @@
 #include "cookies/jar.h"
 #include "cookies/policy.h"
 #include "core/cookie_picker.h"
+#include "knowledge/knowledge_base.h"
 #include "net/transport.h"
 #include "obs/metrics.h"
 #include "server/generator.h"
@@ -57,6 +58,15 @@ struct FleetConfig {
   // byte-identical to one that never crashed. Null = no durability, no
   // overhead, byte-identical results.
   store::StateStore* stateStore = nullptr;
+  // Crowd-shared site knowledge (optional, not owned). When set, every host
+  // session consults it at session start (a warm site skips straight to
+  // enforce) and publishes its export back after the session. Determinism
+  // is preserved for any worker count because sessions read and write only
+  // their own host's entry, and each roster host runs exactly once. Hosts
+  // short-circuited from the state store do NOT re-publish (their sessions
+  // never ran); combine store recovery with knowledge via reruns, not
+  // replays — see DESIGN.md §13.
+  knowledge::KnowledgeBase* knowledge = nullptr;
 };
 
 // Outcome of one host's training session.

@@ -1,0 +1,142 @@
+#include "knowledge/knowledge_base.h"
+
+#include <utility>
+#include <vector>
+
+#include "obs/recorder.h"
+#include "util/rng.h"
+#include "util/strings.h"
+
+namespace cookiepicker::knowledge {
+
+KnowledgeBase::Shard& KnowledgeBase::shardFor(const std::string& host) {
+  return shards_[util::fnv1a64(host) % kShardCount];
+}
+
+const KnowledgeBase::Shard& KnowledgeBase::shardFor(
+    const std::string& host) const {
+  return shards_[util::fnv1a64(host) % kShardCount];
+}
+
+std::optional<SiteKnowledge> KnowledgeBase::lookup(
+    const std::string& host) const {
+  const Shard& shard = shardFor(host);
+  std::lock_guard lock(shard.mutex);
+  const auto it = shard.sites.find(host);
+  if (it == shard.sites.end()) return std::nullopt;
+  return it->second;
+}
+
+SiteKnowledge KnowledgeBase::mergeSiteLocked(const std::string& host,
+                                             const SiteKnowledge& delta) {
+  Shard& shard = shardFor(host);
+  PersistHook hook;
+  {
+    std::lock_guard hookLock(hookMutex_);
+    hook = hook_;
+  }
+  std::lock_guard lock(shard.mutex);
+  SiteKnowledge& entry = shard.sites[host];
+  entry.merge(delta);
+  if (hook) hook(host, entry);
+  return entry;
+}
+
+void KnowledgeBase::mergeSite(const std::string& host,
+                              const SiteKnowledge& delta) {
+  mergeSiteLocked(host, delta);
+  obs::count(obs::Counter::KnowledgeMerges);
+}
+
+void KnowledgeBase::mergeFrom(const KnowledgeBase& other) {
+  // Copy out first: holding two bases' shard locks at once would deadlock
+  // when two replicas gossip at each other concurrently.
+  std::vector<std::pair<std::string, SiteKnowledge>> entries;
+  for (const Shard& shard : other.shards_) {
+    std::lock_guard lock(shard.mutex);
+    for (const auto& [host, entry] : shard.sites) {
+      entries.emplace_back(host, entry);
+    }
+  }
+  for (const auto& [host, entry] : entries) {
+    mergeSite(host, entry);
+  }
+}
+
+std::uint64_t KnowledgeBase::demote(
+    const std::string& host, const std::set<cookies::CookieKey>& observed) {
+  Shard& shard = shardFor(host);
+  PersistHook hook;
+  {
+    std::lock_guard hookLock(hookMutex_);
+    hook = hook_;
+  }
+  std::lock_guard lock(shard.mutex);
+  SiteKnowledge& entry = shard.sites[host];
+  SiteKnowledge fresh;
+  fresh.epoch = entry.epoch + 1;
+  for (const cookies::CookieKey& key : observed) {
+    fresh.cookies[key] = false;
+  }
+  entry = std::move(fresh);
+  if (hook) hook(host, entry);
+  return entry.epoch;
+}
+
+std::size_t KnowledgeBase::siteCount() const {
+  std::size_t total = 0;
+  for (const Shard& shard : shards_) {
+    std::lock_guard lock(shard.mutex);
+    total += shard.sites.size();
+  }
+  return total;
+}
+
+std::size_t KnowledgeBase::warmSiteCount() const {
+  std::size_t total = 0;
+  for (const Shard& shard : shards_) {
+    std::lock_guard lock(shard.mutex);
+    for (const auto& [host, entry] : shard.sites) {
+      if (entry.stable) ++total;
+    }
+  }
+  return total;
+}
+
+std::string KnowledgeBase::serialize() const {
+  // Gather into one host-sorted map: shards partition by hash, so their
+  // internal order is not the canonical order.
+  std::map<std::string, SiteKnowledge> all;
+  for (const Shard& shard : shards_) {
+    std::lock_guard lock(shard.mutex);
+    for (const auto& [host, entry] : shard.sites) {
+      all.emplace(host, entry);
+    }
+  }
+  std::string out;
+  for (const auto& [host, entry] : all) {
+    util::appendParts(out, {entry.serializeLine(host), "\n"});
+  }
+  return out;
+}
+
+std::size_t KnowledgeBase::deserialize(std::string_view text) {
+  std::size_t applied = 0;
+  for (const std::string& line : util::split(std::string(text), '\n')) {
+    if (line.empty()) continue;
+    std::string host;
+    const std::optional<SiteKnowledge> entry =
+        SiteKnowledge::parseLine(line, &host);
+    if (!entry.has_value() || host.empty()) continue;
+    mergeSite(host, *entry);
+    ++applied;
+  }
+  return applied;
+}
+
+void KnowledgeBase::setPersistHook(PersistHook hook) {
+  std::lock_guard lock(hookMutex_);
+  hook_ = std::move(hook);
+}
+
+}  // namespace cookiepicker::knowledge

@@ -1,0 +1,99 @@
+// KnowledgeBase — the per-site-sharded crowd knowledge cache.
+//
+// Holds one SiteKnowledge lattice value per host, sharded by host hash so
+// concurrent sessions consulting / publishing different sites never contend
+// on one lock. All mutation goes through joins (mergeSite / mergeFrom) plus
+// the one epoch-guarded inflation (demote), so replicas of this cache can be
+// gossiped between fleets in any order and converge (see site_knowledge.h).
+//
+// Thread safety: every method is safe to call concurrently; lookup returns
+// a copy taken under the shard lock, so a caller never observes a
+// half-merged entry (the epoch-guard race the TSan suite drives).
+//
+// Persistence is a hook, not a dependency: KnowledgeStore (knowledge_store.h)
+// installs a callback that appends each updated site line through the
+// durable store's WAL machinery; a base without a hook is purely in-memory.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <set>
+#include <string>
+
+#include "cookies/record.h"
+#include "knowledge/site_knowledge.h"
+
+namespace cookiepicker::knowledge {
+
+class KnowledgeBase {
+ public:
+  KnowledgeBase() = default;
+  KnowledgeBase(const KnowledgeBase&) = delete;
+  KnowledgeBase& operator=(const KnowledgeBase&) = delete;
+
+  // Copy of the site's entry, or nullopt if the crowd has never seen it.
+  std::optional<SiteKnowledge> lookup(const std::string& host) const;
+
+  // Joins `delta` into the site's entry (creating it at the lattice bottom
+  // first). Counts one KnowledgeMerges against the caller's registry.
+  void mergeSite(const std::string& host, const SiteKnowledge& delta);
+
+  // Joins every site of `other` into this base — one gossip delivery.
+  // Copies `other`'s entries out under its shard locks first, so two bases
+  // may gossip at each other concurrently without lock-order inversion.
+  void mergeFrom(const KnowledgeBase& other);
+
+  // Epoch-guarded re-probation: the site's observed cookie set no longer
+  // matches the shared entry, so open a new epoch containing exactly the
+  // observed keys (unmarked, unstable, counters zeroed). The bumped epoch
+  // makes this dominate every stale-epoch contribution still in flight.
+  // Returns the new epoch.
+  std::uint64_t demote(const std::string& host,
+                       const std::set<cookies::CookieKey>& observed);
+
+  std::size_t siteCount() const;
+  // Sites whose current epoch has a stable (servable) verdict.
+  std::size_t warmSiteCount() const;
+
+  // Canonical text form: every site's serializeLine, sorted by host, one
+  // per line. Equal bases produce identical bytes — the byte-compare anchor
+  // for the partition-order / gossip-schedule property tests.
+  std::string serialize() const;
+  // Joins serialized lines into this base (it need not be empty — loading
+  // IS merging). Malformed lines are skipped; returns lines applied.
+  std::size_t deserialize(std::string_view text);
+
+  // Durability hook, called under the shard lock with the post-update entry
+  // after every mergeSite / demote / deserialize application. Replaced
+  // wholesale; pass nullptr-equivalent (default-constructed) to detach.
+  using PersistHook =
+      std::function<void(const std::string& host, const SiteKnowledge& entry)>;
+  void setPersistHook(PersistHook hook);
+
+ private:
+  static constexpr std::size_t kShardCount = 16;
+  struct Shard {
+    mutable std::mutex mutex;
+    std::map<std::string, SiteKnowledge> sites;
+  };
+  Shard& shardFor(const std::string& host);
+  const Shard& shardFor(const std::string& host) const;
+  // Joins under the shard lock and fires the persist hook. Returns a copy
+  // of the merged entry.
+  SiteKnowledge mergeSiteLocked(const std::string& host,
+                                const SiteKnowledge& delta);
+
+  std::array<Shard, kShardCount> shards_;
+  // Guards hook_ itself (hooks are installed once, fired often; firing
+  // copies the function under this lock, then calls outside no lock but
+  // inside the shard lock).
+  mutable std::mutex hookMutex_;
+  PersistHook hook_;
+};
+
+}  // namespace cookiepicker::knowledge

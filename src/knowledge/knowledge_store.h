@@ -1,0 +1,53 @@
+// KnowledgeStore — durable persistence for a KnowledgeBase, layered on the
+// durable store's per-host WAL + snapshot shards.
+//
+// Each site's knowledge lives in its own shard (same directory layout,
+// framing, checksums, torn-tail and crash semantics as the session store —
+// see store/store.h), holding KnowledgeSite records: the site's full
+// canonical serializeLine, absolute-valued so replay is idempotent and the
+// newest record simply wins. `attach` replays every shard in the directory
+// into the base, then arms the base's persist hook so every later merge /
+// demotion appends through the WAL — `cookiepicker serve --knowledge-dir`
+// restarts with everything the crowd ever learned.
+#pragma once
+
+#include <cstddef>
+#include <mutex>
+#include <set>
+#include <string>
+
+#include "knowledge/knowledge_base.h"
+#include "store/store.h"
+
+namespace cookiepicker::knowledge {
+
+class KnowledgeStore {
+ public:
+  explicit KnowledgeStore(std::string directory);
+  KnowledgeStore(const KnowledgeStore&) = delete;
+  KnowledgeStore& operator=(const KnowledgeStore&) = delete;
+
+  // Replays every shard under the directory into `base` (loading is merging,
+  // so a pre-populated base joins with what disk holds), then installs the
+  // persist hook. The base must outlive this store or detach its hook first;
+  // one store backs one base at a time.
+  void attach(KnowledgeBase& base);
+
+  // Sites replayed from disk by the last attach().
+  std::size_t sitesLoaded() const { return sitesLoaded_; }
+
+  const std::string& directory() const { return directory_; }
+
+ private:
+  // The shard for `host`, with its append session started (resume, so prior
+  // records survive across process lifetimes).
+  store::HostStore* writableShard(const std::string& host);
+
+  std::string directory_;
+  store::StateStore store_;
+  std::mutex mutex_;
+  std::set<std::string> sessionStarted_;
+  std::size_t sitesLoaded_ = 0;
+};
+
+}  // namespace cookiepicker::knowledge

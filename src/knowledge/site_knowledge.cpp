@@ -1,0 +1,107 @@
+#include "knowledge/site_knowledge.h"
+
+#include <algorithm>
+#include <charconv>
+#include <vector>
+
+#include "util/strings.h"
+
+namespace cookiepicker::knowledge {
+
+namespace {
+
+bool parseU64(std::string_view text, std::uint64_t& value) {
+  if (text.empty()) return false;
+  std::uint64_t parsed = 0;
+  const auto [ptr, ec] =
+      std::from_chars(text.data(), text.data() + text.size(), parsed);
+  if (ec != std::errc() || ptr != text.data() + text.size()) return false;
+  value = parsed;
+  return true;
+}
+
+bool parseInt(std::string_view text, int& value) {
+  int parsed = 0;
+  const auto [ptr, ec] =
+      std::from_chars(text.data(), text.data() + text.size(), parsed);
+  if (ec != std::errc() || ptr != text.data() + text.size()) return false;
+  value = parsed;
+  return true;
+}
+
+}  // namespace
+
+void SiteKnowledge::merge(const SiteKnowledge& other) {
+  if (other.epoch > epoch) {
+    *this = other;
+    return;
+  }
+  if (other.epoch < epoch) return;
+  stable = stable || other.stable;
+  totalViews = std::max(totalViews, other.totalViews);
+  hiddenRequests = std::max(hiddenRequests, other.hiddenRequests);
+  quietViews = std::max(quietViews, other.quietViews);
+  for (const auto& [key, useful] : other.cookies) {
+    const auto [it, inserted] = cookies.emplace(key, useful);
+    if (!inserted) it->second = it->second || useful;
+  }
+}
+
+bool SiteKnowledge::covers(
+    const std::map<cookies::CookieKey, bool>& observed) const {
+  for (const auto& [key, unused] : observed) {
+    if (!cookies.contains(key)) return false;
+  }
+  return true;
+}
+
+std::string SiteKnowledge::serializeLine(const std::string& host) const {
+  std::string out;
+  util::appendEscapedStateField(out, host);
+  util::appendParts(out, {"\t", std::to_string(epoch), "\t",
+                          stable ? "1" : "0", "\t", std::to_string(totalViews),
+                          "\t", std::to_string(hiddenRequests), "\t",
+                          std::to_string(quietViews), "\t"});
+  bool first = true;
+  for (const auto& [key, useful] : cookies) {
+    if (!first) out.push_back(';');
+    first = false;
+    util::appendEscapedStateField(out, key.name);
+    out.push_back('|');
+    util::appendEscapedStateField(out, key.domain);
+    out.push_back('|');
+    util::appendEscapedStateField(out, key.path);
+    out.push_back('|');
+    out.push_back(useful ? '1' : '0');
+  }
+  return out;
+}
+
+std::optional<SiteKnowledge> SiteKnowledge::parseLine(std::string_view line,
+                                                      std::string* host) {
+  const std::vector<std::string> fields = util::split(std::string(line), '\t');
+  if (fields.size() != 7) return std::nullopt;
+  SiteKnowledge parsed;
+  if (!parseU64(fields[1], parsed.epoch)) return std::nullopt;
+  parsed.stable = fields[2] == "1";
+  if (!parseInt(fields[3], parsed.totalViews) ||
+      !parseInt(fields[4], parsed.hiddenRequests) ||
+      !parseInt(fields[5], parsed.quietViews)) {
+    return std::nullopt;
+  }
+  if (!fields[6].empty()) {
+    for (const std::string& entry : util::split(fields[6], ';')) {
+      const std::vector<std::string> parts = util::split(entry, '|');
+      if (parts.size() != 4) return std::nullopt;
+      cookies::CookieKey key;
+      key.name = util::unescapeStateField(parts[0]);
+      key.domain = util::unescapeStateField(parts[1]);
+      key.path = util::unescapeStateField(parts[2]);
+      parsed.cookies[key] = parts[3] == "1";
+    }
+  }
+  if (host != nullptr) *host = util::unescapeStateField(fields[0]);
+  return parsed;
+}
+
+}  // namespace cookiepicker::knowledge

@@ -1,0 +1,79 @@
+// SiteKnowledge — the crowd-shared training verdict for one site, as a
+// join-semilattice value.
+//
+// COOKIEGRAPH-style observation: which first-party cookies a site needs is a
+// *site-level* property, so one user's finished FORCUM training can spare
+// every later user the hidden-request bill. The share must tolerate
+// divergent inputs (the same site can disagree across vantages and time), so
+// the merged state is built exclusively from monotone joins:
+//
+//   * `useful` marks    — monotone false→true in FORCUM, so OR commutes;
+//   * FORCUM counters   — merged by max ("the most any single line of
+//                         training saw"), so max commutes;
+//   * the cookie set    — grows by union;
+//   * `stable`          — OR: once any user's training finished, the site
+//                         has a verdict.
+//
+// The non-monotone event — "the site changed its cookie set, forget what we
+// knew" — is made monotone with an epoch guard: demotion *increments* the
+// epoch and a higher epoch wins a merge wholesale. Within one epoch merge is
+// a plain element-wise join; across epochs it is a lexicographic join. The
+// result is commutative, associative, and idempotent by construction, which
+// is what lets N fleets gossip replicas in any order, with any duplication,
+// and converge to byte-identical knowledge (tests/knowledge_test.cpp pins
+// exactly these laws over fuzzed states).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "cookies/record.h"
+
+namespace cookiepicker::knowledge {
+
+struct SiteKnowledge {
+  // Epoch guard for re-probation: bumped when a consulting session observes
+  // a cookie the shared entry has never heard of (the site changed). Higher
+  // epoch wins a merge wholesale — stale-epoch contributions trained
+  // against a site that no longer exists and are discarded.
+  std::uint64_t epoch = 0;
+  // True once some user's training for this epoch turned itself off — the
+  // marks below are a servable verdict. False = probation: consumers fall
+  // back to the honest per-user paper path.
+  bool stable = false;
+  // FORCUM counters, max-merged: the deepest training any contributor ran.
+  int totalViews = 0;
+  int hiddenRequests = 0;
+  int quietViews = 0;
+  // Every persistent cookie key any contributor observed for the site,
+  // with its OR-merged useful mark. std::map keeps keys sorted, so equal
+  // lattice values serialize to equal bytes.
+  std::map<cookies::CookieKey, bool> cookies;
+
+  // In-place join: *this = *this ⊔ other. Commutative / associative /
+  // idempotent (see file comment for why the epoch guard preserves that).
+  void merge(const SiteKnowledge& other);
+
+  // True when every key in `observed` is already known to this entry.
+  // Partial observation (a first page view that set only some of the
+  // site's cookies) is fine; a *novel* key means the site changed.
+  bool covers(const std::map<cookies::CookieKey, bool>& observed) const;
+
+  bool operator==(const SiteKnowledge& other) const = default;
+
+  // Canonical one-line text form (no trailing newline):
+  //   host \t epoch \t stable \t views \t hidden \t quiet \t
+  //       name|domain|path|useful;...
+  // Fields are escaped with util::escapeStateField, cookie keys come out in
+  // map order — equal values produce identical bytes, which is what the
+  // partition-order byte-identity tests compare.
+  std::string serializeLine(const std::string& host) const;
+  // Inverse. Returns the host via `host`; nullopt on malformed input.
+  static std::optional<SiteKnowledge> parseLine(std::string_view line,
+                                                std::string* host);
+};
+
+}  // namespace cookiepicker::knowledge

@@ -47,6 +47,11 @@ constexpr const char* kCounterNames[kCounterCount] = {
     "store_records_recovered",
     "store_records_discarded",
     "store_shards_reset",
+    "knowledge_hits",
+    "knowledge_misses",
+    "knowledge_demotions",
+    "knowledge_marks_imported",
+    "knowledge_merges",
     "serve_dispatches",
     "serve_connections_opened",
     "serve_reused_dispatches",
@@ -208,8 +213,16 @@ std::string MetricsSnapshot::deterministicJson() const {
     appendUint(out, counters[i]);
   }
   out += "},\"store\":{";
-  for (std::size_t i = kFirstStoreCounter; i < kFirstServeCounter; ++i) {
+  for (std::size_t i = kFirstStoreCounter; i < kFirstKnowledgeCounter; ++i) {
     if (i != kFirstStoreCounter) out += ',';
+    out += '"';
+    out += kCounterNames[i];
+    out += "\":";
+    appendUint(out, counters[i]);
+  }
+  out += "},\"knowledge\":{";
+  for (std::size_t i = kFirstKnowledgeCounter; i < kFirstServeCounter; ++i) {
+    if (i != kFirstKnowledgeCounter) out += ',';
     out += '"';
     out += kCounterNames[i];
     out += "\":";

@@ -72,6 +72,18 @@ enum class Counter : std::uint8_t {
   StoreRecordsRecovered,   // records applied during recovery replay
   StoreRecordsDiscarded,   // records lost to torn tails / checksum failures
   StoreShardsReset,        // shards wiped for a from-scratch session rerun
+  // --- shared knowledge tier (reported under "knowledge" in
+  // deterministicJson; keep kFirstKnowledgeCounter below in sync). The
+  // consult-side counters (hits/misses/demotions/imported marks) are
+  // recorded by the picker inside the session, so they are deterministic
+  // per (seed, host, views); merges are recorded wherever the join runs
+  // (inside a session for fleet publishes, the caller's registry for
+  // gossip rounds). ---
+  KnowledgeHits,           // consults answered by a warm (stable) entry
+  KnowledgeMisses,         // consults that fell back to the paper path
+  KnowledgeDemotions,      // epoch bumps: observed cookie set changed
+  KnowledgeMarksImported,  // useful marks adopted from shared knowledge
+  KnowledgeMerges,         // SiteKnowledge joins applied to a base
   // --- serve tier (reported under "serve" in deterministicJson; keep
   // kFirstServeCounter below in sync). Recorded against the global
   // registry only: serve activity is real-socket plumbing, never part of
@@ -94,6 +106,9 @@ inline constexpr std::size_t kFirstFaultCounter =
 // First counter of the durable-store block (the "store" section).
 inline constexpr std::size_t kFirstStoreCounter =
     static_cast<std::size_t>(Counter::StoreAppends);
+// First counter of the shared-knowledge block (the "knowledge" section).
+inline constexpr std::size_t kFirstKnowledgeCounter =
+    static_cast<std::size_t>(Counter::KnowledgeHits);
 // First counter of the serve-tier block (the "serve" section).
 inline constexpr std::size_t kFirstServeCounter =
     static_cast<std::size_t>(Counter::ServeDispatches);

@@ -108,12 +108,32 @@ std::string VerdictService::runVerdict(const std::string& host, int views) {
   util::SimClock clock;
   browser::Browser browser(transport_, clock, config_.policy,
                            config_.seed ^ util::fnv1a64(host));
-  core::CookiePicker picker(browser, config_.picker);
+  core::CookiePickerConfig pickerConfig = config_.picker;
+  pickerConfig.sharedKnowledge = config_.knowledge;
+  core::CookiePicker picker(browser, pickerConfig);
   const int viewCount = std::max(1, views);
   for (int view = 0; view < viewCount; ++view) {
     picker.browse("http://" + host + "/page" + std::to_string(view % pages));
   }
   if (config_.enforceStableAfterRun) picker.enforceStableHosts();
+  std::string knowledgeOutcome;
+  if (config_.knowledge != nullptr) {
+    picker.publishKnowledge();
+    switch (picker.knowledgeOutcome(host)) {
+      case core::KnowledgeOutcome::Unconsulted:
+        knowledgeOutcome = "unconsulted";
+        break;
+      case core::KnowledgeOutcome::Warm:
+        knowledgeOutcome = "warm";
+        break;
+      case core::KnowledgeOutcome::Cold:
+        knowledgeOutcome = "cold";
+        break;
+      case core::KnowledgeOutcome::Demoted:
+        knowledgeOutcome = "demoted";
+        break;
+    }
+  }
   const core::HostReport report = picker.report(host);
 
   std::vector<std::string> useful;
@@ -142,6 +162,11 @@ std::string VerdictService::runVerdict(const std::string& host, int views) {
   appendNameArray(json, "usefulCookies", useful);
   json += ",";
   appendNameArray(json, "blockedCookies", blocked);
+  // Only present when a shared base is attached, so knowledge-free
+  // deployments keep their historical verdict bytes.
+  if (!knowledgeOutcome.empty()) {
+    json += ",\"knowledge\":\"" + knowledgeOutcome + "\"";
+  }
   json += "}";
   return json;
 }

@@ -25,6 +25,7 @@
 
 #include "cookies/policy.h"
 #include "core/cookie_picker.h"
+#include "knowledge/knowledge_base.h"
 #include "net/transport.h"
 
 namespace cookiepicker::serve {
@@ -35,6 +36,13 @@ struct VerdictServiceConfig {
   core::CookiePickerConfig picker;
   cookies::CookiePolicy policy = cookies::CookiePolicy::recommended();
   bool enforceStableAfterRun = true;
+  // Crowd-shared knowledge (optional, not owned). When set, every verdict
+  // session consults it (warm hosts answer with ~0 hidden requests) and
+  // publishes its export back, and the verdict JSON gains a "knowledge"
+  // field naming the consult outcome. Null keeps the JSON byte-identical
+  // to a service that predates the knowledge tier, which is what the
+  // sim-vs-socket parity soaks compare.
+  knowledge::KnowledgeBase* knowledge = nullptr;
 };
 
 class VerdictService : public net::HttpHandler {

@@ -35,6 +35,8 @@ enum class RecordType : std::uint8_t {
   MetricsBlock,       // "metrics"     per-session metrics text
   AuditBlock,         // "audit"       per-session audit JSONL
   SnapshotMark,       // "snap-mark"   watermark seq covered by a snapshot
+  KnowledgeSite,      // "knowledge"   full SiteKnowledge line (host is
+                      //               field 0) — shared-knowledge shards
   kCount,
 };
 

@@ -45,6 +45,8 @@ const char* recordTypeName(RecordType type) {
       return "audit";
     case RecordType::SnapshotMark:
       return "snap-mark";
+    case RecordType::KnowledgeSite:
+      return "knowledge";
     case RecordType::kCount:
       break;
   }
@@ -192,6 +194,14 @@ ReplayedState::Apply ReplayedState::apply(std::uint64_t seq,
     metricsText = std::string(body);
   } else if (type == "audit") {
     auditJsonl = std::string(body);
+  } else if (type == "knowledge") {
+    // Shared-knowledge shards: the body is the site's full canonical line,
+    // host in field 0. Absolute-valued like every other record — the
+    // newest line for a host wins, so replay is idempotent.
+    const std::size_t tab = body.find('\t');
+    if (tab != std::string_view::npos) {
+      knowledgeLines[std::string(body.substr(0, tab))] = std::string(body);
+    }
   } else if (type == "snap-mark") {
     std::uint64_t mark = 0;
     if (parseU64(body, mark) && mark > lastSeq) lastSeq = mark;
@@ -454,6 +464,9 @@ void HostStore::compactLocked() {
   }
   for (const std::string& host : mirror_.enforcedHosts) {
     put(RecordType::HostEnforced, host);
+  }
+  for (const auto& [host, line] : mirror_.knowledgeLines) {
+    put(RecordType::KnowledgeSite, line);
   }
   // Blobs are persisted whenever present, not only once sealed — a
   // snapshot that dropped a mirrored blob would make the WAL reset below

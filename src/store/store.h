@@ -106,6 +106,10 @@ struct ReplayedState {
   std::map<std::string, std::string> jarLines;
   // Host -> full serialized FORCUM site line (no trailing newline).
   std::map<std::string, std::string> forcumLines;
+  // Host (escaped, field 0) -> full SiteKnowledge line. Only populated in
+  // shared-knowledge shards (knowledge/knowledge_store.h); session shards
+  // never carry these records.
+  std::map<std::string, std::string> knowledgeLines;
   std::set<std::string> enforcedHosts;
   SessionMeta meta;
   // Exact bytes captured at finalize (see the byte-exactness caveat above).
@@ -121,7 +125,7 @@ struct ReplayedState {
 
   bool empty() const {
     return lastSeq == 0 && jarLines.empty() && forcumLines.empty() &&
-           enforcedHosts.empty();
+           knowledgeLines.empty() && enforcedHosts.empty();
   }
 
   // A CookiePicker::loadState-compatible blob synthesized from the mirror.

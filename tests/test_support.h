@@ -7,7 +7,9 @@
 
 #include "browser/browser.h"
 #include "faults/fault_plan.h"
+#include "fleet/aggregate.h"
 #include "fleet/fleet.h"
+#include "knowledge/knowledge_base.h"
 #include "net/network.h"
 #include "server/generator.h"
 #include "server/site.h"
@@ -79,6 +81,42 @@ inline fleet::FleetReport runMeasurementFleet(
   config.stateStore = options.stateStore;
   fleet::TrainingFleet trainingFleet(network, config);
   return trainingFleet.run(roster);
+}
+
+// The N-fleet spawn/gossip/merge recipe shared by the fleet, knowledge and
+// serve suites: build a KnowledgeFleetConfig from FleetRunOptions-style
+// knobs and run the aggregation driver. Callers vary the topology/round
+// count and compare serialized knowledge; everything else stays pinned so
+// two calls differ only where the test means them to.
+struct KnowledgeRunOptions {
+  int fleets = 3;
+  int rounds = 2;
+  fleet::GossipTopology topology = fleet::GossipTopology::Ring;
+  int workers = 1;
+  int viewsPerHost = 8;
+  // Low enough that training finishes inside viewsPerHost views — gossip
+  // has nothing to share unless round-one sites actually reach stable.
+  int stableViewThreshold = 3;
+  std::uint64_t seed = 1234;
+  bool collectObservability = true;
+  std::shared_ptr<const faults::FaultPlan> faultPlan;
+};
+
+inline fleet::KnowledgeFleetReport runKnowledgeFleets(
+    const std::vector<server::SiteSpec>& roster,
+    const KnowledgeRunOptions& options,
+    knowledge::KnowledgeBase* sharedBase = nullptr) {
+  fleet::KnowledgeFleetConfig config;
+  config.fleets = options.fleets;
+  config.rounds = options.rounds;
+  config.topology = options.topology;
+  config.faultPlan = options.faultPlan;
+  config.base.workers = options.workers;
+  config.base.viewsPerHost = options.viewsPerHost;
+  config.base.picker.forcum.stableViewThreshold = options.stableViewThreshold;
+  config.base.seed = options.seed;
+  config.base.collectObservability = options.collectObservability;
+  return fleet::runKnowledgeFleets(roster, config, sharedBase);
 }
 
 }  // namespace cookiepicker::testsupport

@@ -25,6 +25,13 @@
 # the number measures the epoll tier itself; the site-generator round is
 # reported alongside as generator_qps.
 #
+# The knowledge bench (BENCH_knowledge.json) gates the crowd-shared verdict
+# tier: at every fleet size (1 → 10k users sharing one KnowledgeBase) the
+# last user's own hidden-request bill must be at most MAX_WARM_HIDDEN_REQS
+# (default 0 — the crowd pays for each site exactly once), and the warm
+# verdict service must answer at least MIN_KNOWLEDGE_WARM_QPS (default 300)
+# verdicts/s.
+#
 #   tools/bench.sh            # hot path + fleet scaling + serve tier
 #   MIN_SPEEDUP=5 tools/bench.sh
 set -euo pipefail
@@ -38,13 +45,16 @@ MIN_STREAM_RATIO="${MIN_STREAM_RATIO:-3.0}"
 MIN_SERVE_QPS="${MIN_SERVE_QPS:-10000}"
 MAX_SERVE_P99_MS="${MAX_SERVE_P99_MS:-50}"
 MIN_SERVE_REUSE="${MIN_SERVE_REUSE:-0.9}"
+MIN_KNOWLEDGE_WARM_QPS="${MIN_KNOWLEDGE_WARM_QPS:-300}"
+MAX_WARM_HIDDEN_REQS="${MAX_WARM_HIDDEN_REQS:-0}"
 BUILD_DIR="$ROOT/build-bench"
 
 echo "=== configuring $BUILD_DIR (Release) ==="
 cmake -B "$BUILD_DIR" -S "$ROOT" -DCMAKE_BUILD_TYPE=Release >/dev/null
 echo "=== building benches ==="
 cmake --build "$BUILD_DIR" -j "$JOBS" \
-      --target bench_detection_hotpath bench_fleet_scaling bench_serve
+      --target bench_detection_hotpath bench_fleet_scaling bench_serve \
+               bench_knowledge
 
 echo "=== detection hot path ==="
 "$BUILD_DIR/bench/bench_detection_hotpath" "$ROOT/BENCH_hotpath.json"
@@ -154,4 +164,37 @@ if ! awk -v r="$serve_reuse" -v min="$MIN_SERVE_REUSE" \
 fi
 echo "OK: serve reuse ${serve_reuse}"
 
-echo "all benches done; BENCH_hotpath.json and BENCH_serve.json updated"
+echo "=== knowledge tier (crowd convergence + warm verdicts) ==="
+"$BUILD_DIR/bench/bench_knowledge" "$ROOT/BENCH_knowledge.json"
+
+echo "=== warm hidden-request gate (<= ${MAX_WARM_HIDDEN_REQS} at every fleet size) ==="
+warm_hidden_all="$(sed -n 's/.*"warm_hidden_requests": \([0-9]*\),.*/\1/p' \
+                   "$ROOT/BENCH_knowledge.json")"
+if [[ -z "$warm_hidden_all" ]]; then
+  echo "FAIL: could not read warm_hidden_requests from BENCH_knowledge.json" >&2
+  exit 1
+fi
+for warm_hidden in $warm_hidden_all; do
+  if ! awk -v h="$warm_hidden" -v max="$MAX_WARM_HIDDEN_REQS" \
+       'BEGIN { exit !(h <= max) }'; then
+    echo "FAIL: warm user sent ${warm_hidden} hidden requests, allowed ${MAX_WARM_HIDDEN_REQS}" >&2
+    exit 1
+  fi
+done
+echo "OK: warm hidden requests ${warm_hidden_all//$'\n'/ } (per fleet size)"
+
+echo "=== warm verdict throughput gate (>= ${MIN_KNOWLEDGE_WARM_QPS}/s) ==="
+warm_qps="$(sed -n 's/.*"warm_qps": \([0-9.]*\),.*/\1/p' \
+            "$ROOT/BENCH_knowledge.json" | head -1)"
+if [[ -z "$warm_qps" ]]; then
+  echo "FAIL: could not read warm_qps from BENCH_knowledge.json" >&2
+  exit 1
+fi
+if ! awk -v q="$warm_qps" -v min="$MIN_KNOWLEDGE_WARM_QPS" \
+     'BEGIN { exit !(q >= min) }'; then
+  echo "FAIL: warm verdict qps ${warm_qps} below required ${MIN_KNOWLEDGE_WARM_QPS}" >&2
+  exit 1
+fi
+echo "OK: warm verdict qps ${warm_qps}"
+
+echo "all benches done; BENCH_hotpath.json, BENCH_serve.json and BENCH_knowledge.json updated"

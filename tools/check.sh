@@ -26,8 +26,13 @@
 # COOKIEPICKER_CHAOS=1, which doubles the soak's training views — epoll
 # loops, connection pools, and the origin shards all run real threads, so
 # TSan watches the cross-thread handoffs and ASan the parser buffers.
+# The knowledge-soak configs re-run the shared-knowledge property suite
+# (lattice laws, partition-order byte-identity, the epoch-guard
+# demote/merge race) in the TSan and ASan trees with COOKIEPICKER_FUZZ=8,
+# which scales the fuzzed lattice states and gossip-order permutations
+# eightfold.
 #
-#   tools/check.sh                 # all twelve configurations
+#   tools/check.sh                 # all fourteen configurations
 #   tools/check.sh thread          # just the TSan pass
 #   tools/check.sh thread-metrics  # TSan with the global recorder enabled
 #   tools/check.sh address         # just the ASan/UBSan pass
@@ -40,6 +45,8 @@
 #   tools/check.sh fuzz-address    # scaled snapshot diff fuzz, ASan tree
 #   tools/check.sh serve-thread    # scaled service-tier soak, TSan tree
 #   tools/check.sh serve-address   # scaled service-tier soak, ASan tree
+#   tools/check.sh knowledge-thread   # scaled knowledge soak, TSan tree
+#   tools/check.sh knowledge-address  # scaled knowledge soak, ASan tree
 set -euo pipefail
 
 ROOT="$(cd "$(dirname "$0")/.." && pwd)"
@@ -48,7 +55,7 @@ CONFIGS=("${@:-plain}")
 if [[ $# -eq 0 ]]; then
   CONFIGS=(plain thread thread-metrics address debug chaos-thread
            chaos-address crash-soak fuzz-thread fuzz-address
-           serve-thread serve-address)
+           serve-thread serve-address knowledge-thread knowledge-address)
 fi
 
 for config in "${CONFIGS[@]}"; do
@@ -145,10 +152,31 @@ for config in "${CONFIGS[@]}"; do
                    serve_soak_test"
       build_dir="$ROOT/build-check-address"
       ;;
+    knowledge-thread)
+      # The shared-knowledge suite scaled eightfold in the TSan tree: the
+      # shard-locked base takes concurrent demote/merge/lookup traffic (the
+      # epoch-guard race), and fleets gossip replicas across worker threads.
+      sanitize="thread"
+      fuzz_env="8"
+      test_filter="Knowledge"
+      soak_target="knowledge_test"
+      build_dir="$ROOT/build-check-thread"
+      ;;
+    knowledge-address)
+      # The same scaled suite under ASan/UBSan: the serialize/parse round
+      # trip over escaped hostile keys and the store-backed reload path
+      # must never read out of bounds.
+      sanitize="address"
+      fuzz_env="8"
+      test_filter="Knowledge"
+      soak_target="knowledge_test"
+      build_dir="$ROOT/build-check-address"
+      ;;
     *) echo "unknown configuration: $config" \
             "(want plain|thread|thread-metrics|address|debug|" \
             "chaos-thread|chaos-address|crash-soak|fuzz-thread|" \
-            "fuzz-address|serve-thread|serve-address)" >&2
+            "fuzz-address|serve-thread|serve-address|" \
+            "knowledge-thread|knowledge-address)" >&2
        exit 2 ;;
   esac
   echo "=== [$config] configuring $build_dir ==="

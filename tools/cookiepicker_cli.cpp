@@ -40,6 +40,8 @@
 #include "core/cookie_picker.h"
 #include "faults/fault_plan.h"
 #include "fleet/fleet.h"
+#include "knowledge/knowledge_base.h"
+#include "knowledge/knowledge_store.h"
 #include "measure/census.h"
 #include "net/network.h"
 #include "net/trace.h"
@@ -73,6 +75,7 @@ struct Options {
   std::string auditOut;    // audit-trail JSONL destination
   std::string faultPlanFile;  // fault schedule injected into the network
   std::string stateDir;    // durable state store directory (empty = off)
+  std::string knowledgeDir;  // serve: shared-knowledge directory (empty = off)
   bool strict = false;     // replay: exit non-zero on drift
   int port = 0;            // serve: verdict listener port (0 = ephemeral)
   int originThreads = 2;   // serve: origin-tier event-loop threads
@@ -106,6 +109,8 @@ Options parseOptions(int argc, char** argv, int firstFlag) {
       options.faultPlanFile = next();
     } else if (flag == "--state-dir") {
       options.stateDir = next();
+    } else if (flag == "--knowledge-dir") {
+      options.knowledgeDir = next();
     } else if (flag == "--strict") {
       options.strict = true;
     } else if (flag == "--port") {
@@ -586,6 +591,19 @@ int runServe(const Options& options) {
   util::SimClock siteClock;
   const auto roster = server::measurementRoster(options.sites, options.seed);
 
+  // Crowd knowledge: load whatever earlier serves (or fleet gossip runs)
+  // persisted, and keep appending as verdicts publish back.
+  knowledge::KnowledgeBase knowledgeBase;
+  std::unique_ptr<knowledge::KnowledgeStore> knowledgeStore;
+  if (!options.knowledgeDir.empty()) {
+    knowledgeStore =
+        std::make_unique<knowledge::KnowledgeStore>(options.knowledgeDir);
+    knowledgeStore->attach(knowledgeBase);
+    std::printf("knowledge: %zu site(s) loaded from %s\n",
+                knowledgeStore->sitesLoaded(),
+                knowledgeStore->directory().c_str());
+  }
+
   serve::OriginTierConfig tierConfig;
   tierConfig.seed = options.seed;
   tierConfig.threads = options.originThreads;
@@ -609,6 +627,7 @@ int runServe(const Options& options) {
     serve::VerdictServiceConfig serviceConfig;
     serviceConfig.defaultViews = options.views;
     serviceConfig.seed = options.seed;
+    if (knowledgeStore) serviceConfig.knowledge = &knowledgeBase;
     serve::VerdictService service(transport, serviceConfig);
     for (const auto& spec : roster) {
       service.addHost(spec.domain, spec.pageCount);
@@ -695,12 +714,15 @@ int usage() {
       "         (read-only shard integrity scan; exit 1 on data loss)\n"
       "  serve  [--port P] [--sites N] [--views V] [--seed S]\n"
       "         [--origin-threads T] [--fault-plan FILE]\n"
-      "         [--metrics-out FILE] [--once HOST]\n"
+      "         [--metrics-out FILE] [--once HOST] [--knowledge-dir DIR]\n"
       "         (verdict service over real sockets: synthetic origins on\n"
       "          an epoll tier, hidden fetches batched + pipelined with\n"
       "          keep-alive; GET /verdict?host=H[&views=N] on port P;\n"
       "          --once runs one verdict to stdout and exits, HOST '-'\n"
-      "          means the first roster site — see DESIGN.md section 12)\n");
+      "          means the first roster site — see DESIGN.md section 12;\n"
+      "          --knowledge-dir persists crowd-shared site knowledge:\n"
+      "          warm hosts answer without re-training — see DESIGN.md\n"
+      "          section 13)\n");
   return 2;
 }
 
