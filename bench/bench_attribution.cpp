@@ -1,0 +1,242 @@
+// Attribution-tier benchmark: taint-assisted O(1) attribution versus the
+// bisection baseline, on both paper rosters.
+//
+// Two modes run the same training campaign per roster:
+//
+//   * bisect — CookieGroupMode::Bisection with the provenance tier off: the
+//     pre-tier way to isolate individual useful cookies, paying O(log n)
+//     extra hidden rounds per verdict while the group narrows.
+//   * attrib — CookieGroupMode::AllPersistent with
+//     AttributionMode::Provenance: every view strips all candidates at
+//     once; the taint stamps on the difference rows nominate the
+//     responsible cookie and one targeted strip confirms it.
+//
+// Per roster the JSON (argv[1], default BENCH_attribution.json) records:
+//
+//   * attrib_rounds_per_verdict — mean hidden rounds each attribution
+//     verdict cost: the nominating all-strip plus its confirm strips,
+//     divided over the cookies those steps marked. tools/bench.sh gates
+//     this at MAX_ATTRIB_ROUNDS (default 2): nominate + confirm, O(1) by
+//     construction, versus bisection's O(log n) narrowing.
+//   * bill_speedup — ratio of the two modes' hidden-request bills to
+//     convergence (every ground-truth useful cookie marked; sites that
+//     never converge inside kMaxViews contribute their whole bill). Gated
+//     at MIN_ATTRIB_SPEEDUP.
+//   * accuracy_ok — 1 when attribution missed no more useful cookies and
+//     over-marked no more useless ones than bisection. Gated: the speedup
+//     must not buy any accuracy back.
+//
+// Build Release; the campaign itself is simulated (deterministic sim clock
+// and network), so every number here is exact, not sampled.
+#include <cstdio>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "browser/browser.h"
+#include "core/cookie_picker.h"
+#include "net/network.h"
+#include "server/generator.h"
+#include "util/clock.h"
+
+namespace {
+
+using namespace cookiepicker;
+
+constexpr std::uint64_t kSeed = 2007;
+constexpr int kMaxViews = 40;
+
+struct RosterResult {
+  int sites = 0;
+  // Sites whose spec carries at least one ground-truth useful cookie — the
+  // only sites where "rounds to a verdict" exists to measure. Zero-useful
+  // sites pay the same one-probe-per-view surveillance bill in either mode
+  // and would only dilute the comparison.
+  int usefulSites = 0;
+  int converged = 0;
+  long long billToConverge = 0;  // hidden fetches until all useful marked,
+                                 // summed over useful-bearing sites only
+  long long totalHidden = 0;     // whole-campaign hidden bill, all sites
+  long long overMarked = 0;      // useless cookies marked useful
+  long long missed = 0;          // useful cookies never marked
+  // Attribution-path cost accounting (attrib mode only): hidden rounds the
+  // marking steps spent (nominating all-strip + confirm strips) and the
+  // verdicts they produced.
+  long long attributionRounds = 0;
+  long long attributionVerdicts = 0;
+
+  double roundsPerVerdict() const {
+    return attributionVerdicts == 0
+               ? 0.0
+               : static_cast<double>(attributionRounds) /
+                     static_cast<double>(attributionVerdicts);
+  }
+};
+
+RosterResult runRoster(const std::vector<server::SiteSpec>& roster,
+                       bool attribution) {
+  util::SimClock clock;
+  net::Network network(kSeed);
+  browser::Browser browser(network, clock);
+  core::CookiePickerConfig config;
+  if (attribution) {
+    config.forcum.groupMode = core::CookieGroupMode::AllPersistent;
+    config.forcum.attribution = core::AttributionMode::Provenance;
+  } else {
+    config.forcum.groupMode = core::CookieGroupMode::Bisection;
+    config.forcum.attribution = core::AttributionMode::Off;
+  }
+  core::CookiePicker picker(browser, config);
+  server::registerRoster(network, clock, roster);
+
+  RosterResult result;
+  for (const server::SiteSpec& spec : roster) {
+    ++result.sites;
+    const std::vector<std::string> usefulList = spec.usefulCookieNames();
+    const std::set<std::string> useful(usefulList.begin(), usefulList.end());
+    if (!useful.empty()) ++result.usefulSites;
+
+    long long bill = 0;
+    bool converged = false;
+    for (int view = 0; view < kMaxViews; ++view) {
+      const std::string path =
+          view % spec.pageCount == 0
+              ? "/"
+              : "/page" + std::to_string(view % spec.pageCount);
+      const core::ForcumStepReport report =
+          picker.browse("http://" + spec.domain + path);
+      bill += (report.hiddenRequestSent ? 1 : 0) +
+              report.attributionConfirmStrips + (report.reprobeRan ? 1 : 0);
+      if (report.attributionRan && !report.newlyMarked.empty()) {
+        result.attributionRounds += 1 + report.attributionConfirmStrips;
+        result.attributionVerdicts +=
+            static_cast<long long>(report.newlyMarked.size());
+      }
+      if (!converged && !useful.empty()) {
+        std::set<std::string> markedUseful;
+        for (const cookies::CookieRecord* record :
+             browser.jar().persistentCookiesForHost(spec.domain)) {
+          if (record->useful && useful.count(record->key.name) != 0) {
+            markedUseful.insert(record->key.name);
+          }
+        }
+        if (markedUseful.size() == useful.size()) {
+          converged = true;
+          result.billToConverge += bill;
+          ++result.converged;
+        }
+      }
+    }
+    if (!converged && !useful.empty()) result.billToConverge += bill;
+    result.totalHidden += bill;
+
+    for (const cookies::CookieRecord* record :
+         browser.jar().persistentCookiesForHost(spec.domain)) {
+      if (record->useful && useful.count(record->key.name) == 0) {
+        ++result.overMarked;
+      }
+    }
+    std::set<std::string> markedUseful;
+    for (const cookies::CookieRecord* record :
+         browser.jar().persistentCookiesForHost(spec.domain)) {
+      if (record->useful) markedUseful.insert(record->key.name);
+    }
+    for (const std::string& name : useful) {
+      if (markedUseful.count(name) == 0) ++result.missed;
+    }
+  }
+  return result;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string outputPath =
+      argc > 1 ? argv[1] : "BENCH_attribution.json";
+
+  struct NamedRoster {
+    const char* name;
+    std::vector<server::SiteSpec> roster;
+  };
+  const NamedRoster rosters[] = {{"table1", server::table1Roster()},
+                                 {"table2", server::table2Roster()}};
+
+  std::string rosterJson;
+  long long attribBillTotal = 0;
+  long long bisectBillTotal = 0;
+  for (const NamedRoster& entry : rosters) {
+    const RosterResult bisect = runRoster(entry.roster, false);
+    const RosterResult attrib = runRoster(entry.roster, true);
+    attribBillTotal += attrib.billToConverge;
+    bisectBillTotal += bisect.billToConverge;
+    const double speedup =
+        attrib.billToConverge == 0
+            ? 0.0
+            : static_cast<double>(bisect.billToConverge) /
+                  static_cast<double>(attrib.billToConverge);
+    const int accuracyOk =
+        attrib.missed <= bisect.missed && attrib.overMarked <= bisect.overMarked
+            ? 1
+            : 0;
+    std::printf(
+        "%s: attrib %.3f rounds/verdict, bill %lld vs bisect %lld "
+        "(speedup %.2fx), converged %d/%d vs %d/%d, "
+        "missed %lld vs %lld, over-marked %lld vs %lld\n",
+        entry.name, attrib.roundsPerVerdict(), attrib.billToConverge,
+        bisect.billToConverge, speedup, attrib.converged, attrib.usefulSites,
+        bisect.converged, bisect.usefulSites, attrib.missed, bisect.missed,
+        attrib.overMarked, bisect.overMarked);
+    char buffer[768];
+    std::snprintf(
+        buffer, sizeof(buffer),
+        "    {\"roster\": \"%s\", \"sites\": %d, \"useful_sites\": %d,\n"
+        "     \"attrib_rounds_per_verdict\": %.4f, "
+        "\"attrib_verdicts\": %lld,\n"
+        "     \"attrib_bill_to_converge\": %lld, "
+        "\"bisect_bill_to_converge\": %lld, \"bill_speedup\": %.4f,\n"
+        "     \"attrib_converged\": %d, \"bisect_converged\": %d,\n"
+        "     \"attrib_total_hidden\": %lld, \"bisect_total_hidden\": %lld,\n"
+        "     \"attrib_missed\": %lld, \"bisect_missed\": %lld, "
+        "\"attrib_over_marked\": %lld, \"bisect_over_marked\": %lld,\n"
+        "     \"accuracy_ok\": %d}",
+        entry.name, attrib.sites, attrib.usefulSites,
+        attrib.roundsPerVerdict(),
+        attrib.attributionVerdicts, attrib.billToConverge,
+        bisect.billToConverge, speedup, attrib.converged, bisect.converged,
+        attrib.totalHidden, bisect.totalHidden, attrib.missed, bisect.missed,
+        attrib.overMarked, bisect.overMarked, accuracyOk);
+    if (!rosterJson.empty()) rosterJson += ",\n";
+    rosterJson += buffer;
+  }
+
+  // Both rosters pooled: the headline hidden-request-bill ratio the
+  // MIN_ATTRIB_SPEEDUP gate reads (per-roster speedups ride along; table1's
+  // two useful-bearing sites converge fast either way, so the pooled number
+  // is dominated by table2's co-sent-tracker isolation work).
+  const double overallSpeedup =
+      attribBillTotal == 0 ? 0.0
+                           : static_cast<double>(bisectBillTotal) /
+                                 static_cast<double>(attribBillTotal);
+  std::printf("overall: bill %lld vs bisect %lld (speedup %.2fx)\n",
+              attribBillTotal, bisectBillTotal, overallSpeedup);
+  char header[320];
+  std::snprintf(header, sizeof(header),
+                "{\n"
+                "  \"benchmark\": \"attribution\",\n"
+                "  \"max_views\": %d,\n"
+                "  \"network_seed\": %llu,\n"
+                "  \"overall_bill_speedup\": %.4f,\n",
+                kMaxViews, static_cast<unsigned long long>(kSeed),
+                overallSpeedup);
+  const std::string json =
+      std::string(header) + "  \"rosters\": [\n" + rosterJson + "\n  ]\n}\n";
+
+  if (std::FILE* file = std::fopen(outputPath.c_str(), "wb")) {
+    std::fwrite(json.data(), 1, json.size(), file);
+    std::fclose(file);
+    std::printf("wrote %s\n", outputPath.c_str());
+    return 0;
+  }
+  std::fprintf(stderr, "cannot write %s\n", outputPath.c_str());
+  return 1;
+}

@@ -17,42 +17,71 @@ int main() {
 
   const auto roster = server::table2Roster();
 
-  for (const auto mode : {core::CookieGroupMode::AllPersistent,
-                          core::CookieGroupMode::PerCookie,
-                          core::CookieGroupMode::Bisection}) {
+  struct ModeRow {
+    core::CookieGroupMode groupMode;
+    core::AttributionMode attribution;
+    const char* name;
+  };
+  const ModeRow modes[] = {
+      {core::CookieGroupMode::AllPersistent, core::AttributionMode::Off,
+       "AllPersistent (the paper)"},
+      {core::CookieGroupMode::PerCookie, core::AttributionMode::Off,
+       "PerCookie (extension, one per view)"},
+      {core::CookieGroupMode::Bisection, core::AttributionMode::Off,
+       "Bisection (extension, binary search)"},
+      {core::CookieGroupMode::AllPersistent, core::AttributionMode::Provenance,
+       "Provenance attribution (extension, taint-nominated)"},
+  };
+  for (const ModeRow& mode : modes) {
     bench::CampaignOptions options;
     options.viewsPerSite = 30;
-    options.picker.forcum.groupMode = mode;
+    options.picker.forcum.groupMode = mode.groupMode;
+    options.picker.forcum.attribution = mode.attribution;
     const bench::CampaignResult result = bench::runCampaign(roster, options);
 
-    const char* modeName = "Bisection (extension, binary search)";
-    if (mode == core::CookieGroupMode::AllPersistent) {
-      modeName = "AllPersistent (the paper)";
-    } else if (mode == core::CookieGroupMode::PerCookie) {
-      modeName = "PerCookie (extension, one per view)";
-    }
-    std::printf("--- %s ---\n", modeName);
-    util::TextTable table(
-        {"Site", "Marked Useful", "Real Useful", "over-marked"});
+    std::printf("--- %s ---\n", mode.name);
+    util::TextTable table({"Site", "Marked Useful", "Real Useful",
+                           "over-marked", "hidden reqs", "hidden/verdict"});
     int totalOverMarked = 0;
     int totalMissed = 0;
+    int totalHidden = 0;
+    int totalMarked = 0;
     for (const bench::SiteResult& site : result.sites) {
       const int overMarked =
           std::max(0, site.markedUseful - site.realUseful);
       totalOverMarked += overMarked;
       totalMissed += std::max(0, site.realUseful - site.markedUseful);
+      totalHidden += site.hiddenRequests;
+      totalMarked += site.markedUseful;
+      char perVerdict[32];
+      if (site.markedUseful > 0) {
+        std::snprintf(perVerdict, sizeof(perVerdict), "%.1f",
+                      static_cast<double>(site.hiddenRequests) /
+                          site.markedUseful);
+      } else {
+        std::snprintf(perVerdict, sizeof(perVerdict), "-");
+      }
       table.addRow({site.label, std::to_string(site.markedUseful),
                     std::to_string(site.realUseful),
-                    std::to_string(overMarked)});
+                    std::to_string(overMarked),
+                    std::to_string(site.hiddenRequests), perVerdict});
     }
     std::printf("%s", table.render().c_str());
-    std::printf("over-marked useless cookies: %d, missed useful: %d\n\n",
+    std::printf("over-marked useless cookies: %d, missed useful: %d\n",
                 totalOverMarked, totalMissed);
+    if (totalMarked > 0) {
+      std::printf("hidden requests: %d (%.2f per verdict)\n\n", totalHidden,
+                  static_cast<double>(totalHidden) / totalMarked);
+    } else {
+      std::printf("hidden requests: %d (no verdicts)\n\n", totalHidden);
+    }
   }
   std::printf(
       "Expected shape: AllPersistent over-marks the co-sent trackers of P5\n"
       "and P6 (paper: 8 + 3 = 11 extra cookies kept) with one hidden\n"
       "request per view; PerCookie eliminates over-marking at the cost of\n"
-      "slower convergence (one candidate tested per view).\n");
+      "slower convergence (one candidate tested per view); provenance\n"
+      "attribution keeps PerCookie's precision while resolving each verdict\n"
+      "in O(1) hidden rounds (nominate + confirm).\n");
   return 0;
 }

@@ -40,6 +40,7 @@ CampaignResult runCampaign(const std::vector<server::SiteSpec>& roster,
       if (record->useful) ++site.markedUseful;
     }
     const core::HostReport report = picker.report(spec.domain);
+    site.hiddenRequests = report.hiddenRequests;
     site.avgDetectionMs = report.averageDetectionMs;
     site.avgDurationMs = report.averageDurationMs;
     result.sites.push_back(site);

@@ -19,6 +19,10 @@ struct SiteResult {
   int persistent = 0;
   int markedUseful = 0;
   int realUseful = 0;
+  // Hidden fetches this site's training cost, targeted attribution confirm
+  // strips included — the per-verdict denominator the group-testing
+  // ablation reports.
+  int hiddenRequests = 0;
   double avgDetectionMs = 0.0;
   double avgDurationMs = 0.0;
   // The decision scores captured on the first view that attributed a

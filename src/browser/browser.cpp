@@ -38,6 +38,11 @@ net::HttpRequest Browser::buildRequest(const net::Url& url,
   request.kind = kind;
   request.headers.set("User-Agent", "CookiePickerSim/1.0 (Firefox/1.5 model)");
   request.headers.set("Accept", "text/html,*/*");
+  // Container documents only: subresources carry no markup to attribute,
+  // and the header must stay off the wire entirely when provenance is off.
+  if (wantProvenance_ && kind != net::RequestKind::Subresource) {
+    request.headers.set(provenance::kWantProvenanceHeader, "1");
+  }
 
   cookies::SendOptions options;
   const bool firstParty = cookies::isFirstParty(url, documentUrl);
@@ -126,6 +131,17 @@ std::vector<net::Url> Browser::collectSubresources(
   return resources;
 }
 
+std::shared_ptr<const provenance::ProvenanceMap> Browser::extractProvenance(
+    const net::HttpResponse& response) const {
+  if (!wantProvenance_) return nullptr;
+  const auto header = response.headers.get(provenance::kCookieProvenanceHeader);
+  if (!header.has_value()) return nullptr;
+  auto decoded = provenance::ProvenanceMap::decodeHeader(*header);
+  if (!decoded.has_value()) return nullptr;
+  return std::make_shared<const provenance::ProvenanceMap>(
+      std::move(*decoded));
+}
+
 PageView Browser::visit(const std::string& url) {
   const auto parsed = net::Url::parse(url);
   if (!parsed.has_value()) {
@@ -171,11 +187,13 @@ PageView Browser::visit(const net::Url& url) {
   view.containerRequest = request;
   view.status = exchange.response.status;
   view.containerHtml = exchange.response.body;
+  view.provenance = extractProvenance(exchange.response);
   if (domMode_ == DomMode::Streaming) {
     // One pass: tokens flow straight into the snapshot arrays, and the
     // subresource references fall out of the same walk. No node tree.
     obs::ScopedTimer streamSpan(obs::Timer::StreamBuild);
-    html::StreamParseResult streamed = streamBuilder_.build(view.containerHtml);
+    html::StreamParseResult streamed = streamBuilder_.build(
+        view.containerHtml, {}, view.provenance.get());
     view.snapshot = std::move(streamed.snapshot);
     view.subresources = resolveSubresources(streamed.page, view.url);
   } else {
@@ -278,12 +296,15 @@ HiddenFetchResult Browser::completeHiddenFetch(
   result.truncated = net::bodyTruncated(finalExchange.response);
   result.status = finalExchange.response.status;
   result.html = finalExchange.response.body;
+  result.provenance = extractProvenance(finalExchange.response);
   // Flattened by the same pipeline as the regular copy, per Section 3.2
   // step three (the hidden copy fetches no objects, so its page info is
   // discarded).
   if (domMode_ == DomMode::Streaming) {
     obs::ScopedTimer streamSpan(obs::Timer::StreamBuild);
-    result.snapshot = streamBuilder_.build(result.html).snapshot;
+    result.snapshot =
+        streamBuilder_.build(result.html, {}, result.provenance.get())
+            .snapshot;
   } else {
     {
       obs::ScopedTimer parseSpan(obs::Timer::HtmlParse);

@@ -17,6 +17,7 @@
 #include "html/stream_snapshot.h"
 #include "net/transport.h"
 #include "browser/page.h"
+#include "provenance/taint.h"
 #include "util/clock.h"
 #include "util/rng.h"
 
@@ -80,6 +81,11 @@ struct HiddenFetchResult {
   // PageView::snapshot.
   std::shared_ptr<const dom::TreeSnapshot> snapshot;
   std::string html;
+  // Provenance map for `html`, mirroring PageView::provenance. Null unless
+  // the browser opted in and the origin's header decoded cleanly — degraded
+  // or truncated responses typically lose it, which attribution treats as
+  // "no taint data" rather than guessing.
+  std::shared_ptr<const provenance::ProvenanceMap> provenance;
   // Total virtual time spent: every attempt's round trip plus backoffs.
   double latencyMs = 0.0;
   int status = 0;
@@ -167,6 +173,14 @@ class Browser {
   DomMode domMode() const { return domMode_; }
   void setDomMode(DomMode mode) { domMode_ = mode; }
 
+  // Opt into per-cookie taint data: container and hidden requests carry
+  // X-Want-Provenance, response maps are decoded onto PageView /
+  // HiddenFetchResult, and streaming snapshots get taint-stamped rows.
+  // Off (the default) leaves every request and snapshot byte-identical to a
+  // provenance-free build.
+  void setWantProvenance(bool want) { wantProvenance_ = want; }
+  bool wantProvenance() const { return wantProvenance_; }
+
   void setHiddenRetryPolicy(RetryPolicy policy) {
     hiddenRetryPolicy_ = policy;
   }
@@ -200,6 +214,10 @@ class Browser {
                                             const net::Url& baseUrl) const;
   std::vector<net::Url> resolveSubresources(const html::StreamPageInfo& page,
                                             const net::Url& documentUrl) const;
+  // Decodes X-Cookie-Provenance when wantProvenance_ is set; null on absent
+  // or malformed headers (strict parse — a torn map is worthless).
+  std::shared_ptr<const provenance::ProvenanceMap> extractProvenance(
+      const net::HttpResponse& response) const;
 
   net::Transport& transport_;
   util::SimClock& clock_;
@@ -209,6 +227,7 @@ class Browser {
   ThinkTimeModel thinkTime_;
   std::function<bool(const cookies::CookieRecord&)> persistentSendFilter_;
   DomMode domMode_ = DomMode::Streaming;
+  bool wantProvenance_ = false;
   // Retained across page loads: its scratch (token buffers, open stack,
   // per-tag info cache) makes steady-state builds allocation-light.
   html::StreamingSnapshotBuilder streamBuilder_;

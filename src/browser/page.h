@@ -8,6 +8,7 @@
 #include "dom/node.h"
 #include "dom/snapshot.h"
 #include "net/http.h"
+#include "provenance/taint.h"
 #include "util/clock.h"
 
 namespace cookiepicker::browser {
@@ -37,6 +38,10 @@ struct PageView {
   std::shared_ptr<const dom::TreeSnapshot> snapshot;
   // Raw container HTML (kept for baselines that diff serialized text).
   std::string containerHtml;
+  // Byte-range → cookie-label map for `containerHtml`, decoded from the
+  // origin's X-Cookie-Provenance header. Null unless the browser asked for
+  // provenance and the origin answered with a well-formed map.
+  std::shared_ptr<const provenance::ProvenanceMap> provenance;
   std::vector<net::Url> subresources;
   FetchTiming timing;
   util::SimTimeMs loadedAtMs = 0;

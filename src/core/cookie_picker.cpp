@@ -14,6 +14,11 @@ CookiePicker::CookiePicker(browser::Browser& browser,
       recovery_(browser.jar()),
       enforcedHosts_(std::make_shared<std::set<std::string>>()) {
   installSendFilter();
+  if (config_.forcum.attribution == AttributionMode::Provenance) {
+    // Attribution needs taint data on every container and hidden fetch;
+    // with the mode off the browser's wire traffic stays untouched.
+    browser_.setWantProvenance(true);
+  }
 }
 
 void CookiePicker::installSendFilter() {
@@ -128,7 +133,7 @@ void CookiePicker::consultKnowledgeLocked(const std::string& host) {
   obs::count(obs::Counter::KnowledgeHits);
   applyKnowledgeMarksLocked(host);
   forcum_.importSharedSite(host, entry->totalViews, entry->hiddenRequests,
-                           entry->quietViews, allKeys);
+                           entry->quietViews, allKeys, entry->attributed);
   enforceForHostLocked(host);
 }
 
@@ -164,6 +169,10 @@ knowledge::SiteKnowledge CookiePicker::exportKnowledgeLocked(
     for (const cookies::CookieKey& key : state->knownPersistent) {
       entry.cookies[key] = false;
     }
+    // Attribution-confirmed marks travel with the verdict: a warm consumer
+    // learns not just *that* these cookies are useful but that a targeted
+    // provenance strip proved it.
+    entry.attributed = state->attributedUseful;
   }
   // Jar marks win over the knownPersistent default; a purged (enforced)
   // cookie simply keeps its unmarked entry — blocked is knowledge too.

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <charconv>
+#include <unordered_map>
+#include <unordered_set>
 
 #include "core/explain.h"
 #include "html/parser.h"
@@ -65,12 +67,91 @@ void appendSiteLine(std::string& out, const std::string& host,
     util::appendEscapedStateField(out, key.path);
     first = false;
   }
+  // Attribution-confirmed marks ride an optional trailing field so
+  // attribution-off lines keep their pre-tier bytes (the Off-mode
+  // differential pin compares serialized state verbatim).
+  if (!state.attributedUseful.empty()) {
+    out += '\t';
+    first = true;
+    for (const CookieKey& key : state.attributedUseful) {
+      if (!first) out += ';';
+      util::appendEscapedStateField(out, key.name);
+      out += '|';
+      util::appendEscapedStateField(out, key.domain);
+      out += '|';
+      util::appendEscapedStateField(out, key.path);
+      first = false;
+    }
+  }
 }
 
 // Human-readable cause of a failed hidden fetch for skip reasons.
 std::string failureLabel(const browser::HiddenFetchResult& result) {
   if (!result.degradedReason.empty()) return result.degradedReason;
   return "http-" + std::to_string(result.status);
+}
+
+// Structural identity of one snapshot row for the attribution multiset
+// diff: symbol, depth, predicate flags and text hash — the same properties
+// the detection kernels compare. Taint stamps are deliberately excluded
+// (the two copies assign label bits independently, so identical content
+// with different stamps must still match).
+std::uint64_t rowFingerprint(const dom::TreeSnapshot& snapshot,
+                             std::uint32_t i) {
+  std::uint64_t h = 0xcbf29ce484222325ull;
+  const auto mix = [&h](std::uint64_t value) {
+    h ^= value;
+    h *= 0x100000001b3ull;
+    h ^= h >> 29;
+  };
+  mix(snapshot.symbol(i));
+  mix(static_cast<std::uint32_t>(snapshot.level(i)));
+  mix(snapshot.rawFlags(i));
+  mix(snapshot.textHash(i));
+  return h;
+}
+
+// OR of the taint stamps on `a`'s difference rows — the rows whose
+// fingerprint occurs more often in `a` than in `b`. When a fingerprint has
+// surplus copies, the taint of *every* instance is unioned (which copy is
+// "extra" is unknowable), over-approximating toward ambiguity; the confirm
+// strips downstream make over-approximation safe and under-approximation is
+// the only failure mode that could mis-attribute.
+provenance::LabelSet diffTaint(const dom::TreeSnapshot& a,
+                               const dom::TreeSnapshot& b) {
+  std::unordered_map<std::uint64_t, int> counts;
+  counts.reserve(b.nodeCount());
+  for (std::uint32_t i = 0; i < b.nodeCount(); ++i) {
+    ++counts[rowFingerprint(b, i)];
+  }
+  std::vector<std::uint64_t> fingerprints(a.nodeCount());
+  std::unordered_set<std::uint64_t> surplus;
+  for (std::uint32_t i = 0; i < a.nodeCount(); ++i) {
+    fingerprints[i] = rowFingerprint(a, i);
+    if (--counts[fingerprints[i]] < 0) surplus.insert(fingerprints[i]);
+  }
+  provenance::LabelSet taint = 0;
+  for (std::uint32_t i = 0; i < a.nodeCount(); ++i) {
+    if (surplus.contains(fingerprints[i])) taint |= a.taintSet(i);
+  }
+  return taint;
+}
+
+// Resolves label bits to cookie names through the map's own name table.
+// Names, not bits, are the cross-copy currency: the regular and hidden
+// renders intern labels independently, so bit i can name different cookies
+// in the two maps.
+void collectLabelNames(provenance::LabelSet set,
+                       const provenance::ProvenanceMap& map, bool& overflow,
+                       std::set<std::string>& names) {
+  if ((set & provenance::kOverflowLabel) != 0) overflow = true;
+  const std::vector<std::string>& table = map.labelNames();
+  const std::size_t limit =
+      std::min(table.size(),
+               static_cast<std::size_t>(provenance::kMaxLabels));
+  for (std::size_t bit = 0; bit < limit; ++bit) {
+    if ((set >> bit) & 1u) names.insert(table[bit]);
+  }
 }
 
 }  // namespace
@@ -116,7 +197,8 @@ std::vector<std::string> ForcumEngine::knownHosts() const {
 
 void ForcumEngine::importSharedSite(
     const std::string& host, int totalViews, int hiddenRequests,
-    int quietViews, const std::set<CookieKey>& knownPersistent) {
+    int quietViews, const std::set<CookieKey>& knownPersistent,
+    const std::set<CookieKey>& attributed) {
   SiteState& state = stateFor(host);
   state.trainingActive = false;
   state.totalViews = std::max(state.totalViews, totalViews);
@@ -124,6 +206,7 @@ void ForcumEngine::importSharedSite(
   state.consecutiveQuietViews =
       std::max(state.consecutiveQuietViews, quietViews);
   state.knownPersistent.insert(knownPersistent.begin(), knownPersistent.end());
+  state.attributedUseful.insert(attributed.begin(), attributed.end());
   emitSiteState(host, state);
 }
 
@@ -218,7 +301,7 @@ void ForcumEngine::restoreState(const std::string& text) {
   for (const std::string& line : util::split(text, '\n')) {
     if (line.empty()) continue;
     const std::vector<std::string> fields = util::split(line, '\t');
-    if (fields.size() != 6) continue;
+    if (fields.size() != 6 && fields.size() != 7) continue;
     SiteState state;
     state.trainingActive = fields[1] == "1";
     if (!parseCount(fields[2], state.totalViews) ||
@@ -233,6 +316,18 @@ void ForcumEngine::restoreState(const std::string& text) {
       state.knownPersistent.insert({util::unescapeStateField(parts[0]),
                                     util::unescapeStateField(parts[1]),
                                     util::unescapeStateField(parts[2])});
+    }
+    // Optional trailing field: attribution-confirmed marks (lines from
+    // attribution-off sessions simply lack it).
+    if (fields.size() == 7) {
+      for (const std::string& keyText : util::split(fields[6], ';')) {
+        if (keyText.empty()) continue;
+        const std::vector<std::string> parts = util::split(keyText, '|');
+        if (parts.size() != 3) continue;
+        state.attributedUseful.insert({util::unescapeStateField(parts[0]),
+                                       util::unescapeStateField(parts[1]),
+                                       util::unescapeStateField(parts[2])});
+      }
     }
     sites_[fields[0]] = std::move(state);
   }
@@ -299,6 +394,140 @@ void ForcumEngine::onBisectionOutcome(
                       group.begin() + static_cast<std::ptrdiff_t>(half));
 }
 
+void ForcumEngine::runAttribution(const browser::PageView& view,
+                                  const browser::HiddenFetchResult& hidden,
+                                  SiteState& state,
+                                  ForcumStepReport& report) {
+  report.attributionRan = true;
+  obs::count(obs::Counter::AttributionSteps);
+
+  // Attribution needs the taint-stamped snapshot fast path on both copies
+  // plus both provenance maps' name tables. Reference-mode views and
+  // provenance-unaware origins land here and fall back to marking nothing —
+  // the honest group semantics resume on the next step if the operator
+  // turns attribution off.
+  if (view.snapshot == nullptr || hidden.snapshot == nullptr ||
+      view.provenance == nullptr || hidden.provenance == nullptr) {
+    report.attributionFallback = "no-provenance";
+    obs::count(obs::Counter::AttributionFallbacks);
+    return;
+  }
+
+  // Taint on the difference, unioned over *both* copies: a region the
+  // cookie's presence adds taints regular-only rows, while a region its
+  // absence adds (a sign-up wall, a set-your-preferences banner) taints
+  // hidden-only rows — branch-read taint labels both branches.
+  const provenance::LabelSet regularTaint =
+      diffTaint(*view.snapshot, *hidden.snapshot);
+  const provenance::LabelSet hiddenTaint =
+      diffTaint(*hidden.snapshot, *view.snapshot);
+
+  bool overflow = false;
+  std::set<std::string> implicated;
+  collectLabelNames(regularTaint, *view.provenance, overflow, implicated);
+  collectLabelNames(hiddenTaint, *hidden.provenance, overflow, implicated);
+  if (overflow) {
+    // A hostile site exceeded the label universe; the overflow label means
+    // "some cookie beyond the first 31" — not attributable, never guessed.
+    report.attributionFallback = "label-overflow";
+    obs::count(obs::Counter::AttributionFallbacks);
+    return;
+  }
+
+  // Only tested candidates can be nominated: a marked cookie's taint may
+  // legitimately sit inside the difference region when features interleave,
+  // and noise regions carry no candidate taint at all.
+  std::vector<CookieKey> nominated;
+  for (const CookieKey& key : report.testedGroup) {
+    if (implicated.contains(key.name)) nominated.push_back(key);
+  }
+  if (nominated.empty()) {
+    report.attributionFallback = "no-taint";
+    obs::count(obs::Counter::AttributionFallbacks);
+    return;
+  }
+  if (nominated.size() == 1) {
+    report.attributedCookie = nominated.front().name;
+    obs::count(obs::Counter::AttributionNominated);
+  } else {
+    report.attributionAmbiguous = true;
+    obs::count(obs::Counter::AttributionAmbiguous);
+  }
+
+  // A singleton tested group needs no extra round: the hidden copy already
+  // differs with exactly the nominated cookie stripped.
+  if (report.testedGroup.size() == 1 && nominated.size() == 1) {
+    const CookieKey& key = nominated.front();
+    const CookieRecord* record = browser_.jar().find(key);
+    if (record != nullptr && !record->useful) {
+      browser_.jar().markUseful(key);
+      report.newlyMarked.push_back(key);
+      state.attributedUseful.insert(key);
+    }
+    report.attributionConfirmed = true;
+    obs::count(obs::Counter::AttributionConfirmed);
+    return;
+  }
+
+  // One targeted strip per nominated cookie (one total in the unambiguous
+  // common case). Marking without the confirm would trust taint alone;
+  // confirming keeps the verdict grounded in the paper's regular-vs-hidden
+  // comparison, so a taint bug can cost rounds but never mis-mark.
+  std::unique_ptr<dom::Node> lazyRegular;
+  const auto regularDocument = [&]() -> const dom::Node& {
+    if (view.document != nullptr) return *view.document;
+    if (lazyRegular == nullptr) {
+      lazyRegular = html::parseHtml(view.containerHtml);
+    }
+    return *lazyRegular;
+  };
+  for (const CookieKey& key : nominated) {
+    browser::HiddenFetchResult confirm = browser_.hiddenFetch(
+        view,
+        [&key](const CookieRecord& record) { return record.key == key; });
+    ++report.attributionConfirmStrips;
+    obs::count(obs::Counter::AttributionConfirmStrips);
+    report.hiddenLatencyMs += confirm.latencyMs;
+    report.hiddenAttempts += confirm.attempts;
+    if (!confirm.usable() ||
+        (confirm.document == nullptr && confirm.snapshot == nullptr)) {
+      // Degraded confirm: this nomination marks nothing. Training stays
+      // active, so an honest retry happens on a later view.
+      report.attributionFallback = "confirm-degraded:" + failureLabel(confirm);
+      continue;
+    }
+    ++state.hiddenRequests;
+    const bool fastPath = config_.decision.useSnapshotFastPath &&
+                          view.snapshot != nullptr &&
+                          confirm.snapshot != nullptr;
+    std::unique_ptr<dom::Node> lazyConfirm;
+    const DecisionResult verdict =
+        fastPath
+            ? decideCookieUsefulness(*view.snapshot, *confirm.snapshot,
+                                     scratch_, config_.decision)
+            : decideCookieUsefulness(
+                  regularDocument(),
+                  confirm.document != nullptr
+                      ? *confirm.document
+                      : *(lazyConfirm = html::parseHtml(confirm.html)),
+                  config_.decision);
+    if (!verdict.causedByCookies) continue;
+    const CookieRecord* record = browser_.jar().find(key);
+    if (record != nullptr && !record->useful) {
+      browser_.jar().markUseful(key);
+      report.newlyMarked.push_back(key);
+      state.attributedUseful.insert(key);
+    }
+    report.attributionConfirmed = true;
+    obs::count(obs::Counter::AttributionConfirmed);
+    if (report.attributedCookie.empty()) {
+      // Ambiguous nomination resolved by the confirms: record the first
+      // cookie that actually reproduced the difference.
+      report.attributedCookie = key.name;
+    }
+  }
+}
+
 ForcumStepReport ForcumEngine::runStep(const browser::PageView& view,
                                        SiteState& state) {
   obs::ScopedTimer stepSpan(obs::Timer::ForcumStep);
@@ -340,9 +569,19 @@ ForcumStepReport ForcumEngine::runStep(const browser::PageView& view,
     return report;  // nothing to test on this page
   }
 
-  // Select the tested group.
-  const std::set<CookieKey> group =
-      selectGroup(view.url.host(), candidates);
+  // Select the tested group. Attribution strips every unmarked candidate
+  // at once: one hidden round answers whether *any* of them matters, and
+  // the taint on the difference answers which — group scheduling (round
+  // robin, bisection splits) exists precisely to answer "which" without
+  // taint, so it is bypassed wholesale.
+  std::set<CookieKey> group;
+  if (config_.attribution == AttributionMode::Provenance) {
+    for (const CookieRecord* record : candidates) {
+      if (!record->useful) group.insert(record->key);
+    }
+  } else {
+    group = selectGroup(view.url.host(), candidates);
+  }
   if (group.empty()) return report;
 
   const util::StopWatch hostWatch;
@@ -475,7 +714,11 @@ ForcumStepReport ForcumEngine::runStep(const browser::PageView& view,
       }
     }
   }
-  if (config_.groupMode == CookieGroupMode::Bisection) {
+  if (config_.attribution == AttributionMode::Provenance) {
+    if (report.decision.causedByCookies) {
+      runAttribution(view, hidden, state, report);
+    }
+  } else if (config_.groupMode == CookieGroupMode::Bisection) {
     onBisectionOutcome(view.url.host(), report.testedGroup,
                        report.decision.causedByCookies);
     // Only singleton groups mark: the difference is pinned on one cookie.
@@ -553,6 +796,14 @@ ForcumStepReport ForcumEngine::runStep(const browser::PageView& view,
     record.quietBefore = quietBefore;
     for (const CookieKey& key : report.newlyMarked) {
       record.marked.push_back(renderCookieKey(key));
+    }
+    if (report.attributionRan) {
+      // Serialized only for steps the attribution tier actually touched, so
+      // attribution-off trails stay byte-identical to pre-tier builds.
+      record.hasAttribution = true;
+      record.attributedCookie = report.attributedCookie;
+      record.attributionConfirmed = report.attributionConfirmed;
+      record.attributionConfirmStrips = report.attributionConfirmStrips;
     }
     if (report.decision.causedByCookies) {
       // Evidence costs a reference-path diff, so it is gathered only for

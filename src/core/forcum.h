@@ -44,9 +44,29 @@ enum class CookieGroupMode {
   Bisection,
 };
 
+// How a detected difference is pinned on an individual cookie.
+enum class AttributionMode {
+  // Pre-existing behavior, byte-identical to builds that predate the tier:
+  // group semantics alone decide what marks (AllPersistent over-marks,
+  // Bisection isolates in O(log n) extra hidden rounds).
+  Off,
+  // Taint-assisted O(1) attribution. Every view strips *all* unmarked
+  // persistent candidates at once; when the decision detects a difference,
+  // the taint stamps on the difference rows (from the origin's provenance
+  // map, requested out of band) nominate the responsible cookie directly,
+  // and a single targeted strip of just that cookie confirms the nomination
+  // before anything marks. Ambiguous taint (several candidate labels on the
+  // difference) degrades to one confirm strip per implicated candidate —
+  // never a blind group mark — and absent or overflowed taint marks
+  // nothing. Requires a provenance-aware origin and the browser's
+  // want-provenance opt-in; without them every step falls back harmlessly.
+  Provenance,
+};
+
 struct ForcumConfig {
   DecisionConfig decision;
   CookieGroupMode groupMode = CookieGroupMode::AllPersistent;
+  AttributionMode attribution = AttributionMode::Off;
   // Training turns off after this many consecutive page views with no new
   // cookies and no new useful marks.
   int stableViewThreshold = 10;
@@ -85,6 +105,24 @@ struct ForcumStepReport {
   std::string skipReason;  // "container-error", "hidden-degraded:...", ...
   // Hidden-fetch network attempts this step spent, retries included.
   int hiddenAttempts = 0;
+
+  // --- attribution tier (AttributionMode::Provenance only) -----------------
+  // The step entered the attribution path (a difference was detected with
+  // attribution on).
+  bool attributionRan = false;
+  // Cookie name the taint intersection nominated; empty when taint was
+  // ambiguous (several candidates) or unusable (no map, no tainted
+  // difference rows, label overflow).
+  std::string attributedCookie;
+  // A targeted confirm strip upheld a nomination and marked its cookie.
+  bool attributionConfirmed = false;
+  // Targeted single-cookie confirm fetches issued this step.
+  int attributionConfirmStrips = 0;
+  // Taint implicated more than one tested candidate.
+  bool attributionAmbiguous = false;
+  // Why attribution could not nominate ("no-provenance", "no-taint",
+  // "label-overflow", "confirm-degraded:..."), empty otherwise.
+  std::string attributionFallback;
 };
 
 class ForcumEngine {
@@ -106,6 +144,11 @@ class ForcumEngine {
     int hiddenRequests = 0;
     int consecutiveQuietViews = 0;
     std::set<cookies::CookieKey> knownPersistent;
+    // Keys whose useful mark came from a confirmed provenance attribution
+    // (or was imported as such from shared knowledge). Serialized as an
+    // optional trailing field — present only when non-empty, so
+    // attribution-off state blobs keep their pre-tier bytes.
+    std::set<cookies::CookieKey> attributedUseful;
     util::SampleSet detectionTimesMs;
     util::SampleSet durationsMs;
   };
@@ -122,9 +165,13 @@ class ForcumEngine {
   // later page, while a genuinely novel one still does (the honest paper
   // path stays the fallback). Emits the site line to the state sink like
   // every other transition.
+  // `attributed` carries the crowd's attribution-confirmed marks (empty for
+  // entries from attribution-off contributors); the import keeps them so a
+  // warm site re-exports the higher-confidence evidence it arrived with.
   void importSharedSite(const std::string& host, int totalViews,
                         int hiddenRequests, int quietViews,
-                        const std::set<cookies::CookieKey>& knownPersistent);
+                        const std::set<cookies::CookieKey>& knownPersistent,
+                        const std::set<cookies::CookieKey>& attributed = {});
 
   const ForcumConfig& config() const { return config_; }
   browser::Browser& browser() { return browser_; }
@@ -160,6 +207,13 @@ class ForcumEngine {
   void onBisectionOutcome(const std::string& host,
                           const std::vector<cookies::CookieKey>& group,
                           bool causedByCookies);
+  // Provenance attribution: taint-nominate the responsible cookie(s) from
+  // the difference rows, confirm each nomination with a targeted
+  // single-cookie strip, and mark only what confirms. Fills the report's
+  // attribution fields and report.newlyMarked.
+  void runAttribution(const browser::PageView& view,
+                      const browser::HiddenFetchResult& hidden,
+                      SiteState& state, ForcumStepReport& report);
 
   browser::Browser& browser_;
   ForcumConfig config_;

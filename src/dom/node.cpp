@@ -83,6 +83,7 @@ std::unique_ptr<Node> Node::removeChild(std::size_t index) {
 std::unique_ptr<Node> Node::clone() const {
   std::unique_ptr<Node> copy(new Node(type_, name_, value_));
   copy->attributes_ = attributes_;
+  copy->taintLabels_ = taintLabels_;
   for (const auto& child : children_) {
     copy->appendChild(child->clone());
   }

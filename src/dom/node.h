@@ -6,6 +6,7 @@
 // children through unique_ptr; parents are non-owning back-pointers.
 #pragma once
 
+#include <cstdint>
 #include <memory>
 #include <optional>
 #include <string>
@@ -69,6 +70,15 @@ class Node {
   // Removes all children.
   void clearChildren() { children_.clear(); }
 
+  // --- taint provenance (server-side rendering only) ---
+  // Bit-vector of provenance labels: which cookie reads influenced this
+  // node. Set by the site behaviors while rendering; 0 (the default)
+  // everywhere else — parsed client-side trees never carry taint. The
+  // effective taint of a node is the OR of its own labels and its
+  // ancestors', which the provenance-aware serializer accumulates.
+  std::uint32_t taintLabels() const { return taintLabels_; }
+  void addTaintLabels(std::uint32_t labels) { taintLabels_ |= labels; }
+
   // Deep copy (parent of the copy is null).
   std::unique_ptr<Node> clone() const;
 
@@ -97,6 +107,7 @@ class Node {
   std::vector<Attribute> attributes_;
   std::vector<std::unique_ptr<Node>> children_;
   Node* parent_ = nullptr;
+  std::uint32_t taintLabels_ = 0;
 };
 
 // Preorder traversal (node first, then children left-to-right). The visitor

@@ -54,11 +54,17 @@ std::string escapeAttributeValue(const std::string& value) {
   return escaped;
 }
 
-void serializeNode(const Node& node, std::string& output) {
+// One serializer for both the plain and the provenance-recording paths:
+// byte-identity between them is structural, not a property to test for.
+// When `map` is non-null, the output byte range of every subtree whose root
+// carries taint labels is recorded; untainted nodes cost one null check.
+void serializeNode(const Node& node, std::string& output,
+                   provenance::ProvenanceMap* map) {
+  const std::size_t start = output.size();
   switch (node.type()) {
     case NodeType::Document:
       for (const auto& child : node.children()) {
-        serializeNode(*child, output);
+        serializeNode(*child, output, map);
       }
       break;
     case NodeType::Doctype:
@@ -86,11 +92,15 @@ void serializeNode(const Node& node, std::string& output) {
       output += ">";
       if (isVoidTag(node.name())) break;
       for (const auto& child : node.children()) {
-        serializeNode(*child, output);
+        serializeNode(*child, output, map);
       }
       output += "</" + node.name() + ">";
       break;
     }
+  }
+  if (map != nullptr && node.taintLabels() != 0) {
+    map->add(static_cast<std::uint32_t>(start),
+             static_cast<std::uint32_t>(output.size()), node.taintLabels());
   }
 }
 
@@ -153,7 +163,15 @@ void signatureNode(const Node& node, std::string& output) {
 
 std::string toHtml(const Node& root) {
   std::string output;
-  serializeNode(root, output);
+  serializeNode(root, output, nullptr);
+  return output;
+}
+
+std::string toHtmlWithProvenance(const Node& root,
+                                 provenance::ProvenanceMap& map) {
+  std::string output;
+  serializeNode(root, output, &map);
+  map.normalize();
   return output;
 }
 

@@ -4,6 +4,7 @@
 #include <string>
 
 #include "dom/node.h"
+#include "provenance/taint.h"
 
 namespace cookiepicker::dom {
 
@@ -12,6 +13,13 @@ namespace cookiepicker::dom {
 // yields an equivalent tree — a property the test suite checks. Used by the
 // Doppelganger baseline, which diffs serialized pages instead of trees.
 std::string toHtml(const Node& root);
+
+// Same serialization, byte for byte, additionally recording into `map` the
+// output byte range of every subtree whose root carries taint labels. Nested
+// tainted subtrees yield nested ranges; the map's normalization ORs them
+// into the canonical disjoint form. The caller sets the map's label names.
+std::string toHtmlWithProvenance(const Node& root,
+                                 provenance::ProvenanceMap& map);
 
 // Indented one-node-per-line dump ("element div", "text 'hello'") for
 // debugging and golden tests.

@@ -18,15 +18,19 @@ bool nodeVisibleStructural(const Node& node) {
 
 }  // namespace
 
-TreeSnapshot::TreeSnapshot(const Node& root) {
+TreeSnapshot::TreeSnapshot(const Node& root) : TreeSnapshot(root, false) {}
+
+TreeSnapshot::TreeSnapshot(const Node& root, bool stampTaint)
+    : stampTaint_(stampTaint) {
   const std::size_t count = root.subtreeSize();
   symbols_.reserve(count);
   subtreeEnd_.reserve(count);
   levels_.reserve(count);
   flags_.reserve(count);
   textHashes_.reserve(count);
+  if (stampTaint_) taintSets_.reserve(count);
 
-  flatten(root, 0);
+  flatten(root, 0, 0);
   finish();
 }
 
@@ -56,9 +60,15 @@ void TreeSnapshot::finish() {
   }
 }
 
-std::uint32_t TreeSnapshot::flatten(const Node& node, std::int32_t level) {
+std::uint32_t TreeSnapshot::flatten(const Node& node, std::int32_t level,
+                                    std::uint32_t inheritedTaint) {
   const auto index = static_cast<std::uint32_t>(symbols_.size());
   SymbolInterner& interner = globalSymbolInterner();
+
+  // Effective taint is the lattice join down the root path — exactly what
+  // the streaming producer reads back from the normalized ProvenanceMap.
+  const std::uint32_t effectiveTaint = inheritedTaint | node.taintLabels();
+  if (stampTaint_) taintSets_.push_back(effectiveTaint);
 
   symbols_.push_back(interner.intern(node.name()));
   subtreeEnd_.push_back(0);  // patched after the children are flattened
@@ -96,7 +106,7 @@ std::uint32_t TreeSnapshot::flatten(const Node& node, std::int32_t level) {
   textHashes_.push_back(textHash);
 
   for (const auto& child : node.children()) {
-    flatten(*child, level + 1);
+    flatten(*child, level + 1, effectiveTaint);
   }
   subtreeEnd_[index] = static_cast<std::uint32_t>(symbols_.size());
   return index;
@@ -109,7 +119,8 @@ std::size_t TreeSnapshot::memoryBytes() const {
          flags_.capacity() * sizeof(std::uint16_t) +
          textHashes_.capacity() * sizeof(std::uint64_t) +
          childOffset_.capacity() * sizeof(std::uint32_t) +
-         childIndex_.capacity() * sizeof(std::uint32_t);
+         childIndex_.capacity() * sizeof(std::uint32_t) +
+         taintSets_.capacity() * sizeof(provenance::TaintSetId);
 }
 
 }  // namespace cookiepicker::dom

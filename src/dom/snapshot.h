@@ -27,6 +27,7 @@
 
 #include "dom/interner.h"
 #include "dom/node.h"
+#include "provenance/taint.h"
 
 namespace cookiepicker::html {
 class StreamingSnapshotBuilder;
@@ -39,6 +40,13 @@ class TreeSnapshot {
   // Flattens the whole subtree under `root` (typically the parsed document
   // node). Node indices below are preorder positions, root at 0.
   explicit TreeSnapshot(const Node& root);
+
+  // Same flattening, additionally stamping each row with the effective
+  // taint label-set of its node (own labels OR ancestors'). Only meaningful
+  // for server-side trees whose nodes carry taint; the streaming builder
+  // produces identical stamps from the serialized ProvenanceMap, which the
+  // provenance differential suite pins.
+  TreeSnapshot(const Node& root, bool stampTaint);
 
   std::uint32_t nodeCount() const {
     return static_cast<std::uint32_t>(symbols_.size());
@@ -87,6 +95,15 @@ class TreeSnapshot {
   // FNV-1a 64 of the collapsed text (0 for non-text nodes).
   std::uint64_t textHash(std::uint32_t i) const { return textHashes_[i]; }
 
+  // --- taint provenance (attribution tier) --------------------------------
+  // Per-row interned label-set stamps. Present only when a producer was
+  // given provenance (the vector stays empty otherwise, so ordinary
+  // snapshots pay nothing); rows outside every tainted range stamp 0.
+  bool hasProvenance() const { return !taintSets_.empty(); }
+  provenance::TaintSetId taintSet(std::uint32_t i) const {
+    return taintSets_.empty() ? 0 : taintSets_[i];
+  }
+
   // The raw flag word for node i — exposed so the differential tests can
   // compare the streaming and reference builds bit for bit rather than
   // predicate by predicate.
@@ -118,7 +135,8 @@ class TreeSnapshot {
     return (flags_[i] & bit) != 0;
   }
 
-  std::uint32_t flatten(const Node& node, std::int32_t level);
+  std::uint32_t flatten(const Node& node, std::int32_t level,
+                        std::uint32_t inheritedTaint);
 
   // Derives child spans and the comparison root from the preorder rows.
   // Shared by both producers — any row-level divergence between them shows
@@ -134,7 +152,9 @@ class TreeSnapshot {
   // Children of node i are childIndex_[childOffset_[i] .. childOffset_[i+1]).
   std::vector<std::uint32_t> childOffset_;
   std::vector<std::uint32_t> childIndex_;
+  std::vector<provenance::TaintSetId> taintSets_;
   std::uint32_t comparisonRoot_ = 0;
+  bool stampTaint_ = false;
 };
 
 }  // namespace cookiepicker::dom

@@ -69,6 +69,11 @@ std::string TrainingFleet::configFingerprint() const {
                 static_cast<int>(config_.picker.forcum.groupMode)),
             ":", config_.picker.forcum.consistencyReprobe ? "1" : "0", ":",
             config_.knowledge != nullptr ? "k1" : "k0"});
+  // Appended only when attribution is on, so Off-mode fingerprints keep
+  // their pre-tier bytes and recovered shards from older builds stay valid.
+  if (config_.picker.forcum.attribution != core::AttributionMode::Off) {
+    out += ":attr1";
+  }
   return out;
 }
 

@@ -113,7 +113,8 @@ std::uint32_t StreamingSnapshotBuilder::rowCount() const {
 
 std::uint32_t StreamingSnapshotBuilder::emitRow(dom::SymbolId symbol,
                                                 std::int32_t level,
-                                                std::uint16_t flags) {
+                                                std::uint16_t flags,
+                                                provenance::TaintSetId taint) {
   const std::uint32_t row = rowCount();
   snap_->symbols_.push_back(symbol);
   // Leaf extent; rows that acquire children (open elements, the structural
@@ -122,7 +123,13 @@ std::uint32_t StreamingSnapshotBuilder::emitRow(dom::SymbolId symbol,
   snap_->levels_.push_back(level);
   snap_->flags_.push_back(flags);
   snap_->textHashes_.push_back(0);
+  if (prov_ != nullptr) snap_->taintSets_.push_back(taint);
   return row;
+}
+
+provenance::TaintSetId StreamingSnapshotBuilder::tokenTaint() const {
+  if (prov_ == nullptr) return 0;
+  return prov_->labelsAt(static_cast<std::uint32_t>(token_.sourceStart));
 }
 
 void StreamingSnapshotBuilder::resetFrame(Frame& frame) {
@@ -134,13 +141,15 @@ void StreamingSnapshotBuilder::resetFrame(Frame& frame) {
   frame.idValue.clear();
 }
 
-StreamParseResult StreamingSnapshotBuilder::build(std::string_view htmlText,
-                                                  const ParseOptions& options) {
+StreamParseResult StreamingSnapshotBuilder::build(
+    std::string_view htmlText, const ParseOptions& options,
+    const provenance::ProvenanceMap* provenance) {
   StreamParseResult result;
   auto snapshot = std::shared_ptr<TreeSnapshot>(new TreeSnapshot());
   snap_ = snapshot.get();
   page_ = &result.page;
   options_ = &options;
+  prov_ = provenance != nullptr && !provenance->empty() ? provenance : nullptr;
   resetFrame(document_);
   resetFrame(html_);
   resetFrame(head_);
@@ -158,6 +167,7 @@ StreamParseResult StreamingSnapshotBuilder::build(std::string_view htmlText,
   snap_->levels_.reserve(rowGuess);
   snap_->flags_.reserve(rowGuess);
   snap_->textHashes_.reserve(rowGuess);
+  if (prov_ != nullptr) snap_->taintSets_.reserve(rowGuess);
 
   document_.row =
       emitRow(documentSymbol_, 0, TreeSnapshot::kVisibleStructural);
@@ -205,13 +215,14 @@ StreamParseResult StreamingSnapshotBuilder::build(std::string_view htmlText,
   snap_ = nullptr;
   page_ = nullptr;
   options_ = nullptr;
+  prov_ = nullptr;
   return result;
 }
 
 void StreamingSnapshotBuilder::processDoctype() {
   if (html_.row != -1) return;  // doctype after <html>: dropped
   document_.lastTextSlot = -1;
-  emitRow(localSymbol(token_.name), 1, 0);
+  emitRow(localSymbol(token_.name), 1, 0, tokenTaint());
 }
 
 void StreamingSnapshotBuilder::processComment() {
@@ -235,7 +246,7 @@ void StreamingSnapshotBuilder::processComment() {
     document_.lastTextSlot = -1;
     level = 1;
   }
-  emitRow(commentSymbol_, level, TreeSnapshot::kComment);
+  emitRow(commentSymbol_, level, TreeSnapshot::kComment, tokenTaint());
 }
 
 void StreamingSnapshotBuilder::processText() {
@@ -269,7 +280,7 @@ void StreamingSnapshotBuilder::appendTextTo(std::int64_t& lastTextSlot,
     return;
   }
   const std::uint32_t row =
-      emitRow(textSymbol_, parentLevel + 1, TreeSnapshot::kText);
+      emitRow(textSymbol_, parentLevel + 1, TreeSnapshot::kText, tokenTaint());
   if (textRowCount_ < textRows_.size()) {
     auto& slot = textRows_[textRowCount_];
     slot.first = row;
@@ -315,7 +326,7 @@ void StreamingSnapshotBuilder::processStartTag() {
   if (body_.row == -1 && open_.empty() && info.headPlacement) {
     ensureHead();
     head_.lastTextSlot = -1;
-    const std::uint32_t row = emitRow(symbol, 3, flags);
+    const std::uint32_t row = emitRow(symbol, 3, flags, tokenTaint());
     recordReferences(info);
     if (!info.isVoid && !token_.selfClosing) {
       pushOpen(row, symbol, info, 3);
@@ -335,7 +346,7 @@ void StreamingSnapshotBuilder::processStartTag() {
     body_.lastTextSlot = -1;
     level = 3;
   }
-  const std::uint32_t row = emitRow(symbol, level, flags);
+  const std::uint32_t row = emitRow(symbol, level, flags, tokenTaint());
   recordReferences(info);
   if (!info.isVoid && !token_.selfClosing) {
     pushOpen(row, symbol, info, level);
@@ -526,10 +537,11 @@ StreamPageInfo collectPageInfo(const dom::Node& document) {
   return info;
 }
 
-StreamParseResult buildSnapshotStreaming(std::string_view htmlText,
-                                         const ParseOptions& options) {
+StreamParseResult buildSnapshotStreaming(
+    std::string_view htmlText, const ParseOptions& options,
+    const provenance::ProvenanceMap* provenance) {
   StreamingSnapshotBuilder builder;
-  return builder.build(htmlText, options);
+  return builder.build(htmlText, options, provenance);
 }
 
 }  // namespace cookiepicker::html

@@ -37,6 +37,7 @@
 #include "dom/snapshot.h"
 #include "html/parser.h"
 #include "html/tokenizer.h"
+#include "provenance/taint.h"
 
 namespace cookiepicker::html {
 
@@ -66,8 +67,16 @@ class StreamingSnapshotBuilder {
   // info cache) lives on the builder and is reused across calls, so a
   // retained builder's steady-state allocations are the snapshot arrays
   // themselves plus interner misses.
+  //
+  // When `provenance` is non-null, every token-driven row is stamped with
+  // the label-set effective at the token's source byte (one interval lookup
+  // per row, no allocation — the bit-vector is its own interning); synthetic
+  // skeleton rows stamp 0. Without a map, rows pay a single branch and the
+  // snapshot carries no taint vector at all.
   StreamParseResult build(std::string_view htmlText,
-                          const ParseOptions& options = {});
+                          const ParseOptions& options = {},
+                          const provenance::ProvenanceMap* provenance =
+                              nullptr);
 
  private:
   // Optional-end-tag rules as bit tests: an open element is implicitly
@@ -138,7 +147,10 @@ class StreamingSnapshotBuilder {
 
   std::uint32_t rowCount() const;
   std::uint32_t emitRow(dom::SymbolId symbol, std::int32_t level,
-                        std::uint16_t flags);
+                        std::uint16_t flags,
+                        provenance::TaintSetId taint = 0);
+  // Label-set effective at the current token's source byte; 0 without a map.
+  provenance::TaintSetId tokenTaint() const;
   void processStartTag();
   void processEndTag();
   void processText();
@@ -181,6 +193,7 @@ class StreamingSnapshotBuilder {
   dom::TreeSnapshot* snap_ = nullptr;
   StreamPageInfo* page_ = nullptr;
   const ParseOptions* options_ = nullptr;
+  const provenance::ProvenanceMap* prov_ = nullptr;
   Token token_;
   Frame document_;
   Frame html_;
@@ -202,7 +215,8 @@ class StreamingSnapshotBuilder {
 StreamPageInfo collectPageInfo(const dom::Node& document);
 
 // One-shot convenience for tests and tools (constructs a fresh builder).
-StreamParseResult buildSnapshotStreaming(std::string_view htmlText,
-                                         const ParseOptions& options = {});
+StreamParseResult buildSnapshotStreaming(
+    std::string_view htmlText, const ParseOptions& options = {},
+    const provenance::ProvenanceMap* provenance = nullptr);
 
 }  // namespace cookiepicker::html

@@ -63,6 +63,7 @@ bool Tokenizer::next(Token& out) {
   out.text.clear();
   out.attributes.clear();
   out.selfClosing = false;
+  out.sourceStart = position_;
 
   if (!rawTextEndTag_.empty()) {
     rawText(rawTextEndTag_, out);

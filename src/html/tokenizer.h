@@ -31,6 +31,11 @@ struct Token {
   std::string text;                         // text/comment data (entity-decoded)
   std::vector<dom::Attribute> attributes;   // start tags only
   bool selfClosing = false;                 // "<br/>"
+  // Byte offset of the token's first source byte (the '<' of markup, the
+  // first character of a text run). Lets a consumer holding an out-of-band
+  // byte-range map — the provenance tier — look up per-token metadata
+  // without a second scan.
+  std::size_t sourceStart = 0;
 };
 
 class Tokenizer {

@@ -45,6 +45,7 @@ void SiteKnowledge::merge(const SiteKnowledge& other) {
     const auto [it, inserted] = cookies.emplace(key, useful);
     if (!inserted) it->second = it->second || useful;
   }
+  attributed.insert(other.attributed.begin(), other.attributed.end());
 }
 
 bool SiteKnowledge::covers(
@@ -74,13 +75,29 @@ std::string SiteKnowledge::serializeLine(const std::string& host) const {
     out.push_back('|');
     out.push_back(useful ? '1' : '0');
   }
+  // Attribution marks ride an optional trailing field: absent entirely when
+  // empty, so entries written before the provenance tier existed — and
+  // entries from attribution-off sessions — keep identical bytes.
+  if (!attributed.empty()) {
+    out.push_back('\t');
+    bool firstKey = true;
+    for (const cookies::CookieKey& key : attributed) {
+      if (!firstKey) out.push_back(';');
+      firstKey = false;
+      util::appendEscapedStateField(out, key.name);
+      out.push_back('|');
+      util::appendEscapedStateField(out, key.domain);
+      out.push_back('|');
+      util::appendEscapedStateField(out, key.path);
+    }
+  }
   return out;
 }
 
 std::optional<SiteKnowledge> SiteKnowledge::parseLine(std::string_view line,
                                                       std::string* host) {
   const std::vector<std::string> fields = util::split(std::string(line), '\t');
-  if (fields.size() != 7) return std::nullopt;
+  if (fields.size() != 7 && fields.size() != 8) return std::nullopt;
   SiteKnowledge parsed;
   if (!parseU64(fields[1], parsed.epoch)) return std::nullopt;
   parsed.stable = fields[2] == "1";
@@ -98,6 +115,15 @@ std::optional<SiteKnowledge> SiteKnowledge::parseLine(std::string_view line,
       key.domain = util::unescapeStateField(parts[1]);
       key.path = util::unescapeStateField(parts[2]);
       parsed.cookies[key] = parts[3] == "1";
+    }
+  }
+  if (fields.size() == 8 && !fields[7].empty()) {
+    for (const std::string& entry : util::split(fields[7], ';')) {
+      const std::vector<std::string> parts = util::split(entry, '|');
+      if (parts.size() != 3) return std::nullopt;
+      parsed.attributed.insert({util::unescapeStateField(parts[0]),
+                                util::unescapeStateField(parts[1]),
+                                util::unescapeStateField(parts[2])});
     }
   }
   if (host != nullptr) *host = util::unescapeStateField(fields[0]);

@@ -27,6 +27,7 @@
 #include <cstdint>
 #include <map>
 #include <optional>
+#include <set>
 #include <string>
 #include <string_view>
 
@@ -52,6 +53,12 @@ struct SiteKnowledge {
   // with its OR-merged useful mark. std::map keeps keys sorted, so equal
   // lattice values serialize to equal bytes.
   std::map<cookies::CookieKey, bool> cookies;
+  // Keys whose useful mark was placed by a *confirmed* provenance
+  // attribution (taint nomination upheld by a targeted strip) rather than a
+  // group verdict — higher-confidence evidence a warm import preserves.
+  // Union-merged (monotone), serialized only when non-empty so entries from
+  // attribution-off sessions keep their pre-tier bytes.
+  std::set<cookies::CookieKey> attributed;
 
   // In-place join: *this = *this ⊔ other. Commutative / associative /
   // idempotent (see file comment for why the epoch guard preserves that).

@@ -252,6 +252,12 @@ std::string AuditRecord::toJsonLine() const {
   appendIntField(out, "quiet_after", quietAfter);
   appendBoolField(out, "training_active_after", trainingActiveAfter);
   appendArrayField(out, "marked", marked);
+  if (hasAttribution) {
+    appendStringField(out, "attributed_cookie", attributedCookie);
+    appendBoolField(out, "attribution_confirmed", attributionConfirmed);
+    appendIntField(out, "attribution_confirm_strips",
+                   attributionConfirmStrips);
+  }
   appendArrayField(out, "evidence_structure_regular",
                    evidenceStructureRegular);
   appendArrayField(out, "evidence_structure_hidden", evidenceStructureHidden);
@@ -322,6 +328,15 @@ std::optional<AuditRecord> parseAuditRecordLine(std::string_view line) {
       ok = parseBool(cursor, record.trainingActiveAfter);
     } else if (key == "marked") {
       ok = parseStringArray(cursor, record.marked);
+    } else if (key == "attributed_cookie") {
+      ok = parseString(cursor, record.attributedCookie);
+      record.hasAttribution = true;
+    } else if (key == "attribution_confirmed") {
+      ok = parseBool(cursor, record.attributionConfirmed);
+      record.hasAttribution = true;
+    } else if (key == "attribution_confirm_strips") {
+      ok = parseInt(cursor, record.attributionConfirmStrips);
+      record.hasAttribution = true;
     } else if (key == "evidence_structure_regular") {
       ok = parseStringArray(cursor, record.evidenceStructureRegular);
     } else if (key == "evidence_structure_hidden") {

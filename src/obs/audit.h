@@ -65,6 +65,20 @@ struct AuditRecord {
   // Cookies newly marked useful by this decision, same key rendering.
   std::vector<std::string> marked;
 
+  // Provenance attribution outcome. The three fields are serialized only
+  // when hasAttribution is set (the step ran AttributionMode::Provenance),
+  // so records from attribution-off runs stay byte-identical to builds that
+  // predate the tier; the parser accepts both shapes.
+  bool hasAttribution = false;
+  // Cookie name taint nominated (single-label intersection), or empty when
+  // taint was ambiguous or unavailable.
+  std::string attributedCookie;
+  // The targeted confirm strip reproduced the difference for the nominated
+  // cookie — only then does a nomination mark.
+  bool attributionConfirmed = false;
+  // Targeted single-cookie confirm fetches this step issued.
+  std::int64_t attributionConfirmStrips = 0;
+
   // Supporting evidence from core::explain (collected only for marking
   // verdicts): structural regions and context-content strings present in
   // only one page version.

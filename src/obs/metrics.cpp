@@ -59,6 +59,12 @@ constexpr const char* kCounterNames[kCounterCount] = {
     "serve_requests_served",
     "serve_faults_injected",
     "serve_parse_errors",
+    "attribution_steps",
+    "attribution_nominated",
+    "attribution_ambiguous",
+    "attribution_confirm_strips",
+    "attribution_confirmed",
+    "attribution_fallbacks",
 };
 
 constexpr const char* kGaugeNames[kGaugeCount] = {
@@ -229,12 +235,29 @@ std::string MetricsSnapshot::deterministicJson() const {
     appendUint(out, counters[i]);
   }
   out += "},\"serve\":{";
-  for (std::size_t i = kFirstServeCounter; i < kCounterCount; ++i) {
+  for (std::size_t i = kFirstServeCounter; i < kFirstAttributionCounter; ++i) {
     if (i != kFirstServeCounter) out += ',';
     out += '"';
     out += kCounterNames[i];
     out += "\":";
     appendUint(out, counters[i]);
+  }
+  // The attribution section exists only when the tier actually ran: an
+  // AttributionMode::Off run serializes byte-identically to builds that
+  // predate the tier (the differential pin depends on this).
+  bool anyAttribution = false;
+  for (std::size_t i = kFirstAttributionCounter; i < kCounterCount; ++i) {
+    anyAttribution = anyAttribution || counters[i] != 0;
+  }
+  if (anyAttribution) {
+    out += "},\"attribution\":{";
+    for (std::size_t i = kFirstAttributionCounter; i < kCounterCount; ++i) {
+      if (i != kFirstAttributionCounter) out += ',';
+      out += '"';
+      out += kCounterNames[i];
+      out += "\":";
+      appendUint(out, counters[i]);
+    }
   }
   out += "},\"gauges\":{";
   for (std::size_t i = 0; i < kGaugeCount; ++i) {

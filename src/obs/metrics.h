@@ -96,6 +96,17 @@ enum class Counter : std::uint8_t {
   ServeRequestsServed,     // requests the origin tier answered
   ServeFaultsInjected,     // socket-layer faults the origin injected
   ServeParseErrors,        // malformed/oversized requests rejected
+  // --- provenance attribution tier (reported under "attribution" in
+  // deterministicJson, but only when at least one of its counters is
+  // nonzero — AttributionMode::Off runs must serialize byte-identically to
+  // builds that predate the tier; keep kFirstAttributionCounter in sync) ---
+  AttributionSteps,         // FORCUM steps that entered the attribution path
+  AttributionNominated,     // steps where taint nominated a single cookie
+  AttributionAmbiguous,     // steps where taint named several candidates
+  AttributionConfirmStrips, // targeted single-cookie confirm fetches issued
+  AttributionConfirmed,     // confirm strips that upheld their nomination
+  AttributionFallbacks,     // steps with no usable taint (map missing, no
+                            // tainted difference rows, or label overflow)
   kCount,
 };
 
@@ -112,6 +123,10 @@ inline constexpr std::size_t kFirstKnowledgeCounter =
 // First counter of the serve-tier block (the "serve" section).
 inline constexpr std::size_t kFirstServeCounter =
     static_cast<std::size_t>(Counter::ServeDispatches);
+// First counter of the attribution block (the conditional "attribution"
+// section).
+inline constexpr std::size_t kFirstAttributionCounter =
+    static_cast<std::size_t>(Counter::AttributionSteps);
 
 // Gauges: set-style registers. Merge policy is per gauge (see gaugeMerge).
 enum class Gauge : std::uint8_t {

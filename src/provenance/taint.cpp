@@ -1,0 +1,299 @@
+#include "provenance/taint.h"
+
+#include <algorithm>
+#include <bit>
+#include <charconv>
+
+#include "util/rng.h"
+#include "util/strings.h"
+
+namespace cookiepicker::provenance {
+
+namespace {
+
+// Same frame discipline as the store WAL: one-line ASCII magic, then
+// u32le payloadLen | u64le fnv1a64(payload) | payload. Rewritten locally so
+// the provenance tier depends only on cp_util.
+constexpr std::string_view kProvMagic = "cookiepicker-prov-v1\n";
+constexpr std::size_t kFrameHeaderBytes = 12;
+
+// A provenance payload is a few lines per tainted region; anything past
+// this is a flipped length byte, not a legitimate map.
+constexpr std::uint32_t kMaxProvPayload = 1u << 20;
+
+void appendU32le(std::string& out, std::uint32_t value) {
+  for (int shift = 0; shift < 32; shift += 8) {
+    out.push_back(static_cast<char>((value >> shift) & 0xff));
+  }
+}
+
+void appendU64le(std::string& out, std::uint64_t value) {
+  for (int shift = 0; shift < 64; shift += 8) {
+    out.push_back(static_cast<char>((value >> shift) & 0xff));
+  }
+}
+
+std::uint32_t readU32le(std::string_view bytes) {
+  std::uint32_t value = 0;
+  for (int i = 0; i < 4; ++i) {
+    value |= static_cast<std::uint32_t>(
+                 static_cast<unsigned char>(bytes[static_cast<size_t>(i)]))
+             << (8 * i);
+  }
+  return value;
+}
+
+std::uint64_t readU64le(std::string_view bytes) {
+  std::uint64_t value = 0;
+  for (int i = 0; i < 8; ++i) {
+    value |= static_cast<std::uint64_t>(
+                 static_cast<unsigned char>(bytes[static_cast<size_t>(i)]))
+             << (8 * i);
+  }
+  return value;
+}
+
+template <typename T>
+bool parseNumber(std::string_view text, T& out) {
+  if (text.empty()) return false;
+  const auto result =
+      std::from_chars(text.data(), text.data() + text.size(), out);
+  return result.ec == std::errc() && result.ptr == text.data() + text.size();
+}
+
+bool parseHexMask(std::string_view text, LabelSet& out) {
+  if (text.empty()) return false;
+  const auto result =
+      std::from_chars(text.data(), text.data() + text.size(), out, 16);
+  return result.ec == std::errc() && result.ptr == text.data() + text.size();
+}
+
+void appendHexMask(std::string& out, LabelSet mask) {
+  char buffer[9];
+  const auto result = std::to_chars(buffer, buffer + sizeof(buffer), mask, 16);
+  out.append(buffer, result.ptr);
+}
+
+int hexNibble(char ch) {
+  if (ch >= '0' && ch <= '9') return ch - '0';
+  if (ch >= 'a' && ch <= 'f') return ch - 'a' + 10;
+  return -1;
+}
+
+}  // namespace
+
+LabelSet TaintRecorder::labelFor(std::string_view cookieName) {
+  for (std::size_t i = 0; i < names_.size(); ++i) {
+    if (names_[i] == cookieName) return LabelSet{1} << i;
+  }
+  if (names_.size() >= static_cast<std::size_t>(kMaxLabels)) {
+    overflowed_ = true;
+    return kOverflowLabel;
+  }
+  names_.emplace_back(cookieName);
+  return LabelSet{1} << (names_.size() - 1);
+}
+
+void ProvenanceMap::add(std::uint32_t begin, std::uint32_t end,
+                        LabelSet labels) {
+  if (begin >= end || labels == 0) return;
+  ranges_.push_back({begin, end, labels});
+  normalized_ = false;
+}
+
+void ProvenanceMap::normalize() {
+  if (normalized_) return;
+  // Boundary sweep: every begin/end is a potential mask change. Between
+  // consecutive boundaries the effective set is the OR of all covering
+  // ranges — nested and overlapping inputs flatten into the lattice join.
+  std::vector<std::uint32_t> cuts;
+  cuts.reserve(ranges_.size() * 2);
+  for (const TaintRange& range : ranges_) {
+    cuts.push_back(range.begin);
+    cuts.push_back(range.end);
+  }
+  std::sort(cuts.begin(), cuts.end());
+  cuts.erase(std::unique(cuts.begin(), cuts.end()), cuts.end());
+
+  std::vector<TaintRange> flat;
+  flat.reserve(cuts.size());
+  for (std::size_t i = 0; i + 1 < cuts.size(); ++i) {
+    const std::uint32_t begin = cuts[i];
+    const std::uint32_t end = cuts[i + 1];
+    LabelSet mask = 0;
+    for (const TaintRange& range : ranges_) {
+      if (range.begin <= begin && end <= range.end) mask |= range.labels;
+    }
+    if (mask == 0) continue;
+    if (!flat.empty() && flat.back().end == begin &&
+        flat.back().labels == mask) {
+      flat.back().end = end;  // coalesce equal neighbours
+    } else {
+      flat.push_back({begin, end, mask});
+    }
+  }
+  ranges_ = std::move(flat);
+  normalized_ = true;
+}
+
+LabelSet ProvenanceMap::labelsAt(std::uint32_t offset) const {
+  // First range whose end is past the offset; covers iff it also starts
+  // at or before it.
+  const auto it = std::upper_bound(
+      ranges_.begin(), ranges_.end(), offset,
+      [](std::uint32_t value, const TaintRange& range) {
+        return value < range.end;
+      });
+  if (it == ranges_.end() || it->begin > offset) return 0;
+  return it->labels;
+}
+
+LabelSet ProvenanceMap::labelsIn(std::uint32_t begin, std::uint32_t end) const {
+  LabelSet mask = 0;
+  auto it = std::upper_bound(ranges_.begin(), ranges_.end(), begin,
+                             [](std::uint32_t value, const TaintRange& range) {
+                               return value < range.end;
+                             });
+  for (; it != ranges_.end() && it->begin < end; ++it) {
+    mask |= it->labels;
+  }
+  return mask;
+}
+
+void ProvenanceMap::setLabelNames(std::vector<std::string> names) {
+  labelNames_ = std::move(names);
+}
+
+std::optional<std::string> ProvenanceMap::soleLabelName(LabelSet set) const {
+  if (set == 0 || (set & kOverflowLabel) != 0) return std::nullopt;
+  if (std::popcount(set) != 1) return std::nullopt;
+  const auto bit = static_cast<std::size_t>(std::countr_zero(set));
+  if (bit >= labelNames_.size()) return std::nullopt;
+  return labelNames_[bit];
+}
+
+std::string ProvenanceMap::serialize() {
+  normalize();
+  std::string payload;
+  payload += "labels\t";
+  payload += std::to_string(labelNames_.size());
+  for (const std::string& name : labelNames_) {
+    payload.push_back('\t');
+    util::appendEscapedStateField(payload, name);
+  }
+  payload.push_back('\n');
+  for (const TaintRange& range : ranges_) {
+    payload += "range\t";
+    payload += std::to_string(range.begin);
+    payload.push_back('\t');
+    payload += std::to_string(range.end);
+    payload.push_back('\t');
+    appendHexMask(payload, range.labels);
+    payload.push_back('\n');
+  }
+
+  std::string out;
+  out.reserve(kProvMagic.size() + kFrameHeaderBytes + payload.size());
+  out += kProvMagic;
+  appendU32le(out, static_cast<std::uint32_t>(payload.size()));
+  appendU64le(out, util::fnv1a64(payload));
+  out += payload;
+  return out;
+}
+
+std::optional<ProvenanceMap> ProvenanceMap::parse(std::string_view bytes) {
+  if (!bytes.starts_with(kProvMagic)) return std::nullopt;
+  bytes.remove_prefix(kProvMagic.size());
+  if (bytes.size() < kFrameHeaderBytes) return std::nullopt;
+  const std::uint32_t length = readU32le(bytes.substr(0, 4));
+  const std::uint64_t checksum = readU64le(bytes.substr(4, 8));
+  bytes.remove_prefix(kFrameHeaderBytes);
+  if (length > kMaxProvPayload) return std::nullopt;
+  // Exact-length contract: a provenance header carries one frame and
+  // nothing else, so trailing bytes are corruption, not a second record.
+  if (bytes.size() != length) return std::nullopt;
+  if (util::fnv1a64(bytes) != checksum) return std::nullopt;
+
+  ProvenanceMap map;
+  bool sawLabels = false;
+  std::size_t labelCount = 0;
+  std::size_t lineStart = 0;
+  while (lineStart < bytes.size()) {
+    const std::size_t newline = bytes.find('\n', lineStart);
+    if (newline == std::string_view::npos) return std::nullopt;
+    const std::string_view line = bytes.substr(lineStart, newline - lineStart);
+    lineStart = newline + 1;
+    const std::vector<std::string> fields = util::split(std::string(line), '\t');
+    if (fields.empty()) return std::nullopt;
+    if (fields[0] == "labels") {
+      if (sawLabels || fields.size() < 2) return std::nullopt;
+      sawLabels = true;
+      if (!parseNumber(fields[1], labelCount)) return std::nullopt;
+      if (labelCount > static_cast<std::size_t>(kMaxLabels)) {
+        return std::nullopt;
+      }
+      if (fields.size() != labelCount + 2) return std::nullopt;
+      for (std::size_t i = 0; i < labelCount; ++i) {
+        map.labelNames_.push_back(util::unescapeStateField(fields[i + 2]));
+      }
+    } else if (fields[0] == "range") {
+      if (!sawLabels || fields.size() != 4) return std::nullopt;
+      TaintRange range;
+      if (!parseNumber(fields[1], range.begin)) return std::nullopt;
+      if (!parseNumber(fields[2], range.end)) return std::nullopt;
+      if (!parseHexMask(fields[3], range.labels)) return std::nullopt;
+      if (range.begin >= range.end || range.labels == 0) return std::nullopt;
+      const LabelSet allowed =
+          (labelCount == 0 ? 0
+                           : (labelCount >= 31
+                                  ? ~LabelSet{0} >> 1
+                                  : (LabelSet{1} << labelCount) - 1)) |
+          kOverflowLabel;
+      if ((range.labels & ~allowed) != 0) return std::nullopt;
+      if (!map.ranges_.empty()) {
+        const TaintRange& prev = map.ranges_.back();
+        // Canonical form is strictly sorted and disjoint, with equal-mask
+        // neighbours coalesced; anything else did not come from serialize().
+        if (range.begin < prev.end) return std::nullopt;
+        if (range.begin == prev.end && range.labels == prev.labels) {
+          return std::nullopt;
+        }
+      }
+      map.ranges_.push_back(range);
+    } else {
+      return std::nullopt;
+    }
+  }
+  if (!sawLabels) return std::nullopt;
+  map.normalized_ = true;
+  return map;
+}
+
+std::string ProvenanceMap::encodeHeader() {
+  static constexpr char kHexDigits[] = "0123456789abcdef";
+  const std::string raw = serialize();
+  std::string out;
+  out.reserve(raw.size() * 2);
+  for (const char ch : raw) {
+    const auto byte = static_cast<unsigned char>(ch);
+    out.push_back(kHexDigits[byte >> 4]);
+    out.push_back(kHexDigits[byte & 0xf]);
+  }
+  return out;
+}
+
+std::optional<ProvenanceMap> ProvenanceMap::decodeHeader(
+    std::string_view value) {
+  if (value.empty() || value.size() % 2 != 0) return std::nullopt;
+  std::string raw;
+  raw.reserve(value.size() / 2);
+  for (std::size_t i = 0; i < value.size(); i += 2) {
+    const int hi = hexNibble(value[i]);
+    const int lo = hexNibble(value[i + 1]);
+    if (hi < 0 || lo < 0) return std::nullopt;
+    raw.push_back(static_cast<char>((hi << 4) | lo));
+  }
+  return parse(raw);
+}
+
+}  // namespace cookiepicker::provenance

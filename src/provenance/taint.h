@@ -1,0 +1,138 @@
+// Per-cookie taint provenance — the attribution tier's data model.
+//
+// The synthetic servers run real branch-level taint: every server-side
+// decision that *reads* a cookie (present or absent — the branch itself is
+// the information flow) labels the DOM it emits with that cookie's taint
+// bit. Serialization flattens those labels into a `ProvenanceMap`: a sorted
+// list of disjoint byte ranges over the rendered HTML, each carrying the
+// label-set (a bit-vector over the recorder's cookie universe) effective
+// for every byte in the range. Label-sets form a join-semilattice under
+// bitwise OR — nested tainted subtrees simply union, which is exactly the
+// normalization `RangeSet` performs.
+//
+// The map travels out of band as a response header (hex-encoded), framed
+// byte-stable with the same length + fnv1a64 checksum discipline as the §10
+// store records: a reader trusts the payload only if the magic, declared
+// length and checksum all agree, so a truncated or bit-flipped header is
+// rejected wholesale rather than half-parsed.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace cookiepicker::provenance {
+
+// A set of taint labels as a bit-vector. Bit i set means "influenced by the
+// cookie the recorder interned as label i". Sets are interned structurally:
+// the mask *is* the canonical id, so stamping a snapshot row costs one store
+// and no allocation.
+using LabelSet = std::uint32_t;
+
+// Per-row stamp in a TreeSnapshot — identical representation to LabelSet
+// (the bit-vector is its own interning), named separately where it denotes
+// "the label-set effective for this row".
+using TaintSetId = std::uint32_t;
+
+// Out-of-band transport headers. A client that wants taint data sends
+// kWantProvenanceHeader on its container/hidden requests; a provenance-aware
+// origin answers with the hex-framed map in kCookieProvenanceHeader. Both
+// are absent on ordinary traffic, keeping the baseline wire bytes identical.
+inline constexpr std::string_view kWantProvenanceHeader = "X-Want-Provenance";
+inline constexpr std::string_view kCookieProvenanceHeader =
+    "X-Cookie-Provenance";
+
+// The recorder supports at most 31 distinct cookie labels; anything beyond
+// collapses into the overflow label so a hostile site with hundreds of
+// cookies degrades to "ambiguous" instead of silently dropping taint.
+inline constexpr int kMaxLabels = 31;
+inline constexpr LabelSet kOverflowLabel = 1u << kMaxLabels;
+
+// Interns cookie names to label bits in first-read order. One recorder
+// lives for the duration of a single page render.
+class TaintRecorder {
+ public:
+  // Returns the label bit for `cookieName`, interning it on first use.
+  // Names past kMaxLabels all map to kOverflowLabel.
+  LabelSet labelFor(std::string_view cookieName);
+
+  // Cookie names in label order (index == bit position).
+  const std::vector<std::string>& labels() const { return names_; }
+
+  bool overflowed() const { return overflowed_; }
+
+ private:
+  std::vector<std::string> names_;
+  bool overflowed_ = false;
+};
+
+struct TaintRange {
+  std::uint32_t begin = 0;  // inclusive byte offset
+  std::uint32_t end = 0;    // exclusive byte offset
+  LabelSet labels = 0;
+
+  friend bool operator==(const TaintRange&, const TaintRange&) = default;
+};
+
+// Byte-range → label-set map over one rendered document.
+//
+// Builders `add()` ranges in any order, nested and overlapping freely (a
+// tainted subtree inside a tainted subtree yields exactly that);
+// `normalize()` sweeps them into the canonical form: sorted, disjoint,
+// OR-merged where they overlapped, adjacent ranges with equal label-sets
+// coalesced. Lookups and serialization require the canonical form.
+class ProvenanceMap {
+ public:
+  // Records that bytes [begin, end) carry `labels`. Empty or inverted
+  // ranges and empty label-sets are ignored.
+  void add(std::uint32_t begin, std::uint32_t end, LabelSet labels);
+
+  // Sorts + flattens into disjoint canonical ranges. Idempotent.
+  void normalize();
+
+  // Label-set effective at byte `offset` (binary search; 0 when untainted).
+  // Requires canonical form.
+  LabelSet labelsAt(std::uint32_t offset) const;
+
+  // Union of label-sets over [begin, end). Requires canonical form.
+  LabelSet labelsIn(std::uint32_t begin, std::uint32_t end) const;
+
+  void setLabelNames(std::vector<std::string> names);
+  const std::vector<std::string>& labelNames() const { return labelNames_; }
+  const std::vector<TaintRange>& ranges() const { return ranges_; }
+  bool empty() const { return ranges_.empty(); }
+
+  // Name of the single label in `set`, or nullopt when `set` is empty,
+  // holds several bits, or is the overflow label — i.e. exactly the cases
+  // where attribution must fall back instead of naming a cookie.
+  std::optional<std::string> soleLabelName(LabelSet set) const;
+
+  // Byte-stable canonical serialization: magic line, then one checksummed
+  // frame (u32le payloadLen | u64le fnv1a64(payload) | payload) exactly as
+  // the store WAL frames its records. Normalizes first.
+  std::string serialize();
+
+  // Strict parse of `serialize()` output. Rejects anything malformed: bad
+  // magic, torn or oversized frame, checksum mismatch, unsorted /
+  // overlapping / inverted ranges, label bits beyond the declared name
+  // table. parse(serialize(m)) reproduces m's canonical form exactly.
+  static std::optional<ProvenanceMap> parse(std::string_view bytes);
+
+  // Single-line ASCII transport for HTTP headers: lowercase hex of the
+  // serialized bytes. decodeHeader() is parse() after hex decoding and
+  // rejects non-hex or odd-length input.
+  std::string encodeHeader();
+  static std::optional<ProvenanceMap> decodeHeader(std::string_view value);
+
+  friend bool operator==(const ProvenanceMap&, const ProvenanceMap&) = default;
+
+ private:
+  std::vector<TaintRange> ranges_;
+  std::vector<std::string> labelNames_;
+  bool normalized_ = true;  // vacuously canonical while empty
+};
+
+}  // namespace cookiepicker::provenance

@@ -115,6 +115,9 @@ void SessionCartBehavior::render(const RenderContext& context,
   const std::string count =
       context.hasCookie(cookieName_) ? context.cookieValue(cookieName_) : "0";
   cart->appendChild(Node::makeText("Cart items: " + count));
+  // The cart widget renders either way, but its content is a function of the
+  // cookie read — taint it in both branches.
+  cart->addTaintLabels(context.taintFor(cookieName_));
   header->appendChild(std::move(cart));
 }
 
@@ -144,6 +147,10 @@ void PreferenceCookieBehavior::onRequest(const RenderContext& context,
 
 void PreferenceCookieBehavior::render(const RenderContext& context,
                                       dom::Node& body) {
+  // Both branches below are conditioned on reading this cookie, so both
+  // taint what they emit — the absence branch's banner is as much a
+  // consequence of the read as the personalized content.
+  const provenance::LabelSet taint = context.taintFor(cookieName_);
   if (!context.hasCookie(cookieName_) || !affectsPath(context.path)) {
     // Without the preference cookie the generic page carries a hint banner.
     if (Node* main = findMain(body); main != nullptr &&
@@ -152,6 +159,7 @@ void PreferenceCookieBehavior::render(const RenderContext& context,
       banner->setAttribute("class", "pref-hint");
       banner->appendChild(
           Node::makeText("Set your preferences to personalize this page."));
+      banner->addTaintLabels(taint);
       main->insertChild(0, std::move(banner));
     }
     return;
@@ -162,6 +170,7 @@ void PreferenceCookieBehavior::render(const RenderContext& context,
   if (Node* heading = body.findFirst("h1"); heading != nullptr) {
     setElementText(*heading, "Welcome back — your " + randomWord(stable) +
                                  " edition");
+    heading->addTaintLabels(taint);
   }
   // 2. Sidebar with saved links, inserted before <main>.
   Node* page = body.findFirst("div");
@@ -174,8 +183,8 @@ void PreferenceCookieBehavior::render(const RenderContext& context,
         break;
       }
     }
-    page->insertChild(mainIndex,
-                      makeSidebar(stable, "Your saved topics", 5));
+    page->insertChild(mainIndex, makeSidebar(stable, "Your saved topics", 5))
+        .addTaintLabels(taint);
   }
   if (main == nullptr) return;
   // 3. Recommendation sections at the top of <main>.
@@ -191,6 +200,7 @@ void PreferenceCookieBehavior::render(const RenderContext& context,
       list->appendChild(makeTextElement("li", randomPhrase(stable, 4)));
     }
     recommended->appendChild(std::move(list));
+    recommended->addTaintLabels(taint);
     main->insertChild(0, std::move(recommended));
   }
   // 4. High intensity: personalization dominates — generic sections are
@@ -219,6 +229,7 @@ void PreferenceCookieBehavior::render(const RenderContext& context,
             makeTextElement("dd", randomParagraph(stable, 1)));
       }
       replacement->appendChild(std::move(timeline));
+      replacement->addTaintLabels(taint);
       main->insertChild(*it, std::move(replacement));
     }
   }
@@ -240,20 +251,25 @@ void SignUpWallBehavior::onRequest(const RenderContext& context,
 
 void SignUpWallBehavior::render(const RenderContext& context,
                                 dom::Node& body) {
+  const provenance::LabelSet taint = context.taintFor(cookieName_);
   if (context.hasCookie(cookieName_)) {
     // Members get a small account toolbar.
     if (Node* header = body.findFirst("header"); header != nullptr) {
       auto toolbar = Node::makeElement("div");
       toolbar->setAttribute("class", "account-bar");
       toolbar->appendChild(Node::makeText("Signed in — account menu"));
+      toolbar->addTaintLabels(taint);
       header->appendChild(std::move(toolbar));
     }
     return;
   }
   // No account cookie: the entire content area becomes the sign-up wall.
+  // The wall replaces <main> wholesale, so the whole emptied container is
+  // a consequence of the cookie read.
   if (Node* main = findMain(body); main != nullptr) {
     main->clearChildren();
     main->appendChild(makeSignUpForm(*context.stableRng));
+    main->addTaintLabels(taint);
   }
 }
 
@@ -282,6 +298,7 @@ void QueryCacheBehavior::render(const RenderContext& context,
                                 dom::Node& body) {
   Node* main = findMain(body);
   if (main == nullptr) return;
+  const provenance::LabelSet taint = context.taintFor(cookieName_);
   if (context.hasCookie(cookieName_)) {
     // The cookie names the user's server-side result directory; the page
     // embeds the cached results instantly.
@@ -291,6 +308,7 @@ void QueryCacheBehavior::render(const RenderContext& context,
     cached->appendChild(makeResultList(*context.stableRng, 8));
     cached->appendChild(makeTextElement(
         "p", "Served from your result cache for instant reuse."));
+    cached->addTaintLabels(taint);
     main->insertChild(0, std::move(cached));
   } else {
     auto placeholder = Node::makeElement("div");
@@ -299,6 +317,7 @@ void QueryCacheBehavior::render(const RenderContext& context,
         makeTextElement("h2", "Recomputing your results"));
     placeholder->appendChild(makeTextElement(
         "p", "No result cache found; queries must be executed again."));
+    placeholder->addTaintLabels(taint);
     main->insertChild(0, std::move(placeholder));
   }
 }

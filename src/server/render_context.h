@@ -5,6 +5,7 @@
 #include <string>
 
 #include "net/http.h"
+#include "provenance/taint.h"
 #include "util/clock.h"
 #include "util/rng.h"
 
@@ -23,6 +24,17 @@ struct RenderContext {
   // the page's *structure* is identical across fetches unless a behavior
   // deliberately changes it.
   util::Pcg32* stableRng = nullptr;
+  // Set only when the client asked for provenance: behaviors label the DOM
+  // they emit with the taint of every cookie they *read* (present or absent
+  // — the branch itself is the information flow). Null on ordinary requests,
+  // so the baseline render path is untouched.
+  provenance::TaintRecorder* taint = nullptr;
+
+  // Taint label for a cookie read; 0 when no recorder is attached, so
+  // behaviors can mark unconditionally.
+  provenance::LabelSet taintFor(const std::string& name) const {
+    return taint == nullptr ? 0 : taint->labelFor(name);
+  }
 
   bool hasCookie(const std::string& name) const {
     return cookies.contains(name);

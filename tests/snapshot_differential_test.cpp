@@ -27,7 +27,9 @@
 #include "dom/snapshot.h"
 #include "html/parser.h"
 #include "html/stream_snapshot.h"
+#include "test_support.h"
 #include "util/rng.h"
+#include "util/strings.h"
 
 namespace cookiepicker {
 namespace {
@@ -415,6 +417,92 @@ INSTANTIATE_TEST_SUITE_P(Seeds, SnapshotDifferential,
                                            144, 233, 377, 610, 987, 1597,
                                            2584, 4181, 6765, 10946, 17711,
                                            28657, 46368, 75025, 121393));
+
+// --- attribution-off differential pin ----------------------------------------
+//
+// The provenance tier must be invisible while AttributionMode::Off (the
+// default): the deterministic metrics JSON, the audit JSONL stream, the
+// serialized FORCUM state, and the persisted jar have to stay byte-identical
+// to builds that predate the tier. A fleet run is a pure function of
+// (seed, roster), so the pin is enforceable across builds: the constants
+// below are fnv1a64 hashes of the exact bytes the pre-tier sources produce
+// for this scenario (recomputed by compiling the same driver against the
+// pre-tier tree). If an Off-mode code path starts leaking attribution
+// artifacts — a counter section, an audit key, an extra state field, a
+// fingerprint suffix — a hash here moves and this test names the surface.
+
+constexpr std::uint64_t kPreTierMetricsHash = 0x13bdc065f19c69cfull;
+constexpr std::uint64_t kPreTierAuditHash = 0xcc9adc3f8b478260ull;
+constexpr std::uint64_t kPreTierStateHash = 0x6f760840ef2c0b00ull;
+constexpr std::uint64_t kPreTierJarHash = 0x6eaf22a7526ec8cbull;
+
+fleet::FleetReport runPinnedFleet(core::AttributionMode attribution) {
+  const auto roster = server::measurementRoster(6, 2007);
+  testsupport::FleetRunOptions options;
+  options.workers = 2;
+  options.viewsPerHost = 8;
+  options.collectObservability = true;
+  options.attribution = attribution;
+  return testsupport::runMeasurementFleet(roster, options);
+}
+
+TEST(AttributionOffPin, OffModeBytesMatchPreTierBuild) {
+  const fleet::FleetReport report = runPinnedFleet(core::AttributionMode::Off);
+  EXPECT_EQ(util::fnv1a64(report.mergedMetrics().deterministicJson()),
+            kPreTierMetricsHash);
+  EXPECT_EQ(util::fnv1a64(report.auditJsonl()), kPreTierAuditHash);
+  EXPECT_EQ(util::fnv1a64(report.serializeState()), kPreTierStateHash);
+  EXPECT_EQ(util::fnv1a64(report.mergedJar().serialize()), kPreTierJarHash);
+}
+
+TEST(AttributionOffPin, OffModeCarriesNoAttributionArtifacts) {
+  const fleet::FleetReport report = runPinnedFleet(core::AttributionMode::Off);
+  // Metrics: the "attribution" section is emitted only when a counter in it
+  // is nonzero, which Off-mode runs can never produce.
+  EXPECT_EQ(report.mergedMetrics().deterministicJson().find("attribution"),
+            std::string::npos);
+  // Audit: the three attribution keys ride only on records whose step
+  // actually ran the provenance path.
+  EXPECT_EQ(report.auditJsonl().find("attributed_cookie"), std::string::npos);
+  EXPECT_EQ(report.auditJsonl().find("attribution_"), std::string::npos);
+  // State: FORCUM site lines carry exactly the pre-tier six tab-separated
+  // fields — the attributed-useful list is an optional seventh that Off
+  // mode never writes. The blob interleaves per-host sections; only lines
+  // inside "== forcum ==" are site lines.
+  bool inForcum = false;
+  for (const std::string& line :
+       util::split(report.serializeState(), '\n')) {
+    if (line.rfind("== ", 0) == 0) {
+      inForcum = line == "== forcum ==";
+      continue;
+    }
+    if (!inForcum || line.empty()) continue;
+    EXPECT_LE(util::split(line, '\t').size(), 6u) << line;
+  }
+}
+
+TEST(AttributionOffPin, FingerprintGainsSuffixOnlyWhenOn) {
+  net::Network network(1);
+  fleet::FleetConfig config;
+  fleet::TrainingFleet off(network, config);
+  EXPECT_EQ(off.configFingerprint().find(":attr1"), std::string::npos);
+  config.picker.forcum.attribution = core::AttributionMode::Provenance;
+  fleet::TrainingFleet on(network, config);
+  EXPECT_EQ(on.configFingerprint(), off.configFingerprint() + ":attr1");
+}
+
+// Sensitivity check for the pin: the same scenario with attribution ON must
+// move the observability surface (the counters section appears), proving the
+// hashes above would catch an Off-mode leak rather than hashing a surface
+// attribution never touches.
+TEST(AttributionOffPin, ProvenanceModeMovesTheSurface) {
+  const fleet::FleetReport report =
+      runPinnedFleet(core::AttributionMode::Provenance);
+  EXPECT_NE(report.mergedMetrics().deterministicJson().find("\"attribution\""),
+            std::string::npos);
+  EXPECT_NE(util::fnv1a64(report.mergedMetrics().deterministicJson()),
+            kPreTierMetricsHash);
+}
 
 }  // namespace
 }  // namespace cookiepicker

@@ -58,6 +58,9 @@ struct FleetRunOptions {
   std::uint64_t seed = 1234;
   bool collectObservability = false;
   bool autoEnforce = true;
+  // Off by default — the attribution-off differential pin depends on the
+  // default run carrying zero provenance artifacts.
+  core::AttributionMode attribution = core::AttributionMode::Off;
   std::shared_ptr<const faults::FaultPlan> faultPlan;
   // Durable state store the fleet should write through / recover from
   // (null = no durability). Owned by the caller, who also owns any crash
@@ -77,6 +80,7 @@ inline fleet::FleetReport runMeasurementFleet(
   config.viewsPerHost = options.viewsPerHost;
   config.seed = options.seed;
   config.picker.autoEnforce = options.autoEnforce;
+  config.picker.forcum.attribution = options.attribution;
   config.collectObservability = options.collectObservability;
   config.stateStore = options.stateStore;
   fleet::TrainingFleet trainingFleet(network, config);

@@ -32,6 +32,16 @@
 # verdict service must answer at least MIN_KNOWLEDGE_WARM_QPS (default 300)
 # verdicts/s.
 #
+# The attribution bench (BENCH_attribution.json) gates the provenance tier
+# on both paper rosters: taint-assisted attribution must resolve each
+# verdict in at most MAX_ATTRIB_ROUNDS mean hidden rounds (default 2 —
+# nominate + confirm, versus bisection's O(log n) narrowing), shrink the
+# pooled hidden-request bill to convergence by at least MIN_ATTRIB_SPEEDUP
+# (default 1.1) over the bisection baseline, and match or beat bisection's
+# accuracy (accuracy_ok per roster: no extra missed or over-marked
+# cookies). The campaign is fully simulated, so these numbers are exact
+# counts, immune to machine noise.
+#
 #   tools/bench.sh            # hot path + fleet scaling + serve tier
 #   MIN_SPEEDUP=5 tools/bench.sh
 set -euo pipefail
@@ -47,6 +57,8 @@ MAX_SERVE_P99_MS="${MAX_SERVE_P99_MS:-50}"
 MIN_SERVE_REUSE="${MIN_SERVE_REUSE:-0.9}"
 MIN_KNOWLEDGE_WARM_QPS="${MIN_KNOWLEDGE_WARM_QPS:-300}"
 MAX_WARM_HIDDEN_REQS="${MAX_WARM_HIDDEN_REQS:-0}"
+MAX_ATTRIB_ROUNDS="${MAX_ATTRIB_ROUNDS:-2}"
+MIN_ATTRIB_SPEEDUP="${MIN_ATTRIB_SPEEDUP:-1.1}"
 BUILD_DIR="$ROOT/build-bench"
 
 echo "=== configuring $BUILD_DIR (Release) ==="
@@ -54,7 +66,7 @@ cmake -B "$BUILD_DIR" -S "$ROOT" -DCMAKE_BUILD_TYPE=Release >/dev/null
 echo "=== building benches ==="
 cmake --build "$BUILD_DIR" -j "$JOBS" \
       --target bench_detection_hotpath bench_fleet_scaling bench_serve \
-               bench_knowledge
+               bench_knowledge bench_attribution
 
 echo "=== detection hot path ==="
 "$BUILD_DIR/bench/bench_detection_hotpath" "$ROOT/BENCH_hotpath.json"
@@ -197,4 +209,52 @@ if ! awk -v q="$warm_qps" -v min="$MIN_KNOWLEDGE_WARM_QPS" \
 fi
 echo "OK: warm verdict qps ${warm_qps}"
 
-echo "all benches done; BENCH_hotpath.json, BENCH_serve.json and BENCH_knowledge.json updated"
+echo "=== attribution tier (taint-nominated verdicts) ==="
+"$BUILD_DIR/bench/bench_attribution" "$ROOT/BENCH_attribution.json"
+
+echo "=== attribution rounds gate (<= ${MAX_ATTRIB_ROUNDS} mean hidden rounds/verdict, both rosters) ==="
+attrib_rounds_all="$(sed -n 's/.*"attrib_rounds_per_verdict": \([0-9.]*\),.*/\1/p' \
+                     "$ROOT/BENCH_attribution.json")"
+if [[ -z "$attrib_rounds_all" ]]; then
+  echo "FAIL: could not read attrib_rounds_per_verdict from BENCH_attribution.json" >&2
+  exit 1
+fi
+for attrib_rounds in $attrib_rounds_all; do
+  if ! awk -v r="$attrib_rounds" -v max="$MAX_ATTRIB_ROUNDS" \
+       'BEGIN { exit !(r <= max) }'; then
+    echo "FAIL: attribution used ${attrib_rounds} hidden rounds/verdict, allowed ${MAX_ATTRIB_ROUNDS}" >&2
+    exit 1
+  fi
+done
+echo "OK: attribution rounds/verdict ${attrib_rounds_all//$'\n'/ } (per roster)"
+
+echo "=== attribution bill gate (>= ${MIN_ATTRIB_SPEEDUP}x pooled hidden-request speedup) ==="
+attrib_speedup="$(sed -n 's/.*"overall_bill_speedup": \([0-9.]*\),.*/\1/p' \
+                  "$ROOT/BENCH_attribution.json" | head -1)"
+if [[ -z "$attrib_speedup" ]]; then
+  echo "FAIL: could not read overall_bill_speedup from BENCH_attribution.json" >&2
+  exit 1
+fi
+if ! awk -v s="$attrib_speedup" -v min="$MIN_ATTRIB_SPEEDUP" \
+     'BEGIN { exit !(s >= min) }'; then
+  echo "FAIL: attribution bill speedup ${attrib_speedup}x below required ${MIN_ATTRIB_SPEEDUP}x" >&2
+  exit 1
+fi
+echo "OK: attribution bill speedup ${attrib_speedup}x"
+
+echo "=== attribution accuracy gate (no roster worse than the bisection baseline) ==="
+accuracy_all="$(sed -n 's/.*"accuracy_ok": \([0-9]*\).*/\1/p' \
+                "$ROOT/BENCH_attribution.json")"
+if [[ -z "$accuracy_all" ]]; then
+  echo "FAIL: could not read accuracy_ok from BENCH_attribution.json" >&2
+  exit 1
+fi
+for accuracy_ok in $accuracy_all; do
+  if [[ "$accuracy_ok" != "1" ]]; then
+    echo "FAIL: attribution accuracy regressed against the bisection baseline" >&2
+    exit 1
+  fi
+done
+echo "OK: attribution accuracy matches the baseline on every roster"
+
+echo "all benches done; BENCH_hotpath.json, BENCH_serve.json, BENCH_knowledge.json and BENCH_attribution.json updated"

@@ -30,7 +30,13 @@
 # (lattice laws, partition-order byte-identity, the epoch-guard
 # demote/merge race) in the TSan and ASan trees with COOKIEPICKER_FUZZ=8,
 # which scales the fuzzed lattice states and gossip-order permutations
-# eightfold.
+# eightfold. The taint configs re-run the provenance tier suite (map
+# normalization and framing over hostile inputs, taint-stamped streaming
+# snapshots, the attribution-vs-bisection differential, the shared-region
+# adversarial case, and fault-degraded confirms) in the TSan and ASan
+# trees: TSan watches the recorder and snapshot plumbing alongside the
+# fleet threads, ASan the framing parser over corrupted and truncated
+# payloads.
 #
 #   tools/check.sh                 # all fourteen configurations
 #   tools/check.sh thread          # just the TSan pass
@@ -47,6 +53,8 @@
 #   tools/check.sh serve-address   # scaled service-tier soak, ASan tree
 #   tools/check.sh knowledge-thread   # scaled knowledge soak, TSan tree
 #   tools/check.sh knowledge-address  # scaled knowledge soak, ASan tree
+#   tools/check.sh taint-thread       # provenance tier suite, TSan tree
+#   tools/check.sh taint-address      # provenance tier suite, ASan tree
 set -euo pipefail
 
 ROOT="$(cd "$(dirname "$0")/.." && pwd)"
@@ -55,7 +63,8 @@ CONFIGS=("${@:-plain}")
 if [[ $# -eq 0 ]]; then
   CONFIGS=(plain thread thread-metrics address debug chaos-thread
            chaos-address crash-soak fuzz-thread fuzz-address
-           serve-thread serve-address knowledge-thread knowledge-address)
+           serve-thread serve-address knowledge-thread knowledge-address
+           taint-thread taint-address)
 fi
 
 for config in "${CONFIGS[@]}"; do
@@ -172,11 +181,31 @@ for config in "${CONFIGS[@]}"; do
       soak_target="knowledge_test"
       build_dir="$ROOT/build-check-address"
       ;;
+    taint-thread)
+      # The provenance tier under TSan: taint recorders live inside render
+      # contexts on origin threads, provenance maps ride responses into the
+      # fleet's worker threads, and the attribution differential runs whole
+      # training campaigns — the handoffs must all be race-free.
+      sanitize="thread"
+      test_filter="Provenance|TaintRecorder|Attribution"
+      soak_target="provenance_test"
+      build_dir="$ROOT/build-check-thread"
+      ;;
+    taint-address)
+      # The same suite under ASan/UBSan: the framing parser consumes
+      # corrupted, truncated, and bit-flipped payloads and the escaped
+      # hostile label names — no read may ever leave the payload buffer.
+      sanitize="address"
+      test_filter="Provenance|TaintRecorder|Attribution"
+      soak_target="provenance_test"
+      build_dir="$ROOT/build-check-address"
+      ;;
     *) echo "unknown configuration: $config" \
             "(want plain|thread|thread-metrics|address|debug|" \
             "chaos-thread|chaos-address|crash-soak|fuzz-thread|" \
             "fuzz-address|serve-thread|serve-address|" \
-            "knowledge-thread|knowledge-address)" >&2
+            "knowledge-thread|knowledge-address|" \
+            "taint-thread|taint-address)" >&2
        exit 2 ;;
   esac
   echo "=== [$config] configuring $build_dir ==="

@@ -77,6 +77,7 @@ struct Options {
   std::string stateDir;    // durable state store directory (empty = off)
   std::string knowledgeDir;  // serve: shared-knowledge directory (empty = off)
   bool strict = false;     // replay: exit non-zero on drift
+  bool attribution = false;  // taint-assisted O(1) cookie attribution
   int port = 0;            // serve: verdict listener port (0 = ephemeral)
   int originThreads = 2;   // serve: origin-tier event-loop threads
   std::string onceHost;    // serve: run one verdict and exit ("-" = first)
@@ -113,6 +114,8 @@ Options parseOptions(int argc, char** argv, int firstFlag) {
       options.knowledgeDir = next();
     } else if (flag == "--strict") {
       options.strict = true;
+    } else if (flag == "--attribution") {
+      options.attribution = true;
     } else if (flag == "--port") {
       options.port = std::atoi(next().c_str());
     } else if (flag == "--origin-threads") {
@@ -232,6 +235,9 @@ int runFleetAudit(const Options& options) {
   config.viewsPerHost = options.views;
   config.seed = options.seed;
   config.picker.autoEnforce = true;
+  if (options.attribution) {
+    config.picker.forcum.attribution = core::AttributionMode::Provenance;
+  }
   config.collectObservability =
       !options.metricsOut.empty() || !options.auditOut.empty();
   std::optional<store::StateStore> stateStore;
@@ -289,6 +295,9 @@ int runAudit(const Options& options) {
   browser::Browser browser(network, clock);
   core::CookiePickerConfig config;
   config.autoEnforce = true;
+  if (options.attribution) {
+    config.forcum.attribution = core::AttributionMode::Provenance;
+  }
   core::CookiePicker picker(browser, config);
   const auto roster = server::measurementRoster(options.sites, options.seed);
   server::registerRoster(network, clock, roster);
@@ -306,7 +315,8 @@ int runAudit(const Options& options) {
   store::HostStore* shard = nullptr;
   const std::string fingerprint =
       "cli-v1:" + std::to_string(options.seed) + ":" +
-      std::to_string(options.sites) + ":" + std::to_string(options.views);
+      std::to_string(options.sites) + ":" + std::to_string(options.views) +
+      (options.attribution ? ":attr1" : "");
   if (!options.stateDir.empty()) {
     store::StoreConfig storeConfig;
     storeConfig.directory = options.stateDir;
@@ -481,6 +491,9 @@ int runStats(const Options& options) {
   config.viewsPerHost = options.views;
   config.seed = options.seed;
   config.picker.autoEnforce = true;
+  if (options.attribution) {
+    config.picker.forcum.attribution = core::AttributionMode::Provenance;
+  }
   config.collectObservability = true;
   fleet::TrainingFleet fleet(network, config);
   const fleet::FleetReport report = fleet.run(roster);
@@ -627,6 +640,10 @@ int runServe(const Options& options) {
     serve::VerdictServiceConfig serviceConfig;
     serviceConfig.defaultViews = options.views;
     serviceConfig.seed = options.seed;
+    if (options.attribution) {
+      serviceConfig.picker.forcum.attribution =
+          core::AttributionMode::Provenance;
+    }
     if (knowledgeStore) serviceConfig.knowledge = &knowledgeBase;
     serve::VerdictService service(transport, serviceConfig);
     for (const auto& spec : roster) {
@@ -695,17 +712,21 @@ int usage() {
       "  demo                              one-site walkthrough\n"
       "  audit  [--sites N] [--views V] [--seed S] [--workers W]\n"
       "         [--metrics-out FILE] [--audit-out FILE] [--fault-plan FILE]\n"
-      "         [--state-dir DIR]\n"
+      "         [--state-dir DIR] [--attribution]\n"
       "         (--workers fans per-host sessions out over W threads;\n"
       "          results are identical for any W; the out files dump the\n"
       "          flight recorder: metrics JSON and per-verdict JSONL;\n"
       "          --fault-plan injects a deterministic fault schedule —\n"
       "          see DESIGN.md section 9 for the plan format;\n"
       "          --state-dir persists training durably: an interrupted\n"
-      "          run resumes from it — see DESIGN.md section 10)\n"
+      "          run resumes from it — see DESIGN.md section 10;\n"
+      "          --attribution turns on taint-assisted per-cookie\n"
+      "          attribution: provenance maps nominate the responsible\n"
+      "          cookie and one targeted strip confirms it — see\n"
+      "          DESIGN.md section 15)\n"
       "  census [--sites N] [--seed S]\n"
       "  stats  [--sites N] [--views V] [--seed S] [--workers W]\n"
-      "         [--metrics-out FILE] [--audit-out FILE]\n"
+      "         [--metrics-out FILE] [--audit-out FILE] [--attribution]\n"
       "         (instrumented run: counter table + per-phase latency)\n"
       "  record --out FILE [--views V] [--seed S]\n"
       "  replay --in FILE  [--views V] [--seed S] [--strict]\n"
@@ -715,6 +736,7 @@ int usage() {
       "  serve  [--port P] [--sites N] [--views V] [--seed S]\n"
       "         [--origin-threads T] [--fault-plan FILE]\n"
       "         [--metrics-out FILE] [--once HOST] [--knowledge-dir DIR]\n"
+      "         [--attribution]\n"
       "         (verdict service over real sockets: synthetic origins on\n"
       "          an epoll tier, hidden fetches batched + pipelined with\n"
       "          keep-alive; GET /verdict?host=H[&views=N] on port P;\n"
